@@ -1,0 +1,83 @@
+"""E8 — The three canned demo scenarios end to end (§4).
+
+"We will provide three canned examples: a soccer match, a timeline of
+earthquakes, and a summary of a month in Barack Obama's life."
+
+Each scenario runs through event creation, logging, every panel, peak
+detection, and all three renderers; the bench reports end-to-end tweets
+per (real) second and the headline panel numbers.
+"""
+
+import json
+
+import pytest
+
+from repro import TweeQL
+from repro.twitinfo import TwitInfoApp
+from repro.twitinfo.peaks import PeakDetectorParams
+
+from benchmarks.conftest import SEED, print_table
+
+
+def run_scenario(scenario, bin_seconds, params=None):
+    session = TweeQL.for_scenarios(scenario, seed=SEED)
+    app = TwitInfoApp(session)
+    event = app.track(
+        scenario.name, scenario.keywords,
+        start=scenario.start, end=scenario.end,
+        bin_seconds=bin_seconds, detector_params=params,
+    )
+    dashboard = app.dashboard(event)
+    text = dashboard.render_text()
+    html = dashboard.render_html()
+    payload = json.loads(dashboard.to_json_text())
+    return event, dashboard, (text, html, payload)
+
+
+CASES = {
+    "soccer": dict(bin_seconds=60.0, params=None),
+    "earthquakes": dict(bin_seconds=300.0, params=None),
+    "news-month": dict(
+        bin_seconds=6 * 3600.0,
+        params=PeakDetectorParams(tau=1.5, min_count=30.0),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", list(CASES))
+def test_demo_scenario(benchmark, name, soccer, quakes, news):
+    scenario = {"soccer": soccer, "earthquakes": quakes, "news-month": news}[name]
+    case = CASES[name]
+
+    event, dashboard, renders = benchmark.pedantic(
+        lambda: run_scenario(scenario, case["bin_seconds"], case["params"]),
+        rounds=1, iterations=1,
+    )
+    text, html, payload = renders
+    report = event.report()
+    print_table(
+        f"E8 {name}",
+        ["tweets", "peaks", "pos", "neg", "neutral", "links", "geotagged"],
+        [
+            (
+                report.tweets_logged,
+                report.peaks,
+                report.positive,
+                report.negative,
+                report.neutral,
+                report.distinct_links,
+                report.geotagged,
+            )
+        ],
+    )
+    assert report.tweets_logged > 500
+    assert report.peaks >= 1
+    assert text and html.startswith("<!DOCTYPE html>")
+    assert payload["timeline"]
+    # Every ground-truth event must land inside or near a peak window.
+    tolerance = case["bin_seconds"] * 4
+    for truth in scenario.truth.events:
+        assert any(
+            p.start - tolerance <= truth.time < p.end + tolerance
+            for p in event.peaks
+        ), f"{name}: {truth.name} missed"

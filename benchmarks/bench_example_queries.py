@@ -1,0 +1,71 @@
+"""E1 — §2's three example queries: parse, plan, and execute.
+
+The demo's headline capability: the paper's queries run as written.
+Benchmarks each stage and prints per-query throughput over the simulated
+stream.
+"""
+
+import pytest
+
+from repro import TweeQL
+from repro.sql import parse
+
+from benchmarks.conftest import SEED, print_table
+
+QUERIES = {
+    "q1-sentiment-geocode": (
+        "SELECT sentiment(text), latitude(loc), longitude(loc) "
+        "FROM twitter WHERE text contains 'obama';"
+    ),
+    "q2-keyword-bbox": (
+        "SELECT text FROM twitter WHERE text contains 'obama' "
+        "AND location in [bounding box for NYC];"
+    ),
+    "q3-regional-avg": (
+        "SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, "
+        "floor(longitude(loc)) AS long FROM twitter "
+        "WHERE text contains 'obama' GROUP BY lat, long WINDOW 3 hours;"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def news_session(news):
+    return TweeQL.for_scenarios(news, seed=SEED)
+
+
+def test_parse_throughput(benchmark):
+    sql = QUERIES["q3-regional-avg"]
+
+    def parse_all():
+        for query in QUERIES.values():
+            parse(query)
+
+    benchmark(parse_all)
+    assert parse(sql).window is not None
+
+
+def test_plan_latency(benchmark, news_session):
+    benchmark(news_session.plan, QUERIES["q2-keyword-bbox"])
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_execute_paper_query(benchmark, news_session, name, news):
+    rows_out = {}
+
+    def run():
+        handle = news_session.query(QUERIES[name])
+        rows = handle.all(limit=5000)
+        handle.close()
+        rows_out["rows"] = rows
+        rows_out["stats"] = handle.stats.as_dict()
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = rows_out["rows"]
+    assert rows, f"{name} produced no rows"
+    print_table(
+        f"E1 {name}",
+        ["rows_out", "rows_scanned", "stream_tweets"],
+        [(len(rows), rows_out["stats"]["rows_scanned"], len(news))],
+    )

@@ -1,0 +1,99 @@
+"""F1 — Figure 1: the TwitInfo soccer dashboard.
+
+Regenerates the paper's one figure: the Manchester City vs. Liverpool
+dashboard with flagged peaks and key terms. Benchmarks the end-to-end
+build (stream → panels → peaks → labels → render) and checks the
+figure's annotated behaviour: the final goal's peak carries '3-0' and
+'tevez'.
+"""
+
+import pytest
+
+from repro import TweeQL
+from repro.twitinfo import TwitInfoApp
+
+from benchmarks.conftest import SEED, print_table
+
+
+@pytest.fixture(scope="module")
+def built(soccer):
+    session = TweeQL.for_scenarios(soccer, seed=SEED)
+    app = TwitInfoApp(session)
+    event = app.track(
+        "Soccer: Manchester City vs. Liverpool",
+        soccer.keywords,
+        start=soccer.start,
+        end=soccer.end,
+    )
+    return app, event, soccer
+
+
+def test_fig1_dashboard_build(benchmark, soccer):
+    def build():
+        session = TweeQL.for_scenarios(soccer, seed=SEED)
+        app = TwitInfoApp(session)
+        event = app.track(
+            "Soccer: Manchester City vs. Liverpool",
+            soccer.keywords,
+            start=soccer.start,
+            end=soccer.end,
+        )
+        return app.dashboard(event)
+
+    dashboard = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert dashboard.peaks
+
+
+def test_fig1_shape(benchmark, built):
+    """The figure's qualitative content, against ground truth."""
+    app, event, soccer = built
+    benchmark.pedantic(event.detect_peaks, rounds=1, iterations=1)
+    rows = []
+    for peak in event.peaks:
+        truth = soccer.truth.event_near(peak.apex_time, tolerance=240.0)
+        rows.append(
+            (
+                peak.label,
+                f"{peak.apex_count:.0f}",
+                ", ".join(peak.terms[:4]),
+                truth.name if truth else "-",
+            )
+        )
+    print_table(
+        "F1: timeline peaks (flag, apex tweets/min, key terms, ground truth)",
+        ["flag", "apex", "terms", "truth"],
+        rows,
+    )
+    dash = app.dashboard(event)
+    positive, negative = dash.sentiment.proportions()
+    print(f"sentiment pie: {positive:.0%} positive / {negative:.0%} negative")
+    print(f"popular links: {[(l.url, l.count) for l in dash.links]}")
+    print(f"map markers: {len(dash.markers)}")
+
+    # Every goal covered by a peak.
+    for goal in soccer.truth.events:
+        assert any(
+            p.start - 120 <= goal.time < p.end + 60 for p in event.peaks
+        ), goal.name
+    # Figure 1's annotation: the 3-0 Tevez goal is flagged and labeled.
+    final = soccer.truth.events[-1]
+    peak = min(event.peaks, key=lambda p: abs(p.apex_time - final.time))
+    assert {"3-0", "tevez"} <= set(peak.terms)
+    # Goals by the home side → the crowd skews positive (§3.3's pie).
+    assert positive > negative
+
+
+def test_fig1_render_html(benchmark, built):
+    app, event, _soccer = built
+    dashboard = app.dashboard(event)
+    page = benchmark(dashboard.render_html)
+    assert page.startswith("<!DOCTYPE html>")
+
+
+def test_fig1_drilldown(benchmark, built):
+    """Clicking a peak refreshes every panel to the peak's window."""
+    app, event, soccer = built
+    final = soccer.truth.events[-1]
+    peak = min(event.peaks, key=lambda p: abs(p.apex_time - final.time))
+    drilled = benchmark(app.dashboard, event, peak.label)
+    assert drilled.sentiment.total < app.dashboard(event).sentiment.total

@@ -1,0 +1,177 @@
+"""E7 — The dashboard panels against ground truth.
+
+§3.2/3.3's panels, each scored against what the generator actually did:
+
+- Relevant Tweets: ranked tweets are more on-topic than a random sample.
+- Overall Sentiment: the pie tracks the generator's true sentiment mix,
+  and recall correction moves it closer.
+- Popular Links: the streamed top-3 equals the exact top-3.
+- Tweet Map: markers cluster where the users actually live.
+"""
+
+import random
+
+import pytest
+
+from repro import TweeQL
+from repro.geo.bbox import named_box
+from repro.twitinfo import TwitInfoApp
+
+from benchmarks.conftest import SEED, print_table
+
+
+@pytest.fixture(scope="module")
+def tracked(soccer):
+    session = TweeQL.for_scenarios(soccer, seed=SEED)
+    app = TwitInfoApp(session)
+    event = app.track(
+        "Soccer", soccer.keywords, start=soccer.start, end=soccer.end
+    )
+    return session, app, event, soccer
+
+
+def test_relevant_tweets_quality(benchmark, tracked):
+    _session, _app, event, soccer = tracked
+    final = soccer.truth.events[-1]
+    peak = min(event.peaks, key=lambda p: abs(p.apex_time - final.time))
+
+    panel = benchmark.pedantic(
+        lambda: event.relevant(peak.start, peak.end, extra_terms=peak.terms),
+        rounds=3, iterations=1,
+    )
+    window_tweets = list(event.log.scan(peak.start, peak.end))
+    rng = random.Random(1)
+    sample = rng.sample(window_tweets, min(10, len(window_tweets)))
+
+    def on_topic(tweets):
+        return sum(
+            1 for t in tweets if "tevez" in t.text.lower() or "3-0" in t.text
+        ) / len(tweets)
+
+    ranked_rate = on_topic([entry.tweet for entry in panel])
+    random_rate = on_topic(sample)
+    print(f"\nE7 relevant tweets on-topic: ranked={ranked_rate:.0%} "
+          f"random={random_rate:.0%}")
+    assert ranked_rate >= random_rate
+    assert ranked_rate >= 0.8
+
+
+def test_sentiment_pie_tracks_truth(benchmark, tracked):
+    session, _app, event, _soccer = tracked
+    summary = benchmark.pedantic(event.sentiment_summary, rounds=3, iterations=1)
+
+    truth_positive = truth_negative = 0
+    for tweet in event.log.scan():
+        label = tweet.ground_truth["sentiment"]
+        if label > 0:
+            truth_positive += 1
+        elif label < 0:
+            truth_negative += 1
+    true_share = truth_positive / (truth_positive + truth_negative)
+    observed_share, _neg = summary.proportions()
+
+    # Calibrate on a small "annotator sample" of event tweets (TwitInfo
+    # calibrated against hand-labeled tweets; the generator's ground truth
+    # plays the annotators' role here), then invert the confusion matrix.
+    from repro.nlp.corpus import LabeledTweet
+
+    annotated = [
+        LabeledTweet(text=t.text, label=t.ground_truth["sentiment"])
+        for t in list(event.log.scan())[:400]
+    ]
+    confusion = session.classifier.confusion_matrix(annotated)
+    corrected_share, _cneg = summary.confusion_corrected_proportions(confusion)
+    print_table(
+        "E7 sentiment pie (positive share of polarized tweets)",
+        ["truth", "observed", "confusion-corrected"],
+        [(f"{true_share:.3f}", f"{observed_share:.3f}", f"{corrected_share:.3f}")],
+    )
+    # Raw pie has visible classifier bias; the correction must shrink it.
+    assert abs(observed_share - true_share) < 0.3
+    assert abs(corrected_share - true_share) < abs(observed_share - true_share)
+    assert abs(corrected_share - true_share) < 0.1
+
+
+def test_popular_links_match_exact_counts(benchmark, tracked):
+    _session, _app, event, _soccer = tracked
+    top = benchmark(lambda: event.links.top(3))
+    exact: dict[str, int] = {}
+    for tweet in event.log.scan():
+        for url in tweet.entities.urls:
+            exact[url] = exact.get(url, 0) + 1
+    exact_top = sorted(exact.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+    print_table(
+        "E7 popular links (panel vs exact recount)",
+        ["panel", "count", "exact", "count_"],
+        [
+            (a.url, a.count, b[0], b[1])
+            for a, b in zip(top, exact_top)
+        ],
+    )
+    assert [(l.url, l.count) for l in top] == exact_top
+
+
+def test_map_clusters_where_users_live(benchmark, tracked):
+    _session, app, event, _soccer = tracked
+    markers = benchmark(lambda: app.dashboard(event).markers)
+    regions = event.map.sentiment_by_region(
+        {name: named_box(name) for name in ("nyc", "london", "tokyo")}
+    )
+    total_in_regions = sum(sum(counts) for counts in regions.values())
+    print(f"\nE7 map: {len(markers)} markers; nyc/london/tokyo hold "
+          f"{total_in_regions} ({total_in_regions / len(markers):.0%})")
+    # The three metro boxes cover a few percent of the earth but a large
+    # share of markers — the population skew is visible on the map.
+    assert total_in_regions > 0.05 * len(markers)
+
+
+def test_regional_sentiment_flips_with_scoring_team(benchmark, population):
+    """§3.3's Red Sox–Yankees drill-down: per-peak regional sentiment.
+
+    For every home run, the scoring team's metro must be happier than the
+    rival's, flipping as the scoring team flips.
+    """
+    from repro.twitter.workloads import baseball_game_scenario
+
+    scenario = baseball_game_scenario(seed=SEED, population=population)
+
+    def run():
+        session = TweeQL.for_scenarios(scenario, seed=SEED)
+        app = TwitInfoApp(session)
+        event = app.track(
+            "Red Sox vs Yankees", scenario.keywords,
+            start=scenario.start, end=scenario.end,
+        )
+        return event
+
+    event = benchmark.pedantic(run, rounds=1, iterations=1)
+    boxes = {"nyc": named_box("nyc"), "boston": named_box("boston")}
+
+    def polarity(counts):
+        positive, negative, _neutral = counts
+        total = positive + negative
+        return (positive - negative) / total if total else 0.0
+
+    rows = []
+    for truth in scenario.truth.events:
+        regions = event.map.sentiment_by_region(
+            boxes, truth.time, truth.time + 360
+        )
+        nyc, boston = polarity(regions["nyc"]), polarity(regions["boston"])
+        rows.append((truth.name, f"{nyc:+.2f}", f"{boston:+.2f}"))
+        if truth.info["team"] == "yankees":
+            assert nyc > boston
+        else:
+            assert boston > nyc
+    print_table(
+        "E7 per-peak regional sentiment polarity (Red Sox vs Yankees)",
+        ["home run", "nyc", "boston"],
+        rows,
+    )
+
+
+def test_peak_search_panel(benchmark, tracked):
+    _session, _app, event, _soccer = tracked
+    hits = benchmark(event.search_peaks, "tevez")
+    assert hits
+    assert all("tevez" in " ".join(p.terms).lower() for p in hits)

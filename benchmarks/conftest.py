@@ -1,0 +1,65 @@
+"""Shared benchmark fixtures.
+
+Scenario generation dominates benchmark setup cost, so scenarios are
+session-scoped and shared across benchmark files. Every benchmark prints
+the rows/series the corresponding paper artifact shows (run with ``-s`` to
+see them); EXPERIMENTS.md records a captured copy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import (
+    background_chatter,
+    earthquake_scenario,
+    news_month_scenario,
+    soccer_match_scenario,
+)
+
+SEED = 2011
+
+
+@pytest.fixture(scope="session")
+def population():
+    return UserPopulation(size=3000, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def soccer(population):
+    """The Figure-1 match at full intensity (~40k tweets)."""
+    return soccer_match_scenario(seed=SEED, population=population)
+
+
+@pytest.fixture(scope="session")
+def quakes(population):
+    return earthquake_scenario(seed=SEED, population=population, intensity=0.5)
+
+
+@pytest.fixture(scope="session")
+def news(population):
+    return news_month_scenario(
+        seed=SEED, population=population, days=10, n_stories=4, intensity=0.3
+    )
+
+
+@pytest.fixture(scope="session")
+def chatter(population):
+    return background_chatter(
+        seed=SEED, population=population, duration=3600.0, rate=5.0
+    )
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Render one experiment's result table to stdout."""
+    print(f"\n## {title}")
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))

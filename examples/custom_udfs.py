@@ -1,0 +1,85 @@
+"""Extending TweeQL with your own UDFs — what the demo invited the audience
+to do ("build their own UDFs for more advanced processing").
+
+Run:  python examples/custom_udfs.py
+
+Registers three kinds of UDF:
+
+1. a plain scalar (``emphasize``),
+2. a stateful UDF (``running_max`` — remembers state across tuples, like
+   TwitInfo's peak detector does),
+3. the builtin stateful ``meandev`` — the paper's streaming mean-deviation
+   primitive — used in SQL to flag goal-minute spikes directly from a
+   windowed count query.
+"""
+
+from repro import TweeQL
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import soccer_match_scenario
+
+
+class RunningMax:
+    """Stateful UDF: the largest value seen so far at this call site."""
+
+    def __init__(self) -> None:
+        self.best = None
+
+    def __call__(self, _ctx, value):
+        if value is None:
+            return self.best
+        if self.best is None or value > self.best:
+            self.best = value
+        return self.best
+
+
+def main() -> None:
+    population = UserPopulation(size=2000, seed=7)
+    scenario = soccer_match_scenario(seed=7, population=population, intensity=0.5)
+    session = TweeQL.for_scenarios(scenario)
+
+    # 1. Scalar UDF.
+    session.register_udf(
+        "emphasize", lambda _ctx, s, mark="!": f"{s}{mark * 3}"
+    )
+    rows = session.query(
+        "SELECT emphasize(screen_name) AS who FROM twitter "
+        "WHERE text contains 'goal' LIMIT 3;"
+    ).all()
+    print("scalar UDF:", [row["who"] for row in rows])
+
+    # 2. Stateful UDF.
+    session.register_udf("running_max", RunningMax, stateful=True)
+    rows = session.query(
+        "SELECT running_max(followers) AS record, screen_name FROM twitter "
+        "WHERE text contains 'soccer' LIMIT 8;"
+    ).all()
+    print("running max of follower counts:", [row["record"] for row in rows])
+
+    # 3. meandev over windowed counts: peak detection in pure TweeQL.
+    #    First aggregate counts per minute INTO a table, then stream that
+    #    table through meandev — exactly how TwitInfo's "stateful TweeQL
+    #    UDF" description composes.
+    session.query(
+        "SELECT COUNT(*) AS n FROM twitter WHERE text contains 'soccer' "
+        "OR text contains 'manchester' OR text contains 'premierleague' "
+        "OR text contains 'liverpool' WINDOW 1 minutes INTO per_minute;"
+    ).all()
+    counts = session.table("per_minute")
+    session.register_source(
+        "per_minute_stream",
+        lambda: iter([dict(row) for row in counts]),
+        ("n", "window_start", "window_end", "created_at"),
+    )
+    handle = session.query(
+        "SELECT meandev(n) AS score, n, window_start FROM per_minute_stream;"
+    )
+    spikes = [row for row in handle.all() if row["score"] is not None and row["score"] > 2.0]
+    print(f"\nminutes whose count spiked >2 mean deviations: {len(spikes)}")
+    for row in spikes[:6]:
+        print(f"  t={row['window_start']:.0f}  n={row['n']}  score={row['score']:.1f}")
+    print("\n(ground truth: goals at minutes",
+          [e.info["minute"] for e in scenario.truth.events], "after kickoff)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""A month in Barack Obama's life — the paper's third canned demo (§4).
+
+Run:  python examples/obama_month.py
+
+Runs all three of the paper's §2 example queries against a month of
+simulated news traffic, then builds the TwitInfo month timeline whose peaks
+are the news stories, each labeled with the story's key term.
+"""
+
+from repro import TweeQL
+from repro.clock import format_timestamp
+from repro.twitinfo import TwitInfoApp
+from repro.twitinfo.peaks import PeakDetectorParams
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import news_month_scenario
+
+
+def main() -> None:
+    population = UserPopulation(size=2500, seed=31)
+    # Two weeks at moderate intensity keeps the example under a minute while
+    # preserving the story-peak structure; pass days=30 for the full month.
+    scenario = news_month_scenario(
+        seed=31, population=population, days=14, n_stories=4, intensity=0.2
+    )
+    session = TweeQL.for_scenarios(scenario)
+
+    print("=== Paper query 1: sentiment + geocoded coordinates ===")
+    handle = session.query(
+        "SELECT sentiment(text), latitude(loc), longitude(loc) "
+        "FROM twitter WHERE text contains 'obama';"
+    )
+    for row in handle.fetch(5):
+        print(" ", {k: v for k, v in row.items() if not k.startswith("__")})
+    handle.close()
+
+    print("\n=== Paper query 2: keyword AND bounding box (API filter choice) ===")
+    handle = session.query(
+        "SELECT text FROM twitter WHERE text contains 'obama' "
+        "AND location in [bounding box for NYC];"
+    )
+    print(handle.explain())
+    for row in handle.fetch(3):
+        print("  NYC:", row["text"][:70])
+    handle.close()
+
+    print("\n=== Paper query 3: 1°x1° average sentiment, 3-hour windows ===")
+    handle = session.query(
+        "SELECT AVG(sentiment(text)) AS mood, floor(latitude(loc)) AS lat, "
+        "floor(longitude(loc)) AS long FROM twitter "
+        "WHERE text contains 'obama' GROUP BY lat, long WINDOW 3 hours;"
+    )
+    shown = 0
+    for row in handle:
+        if row["lat"] is None:
+            continue
+        print(
+            f"  window ending {format_timestamp(row['window_end'])}: "
+            f"cell ({row['lat']:+.0f}, {row['long']:+.0f}) mood {row['mood']:+.2f}"
+        )
+        shown += 1
+        if shown >= 8:
+            break
+    handle.close()
+
+    print("\n=== TwitInfo: the month's timeline of stories ===")
+    app = TwitInfoApp(session)
+    event = app.track(
+        "A month in Barack Obama's life",
+        scenario.keywords,
+        start=scenario.start,
+        end=scenario.end,
+        bin_seconds=6 * 3600.0,  # quarter-day bins for a month-long event
+        detector_params=PeakDetectorParams(tau=1.5, min_count=30.0),
+    )
+    print(app.dashboard(event).render_text())
+
+    print("\nStories vs peaks:")
+    for story in scenario.truth.events:
+        nearest = min(
+            event.peaks, key=lambda p: abs(p.apex_time - story.time),
+            default=None,
+        )
+        found = (
+            f"peak {nearest.label} terms={nearest.terms}"
+            if nearest is not None and abs(nearest.apex_time - story.time) < 86400
+            else "MISSED"
+        )
+        print(f"  day {story.info['day']:>2}: {story.name:<40} → {found}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: issue TweeQL queries against the simulated Twitter stream.
+
+Run:  python examples/quickstart.py
+
+Builds the soccer-match scenario from the paper's Figure 1, opens a TweeQL
+session over it, and runs a few queries — including the paper's first
+example query — printing streaming results.
+"""
+
+from repro import TweeQL
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import soccer_match_scenario
+
+
+def main() -> None:
+    # A deterministic synthetic world: 2000 Twitter users, one soccer match.
+    population = UserPopulation(size=2000, seed=7)
+    scenario = soccer_match_scenario(seed=7, population=population, intensity=0.5)
+    session = TweeQL.for_scenarios(scenario)
+
+    print("=== 1. Keyword filter + sentiment UDF ===")
+    handle = session.query(
+        "SELECT sentiment(text) AS mood, text FROM twitter "
+        "WHERE text contains 'tevez';"
+    )
+    print(handle.explain())
+    for row in handle.fetch(5):
+        print(f"  [{row['mood']:+d}] {row['text']}")
+    handle.close()
+
+    print("\n=== 2. The paper's first example query ===")
+    handle = session.query(
+        "SELECT sentiment(text), latitude(loc), longitude(loc) "
+        "FROM twitter WHERE text contains 'manchester';"
+    )
+    for row in handle.fetch(5):
+        lat = row["latitude(loc)"]
+        lon = row["longitude(loc)"]
+        where = f"({lat:.2f}, {lon:.2f})" if lat is not None else "(ungeocodable)"
+        print(f"  sentiment={row['sentiment(text)']:+d} at {where}")
+    handle.close()
+
+    print("\n=== 3. Windowed aggregation: goals show up as volume spikes ===")
+    handle = session.query(
+        "SELECT COUNT(*) AS tweets, first(text) AS example FROM twitter "
+        "WHERE text contains 'goal' WINDOW 10 minutes;"
+    )
+    for row in handle.all():
+        print(f"  {row['tweets']:>5} tweets/10min   e.g. {row['example'][:60]}")
+
+    print("\n=== 4. Register your own UDF (the demo invited this) ===")
+    session.register_udf("shout", lambda _ctx, s: str(s).upper())
+    handle = session.query(
+        "SELECT shout(screen_name) AS who, length(text) AS n FROM twitter "
+        "WHERE text contains 'liverpool' LIMIT 3;"
+    )
+    for row in handle.all():
+        print(f"  {row['who']} wrote {row['n']} chars")
+
+    print("\nEngine stats for the last query:", handle.stats.as_dict())
+
+
+if __name__ == "__main__":
+    main()

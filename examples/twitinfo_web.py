@@ -1,0 +1,69 @@
+"""Serve TwitInfo as the web application the paper demonstrates.
+
+Run:  python examples/twitinfo_web.py [port]
+
+Tracks the soccer event, starts the TwitInfo web server, and prints the
+URLs to open. With no port argument it binds an ephemeral port, fetches a
+few pages programmatically to show the API, and exits; with a port it
+keeps serving until interrupted (the actual demo experience).
+"""
+
+import json
+import sys
+import urllib.parse
+import urllib.request
+
+from repro import TweeQL
+from repro.twitinfo import TwitInfoApp
+from repro.twitinfo.server import TwitInfoServer
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import soccer_match_scenario
+
+
+def main() -> None:
+    population = UserPopulation(size=2000, seed=11)
+    scenario = soccer_match_scenario(seed=11, population=population, intensity=0.5)
+    session = TweeQL.for_scenarios(scenario)
+    app = TwitInfoApp(session)
+    app.track(
+        "Soccer: Manchester City vs. Liverpool",
+        scenario.keywords,
+        start=scenario.start,
+        end=scenario.end,
+    )
+
+    port = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    server = TwitInfoServer(app, port=port).start()
+    print(f"TwitInfo serving at {server.url}")
+    print(f"  event page : {server.url}/event/Soccer%3A%20Manchester%20City%20vs.%20Liverpool")
+    print(f"  JSON API   : …/event/<name>.json   peak search: …/event/<name>/peaks?q=tevez")
+
+    if port:
+        try:
+            import time
+
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        return
+
+    # Ephemeral mode: demonstrate the endpoints programmatically.
+    name = urllib.parse.quote("Soccer: Manchester City vs. Liverpool")
+    with urllib.request.urlopen(f"{server.url}/event/{name}.json") as response:
+        dashboard = json.loads(response.read())
+    print(f"\nfetched dashboard JSON: {len(dashboard['timeline'])} bins, "
+          f"{len(dashboard['peaks'])} peaks")
+    with urllib.request.urlopen(
+        f"{server.url}/event/{name}/peaks?q=tevez"
+    ) as response:
+        hits = json.loads(response.read())
+    print("peaks matching 'tevez':",
+          [(h["label"], h["terms"][:2]) for h in hits])
+    server.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy shim so `pip install -e .` works without network/build isolation."""
+from setuptools import setup
+
+setup()

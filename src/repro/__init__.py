@@ -1,0 +1,44 @@
+"""Reproduction of *Tweets as Data: Demonstration of TweeQL and TwitInfo*
+(Marcus, Bernstein, Badar, Karger, Madden, Miller — SIGMOD 2011).
+
+Two systems, as in the paper:
+
+- **TweeQL** (:class:`repro.TweeQL`) — a SQL-like stream query language and
+  processor over a (simulated) Twitter streaming API, with UDFs for
+  sentiment, geocoding, and entity extraction, selectivity-aware API filter
+  choice, eddy-style adaptive filtering, confidence-triggered aggregation,
+  and caching/batching/async handling of high-latency web-service calls.
+- **TwitInfo** (:class:`repro.twitinfo.TwitInfoApp`) — an event timeline
+  application built on TweeQL: peak detection, peak labeling, sentiment and
+  link aggregation, maps, and a dashboard.
+
+Quickstart::
+
+    from repro import TweeQL
+    from repro.twitter import soccer_match_scenario
+
+    session = TweeQL.for_scenarios(soccer_match_scenario(seed=7))
+    rows = session.query(
+        "SELECT sentiment(text), text FROM twitter "
+        "WHERE text contains 'tevez';"
+    ).fetch(5)
+"""
+
+from repro.clock import VirtualClock
+from repro.engine import EngineConfig, QueryHandle, TweeQL
+from repro.engine.confidence import ConfidencePolicy
+from repro.errors import TweeQLError
+from repro.sql import parse
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "TweeQL",
+    "EngineConfig",
+    "ConfidencePolicy",
+    "QueryHandle",
+    "VirtualClock",
+    "TweeQLError",
+    "parse",
+    "__version__",
+]

@@ -1,0 +1,297 @@
+"""The TweeQL command-line demo.
+
+Section 4: "The TweeQL demo will feature a command line query interface
+that is familiar to most database users. We will offer the audience a
+selection of pre-built queries, which they can copy and paste into the
+command line to view live streaming results on their screen."
+
+Usage::
+
+    tweeql repl  --scenario soccer            # interactive queries
+    tweeql query --scenario soccer --sql "SELECT …" [--rows 20]
+    tweeql twitinfo --scenario earthquakes    # print a dashboard
+    tweeql twitinfo --scenario soccer --html dashboard.html
+
+Inside the REPL: end a query with ``;`` to run it, or use the dot
+commands ``.help``, ``.examples``, ``.explain <sql>``, ``.schema``,
+``.functions``, ``.quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import TweeQL
+from repro.errors import TweeQLError
+from repro.twitinfo import TwitInfoApp
+from repro.twitter.models import TWITTER_SCHEMA
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import (
+    Scenario,
+    earthquake_scenario,
+    news_month_scenario,
+    soccer_match_scenario,
+)
+
+#: Pre-built queries offered to the audience (§4), adapted to the scenarios.
+EXAMPLE_QUERIES: tuple[tuple[str, str], ...] = (
+    (
+        "sentiment + geocode (paper §2, query 1)",
+        "SELECT sentiment(text), latitude(loc), longitude(loc) "
+        "FROM twitter WHERE text contains 'obama';",
+    ),
+    (
+        "keyword + location filter (paper §2, query 2)",
+        "SELECT text FROM twitter WHERE text contains 'obama' "
+        "AND location in [bounding box for NYC];",
+    ),
+    (
+        "regional average sentiment (paper §2, query 3)",
+        "SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, "
+        "floor(longitude(loc)) AS long FROM twitter "
+        "WHERE text contains 'obama' GROUP BY lat, long WINDOW 3 hours;",
+    ),
+    (
+        "goal reactions per minute",
+        "SELECT COUNT(*) AS tweets, first(text) AS example FROM twitter "
+        "WHERE text contains 'goal' WINDOW 1 minutes;",
+    ),
+    (
+        "earthquake mention volume",
+        "SELECT COUNT(*) AS n FROM twitter WHERE text contains 'earthquake' "
+        "WINDOW 10 minutes;",
+    ),
+)
+
+_SCENARIOS = ("soccer", "earthquakes", "news", "all")
+
+
+def build_scenarios(name: str, seed: int, population_size: int) -> list[Scenario]:
+    """Instantiate the named canned scenario(s) from §4 of the paper."""
+    if name not in _SCENARIOS:
+        raise SystemExit(f"unknown scenario {name!r}; pick from {_SCENARIOS}")
+    population = UserPopulation(size=population_size, seed=seed)
+    scenarios: list[Scenario] = []
+    if name in ("soccer", "all"):
+        scenarios.append(soccer_match_scenario(seed=seed, population=population))
+    if name in ("earthquakes", "all"):
+        scenarios.append(
+            earthquake_scenario(seed=seed, population=population, intensity=0.5)
+        )
+    if name in ("news", "all"):
+        scenarios.append(
+            news_month_scenario(
+                seed=seed, population=population, days=7, n_stories=3,
+                intensity=0.5,
+            )
+        )
+    return scenarios
+
+
+def build_session(args: argparse.Namespace) -> tuple[TweeQL, list[Scenario]]:
+    from repro import EngineConfig
+
+    scenarios = build_scenarios(args.scenario, args.seed, args.population)
+    config = EngineConfig(
+        latency_mode=getattr(args, "latency_mode", "cached"),
+        use_eddy=getattr(args, "use_eddy", False),
+        partial_results=getattr(args, "partial_results", False),
+    )
+    return TweeQL.for_scenarios(*scenarios, config=config), scenarios
+
+
+def _format_row(row: dict, max_width: int = 40) -> str:
+    parts = []
+    for key, value in row.items():
+        if key.startswith("__"):
+            continue
+        text = f"{value}"
+        if len(text) > max_width:
+            text = text[: max_width - 1] + "…"
+        parts.append(f"{key}={text}")
+    return "  ".join(parts)
+
+
+def run_query(session: TweeQL, sql: str, rows: int) -> int:
+    """Run one query, printing up to ``rows`` results. Returns row count."""
+    handle = session.query(sql)
+    printed = 0
+    try:
+        for row in handle:
+            print(_format_row(row))
+            printed += 1
+            if printed >= rows:
+                break
+    finally:
+        handle.close()
+    print(f"-- {printed} row(s); stats: {handle.stats.as_dict()}")
+    return printed
+
+
+def repl(session: TweeQL, rows: int) -> None:
+    """The interactive loop."""
+    print("TweeQL demo shell — type .help for commands, .examples for "
+          "pre-built queries.")
+    buffer: list[str] = []
+    while True:
+        prompt = "tweeql> " if not buffer else "   ...> "
+        try:
+            line = input(prompt)
+        except EOFError:
+            print()
+            return
+        stripped = line.strip()
+        if not buffer and stripped.startswith("."):
+            command, _, argument = stripped.partition(" ")
+            if command in (".quit", ".exit"):
+                return
+            if command == ".help":
+                print(
+                    ".examples            show pre-built queries\n"
+                    ".explain <sql>       show the plan without running\n"
+                    ".schema              show the twitter stream schema\n"
+                    ".functions           list registered functions/UDFs\n"
+                    ".quit                leave"
+                )
+            elif command == ".examples":
+                for title, sql in EXAMPLE_QUERIES:
+                    print(f"-- {title}\n{sql}\n")
+            elif command == ".explain":
+                try:
+                    print(session.explain(argument))
+                except TweeQLError as exc:
+                    print(f"error: {exc}")
+            elif command == ".schema":
+                print("twitter(" + ", ".join(TWITTER_SCHEMA) + ")")
+            elif command == ".functions":
+                print(", ".join(session.registry.names()))
+            else:
+                print(f"unknown command {command!r}; try .help")
+            continue
+        buffer.append(line)
+        if stripped.endswith(";"):
+            sql = "\n".join(buffer)
+            buffer = []
+            try:
+                run_query(session, sql, rows)
+            except TweeQLError as exc:
+                print(f"error: {exc}")
+
+
+def run_twitinfo(args: argparse.Namespace) -> None:
+    """Track the scenario's canonical event and print its dashboard."""
+    session, scenarios = build_session(args)
+    scenario = scenarios[0]
+    app = TwitInfoApp(session)
+    names = {
+        "soccer": "Soccer: Manchester City vs. Liverpool",
+        "earthquakes": "Earthquake timeline",
+        "news": "A week in Barack Obama's life",
+    }
+    event = app.track(
+        names.get(args.scenario, scenario.name),
+        scenario.keywords,
+        start=scenario.start,
+        end=scenario.end,
+        bin_seconds=args.bin_seconds,
+    )
+    if args.serve is not None:
+        from repro.twitinfo.server import TwitInfoServer
+
+        server = TwitInfoServer(app, port=args.serve).start()
+        print(f"TwitInfo serving at {server.url} — Ctrl-C to stop")
+        try:
+            import time
+
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        return
+
+    dashboard = app.dashboard(event, peak_label=args.peak)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as f:
+            f.write(dashboard.render_html())
+        print(f"wrote {args.html}")
+    else:
+        print(dashboard.render_text())
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tweeql",
+        description="TweeQL/TwitInfo demo (SIGMOD 2011 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=11, help="workload seed")
+    parser.add_argument(
+        "--population", type=int, default=2000, help="synthetic user count"
+    )
+    parser.add_argument(
+        "--scenario",
+        default="soccer",
+        choices=_SCENARIOS,
+        help="which canned §4 scenario feeds the stream",
+    )
+    parser.add_argument(
+        "--latency-mode",
+        default="cached",
+        choices=("blocking", "cached", "batched", "async"),
+        help="how high-latency UDFs reach their web services",
+    )
+    parser.add_argument(
+        "--use-eddy",
+        action="store_true",
+        help="adaptive (eddy) ordering for local predicates",
+    )
+    parser.add_argument(
+        "--partial-results",
+        action="store_true",
+        help="with --latency-mode async: emit NULL instead of blocking on "
+        "in-flight service calls",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("repl", help="interactive query shell")
+
+    query = sub.add_parser("query", help="run one query and exit")
+    query.add_argument("--sql", required=True)
+    query.add_argument("--rows", type=int, default=20)
+
+    twitinfo = sub.add_parser("twitinfo", help="print a TwitInfo dashboard")
+    twitinfo.add_argument("--peak", default=None, help="drill into one peak")
+    twitinfo.add_argument("--html", default=None, help="write an HTML page")
+    twitinfo.add_argument("--bin-seconds", type=float, default=60.0)
+    twitinfo.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="start the TwitInfo web server on PORT instead of printing",
+    )
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``tweeql`` console script."""
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    command = args.command or "repl"
+    try:
+        if command == "twitinfo":
+            run_twitinfo(args)
+        elif command == "query":
+            session, _ = build_session(args)
+            run_query(session, args.sql, args.rows)
+        else:
+            session, _ = build_session(args)
+            repl(session, rows=20)
+    except TweeQLError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""Aggregate functions.
+
+Each aggregate is a small accumulator class with ``add(value)`` and
+``result()``. The windowed group-by operator instantiates one accumulator
+per (group, aggregate call) pair per window; the confidence-triggered
+operator additionally reads ``confidence_interval()`` where available.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import PlanError
+
+
+class Aggregate:
+    """Base accumulator; subclasses override add/result."""
+
+    #: Whether NULL inputs are skipped (SQL semantics: they are, except
+    #: COUNT(*)).
+    skip_nulls = True
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class CountAggregate(Aggregate):
+    """COUNT(expr) — non-null inputs; COUNT(*) counts rows (Star argument)."""
+
+    def __init__(self, count_rows: bool = False) -> None:
+        self._count = 0
+        self.skip_nulls = not count_rows
+
+    def add(self, value: Any) -> None:
+        self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class CountDistinctAggregate(Aggregate):
+    """COUNT(DISTINCT expr)."""
+
+    def __init__(self) -> None:
+        self._seen: set[Any] = set()
+
+    def add(self, value: Any) -> None:
+        self._seen.add(value)
+
+    def result(self) -> int:
+        return len(self._seen)
+
+
+class SumAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._any = False
+
+    def add(self, value: Any) -> None:
+        self._sum += float(value)
+        self._any = True
+
+    def result(self) -> float | None:
+        return self._sum if self._any else None
+
+
+class MinAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._min: Any = None
+
+    def add(self, value: Any) -> None:
+        if self._min is None or value < self._min:
+            self._min = value
+
+    def result(self) -> Any:
+        return self._min
+
+
+class MaxAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._max: Any = None
+
+    def add(self, value: Any) -> None:
+        if self._max is None or value > self._max:
+            self._max = value
+
+    def result(self) -> Any:
+        return self._max
+
+
+class AvgAggregate(Aggregate):
+    """Running mean/variance via Welford; exposes a confidence interval,
+    which is what the CONTROL-style emission strategy monitors."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: Any) -> None:
+        self.n += 1
+        x = float(value)
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+
+    def result(self) -> float | None:
+        return self._mean if self.n else None
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 with fewer than 2 observations)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    def confidence_interval(self, z: float = 1.96) -> float | None:
+        """Half-width of the CI of the mean at the given z (None if n < 2)."""
+        if self.n < 2:
+            return None
+        return z * math.sqrt(self.variance / self.n)
+
+
+class StddevAggregate(AvgAggregate):
+    def result(self) -> float | None:  # type: ignore[override]
+        return math.sqrt(self.variance) if self.n > 1 else None
+
+
+class FirstAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._value: Any = None
+        self._set = False
+
+    def add(self, value: Any) -> None:
+        if not self._set:
+            self._value = value
+            self._set = True
+
+    def result(self) -> Any:
+        return self._value
+
+
+class LastAggregate(Aggregate):
+    def __init__(self) -> None:
+        self._value: Any = None
+
+    def add(self, value: Any) -> None:
+        self._value = value
+
+    def result(self) -> Any:
+        return self._value
+
+
+#: Names the planner recognizes as aggregates.
+AGGREGATE_NAMES = frozenset(
+    {"count", "sum", "avg", "min", "max", "stddev", "first", "last"}
+)
+
+
+def make_aggregate(name: str, distinct: bool, count_rows: bool) -> Aggregate:
+    """Instantiate an accumulator for one aggregate call site.
+
+    Args:
+        name: lowercase aggregate name.
+        distinct: True for ``agg(DISTINCT expr)`` (only COUNT supports it).
+        count_rows: True for ``COUNT(*)``.
+
+    Raises:
+        PlanError: unknown aggregate or unsupported DISTINCT.
+    """
+    key = name.lower()
+    if key not in AGGREGATE_NAMES:
+        raise PlanError(f"unknown aggregate function: {name!r}")
+    if distinct:
+        if key != "count":
+            raise PlanError(f"DISTINCT is only supported with COUNT, not {name}")
+        return CountDistinctAggregate()
+    if key == "count":
+        return CountAggregate(count_rows=count_rows)
+    return {
+        "sum": SumAggregate,
+        "avg": AvgAggregate,
+        "min": MinAggregate,
+        "max": MaxAggregate,
+        "stddev": StddevAggregate,
+        "first": FirstAggregate,
+        "last": LastAggregate,
+    }[key]()

@@ -1,0 +1,119 @@
+"""Query execution handles.
+
+The pipeline built by the planner is a pull-based iterator chain; the
+executor wraps it in a :class:`QueryHandle` with the affordances a caller
+wants from a long-running stream query: incremental fetching, cancellation
+(closing the API connection), statistics, and EXPLAIN output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.engine.planner import PhysicalPlan
+from repro.engine.types import QueryStats, Row
+from repro.errors import ExecutionError
+
+
+class QueryHandle:
+    """A running TweeQL query.
+
+    Iterate it for result rows (dicts keyed by the output schema), or use
+    :meth:`fetch` / :meth:`all` for batch access. ``stats`` exposes engine
+    counters, ``explain()`` the plan, and ``close()`` cancels the stream.
+    """
+
+    def __init__(self, sql: str, plan: PhysicalPlan) -> None:
+        self.sql = sql
+        self._plan = plan
+        self._iterator: Iterator[Row] | None = None
+        self._closed = False
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        """Output column names."""
+        return self._plan.output_schema
+
+    @property
+    def stats(self) -> QueryStats:
+        """Engine counters for this query."""
+        return self._plan.ctx.stats
+
+    @property
+    def filter_choice(self):
+        """The API filter decision, when the query ran against twitter."""
+        return self._plan.filter_choice
+
+    def explain(self) -> str:
+        """The plan description, one operator per line."""
+        return self._plan.explain()
+
+    def __iter__(self) -> Iterator[Row]:
+        if self._closed:
+            raise ExecutionError("query is closed")
+        if self._iterator is None:
+            self._iterator = self._iterate()
+        return self._iterator
+
+    def _iterate(self) -> Iterator[Row]:
+        yield from self._plan.pipeline
+        # Natural exhaustion (including a LIMIT cutting the stream short):
+        # release API connections now rather than waiting on cycle GC.
+        for connection in self._plan.connections:
+            connection.close()
+
+    def fetch(self, n: int) -> list[Row]:
+        """Pull up to ``n`` result rows (fewer at end of stream)."""
+        iterator = iter(self)
+        rows: list[Row] = []
+        for _ in range(n):
+            row = next(iterator, None)
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
+    def all(self, limit: int | None = None) -> list[Row]:
+        """Drain the query (careful on unbounded streams — pass ``limit``).
+
+        Drains in-flight async service requests afterwards so their effects
+        are visible in the stats.
+        """
+        rows: list[Row] = []
+        for row in self:
+            rows.append(row)
+            if limit is not None and len(rows) >= limit:
+                break
+        for managed in self._plan.managed_calls:
+            managed.drain()
+        return rows
+
+    def to_csv(self, path: str, limit: int | None = None) -> int:
+        """Drain the query into a CSV file; returns the row count.
+
+        Columns follow the output schema; internal ``__``-prefixed fields
+        are dropped. Pass ``limit`` on unbounded streams.
+        """
+        import csv
+
+        columns = [name for name in self.schema if not name.startswith("__")]
+        if "created_at" not in columns:
+            columns.append("created_at")
+        written = 0
+        with open(path, "w", newline="", encoding="utf-8") as f:
+            writer = csv.DictWriter(f, fieldnames=columns, extrasaction="ignore")
+            writer.writeheader()
+            for row in self:
+                writer.writerow(row)
+                written += 1
+                if limit is not None and written >= limit:
+                    break
+        return written
+
+    def close(self) -> None:
+        """Cancel the query: close its API connections."""
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._plan.connections:
+            connection.close()

@@ -1,0 +1,391 @@
+"""Expression compilation.
+
+``compile_expr`` turns an AST expression into a closure
+``(row, ctx) -> value`` with SQL semantics:
+
+- ``None`` is NULL and propagates through arithmetic, comparisons, and
+  string operators;
+- ``AND``/``OR``/``NOT`` follow three-valued logic (``NULL OR TRUE`` is
+  TRUE, ``NULL AND FALSE`` is FALSE, otherwise NULL);
+- ``CONTAINS`` is the paper's case-insensitive substring operator;
+- ``MATCHES`` is regular-expression search (compiled once per call site);
+- ``LIKE`` supports ``%`` and ``_`` wildcards, case-insensitively;
+- ``IN_BBOX`` tests a (lat, lon) point against a bounding-box literal;
+- division by zero yields NULL rather than killing a long-running stream
+  query (documented divergence from strict SQL, matching the original
+  TweeQL's forgiving behaviour on dirty stream data).
+
+Compilation resolves field references against the schema eagerly, so typos
+fail at plan time with the available fields listed, not tuple-by-tuple at
+runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import operator
+import re
+from collections.abc import Callable
+from typing import Any
+
+from repro.engine.aggregates import AGGREGATE_NAMES
+from repro.engine.functions import FunctionRegistry
+from repro.engine.types import EvalContext, Row
+from repro.errors import PlanError, UnknownFieldError
+from repro.geo.bbox import BoundingBox, named_box
+from repro.sql import ast
+
+Evaluator = Callable[[Row, EvalContext], Any]
+
+_call_site_counter = itertools.count(1)
+
+
+def resolve_bbox(node: ast.BBox) -> BoundingBox:
+    """Turn a bbox AST literal into a concrete box.
+
+    Raises:
+        PlanError: when a named box is unknown.
+    """
+    if node.coords is not None:
+        south, west, north, east = node.coords
+        try:
+            return BoundingBox(south, west, north, east)
+        except ValueError as exc:
+            raise PlanError(f"invalid bounding box: {exc}") from exc
+    assert node.name is not None
+    try:
+        return named_box(node.name)
+    except KeyError as exc:
+        raise PlanError(str(exc.args[0])) from exc
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    parts = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile(f"^{''.join(parts)}$", re.IGNORECASE | re.DOTALL)
+
+
+_ARITH: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "%": operator.mod,
+}
+
+_COMPARE: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def compile_expr(
+    expr: ast.Expr,
+    registry: FunctionRegistry,
+    schema: tuple[str, ...],
+    ctx: EvalContext,
+    aliases: dict[str, Evaluator] | None = None,
+) -> Evaluator:
+    """Compile an AST expression to an evaluator closure.
+
+    Args:
+        expr: the expression tree.
+        registry: function registry for FuncCall resolution.
+        schema: available field names (lowercase).
+        ctx: the query's evaluation context; needed at compile time so
+            stateful UDFs can be instantiated once per call site.
+        aliases: select-alias name → evaluator, letting GROUP BY / HAVING /
+            ORDER BY reference projected expressions by alias.
+
+    Raises:
+        PlanError: aggregates in a scalar position, unknown functions.
+        UnknownFieldError: a field reference matching neither schema nor
+            aliases.
+    """
+    aliases = aliases or {}
+    schema_set = {name.lower() for name in schema}
+
+    def compile_node(node: ast.Expr) -> Evaluator:
+        if isinstance(node, ast.Literal):
+            value = node.value
+            return lambda _row, _ctx: value
+
+        if isinstance(node, ast.FieldRef):
+            key = node.name.lower()
+            if key in schema_set:
+                return lambda row, _ctx, key=key: row.get(key)
+            if node.name in aliases:
+                return aliases[node.name]
+            lowered = {name.lower(): fn for name, fn in aliases.items()}
+            if key in lowered:
+                return lowered[key]
+            raise UnknownFieldError(
+                node.name, tuple(sorted(schema_set | set(aliases)))
+            )
+
+        if isinstance(node, ast.Star):
+            raise PlanError("'*' is only valid in SELECT lists and COUNT(*)")
+
+        if isinstance(node, ast.FuncCall):
+            if node.name in AGGREGATE_NAMES:
+                raise PlanError(
+                    f"aggregate {node.name}() is not allowed here; aggregates "
+                    "belong in the SELECT list or HAVING of a windowed query"
+                )
+            spec = registry.lookup(node.name)
+            arg_evals = [compile_node(arg) for arg in node.args]
+            if spec.stateful:
+                # One instance per call site per query.
+                site = next(_call_site_counter)
+                instance = spec.impl()
+                ctx.state[site] = instance
+
+                def eval_stateful(
+                    row: Row, context: EvalContext, instance=instance, arg_evals=arg_evals
+                ) -> Any:
+                    return instance(
+                        context, *(e(row, context) for e in arg_evals)
+                    )
+
+                return eval_stateful
+
+            impl = spec.impl
+
+            def eval_call(
+                row: Row, context: EvalContext, impl=impl, arg_evals=arg_evals
+            ) -> Any:
+                return impl(context, *(e(row, context) for e in arg_evals))
+
+            return eval_call
+
+        if isinstance(node, ast.UnaryOp):
+            inner = compile_node(node.operand)
+            if node.op == "NOT":
+
+                def eval_not(row: Row, context: EvalContext) -> Any:
+                    value = inner(row, context)
+                    return None if value is None else not _truthy(value)
+
+                return eval_not
+            if node.op == "NEG":
+
+                def eval_neg(row: Row, context: EvalContext) -> Any:
+                    value = inner(row, context)
+                    return None if value is None else -value
+
+                return eval_neg
+            if node.op == "IS NULL":
+                return lambda row, context: inner(row, context) is None
+            if node.op == "IS NOT NULL":
+                return lambda row, context: inner(row, context) is not None
+            raise PlanError(f"unknown unary operator {node.op!r}")
+
+        if isinstance(node, ast.InList):
+            operand = compile_node(node.operand)
+            value_evals = [compile_node(v) for v in node.values]
+
+            def eval_in(row: Row, context: EvalContext) -> Any:
+                needle = operand(row, context)
+                if needle is None:
+                    return None
+                values = [e(row, context) for e in value_evals]
+                return needle in values
+
+            return eval_in
+
+        if isinstance(node, ast.BBox):
+            box = resolve_bbox(node)
+            return lambda _row, _ctx, box=box: box
+
+        if isinstance(node, ast.BinaryOp):
+            return compile_binary(node)
+
+        raise PlanError(f"cannot compile expression node {node!r}")
+
+    def compile_binary(node: ast.BinaryOp) -> Evaluator:
+        op = node.op
+        if op == "AND":
+            left, right = compile_node(node.left), compile_node(node.right)
+
+            def eval_and(row: Row, context: EvalContext) -> Any:
+                lhs = left(row, context)
+                if lhs is not None and not _truthy(lhs):
+                    return False
+                rhs = right(row, context)
+                if rhs is not None and not _truthy(rhs):
+                    return False
+                if lhs is None or rhs is None:
+                    return None
+                return True
+
+            return eval_and
+        if op == "OR":
+            left, right = compile_node(node.left), compile_node(node.right)
+
+            def eval_or(row: Row, context: EvalContext) -> Any:
+                lhs = left(row, context)
+                if lhs is not None and _truthy(lhs):
+                    return True
+                rhs = right(row, context)
+                if rhs is not None and _truthy(rhs):
+                    return True
+                if lhs is None or rhs is None:
+                    return None
+                return False
+
+            return eval_or
+
+        if op == "CONTAINS":
+            left, right = compile_node(node.left), compile_node(node.right)
+
+            def eval_contains(row: Row, context: EvalContext) -> Any:
+                text, needle = left(row, context), right(row, context)
+                if text is None or needle is None:
+                    return None
+                return str(needle).casefold() in str(text).casefold()
+
+            return eval_contains
+
+        if op == "MATCHES":
+            left = compile_node(node.left)
+            if isinstance(node.right, ast.Literal) and isinstance(
+                node.right.value, str
+            ):
+                try:
+                    pattern = re.compile(node.right.value, re.IGNORECASE)
+                except re.error as exc:
+                    raise PlanError(
+                        f"invalid regular expression {node.right.value!r}: {exc}"
+                    ) from exc
+
+                def eval_matches(row: Row, context: EvalContext) -> Any:
+                    text = left(row, context)
+                    if text is None:
+                        return None
+                    return pattern.search(str(text)) is not None
+
+                return eval_matches
+            right = compile_node(node.right)
+
+            def eval_matches_dyn(row: Row, context: EvalContext) -> Any:
+                text, pat = left(row, context), right(row, context)
+                if text is None or pat is None:
+                    return None
+                return re.search(str(pat), str(text), re.IGNORECASE) is not None
+
+            return eval_matches_dyn
+
+        if op == "LIKE":
+            left = compile_node(node.left)
+            if not (
+                isinstance(node.right, ast.Literal)
+                and isinstance(node.right.value, str)
+            ):
+                raise PlanError("LIKE requires a string literal pattern")
+            pattern = _like_to_regex(node.right.value)
+
+            def eval_like(row: Row, context: EvalContext) -> Any:
+                text = left(row, context)
+                if text is None:
+                    return None
+                return pattern.match(str(text)) is not None
+
+            return eval_like
+
+        if op == "IN_BBOX":
+            left = compile_node(node.left)
+            if not isinstance(node.right, ast.BBox):
+                raise PlanError("IN [bounding box …] requires a bbox literal")
+            box = resolve_bbox(node.right)
+
+            def eval_in_bbox(row: Row, context: EvalContext) -> Any:
+                point = left(row, context)
+                if point is None:
+                    return None
+                try:
+                    lat, lon = point
+                except (TypeError, ValueError):
+                    return None
+                if lat is None or lon is None:
+                    return None
+                return box.contains(float(lat), float(lon))
+
+            return eval_in_bbox
+
+        if op in _COMPARE:
+            left, right = compile_node(node.left), compile_node(node.right)
+            compare = _COMPARE[op]
+
+            def eval_compare(row: Row, context: EvalContext) -> Any:
+                lhs, rhs = left(row, context), right(row, context)
+                if lhs is None or rhs is None:
+                    return None
+                try:
+                    return compare(lhs, rhs)
+                except TypeError:
+                    return None
+
+            return eval_compare
+
+        if op in _ARITH:
+            left, right = compile_node(node.left), compile_node(node.right)
+            arith = _ARITH[op]
+
+            def eval_arith(row: Row, context: EvalContext) -> Any:
+                lhs, rhs = left(row, context), right(row, context)
+                if lhs is None or rhs is None:
+                    return None
+                try:
+                    return arith(lhs, rhs)
+                except ZeroDivisionError:
+                    return None
+
+            return eval_arith
+
+        if op == "/":
+            left, right = compile_node(node.left), compile_node(node.right)
+
+            def eval_div(row: Row, context: EvalContext) -> Any:
+                lhs, rhs = left(row, context), right(row, context)
+                if lhs is None or rhs is None or rhs == 0:
+                    return None
+                return lhs / rhs
+
+            return eval_div
+        raise PlanError(f"unknown binary operator {op!r}")
+
+    return compile_node(expr)
+
+
+def _truthy(value: Any) -> bool:
+    """SQL truthiness: booleans as-is, numbers nonzero, strings nonempty."""
+    return bool(value)
+
+
+def contains_aggregate(expr: ast.Expr) -> bool:
+    """True when any sub-expression is an aggregate call."""
+    return any(
+        isinstance(node, ast.FuncCall) and node.name in AGGREGATE_NAMES
+        for node in ast.walk(expr)
+    )
+
+
+def contains_high_latency(
+    expr: ast.Expr, registry: FunctionRegistry
+) -> bool:
+    """True when any sub-expression calls a high-latency function."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.FuncCall) and node.name not in AGGREGATE_NAMES:
+            if node.name in registry and registry.lookup(node.name).high_latency:
+                return True
+    return False

@@ -1,0 +1,388 @@
+"""Scalar functions and the UDF registry.
+
+The paper: "TweeQL … facilitates user-defined functions for deeper
+processing of tweets and tweet text" with three flavors it calls out
+explicitly — a classification framework (sentiment), web-service UDFs
+(geocoding, OpenCalais entities), and stateful UDFs (TwitInfo's peak
+detector). The registry models all three:
+
+- ``scalar``: pure functions of their arguments,
+- ``stateful``: a factory is instantiated per *call site* per query, so the
+  UDF can carry running state across tuples (the peak detector),
+- ``high_latency``: the function's cost is a remote round trip; the planner
+  routes these through the caching/batching/async machinery in
+  :mod:`repro.engine.latency`.
+
+Functions receive already-evaluated argument values plus the
+:class:`~repro.engine.types.EvalContext` and must treat ``None`` as SQL
+NULL (return ``None`` rather than raising).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.clock import format_timestamp
+from repro.engine.types import EvalContext
+from repro.errors import UnknownFunctionError
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Registry entry for one function.
+
+    Attributes:
+        name: lowercase function name as used in queries.
+        impl: for scalars, ``impl(ctx, *args) -> value``; for stateful
+            functions, a zero-argument factory returning a callable with
+            that signature.
+        stateful: instantiate ``impl()`` once per call site per query.
+        high_latency: the call is a remote round trip; eligible for the
+            latency machinery.
+        service: name of the context service the implementation uses
+            (documentation + dependency check at plan time).
+    """
+
+    name: str
+    impl: Callable[..., Any]
+    stateful: bool = False
+    high_latency: bool = False
+    service: str | None = None
+
+
+class FunctionRegistry:
+    """Named collection of scalar/stateful UDFs.
+
+    Sessions start from :func:`default_registry` and may add their own via
+    :meth:`register` — the extensibility story the demo invited the audience
+    to try ("build their own UDFs for more advanced processing").
+    """
+
+    def __init__(self) -> None:
+        self._specs: dict[str, FunctionSpec] = {}
+
+    def register(
+        self,
+        name: str,
+        impl: Callable[..., Any],
+        stateful: bool = False,
+        high_latency: bool = False,
+        service: str | None = None,
+    ) -> None:
+        """Register (or replace) a function under ``name`` (lowercased)."""
+        key = name.lower()
+        self._specs[key] = FunctionSpec(
+            name=key,
+            impl=impl,
+            stateful=stateful,
+            high_latency=high_latency,
+            service=service,
+        )
+
+    def lookup(self, name: str) -> FunctionSpec:
+        """Fetch a spec; raises :class:`UnknownFunctionError` when missing."""
+        try:
+            return self._specs[name.lower()]
+        except KeyError:
+            raise UnknownFunctionError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._specs
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._specs))
+
+
+# ---------------------------------------------------------------------------
+# Builtin scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _nullsafe(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap a pure function so any NULL argument yields NULL."""
+
+    def wrapper(_ctx: EvalContext, *args: Any) -> Any:
+        if any(a is None for a in args):
+            return None
+        return fn(*args)
+
+    return wrapper
+
+
+def _fn_substr(_ctx: EvalContext, text: Any, start: Any, length: Any = None) -> Any:
+    if text is None or start is None:
+        return None
+    begin = max(0, int(start) - 1)  # SQL substr is 1-indexed
+    if length is None:
+        return str(text)[begin:]
+    return str(text)[begin : begin + int(length)]
+
+
+def _fn_coalesce(_ctx: EvalContext, *args: Any) -> Any:
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _fn_if(_ctx: EvalContext, condition: Any, then: Any, otherwise: Any) -> Any:
+    return then if condition else otherwise
+
+
+# --- web-service UDFs -------------------------------------------------------
+
+
+def _fn_latitude(ctx: EvalContext, location: Any) -> float | None:
+    """Geocode a free-text location's latitude via the geocoding service."""
+    if location is None or not str(location).strip():
+        return None
+    coords = ctx.service("geocode")(str(location))
+    return None if coords is None else coords[0]
+
+
+def _fn_longitude(ctx: EvalContext, location: Any) -> float | None:
+    """Geocode a free-text location's longitude via the geocoding service."""
+    if location is None or not str(location).strip():
+        return None
+    coords = ctx.service("geocode")(str(location))
+    return None if coords is None else coords[1]
+
+
+def _fn_sentiment(ctx: EvalContext, text: Any) -> int | None:
+    """Classify tweet text sentiment: +1 positive, -1 negative, 0 neutral."""
+    if text is None:
+        return None
+    return ctx.service("sentiment")(str(text))
+
+
+def _fn_sentiment_score(ctx: EvalContext, text: Any) -> float | None:
+    """Signed classifier confidence in [-1, 1] (negative → negative class)."""
+    if text is None:
+        return None
+    return ctx.service("sentiment_score")(str(text))
+
+
+def _fn_named_entities(ctx: EvalContext, text: Any) -> tuple[str, ...] | None:
+    """Named entities via the simulated OpenCalais service."""
+    if text is None:
+        return None
+    return tuple(ctx.service("entities")(str(text)))
+
+
+def _fn_extract(
+    ctx: EvalContext, text: Any, pattern: Any, group: Any = 1
+) -> str | None:
+    """Regex field extraction — the paper's "extract fields of interest
+    from the text". Returns the requested capture group (1 by default; 0 is
+    the whole match), or NULL when the pattern does not match.
+
+    Patterns are compiled once and cached per query via ``ctx.state``.
+    """
+    if text is None or pattern is None:
+        return None
+    import re
+
+    cache = ctx.state.setdefault("__extract_patterns__", {})
+    compiled = cache.get(pattern)
+    if compiled is None:
+        try:
+            compiled = re.compile(str(pattern), re.IGNORECASE)
+        except re.error:
+            return None
+        cache[pattern] = compiled
+    match = compiled.search(str(text))
+    if match is None:
+        return None
+    index = int(group)
+    if index > compiled.groups:
+        return None
+    return match.group(index)
+
+
+def _fn_place_name(ctx: EvalContext, lat: Any, lon: Any) -> str | None:
+    """Reverse geocoding: nearest gazetteer city for a coordinate pair."""
+    if lat is None or lon is None:
+        return None
+    from repro.geo.gazetteer import default_gazetteer
+
+    return default_gazetteer().nearest(float(lat), float(lon)).name
+
+
+# --- tweet helpers ----------------------------------------------------------
+
+
+def _fn_first_url(_ctx: EvalContext, text: Any) -> str | None:
+    if text is None:
+        return None
+    import re
+
+    match = re.search(r"https?://\S+", str(text))
+    return match.group(0).rstrip(".,;!?)") if match else None
+
+
+def _fn_hashtags(_ctx: EvalContext, text: Any) -> tuple[str, ...] | None:
+    if text is None:
+        return None
+    import re
+
+    return tuple(m.group(1).lower() for m in re.finditer(r"#(\w+)", str(text)))
+
+
+def _fn_point(_ctx: EvalContext, lat: Any, lon: Any) -> tuple[float, float] | None:
+    if lat is None or lon is None:
+        return None
+    return (float(lat), float(lon))
+
+
+# --- temporal helpers --------------------------------------------------------
+
+
+def _fn_hour(_ctx: EvalContext, timestamp: Any) -> int | None:
+    if timestamp is None:
+        return None
+    import datetime as dt
+
+    return dt.datetime.fromtimestamp(float(timestamp), tz=dt.timezone.utc).hour
+
+
+def _fn_minute(_ctx: EvalContext, timestamp: Any) -> int | None:
+    if timestamp is None:
+        return None
+    import datetime as dt
+
+    return dt.datetime.fromtimestamp(float(timestamp), tz=dt.timezone.utc).minute
+
+
+def _fn_day(_ctx: EvalContext, timestamp: Any) -> int | None:
+    if timestamp is None:
+        return None
+    import datetime as dt
+
+    return dt.datetime.fromtimestamp(float(timestamp), tz=dt.timezone.utc).day
+
+
+def _fn_format_time(_ctx: EvalContext, timestamp: Any) -> str | None:
+    if timestamp is None:
+        return None
+    return format_timestamp(float(timestamp))
+
+
+def _fn_now(ctx: EvalContext) -> float:
+    """Current *stream* time (last tweet's timestamp)."""
+    return ctx.stream_time
+
+
+# ---------------------------------------------------------------------------
+# Stateful UDF example: streaming mean deviation (TwitInfo's peak primitive)
+# ---------------------------------------------------------------------------
+
+
+class MeanDevUDF:
+    """Streaming mean/mean-deviation tracker.
+
+    ``meandev(x)`` returns how many mean deviations ``x`` sits above the
+    running mean *before* updating the running statistics with ``x`` — the
+    core signal TwitInfo's peak detection thresholds (see
+    :mod:`repro.twitinfo.peaks` for the full algorithm with hysteresis).
+    Exponentially weighted with update factor ``alpha``.
+    """
+
+    def __init__(self, alpha: float = 0.125) -> None:
+        self._alpha = alpha
+        self._mean: float | None = None
+        self._meandev: float | None = None
+
+    def __call__(self, _ctx: EvalContext, value: Any, alpha: Any = None) -> float | None:
+        if value is None:
+            return None
+        x = float(value)
+        if alpha is not None:
+            self._alpha = float(alpha)
+        if self._mean is None or self._meandev is None or self._meandev == 0.0:
+            score = 0.0
+        else:
+            score = (x - self._mean) / self._meandev
+        # Update running statistics (TCP-RTT-style EWMA, as in TwitInfo).
+        if self._mean is None:
+            self._mean = x
+            self._meandev = abs(x) / 2 if x else 1.0
+        else:
+            deviation = abs(x - self._mean)
+            self._meandev = (
+                self._alpha * deviation + (1 - self._alpha) * (self._meandev or 1.0)
+            )
+            self._mean = self._alpha * x + (1 - self._alpha) * self._mean
+        return score
+
+
+def default_registry() -> FunctionRegistry:
+    """The builtin function set every session starts from."""
+    registry = FunctionRegistry()
+
+    # Math / string scalars.
+    registry.register("floor", _nullsafe(math.floor))
+    registry.register("ceil", _nullsafe(math.ceil))
+    registry.register("round", _nullsafe(lambda x, nd=0: round(x, int(nd))))
+    registry.register("abs", _nullsafe(abs))
+    registry.register("sqrt", _nullsafe(math.sqrt))
+    registry.register("lower", _nullsafe(lambda s: str(s).lower()))
+    registry.register("upper", _nullsafe(lambda s: str(s).upper()))
+    registry.register("length", _nullsafe(lambda s: len(str(s))))
+    registry.register("trim", _nullsafe(lambda s: str(s).strip()))
+    registry.register(
+        "replace", _nullsafe(lambda s, a, b: str(s).replace(str(a), str(b)))
+    )
+    registry.register(
+        "concat", _nullsafe(lambda *parts: "".join(str(p) for p in parts))
+    )
+    registry.register("substr", _fn_substr)
+    registry.register("coalesce", _fn_coalesce)
+    registry.register("if", _fn_if)
+
+    # Tweet helpers.
+    registry.register("first_url", _fn_first_url)
+    registry.register("hashtags", _fn_hashtags)
+    registry.register("point", _fn_point)
+    registry.register("extract", _fn_extract)
+    registry.register("place_name", _fn_place_name)
+
+    # Temporal.
+    registry.register("hour", _fn_hour)
+    registry.register("minute", _fn_minute)
+    registry.register("day", _fn_day)
+    registry.register("format_time", _fn_format_time)
+    registry.register("now", _fn_now)
+
+    # Classification framework.
+    registry.register("sentiment", _fn_sentiment, service="sentiment")
+    registry.register(
+        "sentiment_score", _fn_sentiment_score, service="sentiment_score"
+    )
+
+    # Web-service UDFs (high latency).
+    registry.register(
+        "latitude", _fn_latitude, high_latency=True, service="geocode"
+    )
+    registry.register(
+        "longitude", _fn_longitude, high_latency=True, service="geocode"
+    )
+    registry.register(
+        "named_entities", _fn_named_entities, high_latency=True, service="entities"
+    )
+
+    # Stateful.
+    registry.register("meandev", MeanDevUDF, stateful=True)
+
+    return registry
+
+
+__all__ = [
+    "FunctionSpec",
+    "FunctionRegistry",
+    "MeanDevUDF",
+    "default_registry",
+]

@@ -1,0 +1,316 @@
+"""High-latency operator machinery.
+
+The paper: web-service UDF requests "optimistically take hundreds of
+milliseconds apiece, but incur little processing cost on behalf of the
+query processor … We employ caching to avoid requests, and batching when an
+API allows multiple simultaneous requests", and points to asynchronous
+iteration (Goldman & Widom's WSQ/DSQ) as the design for overlapping
+necessary requests with stream processing.
+
+:class:`ManagedCall` wraps one :class:`~repro.geo.service.SimulatedWebService`
+with all three techniques, selected by mode:
+
+- ``blocking`` — the naive baseline: one synchronous round trip per call.
+- ``cached``   — an LRU (optionally TTL) cache in front of blocking calls;
+  repeated keys (Zipf-distributed profile locations!) skip the trip.
+- ``batched``  — cache plus a prefetch path that resolves many pending keys
+  in one batch round trip.
+- ``async``    — cache plus a bounded pool of in-flight asynchronous
+  requests; prefetched keys resolve while the stream flows, and a consumer
+  that needs an unresolved key stalls only until *that* request lands.
+
+:class:`PrefetchOperator` gives the executor the lookahead that batching
+and async need: it peeks ``lookahead`` rows ahead in the stream, extracts
+the service keys those rows will need, and warms the managed call.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.types import EvalContext, Row
+from repro.errors import ServiceError
+from repro.geo.service import SimulatedWebService
+from repro.storage.cache import LRUCache
+
+#: Valid ManagedCall modes.
+MODES = ("blocking", "cached", "batched", "async")
+
+
+@dataclass
+class ManagedCallStats:
+    """Call accounting on top of the underlying service's own stats."""
+
+    calls: int = 0
+    cache_hits: int = 0
+    stalls: int = 0
+    stall_seconds: float = 0.0
+    prefetched: int = 0
+    partials: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "calls": self.calls,
+            "cache_hits": self.cache_hits,
+            "stalls": self.stalls,
+            "stall_seconds": round(self.stall_seconds, 6),
+            "prefetched": self.prefetched,
+            "partials": self.partials,
+        }
+
+
+class ManagedCall:
+    """A service call wrapped with caching, batching, and async prefetch.
+
+    Args:
+        service: the simulated remote service.
+        mode: one of :data:`MODES`.
+        cache_capacity: LRU size for the non-blocking modes.
+        cache_ttl: optional TTL in virtual seconds.
+        pool_depth: max concurrent in-flight async requests.
+        negative_cache: cache failures (``None``) too — a location that
+            didn't geocode a second ago still won't.
+        partial_results: in ``async`` mode, never stall on an in-flight
+            request — return ``None`` now (counted in ``stats.partials``)
+            and let the landed value serve *later* rows. The paper points
+            at Raman & Hellerstein's partial-results data model as the
+            design that would permit exactly this trade of completeness
+            for zero blocking.
+
+    Calling the instance resolves one key to a value (``None`` on service
+    failure). ``prefetch(keys)`` warms the cache ahead of need; it is a
+    no-op in ``blocking`` and ``cached`` modes.
+    """
+
+    def __init__(
+        self,
+        service: SimulatedWebService,
+        mode: str = "cached",
+        cache_capacity: int = 10_000,
+        cache_ttl: float | None = None,
+        pool_depth: int = 8,
+        negative_cache: bool = True,
+        partial_results: bool = False,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if pool_depth <= 0:
+            raise ValueError("pool_depth must be positive")
+        if partial_results and mode != "async":
+            raise ValueError("partial_results requires async mode")
+        self._partial_results = partial_results
+        self._service = service
+        self._mode = mode
+        self._clock = service.clock
+        self._negative_cache = negative_cache
+        self._pool_depth = pool_depth
+        self._cache: LRUCache | None = None
+        if mode != "blocking":
+            self._cache = LRUCache(
+                capacity=cache_capacity,
+                ttl_seconds=cache_ttl,
+                clock=self._clock if cache_ttl is not None else None,
+            )
+        #: key → virtual completion time of the in-flight async request.
+        self._in_flight: dict[Any, float] = {}
+        self.stats = ManagedCallStats()
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def cache(self) -> LRUCache | None:
+        return self._cache
+
+    @property
+    def service(self) -> SimulatedWebService:
+        return self._service
+
+    # -- resolution ----------------------------------------------------------
+
+    def __call__(self, key: Any) -> Any:
+        """Resolve one key, using whatever the mode has already arranged."""
+        self.stats.calls += 1
+        if self._cache is not None and self._cache.contains(key):
+            self.stats.cache_hits += 1
+            return self._cache.get(key)
+        if self._partial_results:
+            # Partial-results mode: never block. If the value is in flight,
+            # report "unknown yet"; if it was never requested, launch it
+            # asynchronously (pool permitting) and still answer NULL now.
+            # Later rows with the same key get the landed value.
+            if key not in self._in_flight and len(self._in_flight) < self._pool_depth:
+                self._launch_async(key)
+            self.stats.partials += 1
+            return None
+        if key in self._in_flight:
+            # The async request is still in the air: stall until it lands.
+            done_at = self._in_flight[key]
+            stall = max(0.0, done_at - self._clock.now)
+            self.stats.stalls += 1
+            self.stats.stall_seconds += stall
+            self._clock.advance_to(max(done_at, self._clock.now))
+            # The completion callback has now run and populated the cache.
+            if self._cache is not None and self._cache.contains(key):
+                self.stats.cache_hits += 1
+                return self._cache.get(key)
+        return self._request_blocking(key)
+
+    def _request_blocking(self, key: Any) -> Any:
+        before = self._clock.now
+        try:
+            value = self._service.request(key)
+        except ServiceError:
+            value = None
+        self.stats.stall_seconds += self._clock.now - before
+        self.stats.stalls += 1
+        self._store(key, value)
+        return value
+
+    def _store(self, key: Any, value: Any) -> None:
+        if self._cache is None:
+            return
+        if value is None and not self._negative_cache:
+            return
+        self._cache.put(key, value)
+
+    # -- prefetch paths --------------------------------------------------------
+
+    def prefetch(self, keys: Iterable[Any]) -> None:
+        """Warm the cache for keys about to be needed.
+
+        Deduplicates against the cache and in-flight set. Batched mode
+        resolves misses with batch round trips; async mode launches
+        requests into the bounded pool; other modes ignore the hint.
+        """
+        if self._mode not in ("batched", "async"):
+            return
+        pending: list[Any] = []
+        seen: set[Any] = set()
+        for key in keys:
+            if key is None or key in seen:
+                continue
+            seen.add(key)
+            if self._cache is not None and self._cache.contains(key):
+                continue
+            if key in self._in_flight:
+                continue
+            pending.append(key)
+        if not pending:
+            return
+        if self._mode == "batched":
+            self._prefetch_batched(pending)
+        else:
+            self._prefetch_async(pending)
+
+    def _prefetch_batched(self, keys: list[Any]) -> None:
+        limit = self._service.max_batch_size
+        for start in range(0, len(keys), limit):
+            chunk = keys[start : start + limit]
+            before = self._clock.now
+            try:
+                results = self._service.request_batch(chunk)
+            except ServiceError:
+                results = [None] * len(chunk)
+            self.stats.stall_seconds += self._clock.now - before
+            for key, value in zip(chunk, results):
+                self._store(key, None if isinstance(value, Exception) else value)
+                self.stats.prefetched += 1
+
+    def _prefetch_async(self, keys: list[Any]) -> None:
+        for key in keys:
+            while len(self._in_flight) >= self._pool_depth:
+                if self._partial_results:
+                    # Never block: drop the hint; the key is either
+                    # prefetched by a later refill or answered as partial.
+                    return
+                # Pool full: wait for the earliest in-flight request.
+                earliest = min(self._in_flight.values())
+                stall = max(0.0, earliest - self._clock.now)
+                self.stats.stalls += 1
+                self.stats.stall_seconds += stall
+                self._clock.advance_to(max(earliest, self._clock.now))
+            self._launch_async(key)
+            self.stats.prefetched += 1
+
+    def _launch_async(self, key: Any) -> None:
+        """Fire one async request (caller has checked the pool)."""
+
+        def on_done(value: Any, error: Exception | None, key=key) -> None:
+            self._in_flight.pop(key, None)
+            self._store(key, None if error is not None else value)
+
+        done_at = self._service.request_async(key, on_done)
+        self._in_flight[key] = done_at
+
+    def drain(self) -> None:
+        """Wait for every in-flight async request (end-of-stream cleanup)."""
+        while self._in_flight:
+            earliest = min(self._in_flight.values())
+            self._clock.advance_to(max(earliest, self._clock.now))
+
+
+@dataclass
+class _KeyExtractor:
+    """How a PrefetchOperator derives service keys from a row."""
+
+    managed: ManagedCall
+    extract: Callable[[Row], Any]
+    keys_buffered: int = field(default=0)
+
+
+class PrefetchOperator:
+    """Lookahead buffer that warms managed calls before rows reach them.
+
+    Buffers up to ``lookahead`` rows from the child. Whenever the buffer
+    refills, the keys the buffered rows will need are handed to each
+    managed call's ``prefetch``. Rows are then released downstream in
+    order — by the time the projection evaluates ``latitude(loc)``, the
+    geocode result is cached or in flight.
+    """
+
+    def __init__(
+        self,
+        child: Iterable[Row],
+        extractors: list[tuple[ManagedCall, Callable[[Row], Any]]],
+        ctx: EvalContext,
+        lookahead: int = 64,
+    ) -> None:
+        if lookahead <= 0:
+            raise ValueError("lookahead must be positive")
+        self._child = child
+        self._extractors = extractors
+        self._ctx = ctx
+        self._lookahead = lookahead
+
+    def __iter__(self) -> Iterator[Row]:
+        buffer: deque[Row] = deque()
+        source = iter(self._child)
+        exhausted = False
+        refill_at = max(1, self._lookahead // 2)
+        while True:
+            # Refill in chunks (not per row) so each refill's keys go to the
+            # services as one prefetch — that chunking is what lets the
+            # batched mode amortize a round trip over many keys.
+            if not exhausted and len(buffer) <= refill_at:
+                fresh: list[Row] = []
+                while len(buffer) < self._lookahead:
+                    row = next(source, None)
+                    if row is None:
+                        exhausted = True
+                        break
+                    buffer.append(row)
+                    fresh.append(row)
+                if fresh:
+                    for managed, extract in self._extractors:
+                        managed.prefetch(
+                            key for key in (extract(row) for row in fresh)
+                            if key is not None
+                        )
+            if not buffer:
+                return
+            yield buffer.popleft()

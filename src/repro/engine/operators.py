@@ -1,0 +1,532 @@
+"""Streaming physical operators.
+
+Every operator is an iterator of rows (dicts) pulled by the executor. The
+pipeline for a typical TweeQL query looks like::
+
+    Scan → Filter (local predicates) → Project            (scalar queries)
+    Scan → Filter → WindowedAggregate [→ Having/Order/Limit]  (aggregates)
+    Scan + Scan → WindowedJoin → …                        (two-stream joins)
+
+Stream time advances with the tweets the scan yields; windowed operators
+close windows when stream time passes their end, so results are emitted as
+soon as the data allows — there is no wall-clock anywhere.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from repro.engine.expressions import Evaluator
+from repro.engine.types import EvalContext, Row
+from repro.sql.ast import WindowSpec
+from repro.engine.windows import windows_containing
+
+
+class ScanOperator:
+    """Source adapter: yields rows, advancing stream time and counters.
+
+    ``source`` yields rows that must contain a ``created_at`` timestamp (the
+    ``twitter`` source guarantees it).
+    """
+
+    def __init__(self, source: Iterable[Row], ctx: EvalContext) -> None:
+        self._source = source
+        self._ctx = ctx
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._source:
+            self._ctx.stats.rows_scanned += 1
+            timestamp = row.get("created_at")
+            if timestamp is not None and timestamp > self._ctx.stream_time:
+                self._ctx.stream_time = timestamp
+            yield row
+
+
+class FilterOperator:
+    """Applies one compiled predicate; emits rows where it is exactly TRUE
+    (NULL, like FALSE, drops the row — SQL WHERE semantics)."""
+
+    def __init__(
+        self, child: Iterable[Row], predicate: Evaluator, ctx: EvalContext
+    ) -> None:
+        self._child = child
+        self._predicate = predicate
+        self._ctx = ctx
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._child:
+            self._ctx.stats.predicate_evaluations += 1
+            verdict = self._predicate(row, self._ctx)
+            if verdict is not None and verdict:
+                self._ctx.stats.rows_after_filter += 1
+                yield row
+
+
+class ProjectOperator:
+    """Evaluates the select list for non-aggregated queries.
+
+    ``items`` maps output column name → evaluator. ``passthrough_time``
+    keeps ``created_at`` on the output row (TwitInfo consumers need it) when
+    the projection didn't select it explicitly.
+    """
+
+    def __init__(
+        self,
+        child: Iterable[Row],
+        items: list[tuple[str, Evaluator]],
+        ctx: EvalContext,
+        passthrough_time: bool = True,
+    ) -> None:
+        self._child = child
+        self._items = items
+        self._ctx = ctx
+        self._passthrough_time = passthrough_time
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._child:
+            out: Row = {}
+            for name, evaluate in self._items:
+                out[name] = evaluate(row, self._ctx)
+            if self._passthrough_time and "created_at" not in out:
+                out["created_at"] = row.get("created_at")
+            if "__tweet__" in row:
+                out["__tweet__"] = row["__tweet__"]
+            self._ctx.stats.rows_emitted += 1
+            yield out
+
+
+class _GroupState:
+    """Accumulators and a representative row for one (window, group)."""
+
+    __slots__ = ("accumulators", "representative", "count")
+
+    def __init__(self, accumulators: list[Any], representative: Row) -> None:
+        self.accumulators = accumulators
+        self.representative = representative
+        self.count = 0
+
+
+class WindowedAggregateOperator:
+    """GROUP BY + aggregates over tumbling/sliding time windows.
+
+    Args:
+        child: input row stream (time-ordered).
+        window: the window specification.
+        group_evals: compiled grouping-key expressions ([] → one global
+            group per window).
+        agg_factories: per aggregate call site, a zero-arg factory returning
+            a fresh accumulator, plus the compiled argument evaluator (None
+            for COUNT(*)) and whether NULLs are skipped.
+        output_items: output column name → post-aggregation evaluator. The
+            post-evaluator runs over an environment row that contains the
+            representative input row's fields plus ``__agg<i>`` results.
+        having: optional post-aggregation predicate.
+        order_by: optional [(evaluator, descending)] applied per window.
+        limit: optional per-window row cap (after ordering).
+
+    Output rows carry ``window_start`` and ``window_end`` columns, plus
+    ``created_at`` set to the window end (emission time).
+    """
+
+    def __init__(
+        self,
+        child: Iterable[Row],
+        window: WindowSpec,
+        group_evals: list[Evaluator],
+        agg_factories: list[tuple[Any, Evaluator | None, bool]],
+        output_items: list[tuple[str, Evaluator]],
+        ctx: EvalContext,
+        having: Evaluator | None = None,
+        order_by: list[tuple[Evaluator, bool]] | None = None,
+        limit: int | None = None,
+    ) -> None:
+        self._child = child
+        self._window = window
+        self._group_evals = group_evals
+        self._agg_factories = agg_factories
+        self._output_items = output_items
+        self._ctx = ctx
+        self._having = having
+        self._order_by = order_by or []
+        self._limit = limit
+        # (window_start, window_end) → {group_key: _GroupState}
+        self._open: dict[tuple[float, float], dict[tuple, _GroupState]] = {}
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._child:
+            timestamp = row.get("created_at", self._ctx.stream_time)
+            # Close every window that ended at or before this row's time.
+            yield from self._close_due(timestamp)
+            for bounds in windows_containing(timestamp, self._window):
+                groups = self._open.setdefault(bounds, {})
+                key = tuple(
+                    evaluate(row, self._ctx) for evaluate in self._group_evals
+                )
+                state = groups.get(key)
+                if state is None:
+                    state = _GroupState(
+                        [factory() for factory, _arg, _skip in self._agg_factories],
+                        representative=row,
+                    )
+                    groups[key] = state
+                state.count += 1
+                for accumulator, (_factory, arg_eval, skip_nulls) in zip(
+                    state.accumulators, self._agg_factories
+                ):
+                    if arg_eval is None:
+                        accumulator.add(1)
+                        continue
+                    value = arg_eval(row, self._ctx)
+                    if value is None and skip_nulls:
+                        continue
+                    accumulator.add(value)
+        # End of stream: flush everything still open.
+        yield from self._close_due(float("inf"))
+
+    def _close_due(self, timestamp: float) -> Iterator[Row]:
+        due = sorted(
+            bounds for bounds in self._open if bounds[1] <= timestamp
+        )
+        for bounds in due:
+            groups = self._open.pop(bounds)
+            self._ctx.stats.windows_closed += 1
+            yield from self._emit_window(bounds, groups)
+
+    def _emit_window(
+        self, bounds: tuple[float, float], groups: dict[tuple, _GroupState]
+    ) -> Iterator[Row]:
+        start, end = bounds
+        emitted: list[Row] = []
+        for state in groups.values():
+            env = dict(state.representative)
+            for index, accumulator in enumerate(state.accumulators):
+                env[f"__agg{index}"] = accumulator.result()
+            if self._having is not None:
+                verdict = self._having(env, self._ctx)
+                if verdict is None or not verdict:
+                    continue
+            out: Row = {}
+            for name, evaluate in self._output_items:
+                out[name] = evaluate(env, self._ctx)
+            out["window_start"] = start
+            out["window_end"] = end
+            out["created_at"] = end
+            emitted.append(out)
+            self._ctx.stats.groups_emitted += 1
+        for evaluate, descending in reversed(self._order_by):
+            emitted.sort(
+                key=lambda r, e=evaluate: _sort_key(e(r, self._ctx)),
+                reverse=descending,
+            )
+        if self._limit is not None:
+            emitted = emitted[: self._limit]
+        for out in emitted:
+            self._ctx.stats.rows_emitted += 1
+            yield out
+
+
+def _sort_key(value: Any) -> tuple[int, Any]:
+    """NULLs sort first; mixed types won't raise."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float, bool)):
+        return (1, value)
+    return (2, str(value))
+
+
+class CountWindowedAggregateOperator:
+    """GROUP BY + aggregates over tweet-count windows (``WINDOW n TWEETS``).
+
+    Windows are defined over the input row *ordinal*: with size N and slide
+    M, window k covers rows [k·M, k·M + N). Emitted rows carry
+    ``window_start``/``window_end`` as the timestamps of the window's first
+    and last rows (so downstream time filtering still works) plus
+    ``window_rows`` with the exact row count.
+
+    This is the "window size on tweet count" alternative §2 weighs (and
+    finds wanting for uneven groups — see benchmark E4).
+    """
+
+    def __init__(
+        self,
+        child: Iterable[Row],
+        window: WindowSpec,
+        group_evals: list[Evaluator],
+        agg_factories: list[tuple[Any, Evaluator | None, bool]],
+        output_items: list[tuple[str, Evaluator]],
+        ctx: EvalContext,
+        having: Evaluator | None = None,
+        order_by: list[tuple[Evaluator, bool]] | None = None,
+        limit: int | None = None,
+    ) -> None:
+        assert window.count_based
+        self._child = child
+        self._size = int(window.size_count)
+        self._slide = int(window.slide)
+        self._group_evals = group_evals
+        self._agg_factories = agg_factories
+        self._output_items = output_items
+        self._ctx = ctx
+        self._having = having
+        self._order_by = order_by or []
+        self._limit = limit
+
+    def __iter__(self) -> Iterator[Row]:
+        # start_ordinal → (groups, first_ts, last_ts, rows_in_window)
+        open_windows: dict[int, list] = {}
+        index = -1
+        for index, row in enumerate(self._child):
+            due = sorted(
+                s for s in open_windows if s + self._size <= index
+            )
+            for start in due:
+                yield from self._emit(open_windows.pop(start))
+            latest = (index // self._slide) * self._slide
+            start = latest
+            while start > index - self._size and start >= 0:
+                state = open_windows.get(start)
+                timestamp = row.get("created_at", self._ctx.stream_time)
+                if state is None:
+                    state = [{}, timestamp, timestamp, 0]
+                    open_windows[start] = state
+                self._accumulate(state, row, timestamp)
+                start -= self._slide
+            # Windows that started before row 0 don't exist; also handle
+            # slide > size (sampling windows): rows between windows are
+            # simply not accumulated anywhere.
+        for start in sorted(open_windows):
+            yield from self._emit(open_windows[start])
+
+    def _accumulate(self, state: list, row: Row, timestamp: float) -> None:
+        groups, _first, _last, _n = state
+        state[2] = max(state[2], timestamp)
+        state[3] += 1
+        key = tuple(e(row, self._ctx) for e in self._group_evals)
+        group = groups.get(key)
+        if group is None:
+            group = _GroupState(
+                [factory() for factory, _a, _s in self._agg_factories],
+                representative=row,
+            )
+            groups[key] = group
+        group.count += 1
+        for accumulator, (_factory, arg_eval, skip_nulls) in zip(
+            group.accumulators, self._agg_factories
+        ):
+            if arg_eval is None:
+                accumulator.add(1)
+                continue
+            value = arg_eval(row, self._ctx)
+            if value is None and skip_nulls:
+                continue
+            accumulator.add(value)
+
+    def _emit(self, state: list) -> Iterator[Row]:
+        groups, first_ts, last_ts, rows_in_window = state
+        self._ctx.stats.windows_closed += 1
+        emitted: list[Row] = []
+        for group in groups.values():
+            env = dict(group.representative)
+            for agg_index, accumulator in enumerate(group.accumulators):
+                env[f"__agg{agg_index}"] = accumulator.result()
+            if self._having is not None:
+                verdict = self._having(env, self._ctx)
+                if verdict is None or not verdict:
+                    continue
+            out: Row = {}
+            for name, evaluate in self._output_items:
+                out[name] = evaluate(env, self._ctx)
+            out["window_start"] = first_ts
+            out["window_end"] = last_ts
+            out["window_rows"] = rows_in_window
+            out["created_at"] = last_ts
+            emitted.append(out)
+            self._ctx.stats.groups_emitted += 1
+        for evaluate, descending in reversed(self._order_by):
+            emitted.sort(
+                key=lambda r, e=evaluate: _sort_key(e(r, self._ctx)),
+                reverse=descending,
+            )
+        if self._limit is not None:
+            emitted = emitted[: self._limit]
+        for out in emitted:
+            self._ctx.stats.rows_emitted += 1
+            yield out
+
+
+class WindowedJoinOperator:
+    """Symmetric hash join between two time-ordered streams.
+
+    Rows join when their timestamps lie within ``window.size_seconds`` of
+    each other and their join keys are equal. The operator merges the two
+    inputs by timestamp (pulling the side that is behind), keeps per-side
+    hash tables keyed by join key, and evicts entries older than the window
+    — the standard streaming band join.
+
+    Output rows are the left row's fields plus the right row's, with right
+    fields renamed ``<prefix><name>`` on collision.
+    """
+
+    def __init__(
+        self,
+        left: Iterable[Row],
+        right: Iterable[Row],
+        left_key: Evaluator,
+        right_key: Evaluator,
+        window: WindowSpec,
+        ctx: EvalContext,
+        right_prefix: str = "r_",
+    ) -> None:
+        self._left = iter(left)
+        self._right = iter(right)
+        self._left_key = left_key
+        self._right_key = right_key
+        self._window = window
+        self._ctx = ctx
+        self._right_prefix = right_prefix
+
+    def __iter__(self) -> Iterator[Row]:
+        size = self._window.size_seconds
+        left_table: dict[Any, list[Row]] = {}
+        right_table: dict[Any, list[Row]] = {}
+        left_row = next(self._left, None)
+        right_row = next(self._right, None)
+        while left_row is not None or right_row is not None:
+            take_left = right_row is None or (
+                left_row is not None
+                and left_row.get("created_at", 0.0)
+                <= right_row.get("created_at", 0.0)
+            )
+            if take_left:
+                row, advance = left_row, "left"
+            else:
+                row, advance = right_row, "right"
+            assert row is not None
+            now = row.get("created_at", 0.0)
+            _evict(left_table, now - size)
+            _evict(right_table, now - size)
+            if advance == "left":
+                key = self._left_key(row, self._ctx)
+                if key is not None:
+                    for match in right_table.get(key, ()):
+                        yield self._merge(row, match)
+                    left_table.setdefault(key, []).append(row)
+                left_row = next(self._left, None)
+            else:
+                key = self._right_key(row, self._ctx)
+                if key is not None:
+                    for match in left_table.get(key, ()):
+                        yield self._merge(match, row)
+                    right_table.setdefault(key, []).append(row)
+                right_row = next(self._right, None)
+
+    def _merge(self, left: Row, right: Row) -> Row:
+        out = dict(left)
+        for name, value in right.items():
+            if name in out and name != "created_at":
+                out[f"{self._right_prefix}{name}"] = value
+            elif name == "created_at":
+                out["created_at"] = max(
+                    out.get("created_at", 0.0), value or 0.0
+                )
+            else:
+                out[name] = value
+        self._ctx.stats.rows_emitted += 1
+        return out
+
+
+def _evict(table: dict[Any, list[Row]], horizon: float) -> None:
+    """Drop buffered rows older than ``horizon`` from a join hash table."""
+    dead_keys = []
+    for key, rows in table.items():
+        rows[:] = [r for r in rows if r.get("created_at", 0.0) >= horizon]
+        if not rows:
+            dead_keys.append(key)
+    for key in dead_keys:
+        del table[key]
+
+
+class LookupJoinOperator:
+    """Stream-table (dimension) join.
+
+    The right side is a finite table without timestamps — a lookup
+    dimension such as team → home city. Its rows are drained into a hash
+    table once, on first pull; every stream row then joins against all
+    matching table rows. Unmatched stream rows are dropped (inner-join
+    semantics); pass ``left_outer=True`` to keep them with NULL-extended
+    table columns.
+    """
+
+    def __init__(
+        self,
+        stream: Iterable[Row],
+        table_rows: Iterable[Row],
+        stream_key: Evaluator,
+        table_key: Evaluator,
+        table_schema: tuple[str, ...],
+        ctx: EvalContext,
+        right_prefix: str = "r_",
+        left_outer: bool = False,
+    ) -> None:
+        self._stream = stream
+        self._table_rows = table_rows
+        self._stream_key = stream_key
+        self._table_key = table_key
+        self._table_schema = table_schema
+        self._ctx = ctx
+        self._right_prefix = right_prefix
+        self._left_outer = left_outer
+
+    def __iter__(self) -> Iterator[Row]:
+        table: dict[Any, list[Row]] = {}
+        for row in self._table_rows:
+            key = self._table_key(row, self._ctx)
+            if key is not None:
+                table.setdefault(key, []).append(row)
+        null_extension = {name: None for name in self._table_schema}
+        for row in self._stream:
+            key = self._stream_key(row, self._ctx)
+            matches = table.get(key, ()) if key is not None else ()
+            if matches:
+                for match in matches:
+                    yield self._merge(row, match)
+            elif self._left_outer:
+                yield self._merge(row, null_extension)
+
+    def _merge(self, left: Row, right: Row) -> Row:
+        out = dict(left)
+        for name, value in right.items():
+            if name == "created_at":
+                continue
+            if name in out:
+                out[f"{self._right_prefix}{name}"] = value
+            else:
+                out[name] = value
+        self._ctx.stats.rows_emitted += 1
+        return out
+
+
+class LimitOperator:
+    """Stops the pipeline after ``limit`` rows."""
+
+    def __init__(self, child: Iterable[Row], limit: int) -> None:
+        self._child = child
+        self._limit = limit
+
+    def __iter__(self) -> Iterator[Row]:
+        return itertools.islice(iter(self._child), self._limit)
+
+
+class IntoOperator:
+    """Tees result rows into a storage table while passing them through."""
+
+    def __init__(self, child: Iterable[Row], sink: Any) -> None:
+        self._child = child
+        self._sink = sink
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._child:
+            self._sink.append(row)
+            yield row

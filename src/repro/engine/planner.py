@@ -1,0 +1,811 @@
+"""Query planning: AST → physical operator pipeline.
+
+The planner implements the decisions the paper describes:
+
+1. **API filter choice** ("Uncertain Selectivities"): the WHERE clause is
+   split into conjuncts; conjuncts expressible as streaming-API filters
+   (keyword ``track``, geographic ``locations``, userid ``follow``) become
+   candidates, their selectivities are estimated from a shared
+   ``statuses/sample`` draw, and the rarest is pushed to the API. The rest
+   stay local.
+2. **Adaptive local filtering** (Eddies): with several local conjuncts and
+   ``use_eddy`` enabled, the local filter is an
+   :class:`~repro.engine.eddies.EddyOperator` instead of a fixed-order
+   conjunction.
+3. **High-latency UDFs**: when the query calls latitude/longitude/
+   named_entities and the latency mode is ``batched`` or ``async``, a
+   :class:`~repro.engine.latency.PrefetchOperator` is inserted upstream of
+   the consumer so round trips overlap stream processing.
+4. **Aggregation**: windowed GROUP BY when ``WINDOW`` is present;
+   confidence-triggered emission (CONTROL-style) when the query has
+   aggregates but no window and the session configured a
+   :class:`~repro.engine.confidence.ConfidencePolicy`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine import operators as ops
+from repro.engine.aggregates import AGGREGATE_NAMES, make_aggregate
+from repro.engine.confidence import ConfidenceAggregateOperator, ConfidencePolicy
+from repro.engine.eddies import AdaptivePredicate, EddyOperator
+from repro.engine.expressions import (
+    Evaluator,
+    compile_expr,
+    contains_aggregate,
+    contains_high_latency,
+    resolve_bbox,
+)
+from repro.engine.functions import FunctionRegistry
+from repro.engine.latency import ManagedCall, PrefetchOperator
+from repro.engine.selectivity import FilterCandidate, FilterChoice, choose_api_filter
+from repro.engine.types import EvalContext, Row
+from repro.errors import PlanError
+from repro.sql import ast
+
+# ---------------------------------------------------------------------------
+# Source bindings
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SourceBinding:
+    """One FROM-able source.
+
+    ``api`` is set for the live ``twitter`` source; ``rows_factory`` for
+    registered static/test sources (each call returns a fresh row iterator).
+    """
+
+    name: str
+    schema: tuple[str, ...]
+    api: Any = None  # StreamingAPI | None
+    rows_factory: Callable[[], Iterable[Row]] | None = None
+
+
+@dataclass
+class PhysicalPlan:
+    """The executable result of planning one statement."""
+
+    pipeline: Iterable[Row]
+    output_schema: tuple[str, ...]
+    ctx: EvalContext
+    explain_lines: list[str] = field(default_factory=list)
+    filter_choice: FilterChoice | None = None
+    connections: list[Any] = field(default_factory=list)
+    managed_calls: list[ManagedCall] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Human-readable plan description."""
+        return "\n".join(self.explain_lines)
+
+
+def _lazy_connection_rows(open_connection: Callable[[], Any], plan: "PhysicalPlan"):
+    """Row generator that opens its API connection only on first pull.
+
+    Planning must not consume scarce streaming connections: a session may
+    plan (EXPLAIN) many queries without running them, and the real API's
+    connection budget was tiny. The connection is registered on the plan
+    at open time so :meth:`QueryHandle.close` can cancel it.
+    """
+
+    def rows():
+        connection = open_connection()
+        plan.connections.append(connection)
+        for tweet in connection:
+            yield tweet.to_row()
+
+    return rows()
+
+
+# ---------------------------------------------------------------------------
+# Helpers: conjunct splitting and API-candidate extraction
+# ---------------------------------------------------------------------------
+
+
+def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    """Flatten a WHERE tree into top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def _track_keywords(expr: ast.Expr) -> list[str] | None:
+    """Keywords when ``expr`` is (an OR of) ``text CONTAINS <literal>``."""
+    if isinstance(expr, ast.BinaryOp) and expr.op == "OR":
+        left = _track_keywords(expr.left)
+        right = _track_keywords(expr.right)
+        if left is not None and right is not None:
+            return left + right
+        return None
+    if (
+        isinstance(expr, ast.BinaryOp)
+        and expr.op == "CONTAINS"
+        and isinstance(expr.left, ast.FieldRef)
+        and expr.left.name.lower() == "text"
+        and isinstance(expr.right, ast.Literal)
+        and isinstance(expr.right.value, str)
+    ):
+        return [expr.right.value]
+    return None
+
+
+def _bbox_filter(expr: ast.Expr):
+    """BoundingBox when ``expr`` is ``location IN [bounding box …]``."""
+    if (
+        isinstance(expr, ast.BinaryOp)
+        and expr.op == "IN_BBOX"
+        and isinstance(expr.left, ast.FieldRef)
+        and expr.left.name.lower() in ("location", "geo", "point")
+        and isinstance(expr.right, ast.BBox)
+    ):
+        return resolve_bbox(expr.right)
+    return None
+
+
+def _follow_ids(expr: ast.Expr) -> list[int] | None:
+    """User ids when ``expr`` is ``user_id = n`` or ``user_id IN (…)``."""
+    if (
+        isinstance(expr, ast.BinaryOp)
+        and expr.op == "="
+        and isinstance(expr.left, ast.FieldRef)
+        and expr.left.name.lower() == "user_id"
+        and isinstance(expr.right, ast.Literal)
+        and isinstance(expr.right.value, int)
+    ):
+        return [expr.right.value]
+    if (
+        isinstance(expr, ast.InList)
+        and isinstance(expr.operand, ast.FieldRef)
+        and expr.operand.name.lower() == "user_id"
+        and all(
+            isinstance(v, ast.Literal) and isinstance(v.value, int)
+            for v in expr.values
+        )
+    ):
+        return [v.value for v in expr.values]  # type: ignore[union-attr]
+    return None
+
+
+def extract_api_candidates(
+    conjuncts: list[ast.Expr],
+) -> list[tuple[int, FilterCandidate]]:
+    """(conjunct index, candidate) pairs for API-eligible conjuncts."""
+    found: list[tuple[int, FilterCandidate]] = []
+    for index, conjunct in enumerate(conjuncts):
+        keywords = _track_keywords(conjunct)
+        if keywords is not None:
+            kw = tuple(keywords)
+            found.append(
+                (
+                    index,
+                    FilterCandidate(
+                        kind="track",
+                        description=f"track({', '.join(kw)})",
+                        api_kwargs={"track": kw},
+                        matches=lambda tweet, kw=kw: tweet.matches_any_keyword(kw),
+                    ),
+                )
+            )
+            continue
+        box = _bbox_filter(conjunct)
+        if box is not None:
+            found.append(
+                (
+                    index,
+                    FilterCandidate(
+                        kind="locations",
+                        description=f"locations({box.name or box})",
+                        api_kwargs={"locations": (box,)},
+                        matches=lambda tweet, box=box: box.contains_point(tweet.geo),
+                    ),
+                )
+            )
+            continue
+        ids = _follow_ids(conjunct)
+        if ids is not None:
+            id_set = frozenset(ids)
+            found.append(
+                (
+                    index,
+                    FilterCandidate(
+                        kind="follow",
+                        description=f"follow({len(id_set)} users)",
+                        api_kwargs={"follow": tuple(id_set)},
+                        matches=lambda tweet, ids=id_set: tweet.user.user_id in ids,
+                    ),
+                )
+            )
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Aggregate rewriting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AggSite:
+    """One distinct aggregate call site across SELECT/HAVING/ORDER BY."""
+
+    call: ast.FuncCall
+    placeholder: str  # "__agg<i>"
+
+
+def _rewrite_aggregates(
+    expr: ast.Expr, sites: list[AggSite], by_sql: dict[str, AggSite]
+) -> ast.Expr:
+    """Replace aggregate calls with placeholder field refs, registering
+    each distinct call (by rendered SQL) once."""
+    if isinstance(expr, ast.FuncCall):
+        if expr.name in AGGREGATE_NAMES:
+            key = expr.to_sql()
+            site = by_sql.get(key)
+            if site is None:
+                site = AggSite(call=expr, placeholder=f"__agg{len(sites)}")
+                sites.append(site)
+                by_sql[key] = site
+            return ast.FieldRef(site.placeholder)
+        return ast.FuncCall(
+            name=expr.name,
+            args=tuple(_rewrite_aggregates(a, sites, by_sql) for a in expr.args),
+            distinct=expr.distinct,
+        )
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            expr.op,
+            _rewrite_aggregates(expr.left, sites, by_sql),
+            _rewrite_aggregates(expr.right, sites, by_sql),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _rewrite_aggregates(expr.operand, sites, by_sql))
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            _rewrite_aggregates(expr.operand, sites, by_sql),
+            tuple(_rewrite_aggregates(v, sites, by_sql) for v in expr.values),
+        )
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# The planner
+# ---------------------------------------------------------------------------
+
+
+class Planner:
+    """Builds physical plans for one session's catalog and configuration."""
+
+    def __init__(
+        self,
+        sources: dict[str, SourceBinding],
+        registry: FunctionRegistry,
+        services: dict[str, Any],
+        clock,
+        config,
+        table_factory: Callable[[str], Any],
+    ) -> None:
+        self._sources = sources
+        self._registry = registry
+        self._services = services
+        self._clock = clock
+        self._config = config
+        self._table_factory = table_factory
+
+    def plan(self, statement: ast.SelectStatement) -> PhysicalPlan:
+        """Plan one parsed statement into a runnable pipeline."""
+        from repro.errors import UnknownSourceError
+
+        binding = self._sources.get(statement.source.lower())
+        if binding is None:
+            raise UnknownSourceError(statement.source)
+
+        ctx = EvalContext(clock=self._clock, services=dict(self._services))
+        plan = PhysicalPlan(
+            pipeline=iter(()), output_schema=(), ctx=ctx
+        )
+        explain = plan.explain_lines
+
+        conjuncts = split_conjuncts(statement.where)
+
+        # ---- source access + API filter choice ----
+        source_rows = self._build_source(binding, conjuncts, plan)
+        schema = binding.schema
+        pipeline: Iterable[Row] = ops.ScanOperator(source_rows, ctx)
+
+        if statement.join is not None:
+            pipeline, schema = self._build_join(statement, pipeline, schema, ctx, plan)
+
+        # ---- local predicates ----
+        if conjuncts:
+            predicate_evals = [
+                (
+                    conjunct.to_sql(),
+                    compile_expr(conjunct, self._registry, schema, ctx),
+                )
+                for conjunct in conjuncts
+            ]
+            if self._config.use_eddy and len(predicate_evals) > 1:
+                adaptive = [
+                    AdaptivePredicate(name, evaluate)
+                    for name, evaluate in predicate_evals
+                ]
+                pipeline = EddyOperator(
+                    pipeline, adaptive, ctx, resort_every=self._config.eddy_resort_every
+                )
+                explain.append(
+                    "Filter: eddy over "
+                    + ", ".join(name for name, _ in predicate_evals)
+                )
+            else:
+                for name, evaluate in predicate_evals:
+                    pipeline = ops.FilterOperator(pipeline, evaluate, ctx)
+                if predicate_evals:
+                    explain.append(
+                        "Filter: " + " AND ".join(n for n, _ in predicate_evals)
+                    )
+
+        # ---- high-latency prefetch ----
+        pipeline = self._maybe_prefetch(statement, pipeline, schema, ctx, plan)
+
+        # ---- projection / aggregation ----
+        has_aggregates = bool(statement.group_by) or any(
+            not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
+            for item in statement.select
+        )
+        if has_aggregates:
+            pipeline, output_schema = self._build_aggregation(
+                statement, pipeline, schema, ctx, plan
+            )
+        else:
+            if statement.having is not None:
+                raise PlanError("HAVING requires aggregation")
+            if statement.order_by:
+                raise PlanError(
+                    "ORDER BY requires a windowed aggregate query (streams "
+                    "have no global order to sort)"
+                )
+            pipeline, output_schema = self._build_projection(
+                statement, pipeline, schema, ctx
+            )
+            if statement.limit is not None:
+                pipeline = ops.LimitOperator(pipeline, statement.limit)
+                explain.append(f"Limit: {statement.limit}")
+
+        if statement.into is not None:
+            sink = self._table_factory(statement.into)
+            pipeline = ops.IntoOperator(pipeline, sink)
+            explain.append(f"Into: table {statement.into!r}")
+
+        plan.pipeline = pipeline
+        plan.output_schema = output_schema
+        return plan
+
+    # -- source --------------------------------------------------------------
+
+    def _build_source(
+        self,
+        binding: SourceBinding,
+        conjuncts: list[ast.Expr],
+        plan: PhysicalPlan,
+    ) -> Iterable[Row]:
+        explain = plan.explain_lines
+        if binding.api is None:
+            assert binding.rows_factory is not None
+            explain.append(f"Scan: registered source {binding.name!r}")
+            return binding.rows_factory()
+
+        api = binding.api
+        candidates = extract_api_candidates(conjuncts)
+        if not candidates:
+            explain.append(
+                "Scan: twitter firehose (no API-eligible predicate; elevated "
+                "access tier)"
+            )
+            return _lazy_connection_rows(api.unfiltered, plan)
+
+        from repro.errors import RateLimitError
+
+        try:
+            choice = choose_api_filter(
+                api,
+                [candidate for _idx, candidate in candidates],
+                sample_rate=self._config.sample_rate,
+                sample_limit=self._config.sample_limit,
+            )
+        except RateLimitError:
+            # Sampling is metered; when the budget is gone, degrade to the
+            # first candidate rather than failing the query.
+            from repro.engine.selectivity import FilterChoice, SelectivityEstimate
+
+            fallback = candidates[0][1]
+            choice = FilterChoice(
+                chosen=fallback,
+                estimates=(
+                    SelectivityEstimate(
+                        candidate=fallback, sample_size=0, matched=0
+                    ),
+                ),
+                sample_size=0,
+            )
+            explain.append(
+                "  (sample budget exhausted; fell back to the first "
+                "API-eligible filter)"
+            )
+        plan.filter_choice = choice
+        chosen_index = next(
+            idx
+            for idx, candidate in candidates
+            if candidate is choice.chosen
+        )
+        # The API applies the chosen conjunct server-side; drop it locally.
+        del conjuncts[chosen_index]
+        explain.append(f"Scan: twitter via API filter {choice.chosen.description}")
+        if len(choice.estimates) > 1:
+            explain.extend("  " + line for line in choice.explain().splitlines())
+        kwargs = choice.chosen.api_kwargs
+        return _lazy_connection_rows(lambda: api.filter(**kwargs), plan)
+
+    # -- join ----------------------------------------------------------------
+
+    def _build_join(
+        self,
+        statement: ast.SelectStatement,
+        left_pipeline: Iterable[Row],
+        left_schema: tuple[str, ...],
+        ctx: EvalContext,
+        plan: PhysicalPlan,
+    ) -> tuple[Iterable[Row], tuple[str, ...]]:
+        join = statement.join
+        assert join is not None
+        right_binding = self._sources.get(join.source.lower())
+        if right_binding is None:
+            from repro.errors import UnknownSourceError
+
+            raise UnknownSourceError(join.source)
+        # A right side without timestamps is a dimension table: lookup
+        # join, no window needed. Two timestamped streams band-join within
+        # the WINDOW.
+        is_lookup = "created_at" not in {
+            n.lower() for n in right_binding.schema
+        }
+        if not is_lookup and (
+            statement.window is None or statement.window.count_based
+        ):
+            raise PlanError("stream-stream JOIN requires a *time* WINDOW "
+                            "clause (streams join within a time band)")
+        if right_binding.api is not None:
+            right_rows: Iterable[Row] = _lazy_connection_rows(
+                right_binding.api.unfiltered, plan
+            )
+        else:
+            assert right_binding.rows_factory is not None
+            right_rows = right_binding.rows_factory()
+
+        condition = join.condition
+        if not (
+            isinstance(condition, ast.BinaryOp)
+            and condition.op == "="
+            and isinstance(condition.left, ast.FieldRef)
+            and isinstance(condition.right, ast.FieldRef)
+        ):
+            raise PlanError(
+                "JOIN ON must be an equality between two field references"
+            )
+        left_names = {n.lower() for n in left_schema}
+        right_names = {n.lower() for n in right_binding.schema}
+        names = (condition.left.name.lower(), condition.right.name.lower())
+        if names[0] in left_names and names[1] in right_names:
+            left_field, right_field = names
+        elif names[1] in left_names and names[0] in right_names:
+            right_field, left_field = names
+        else:
+            raise PlanError(
+                f"cannot resolve join fields {names[0]!r}, {names[1]!r} "
+                "against the two sources"
+            )
+        left_key = compile_expr(
+            ast.FieldRef(left_field), self._registry, left_schema, ctx
+        )
+        right_key = compile_expr(
+            ast.FieldRef(right_field), self._registry, right_binding.schema, ctx
+        )
+        merged_schema = left_schema + tuple(
+            f"r_{name}" if name in left_names else name
+            for name in right_binding.schema
+            if name != "created_at"
+        )
+        if is_lookup:
+            plan.explain_lines.append(
+                f"Join: {statement.source} ⋈ table {join.source} on "
+                f"{left_field} = {right_field} (lookup)"
+            )
+            pipeline: Iterable[Row] = ops.LookupJoinOperator(
+                left_pipeline,
+                right_rows,
+                left_key,
+                right_key,
+                tuple(
+                    f"r_{name}" if name in left_names else name
+                    for name in right_binding.schema
+                ),
+                ctx,
+            )
+            return pipeline, merged_schema
+        plan.explain_lines.append(
+            f"Join: {statement.source} ⋈ {join.source} on "
+            f"{left_field} = {right_field}, band {statement.window.size_seconds:g}s"
+        )
+        pipeline = ops.WindowedJoinOperator(
+            left_pipeline,
+            right_rows,
+            left_key,
+            right_key,
+            statement.window,
+            ctx,
+        )
+        return pipeline, merged_schema
+
+    # -- high-latency prefetch -------------------------------------------------
+
+    def _maybe_prefetch(
+        self,
+        statement: ast.SelectStatement,
+        pipeline: Iterable[Row],
+        schema: tuple[str, ...],
+        ctx: EvalContext,
+        plan: PhysicalPlan,
+    ) -> Iterable[Row]:
+        mode = self._config.latency_mode
+        if mode not in ("batched", "async"):
+            return pipeline
+
+        # Find distinct high-latency calls anywhere in the statement.
+        exprs: list[ast.Expr] = [item.expr for item in statement.select
+                                 if not isinstance(item.expr, ast.Star)]
+        exprs.extend(statement.group_by)
+        if statement.having is not None:
+            exprs.append(statement.having)
+        seen_args: set[str] = set()
+        extractors: list[tuple[ManagedCall, Callable[[Row], Any]]] = []
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.FuncCall):
+                    continue
+                if node.name in AGGREGATE_NAMES or node.name not in self._registry:
+                    continue
+                spec = self._registry.lookup(node.name)
+                if not spec.high_latency or not node.args:
+                    continue
+                key = node.args[0].to_sql()
+                dedup = f"{spec.service}:{key}"
+                if dedup in seen_args:
+                    continue
+                seen_args.add(dedup)
+                managed = self._services.get(f"{spec.service}_managed")
+                if managed is None:
+                    continue
+                arg_eval = compile_expr(node.args[0], self._registry, schema, ctx)
+
+                def extract(row: Row, arg_eval=arg_eval) -> Any:
+                    value = arg_eval(row, ctx)
+                    if value is None or (isinstance(value, str) and not value.strip()):
+                        return None
+                    return str(value)
+
+                extractors.append((managed, extract))
+                if managed not in plan.managed_calls:
+                    plan.managed_calls.append(managed)
+        if not extractors:
+            return pipeline
+        plan.explain_lines.append(
+            f"Prefetch: {mode} warm-up for {len(extractors)} high-latency "
+            f"call(s), lookahead {self._config.lookahead}"
+        )
+        return PrefetchOperator(
+            pipeline, extractors, ctx, lookahead=self._config.lookahead
+        )
+
+    # -- projection ------------------------------------------------------------
+
+    def _build_projection(
+        self,
+        statement: ast.SelectStatement,
+        pipeline: Iterable[Row],
+        schema: tuple[str, ...],
+        ctx: EvalContext,
+    ) -> tuple[Iterable[Row], tuple[str, ...]]:
+        items: list[tuple[str, Evaluator]] = []
+        output_names: list[str] = []
+        for item in statement.select:
+            if isinstance(item.expr, ast.Star):
+                for name in schema:
+                    if name.startswith("__"):
+                        continue
+                    items.append(
+                        (name, lambda row, _ctx, name=name: row.get(name))
+                    )
+                    output_names.append(name)
+                continue
+            evaluate = compile_expr(item.expr, self._registry, schema, ctx)
+            name = item.output_name
+            items.append((name, evaluate))
+            output_names.append(name)
+        pipeline = ops.ProjectOperator(pipeline, items, ctx)
+        if "created_at" not in output_names:
+            output_names.append("created_at")
+        return pipeline, tuple(output_names)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def _build_aggregation(
+        self,
+        statement: ast.SelectStatement,
+        pipeline: Iterable[Row],
+        schema: tuple[str, ...],
+        ctx: EvalContext,
+        plan: PhysicalPlan,
+    ) -> tuple[Iterable[Row], tuple[str, ...]]:
+        sites: list[AggSite] = []
+        by_sql: dict[str, AggSite] = {}
+
+        rewritten_items: list[tuple[str, ast.Expr]] = []
+        alias_evals: dict[str, Evaluator] = {}
+        for item in statement.select:
+            if isinstance(item.expr, ast.Star):
+                raise PlanError("SELECT * cannot be combined with aggregates")
+            rewritten = _rewrite_aggregates(item.expr, sites, by_sql)
+            rewritten_items.append((item.output_name, rewritten))
+            if item.alias and not contains_aggregate(item.expr):
+                alias_evals[item.alias] = compile_expr(
+                    item.expr, self._registry, schema, ctx
+                )
+
+        having_rewritten = (
+            _rewrite_aggregates(statement.having, sites, by_sql)
+            if statement.having is not None
+            else None
+        )
+        order_rewritten = [
+            (_rewrite_aggregates(expr, sites, by_sql), desc)
+            for expr, desc in statement.order_by
+        ]
+
+        env_schema = schema + tuple(site.placeholder for site in sites)
+
+        group_evals = [
+            compile_expr(expr, self._registry, schema, ctx, aliases=alias_evals)
+            for expr in statement.group_by
+        ]
+
+        agg_factories = []
+        for site in sites:
+            call = site.call
+            if len(call.args) != 1:
+                raise PlanError(
+                    f"aggregate {call.name}() takes exactly one argument"
+                )
+            count_rows = isinstance(call.args[0], ast.Star)
+            if count_rows and call.name != "count":
+                raise PlanError(f"only COUNT accepts '*', not {call.name}")
+            arg_eval = (
+                None
+                if count_rows
+                else compile_expr(call.args[0], self._registry, schema, ctx,
+                                  aliases=alias_evals)
+            )
+            probe = make_aggregate(call.name, call.distinct, count_rows)
+            agg_factories.append(
+                (
+                    lambda call=call, count_rows=count_rows: make_aggregate(
+                        call.name, call.distinct, count_rows
+                    ),
+                    arg_eval,
+                    probe.skip_nulls,
+                )
+            )
+
+        output_items = [
+            (
+                name,
+                compile_expr(expr, self._registry, env_schema, ctx,
+                             aliases=alias_evals),
+            )
+            for name, expr in rewritten_items
+        ]
+        having_eval = (
+            compile_expr(having_rewritten, self._registry, env_schema, ctx,
+                         aliases=alias_evals)
+            if having_rewritten is not None
+            else None
+        )
+        order_evals = [
+            (
+                compile_expr(expr, self._registry, env_schema, ctx,
+                             aliases=alias_evals),
+                desc,
+            )
+            for expr, desc in order_rewritten
+        ]
+
+        output_schema = tuple(name for name, _ in rewritten_items)
+
+        if statement.window is not None:
+            if statement.window.count_based:
+                plan.explain_lines.append(
+                    f"Aggregate: {len(sites)} aggregate(s), "
+                    f"{len(group_evals)} group key(s), "
+                    f"window {statement.window.size_count} tweets "
+                    f"slide {int(statement.window.slide)} tweets"
+                )
+                pipeline = ops.CountWindowedAggregateOperator(
+                    pipeline,
+                    statement.window,
+                    group_evals,
+                    agg_factories,
+                    output_items,
+                    ctx,
+                    having=having_eval,
+                    order_by=order_evals,
+                    limit=statement.limit,
+                )
+                return pipeline, output_schema + (
+                    "window_start", "window_end", "window_rows"
+                )
+            plan.explain_lines.append(
+                f"Aggregate: {len(sites)} aggregate(s), "
+                f"{len(group_evals)} group key(s), "
+                f"window {statement.window.size_seconds:g}s "
+                f"slide {statement.window.slide:g}s"
+            )
+            pipeline = ops.WindowedAggregateOperator(
+                pipeline,
+                statement.window,
+                group_evals,
+                agg_factories,
+                output_items,
+                ctx,
+                having=having_eval,
+                order_by=order_evals,
+                limit=statement.limit,
+            )
+            return pipeline, output_schema + ("window_start", "window_end")
+
+        policy: ConfidencePolicy | None = self._config.confidence_policy
+        if policy is not None:
+            if len(sites) != 1 or sites[0].call.name != "avg":
+                raise PlanError(
+                    "confidence-triggered emission supports exactly one AVG "
+                    "aggregate; add a WINDOW clause for other aggregate mixes"
+                )
+            if statement.order_by or statement.limit is not None:
+                raise PlanError(
+                    "ORDER BY / LIMIT are not supported with "
+                    "confidence-triggered emission"
+                )
+            value_eval = agg_factories[0][1]
+            assert value_eval is not None
+            plan.explain_lines.append(
+                "Aggregate: confidence-triggered AVG emission "
+                f"(ci≤{policy.ci_halfwidth:g}, z={policy.z:g}, "
+                f"max_age={policy.max_age_seconds})"
+            )
+            pipeline = ConfidenceAggregateOperator(
+                pipeline,
+                group_evals,
+                value_eval,
+                output_items,
+                ctx,
+                policy=policy,
+            )
+            return pipeline, output_schema + (
+                "n", "ci_halfwidth", "emit_reason"
+            )
+
+        raise PlanError(
+            "aggregate queries need a WINDOW clause (or a session "
+            "confidence policy for AVG; see EngineConfig.confidence_policy)"
+        )

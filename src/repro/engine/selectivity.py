@@ -1,0 +1,146 @@
+"""API filter selection under uncertain selectivities.
+
+The paper: a query with ``text contains 'obama' AND location in [NYC box]``
+could ask the streaming API for all *obama* tweets or all *NYC* tweets, but
+not both on one connection. "TweeQL samples both streams in this case, and
+selects the filter with the lowest selectivity in order to require the
+least work in applying the second filter."
+
+This module implements that choice: estimate each candidate filter's
+selectivity from a ``statuses/sample`` draw, pick the rarest, and report
+the decision (candidates, estimates, sample size) so the planner's EXPLAIN
+and benchmark E2 can show their work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.twitter.models import Tweet
+from repro.twitter.stream import StreamingAPI
+
+
+@dataclass(frozen=True)
+class FilterCandidate:
+    """One API-eligible filter extracted from a WHERE clause.
+
+    Attributes:
+        kind: ``track`` / ``locations`` / ``follow``.
+        description: human-readable filter summary.
+        api_kwargs: the keyword arguments to pass to ``StreamingAPI.filter``.
+        matches: predicate a sampled tweet is tested against to estimate
+            this filter's selectivity.
+    """
+
+    kind: str
+    description: str
+    api_kwargs: dict
+    matches: Callable[[Tweet], bool]
+
+
+@dataclass(frozen=True)
+class SelectivityEstimate:
+    """Estimated match fraction for one candidate."""
+
+    candidate: FilterCandidate
+    sample_size: int
+    matched: int
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of sampled firehose tweets the filter matches.
+
+        Uses add-one (Laplace) smoothing so a zero-match sample does not
+        claim impossible certainty.
+        """
+        return (self.matched + 1) / (self.sample_size + 2)
+
+
+@dataclass(frozen=True)
+class FilterChoice:
+    """The decision record: which candidate was sent to the API and why."""
+
+    chosen: FilterCandidate
+    estimates: tuple[SelectivityEstimate, ...]
+    sample_size: int
+
+    def explain(self) -> str:
+        """One line per candidate, the chosen one marked."""
+        lines = []
+        for estimate in self.estimates:
+            marker = "->" if estimate.candidate is self.chosen else "  "
+            lines.append(
+                f"{marker} {estimate.candidate.description}: "
+                f"selectivity ~{estimate.selectivity:.4f} "
+                f"({estimate.matched}/{estimate.sample_size})"
+            )
+        return "\n".join(lines)
+
+
+def estimate_selectivities(
+    api: StreamingAPI,
+    candidates: Sequence[FilterCandidate],
+    sample_rate: float = 0.01,
+    sample_limit: int = 2000,
+) -> list[SelectivityEstimate]:
+    """Draw one firehose sample and score every candidate against it.
+
+    A single shared sample (rather than one per candidate) halves the API
+    cost and makes the estimates directly comparable — any sampling quirk
+    hits every candidate equally.
+    """
+    sample = api.sample(rate=sample_rate, limit=sample_limit)
+    estimates = []
+    for candidate in candidates:
+        matched = sum(1 for tweet in sample if candidate.matches(tweet))
+        estimates.append(
+            SelectivityEstimate(
+                candidate=candidate,
+                sample_size=len(sample),
+                matched=matched,
+            )
+        )
+    return estimates
+
+
+def choose_api_filter(
+    api: StreamingAPI,
+    candidates: Sequence[FilterCandidate],
+    sample_rate: float = 0.01,
+    sample_limit: int = 2000,
+) -> FilterChoice:
+    """Pick the lowest-selectivity candidate to push to the streaming API.
+
+    With one candidate, no sampling is spent. Ties break toward ``track``
+    filters (cheapest for the API to evaluate server-side), then toward the
+    earliest candidate for determinism.
+    """
+    if not candidates:
+        raise ValueError("no candidates to choose between")
+    if len(candidates) == 1:
+        only = candidates[0]
+        return FilterChoice(
+            chosen=only,
+            estimates=(
+                SelectivityEstimate(candidate=only, sample_size=0, matched=0),
+            ),
+            sample_size=0,
+        )
+    estimates = estimate_selectivities(api, candidates, sample_rate, sample_limit)
+    kind_rank = {"track": 0, "follow": 1, "locations": 2}
+
+    def sort_key(indexed: tuple[int, SelectivityEstimate]):
+        index, estimate = indexed
+        return (
+            estimate.selectivity,
+            kind_rank.get(estimate.candidate.kind, 9),
+            index,
+        )
+
+    _index, best = min(enumerate(estimates), key=sort_key)
+    return FilterChoice(
+        chosen=best.candidate,
+        estimates=tuple(estimates),
+        sample_size=best.sample_size,
+    )

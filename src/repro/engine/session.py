@@ -1,0 +1,319 @@
+"""The public TweeQL façade.
+
+:class:`TweeQL` wires together everything a query needs — the simulated
+streaming API, the virtual clock, the geocoding and entity web services
+(wrapped in the latency machinery), the sentiment classifier, the function
+registry, and result tables — and exposes the interface the demo offered:
+``query("SELECT …")``.
+
+Typical use::
+
+    from repro import TweeQL
+    from repro.twitter import soccer_match_scenario
+
+    session = TweeQL.for_scenarios(soccer_match_scenario(seed=7))
+    handle = session.query(
+        "SELECT sentiment(text), text FROM twitter "
+        "WHERE text contains 'tevez';"
+    )
+    for row in handle.fetch(10):
+        print(row)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import rng as rng_mod
+from repro.clock import VirtualClock
+from repro.engine.confidence import ConfidencePolicy
+from repro.engine.executor import QueryHandle
+from repro.engine.functions import FunctionRegistry, default_registry
+from repro.engine.latency import ManagedCall
+from repro.engine.planner import Planner, PhysicalPlan, SourceBinding
+from repro.engine.types import Row
+from repro.errors import GeocodeError, PlanError
+from repro.geo.geocode import Geocoder
+from repro.geo.service import LatencyModel, SimulatedWebService
+from repro.nlp.entities import EntityExtractor
+from repro.nlp.sentiment import SentimentClassifier, train_default_classifier
+from repro.sql import parse
+from repro.sql.ast import SelectStatement
+
+
+def replace_into_stream(statement: SelectStatement) -> SelectStatement:
+    """A copy of ``statement`` without its INTO STREAM clause.
+
+    The derived-source factory re-plans the upstream query on each read;
+    stripping the clause first keeps re-planning from re-registering the
+    stream recursively.
+    """
+    import dataclasses
+
+    return dataclasses.replace(statement, into_stream=None)
+from repro.storage.tweetlog import TableSink
+from repro.twitter.models import TWITTER_SCHEMA
+from repro.twitter.stream import Firehose, StreamingAPI
+from repro.twitter.workloads import Scenario
+
+
+@dataclass
+class EngineConfig:
+    """Session-level engine knobs (each maps to a mechanism in the paper).
+
+    Attributes:
+        latency_mode: how high-latency UDFs reach their services —
+            ``blocking`` / ``cached`` / ``batched`` / ``async``.
+        cache_capacity: LRU size for service caches.
+        cache_ttl: optional TTL (virtual seconds) on cached service results.
+        pool_depth: max in-flight requests in ``async`` mode.
+        lookahead: prefetch window (rows) for ``batched``/``async``.
+        partial_results: with ``async`` mode, never block on an in-flight
+            service call — emit NULL for the not-yet-known value instead
+            (Raman & Hellerstein-style partial results; the paper cites
+            this as the complementary piece of the async design).
+        use_eddy: route local predicates through an adaptive eddy instead
+            of a fixed-order conjunction.
+        eddy_resort_every: tuples between eddy re-rankings.
+        confidence_policy: enables CONTROL-style confidence-triggered AVG
+            emission for windowless aggregate queries.
+        sample_rate / sample_limit: ``statuses/sample`` parameters for
+            selectivity estimation.
+        geocode_latency: latency model of the geocoding service.
+        entities_latency: latency model of the entity-extraction service.
+        service_failure_rate: transient failure probability per request.
+    """
+
+    latency_mode: str = "cached"
+    cache_capacity: int = 10_000
+    cache_ttl: float | None = None
+    pool_depth: int = 8
+    lookahead: int = 64
+    partial_results: bool = False
+    use_eddy: bool = False
+    eddy_resort_every: int = 64
+    confidence_policy: ConfidencePolicy | None = None
+    sample_rate: float = 0.01
+    sample_limit: int = 2000
+    geocode_latency: LatencyModel = field(default_factory=LatencyModel)
+    entities_latency: LatencyModel = field(
+        default_factory=lambda: LatencyModel(mean_seconds=0.45, sigma=0.35)
+    )
+    service_failure_rate: float = 0.0
+
+
+class TweeQL:
+    """A TweeQL session: parse, plan, and run stream queries.
+
+    Args:
+        api: the (simulated) Twitter streaming API; optional when every
+            query targets registered sources.
+        clock: virtual clock; a fresh one is created when omitted.
+        config: engine configuration.
+        classifier: sentiment classifier; the memoized default when None.
+        seed: seed for the services' latency draws.
+    """
+
+    def __init__(
+        self,
+        api: StreamingAPI | None = None,
+        clock: VirtualClock | None = None,
+        config: EngineConfig | None = None,
+        classifier: SentimentClassifier | None = None,
+        seed: int = rng_mod.DEFAULT_SEED,
+    ) -> None:
+        self.clock = clock or VirtualClock()
+        self.config = config or EngineConfig()
+        self.api = api
+        self.registry: FunctionRegistry = default_registry()
+        self.tables: dict[str, TableSink] = {}
+        self._classifier = classifier or train_default_classifier()
+
+        # Web services behind the latency machinery.
+        geocoder = Geocoder()
+
+        def geocode_resolver(location: str):
+            try:
+                return geocoder.geocode(location)
+            except GeocodeError:
+                return None
+
+        self.geocode_service = SimulatedWebService(
+            "geocoder",
+            geocode_resolver,
+            clock=self.clock,
+            latency=self.config.geocode_latency,
+            failure_rate=self.config.service_failure_rate,
+            seed=seed,
+        )
+        self.geocode_managed = ManagedCall(
+            self.geocode_service,
+            mode=self.config.latency_mode,
+            cache_capacity=self.config.cache_capacity,
+            cache_ttl=self.config.cache_ttl,
+            pool_depth=self.config.pool_depth,
+            partial_results=self.config.partial_results,
+        )
+
+        extractor = EntityExtractor()
+        self.entities_service = SimulatedWebService(
+            "opencalais",
+            extractor,
+            clock=self.clock,
+            latency=self.config.entities_latency,
+            failure_rate=self.config.service_failure_rate,
+            seed=seed + 1,
+        )
+        self.entities_managed = ManagedCall(
+            self.entities_service,
+            mode=self.config.latency_mode,
+            cache_capacity=self.config.cache_capacity,
+            cache_ttl=self.config.cache_ttl,
+            pool_depth=self.config.pool_depth,
+            partial_results=self.config.partial_results,
+        )
+
+        self._services: dict[str, Any] = {
+            "geocode": self.geocode_managed,
+            "geocode_managed": self.geocode_managed,
+            "entities": self.entities_managed,
+            "entities_managed": self.entities_managed,
+            "sentiment": self._classifier.classify,
+            "sentiment_score": self._classifier.score,
+        }
+
+        self._sources: dict[str, SourceBinding] = {}
+        if api is not None:
+            self._sources["twitter"] = SourceBinding(
+                name="twitter", schema=TWITTER_SCHEMA, api=api
+            )
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def for_scenarios(
+        cls,
+        *scenarios: Scenario,
+        config: EngineConfig | None = None,
+        delivery_ratio: float = 0.98,
+        seed: int = rng_mod.DEFAULT_SEED,
+        clock: VirtualClock | None = None,
+    ) -> "TweeQL":
+        """Build a session whose ``twitter`` source serves these scenarios."""
+        if not scenarios:
+            raise ValueError("at least one scenario is required")
+        clock = clock or VirtualClock(
+            start=min(s.start for s in scenarios)
+        )
+        firehose = Firehose.from_scenarios(*scenarios)
+        api = StreamingAPI(
+            firehose, clock=clock, delivery_ratio=delivery_ratio, seed=seed
+        )
+        return cls(api=api, clock=clock, config=config, seed=seed)
+
+    # -- catalog ---------------------------------------------------------------
+
+    @property
+    def classifier(self) -> SentimentClassifier:
+        """The sentiment classifier behind ``sentiment(text)``."""
+        return self._classifier
+
+    def register_source(
+        self,
+        name: str,
+        rows_factory: Callable[[], Iterable[Row]],
+        schema: tuple[str, ...],
+    ) -> None:
+        """Register a static/test source addressable in FROM clauses.
+
+        ``rows_factory`` must return a fresh iterator of time-ordered row
+        dicts on each call; rows should carry ``created_at``.
+        """
+        key = name.lower()
+        if key == "twitter" and self.api is not None:
+            raise PlanError("cannot shadow the live twitter source")
+        self._sources[key] = SourceBinding(
+            name=key, schema=tuple(s.lower() for s in schema),
+            rows_factory=rows_factory,
+        )
+
+    def register_udf(
+        self,
+        name: str,
+        impl: Callable[..., Any],
+        stateful: bool = False,
+        high_latency: bool = False,
+    ) -> None:
+        """Register a user-defined function usable in queries.
+
+        ``impl`` receives ``(ctx, *args)`` — or is a zero-arg factory of
+        such a callable when ``stateful`` — mirroring how the demo let the
+        audience "build their own UDFs for more advanced processing".
+        """
+        self.registry.register(
+            name, impl, stateful=stateful, high_latency=high_latency
+        )
+
+    def table(self, name: str) -> TableSink:
+        """Fetch-or-create the named result table (``INTO`` target)."""
+        key = name.lower()
+        if key not in self.tables:
+            self.tables[key] = TableSink(key)
+        return self.tables[key]
+
+    # -- queries ----------------------------------------------------------------
+
+    def _planner(self) -> Planner:
+        return Planner(
+            sources=self._sources,
+            registry=self.registry,
+            services=self._services,
+            clock=self.clock,
+            config=self.config,
+            table_factory=self.table,
+        )
+
+    def plan(self, sql: str) -> PhysicalPlan:
+        """Parse and plan without executing (EXPLAIN support)."""
+        return self._planner().plan(parse(sql))
+
+    def query(self, sql: str) -> QueryHandle:
+        """Parse, plan, and return a handle on the running query.
+
+        A query ending in ``INTO STREAM <name>`` additionally registers a
+        *derived stream*: later queries may name it in FROM, and each such
+        reader re-runs this query's pipeline lazily (original TweeQL's
+        stream-composition feature — how a stateful UDF like ``meandev``
+        consumes "the aggregate tweet count" of an upstream query).
+        """
+        statement = parse(sql)
+        plan = self._planner().plan(statement)
+        if statement.into_stream is not None:
+            self._register_derived(statement, plan.output_schema)
+        return QueryHandle(sql, plan)
+
+    def _register_derived(self, statement, schema: tuple[str, ...]) -> None:
+        name = statement.into_stream.lower()
+        if name == "twitter" and self.api is not None:
+            raise PlanError("cannot shadow the live twitter source")
+        base = replace_into_stream(statement)
+
+        def rows_factory():
+            derived_plan = self._planner().plan(base)
+            return iter(derived_plan.pipeline)
+
+        columns = [
+            column.lower() for column in schema if not column.startswith("__")
+        ]
+        columns.append("created_at")  # every pipeline stamps emission time
+        self._sources[name] = SourceBinding(
+            name=name,
+            schema=tuple(dict.fromkeys(columns)),
+            rows_factory=rows_factory,
+        )
+
+    def explain(self, sql: str) -> str:
+        """The plan description for a query, without running it."""
+        return self.plan(sql).explain()

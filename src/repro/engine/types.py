@@ -1,0 +1,68 @@
+"""Core engine types: rows, schemas, and the evaluation context.
+
+Rows are plain dicts (field name → value); a schema is an ordered tuple of
+field names. ``None`` is SQL NULL and propagates through expressions per
+three-valued logic (see :mod:`repro.engine.expressions`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.clock import VirtualClock
+
+Row = dict[str, Any]
+Schema = tuple[str, ...]
+
+
+@dataclass
+class QueryStats:
+    """Counters collected while a query runs."""
+
+    rows_scanned: int = 0
+    rows_after_filter: int = 0
+    rows_emitted: int = 0
+    predicate_evaluations: int = 0
+    windows_closed: int = 0
+    groups_emitted: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot for reports and tests."""
+        return {
+            "rows_scanned": self.rows_scanned,
+            "rows_after_filter": self.rows_after_filter,
+            "rows_emitted": self.rows_emitted,
+            "predicate_evaluations": self.predicate_evaluations,
+            "windows_closed": self.windows_closed,
+            "groups_emitted": self.groups_emitted,
+        }
+
+
+@dataclass
+class EvalContext:
+    """Everything expression evaluation may need at runtime.
+
+    One context exists per running query. Stateful UDF instances hang off
+    ``state`` keyed by call-site id, so two ``meandev(...)`` calls in one
+    query do not share state while repeated invocations at one site do.
+    """
+
+    clock: VirtualClock
+    stats: QueryStats = field(default_factory=QueryStats)
+    state: dict[int, Any] = field(default_factory=dict)
+    #: Current stream time (timestamp of the last tweet seen). Windows and
+    #: temporal functions read this rather than the wall clock.
+    stream_time: float = 0.0
+    #: Arbitrary services injected by the session (geocoder, classifier…).
+    services: dict[str, Any] = field(default_factory=dict)
+
+    def service(self, name: str) -> Any:
+        """Fetch a named service; raises KeyError with a clear message."""
+        try:
+            return self.services[name]
+        except KeyError:
+            raise KeyError(
+                f"query requires service {name!r}, which the session did not "
+                "provide"
+            ) from None

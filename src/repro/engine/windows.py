@@ -1,0 +1,44 @@
+"""Window assignment.
+
+TweeQL's ``WINDOW n unit [EVERY m unit]`` defines time windows aligned to
+the epoch: tumbling when the slide equals the size, sliding (overlapping)
+when the slide is smaller. Stream time — the timestamps on the tweets
+themselves — drives window membership and closing, not wall-clock time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+from repro.sql.ast import WindowSpec
+
+
+def window_start(timestamp: float, size: float, slide: float) -> float:
+    """Start of the *latest* window containing ``timestamp``."""
+    return math.floor(timestamp / slide) * slide
+
+
+def windows_containing(
+    timestamp: float, spec: WindowSpec
+) -> Iterator[tuple[float, float]]:
+    """All (start, end) windows that contain ``timestamp``.
+
+    A tumbling window yields exactly one; a sliding window of size S and
+    slide L yields ``ceil(S / L)`` windows (those whose start lies in
+    ``(timestamp - S, timestamp]``, aligned to multiples of L).
+    """
+    size = spec.size_seconds
+    slide = spec.slide
+    latest = window_start(timestamp, size, slide)
+    start = latest
+    while start > timestamp - size:
+        yield (start, start + size)
+        start -= slide
+
+
+def next_close_time(open_windows: dict[tuple[float, float], object]) -> float | None:
+    """Earliest end among open windows; None when none are open."""
+    if not open_windows:
+        return None
+    return min(end for (_start, end) in open_windows)

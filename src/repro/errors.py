@@ -1,0 +1,118 @@
+"""Exception hierarchy for the TweeQL/TwitInfo reproduction.
+
+All library-raised exceptions derive from :class:`TweeQLError` so callers can
+catch one base class at the API boundary.  Subsystems refine it:
+
+- :class:`ParseError` and :class:`LexError` for the SQL front end,
+- :class:`PlanError` and :class:`ExecutionError` for the engine,
+- :class:`StreamError` for the simulated Twitter API,
+- :class:`ServiceError` for simulated remote web services,
+- :class:`GeocodeError` for geocoding lookups.
+"""
+
+from __future__ import annotations
+
+
+class TweeQLError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class LexError(TweeQLError):
+    """Raised when the lexer encounters an unrecognizable character sequence.
+
+    Attributes:
+        position: character offset in the query string where lexing failed.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(TweeQLError):
+    """Raised when a query is lexically valid but syntactically malformed.
+
+    Attributes:
+        token: text of the offending token, if known.
+        position: character offset of the offending token.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        token: str | None = None,
+        position: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.token = token
+        self.position = position
+
+
+class PlanError(TweeQLError):
+    """Raised when a syntactically valid query cannot be planned.
+
+    Examples: unknown stream source, unknown function name, aggregate used
+    without a window, GROUP BY referencing an unprojected alias.
+    """
+
+
+class ExecutionError(TweeQLError):
+    """Raised when a planned query fails at runtime."""
+
+
+class UnknownFunctionError(PlanError):
+    """Raised when a query references a function not in the registry."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown function: {name!r}")
+        self.name = name
+
+
+class UnknownSourceError(PlanError):
+    """Raised when a query's FROM clause names an unregistered source."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown stream source: {name!r}")
+        self.name = name
+
+
+class UnknownFieldError(PlanError):
+    """Raised when an expression references a field absent from the schema."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
+        hint = f" (available: {', '.join(available)})" if available else ""
+        super().__init__(f"unknown field: {name!r}{hint}")
+        self.name = name
+        self.available = available
+
+
+class StreamError(TweeQLError):
+    """Raised by the simulated Twitter streaming API.
+
+    Examples: more than one filter type on a single connection, connecting
+    to an exhausted stream, exceeding the connection limit.
+    """
+
+
+class RateLimitError(StreamError):
+    """Raised when a simulated API client exceeds its request budget."""
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceError(TweeQLError):
+    """Raised by a simulated remote web service (transient failure, etc.)."""
+
+
+class GeocodeError(ServiceError):
+    """Raised when a location string cannot be geocoded."""
+
+    def __init__(self, location: str) -> None:
+        super().__init__(f"could not geocode location: {location!r}")
+        self.location = location
+
+
+class StorageError(TweeQLError):
+    """Raised by persistence backends (tweet log, caches)."""

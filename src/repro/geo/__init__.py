@@ -1,0 +1,30 @@
+"""Geocoding substrate.
+
+The paper's ``latitude(loc)`` / ``longitude(loc)`` UDFs call a remote
+geocoding web service. This package provides:
+
+- :mod:`repro.geo.gazetteer` — an embedded world-city gazetteer used both to
+  place synthetic users and to resolve location strings,
+- :mod:`repro.geo.geocode` — a free-text location parser/geocoder,
+- :mod:`repro.geo.bbox` — bounding boxes (the streaming API's ``locations``
+  filter and queries like "tweets from NYC"),
+- :mod:`repro.geo.service` — a simulated remote web service wrapper with a
+  configurable latency model, batch endpoint, and failure injection.
+"""
+
+from repro.geo.bbox import BoundingBox, NAMED_BOXES
+from repro.geo.gazetteer import City, Gazetteer, default_gazetteer
+from repro.geo.geocode import Geocoder
+from repro.geo.service import LatencyModel, ServiceStats, SimulatedWebService
+
+__all__ = [
+    "BoundingBox",
+    "NAMED_BOXES",
+    "City",
+    "Gazetteer",
+    "default_gazetteer",
+    "Geocoder",
+    "LatencyModel",
+    "ServiceStats",
+    "SimulatedWebService",
+]

@@ -1,0 +1,114 @@
+"""Bounding boxes.
+
+The Twitter streaming API's ``locations`` filter takes longitude/latitude
+bounding boxes; TweeQL queries like the paper's
+
+    WHERE text contains 'obama' AND location in [bounding box for NYC]
+
+filter on them too. This module provides the box type, point tests, and a
+set of named boxes used by queries, workloads, and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """A latitude/longitude axis-aligned box.
+
+    Follows the Twitter API convention of (south, west, north, east); the
+    constructor validates ordering. Boxes crossing the antimeridian are not
+    supported (the original API had the same restriction).
+    """
+
+    south: float
+    west: float
+    north: float
+    east: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.south <= self.north <= 90.0):
+            raise ValueError(
+                f"invalid latitudes: south={self.south}, north={self.north}"
+            )
+        if not (-180.0 <= self.west <= self.east <= 180.0):
+            raise ValueError(
+                f"invalid longitudes: west={self.west}, east={self.east}"
+            )
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """True when (lat, lon) lies inside (inclusive) the box."""
+        return self.south <= lat <= self.north and self.west <= lon <= self.east
+
+    def contains_point(self, point: tuple[float, float] | None) -> bool:
+        """Convenience: test an optional (lat, lon) tuple; None is outside."""
+        if point is None:
+            return False
+        return self.contains(point[0], point[1])
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """(lat, lon) midpoint of the box."""
+        return ((self.south + self.north) / 2.0, (self.west + self.east) / 2.0)
+
+    @property
+    def area_deg2(self) -> float:
+        """Box area in square degrees (flat approximation)."""
+        return (self.north - self.south) * (self.east - self.west)
+
+    def expanded(self, margin_deg: float) -> "BoundingBox":
+        """A copy grown by ``margin_deg`` on every side, clamped to bounds."""
+        return BoundingBox(
+            south=max(-90.0, self.south - margin_deg),
+            west=max(-180.0, self.west - margin_deg),
+            north=min(90.0, self.north + margin_deg),
+            east=min(180.0, self.east + margin_deg),
+            name=self.name,
+        )
+
+    @classmethod
+    def around(
+        cls, lat: float, lon: float, radius_km: float, name: str = ""
+    ) -> "BoundingBox":
+        """Build a box covering roughly ``radius_km`` around a point."""
+        dlat = radius_km / 111.0
+        dlon = radius_km / (111.0 * max(0.1, math.cos(math.radians(lat))))
+        return cls(
+            south=max(-90.0, lat - dlat),
+            west=max(-180.0, lon - dlon),
+            north=min(90.0, lat + dlat),
+            east=min(180.0, lon + dlon),
+            name=name,
+        )
+
+
+#: Named boxes used throughout queries, workloads, and the demo.
+NAMED_BOXES: dict[str, BoundingBox] = {
+    "nyc": BoundingBox(40.4774, -74.2591, 40.9176, -73.7004, name="nyc"),
+    "boston": BoundingBox(42.2279, -71.1912, 42.3969, -70.9860, name="boston"),
+    "sf": BoundingBox(37.6398, -123.1738, 37.9298, -122.2818, name="sf"),
+    "la": BoundingBox(33.7037, -118.6682, 34.3373, -118.1553, name="la"),
+    "london": BoundingBox(51.2868, -0.5103, 51.6919, 0.3340, name="london"),
+    "tokyo": BoundingBox(35.5012, 139.5629, 35.8984, 139.9181, name="tokyo"),
+    "usa": BoundingBox(24.396308, -124.848974, 49.384358, -66.885444, name="usa"),
+    "uk": BoundingBox(49.9, -8.2, 60.9, 1.8, name="uk"),
+    "japan": BoundingBox(30.9, 129.4, 45.6, 145.9, name="japan"),
+    "world": BoundingBox(-90.0, -180.0, 90.0, 180.0, name="world"),
+}
+
+
+def named_box(name: str) -> BoundingBox:
+    """Look up a named bounding box, case-insensitively.
+
+    Raises:
+        KeyError: when the name is unknown.
+    """
+    key = name.strip().casefold()
+    if key not in NAMED_BOXES:
+        known = ", ".join(sorted(NAMED_BOXES))
+        raise KeyError(f"unknown bounding box {name!r} (known: {known})")
+    return NAMED_BOXES[key]

@@ -1,0 +1,366 @@
+"""Embedded world-city gazetteer.
+
+A small, self-contained stand-in for the geographic database behind a real
+geocoding service. Each city carries coordinates, country, an approximate
+metro population (used to weight where synthetic Twitter users live), and a
+Twitter-adoption weight (the paper's motivating skew: "Tokyo has many Twitter
+users, but Cape Town has far fewer").
+
+Coordinates are approximate city centers; populations are rough 2010-era
+metro figures in thousands. Accuracy matters only in so far as relative
+ordering and geography are plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class City:
+    """One gazetteer entry.
+
+    Attributes:
+        name: canonical city name.
+        country: country name.
+        lat: latitude in degrees.
+        lon: longitude in degrees.
+        population: approximate metro population, thousands.
+        twitter_weight: relative density of Twitter users (dimensionless);
+            reflects 2011-era adoption skew toward the US/Japan/UK/Brazil.
+        aliases: alternative spellings/abbreviations a user's free-text
+            profile location might contain.
+    """
+
+    name: str
+    country: str
+    lat: float
+    lon: float
+    population: float
+    twitter_weight: float = 1.0
+    aliases: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def coordinates(self) -> tuple[float, float]:
+        """(lat, lon) pair."""
+        return (self.lat, self.lon)
+
+
+def _c(
+    name: str,
+    country: str,
+    lat: float,
+    lon: float,
+    population: float,
+    twitter_weight: float = 1.0,
+    aliases: tuple[str, ...] = (),
+) -> City:
+    return City(name, country, lat, lon, population, twitter_weight, aliases)
+
+
+#: The embedded gazetteer data. Sorted roughly by region for maintainability.
+CITIES: tuple[City, ...] = (
+    # --- North America (high 2011 Twitter adoption) ---
+    _c("New York", "United States", 40.7128, -74.0060, 19500, 3.0,
+       ("NYC", "New York City", "Manhattan", "Brooklyn", "new york, ny")),
+    _c("Los Angeles", "United States", 34.0522, -118.2437, 12900, 2.5,
+       ("LA", "Hollywood", "los angeles, ca")),
+    _c("Chicago", "United States", 41.8781, -87.6298, 9500, 2.2,
+       ("Chi-town", "chicago, il")),
+    _c("Houston", "United States", 29.7604, -95.3698, 5900, 1.8,
+       ("houston, tx",)),
+    _c("Philadelphia", "United States", 39.9526, -75.1652, 5900, 1.8,
+       ("Philly",)),
+    _c("Phoenix", "United States", 33.4484, -112.0740, 4200, 1.5, ()),
+    _c("San Francisco", "United States", 37.7749, -122.4194, 4300, 3.0,
+       ("SF", "Bay Area", "san francisco, ca")),
+    _c("San Jose", "United States", 37.3382, -121.8863, 1800, 2.5,
+       ("Silicon Valley",)),
+    _c("Seattle", "United States", 47.6062, -122.3321, 3400, 2.4, ()),
+    _c("Boston", "United States", 42.3601, -71.0589, 4500, 2.4,
+       ("Cambridge, MA", "boston, ma")),
+    _c("Washington", "United States", 38.9072, -77.0369, 5600, 2.6,
+       ("DC", "Washington DC", "Washington, D.C.")),
+    _c("Atlanta", "United States", 33.7490, -84.3880, 5300, 2.0,
+       ("ATL", "atlanta, ga")),
+    _c("Miami", "United States", 25.7617, -80.1918, 5500, 2.0,
+       ("miami, fl",)),
+    _c("Dallas", "United States", 32.7767, -96.7970, 6400, 1.8,
+       ("DFW", "dallas, tx")),
+    _c("Austin", "United States", 30.2672, -97.7431, 1700, 2.5,
+       ("austin, tx", "ATX")),
+    _c("Denver", "United States", 39.7392, -104.9903, 2500, 1.6, ()),
+    _c("Detroit", "United States", 42.3314, -83.0458, 4300, 1.4, ()),
+    _c("Minneapolis", "United States", 44.9778, -93.2650, 3300, 1.5,
+       ("Twin Cities",)),
+    _c("Portland", "United States", 45.5152, -122.6784, 2200, 2.0,
+       ("portland, or", "PDX")),
+    _c("New Orleans", "United States", 29.9511, -90.0715, 1200, 1.3,
+       ("NOLA",)),
+    _c("Las Vegas", "United States", 36.1699, -115.1398, 1900, 1.4,
+       ("Vegas",)),
+    _c("San Diego", "United States", 32.7157, -117.1611, 3100, 1.6, ()),
+    _c("St. Louis", "United States", 38.6270, -90.1994, 2800, 1.3,
+       ("Saint Louis",)),
+    _c("Pittsburgh", "United States", 40.4406, -79.9959, 2400, 1.3, ()),
+    _c("Baltimore", "United States", 39.2904, -76.6122, 2700, 1.4, ()),
+    _c("Toronto", "Canada", 43.6532, -79.3832, 5600, 2.2,
+       ("Toronto, ON", "the 6ix")),
+    _c("Montreal", "Canada", 45.5017, -73.5673, 3800, 1.6,
+       ("Montréal",)),
+    _c("Vancouver", "Canada", 49.2827, -123.1207, 2300, 1.8, ()),
+    _c("Mexico City", "Mexico", 19.4326, -99.1332, 20100, 1.3,
+       ("CDMX", "Ciudad de México", "DF")),
+    _c("Guadalajara", "Mexico", 20.6597, -103.3496, 4400, 0.9, ()),
+    _c("Monterrey", "Mexico", 25.6866, -100.3161, 4100, 0.9, ()),
+    # --- South America (Brazil was a major 2011 Twitter market) ---
+    _c("São Paulo", "Brazil", -23.5505, -46.6333, 19900, 2.2,
+       ("Sao Paulo", "SP", "Sampa")),
+    _c("Rio de Janeiro", "Brazil", -22.9068, -43.1729, 12000, 2.0,
+       ("Rio",)),
+    _c("Brasília", "Brazil", -15.7942, -47.8822, 3700, 1.2,
+       ("Brasilia",)),
+    _c("Salvador", "Brazil", -12.9777, -38.5016, 3600, 1.0, ()),
+    _c("Belo Horizonte", "Brazil", -19.9167, -43.9345, 5400, 1.1, ()),
+    _c("Buenos Aires", "Argentina", -34.6037, -58.3816, 13600, 1.4,
+       ("BsAs", "Capital Federal")),
+    _c("Santiago", "Chile", -33.4489, -70.6693, 6700, 1.3,
+       ("Santiago de Chile",)),
+    _c("Lima", "Peru", -12.0464, -77.0428, 9400, 0.9, ()),
+    _c("Bogotá", "Colombia", 4.7110, -74.0721, 8900, 1.0,
+       ("Bogota",)),
+    _c("Caracas", "Venezuela", 10.4806, -66.9036, 3200, 1.4, ()),
+    _c("Medellín", "Colombia", 6.2442, -75.5812, 3600, 0.8,
+       ("Medellin",)),
+    _c("Quito", "Ecuador", -0.1807, -78.4678, 1800, 0.6, ()),
+    _c("Montevideo", "Uruguay", -34.9011, -56.1645, 1700, 0.8, ()),
+    # --- Europe ---
+    _c("London", "United Kingdom", 51.5074, -0.1278, 13700, 2.8,
+       ("London, UK", "LDN")),
+    _c("Manchester", "United Kingdom", 53.4808, -2.2426, 2700, 2.0,
+       ("Manchester, UK",)),
+    _c("Liverpool", "United Kingdom", 53.4084, -2.9916, 1400, 1.8, ()),
+    _c("Birmingham", "United Kingdom", 52.4862, -1.8904, 2600, 1.6,
+       ("Birmingham, UK",)),
+    _c("Glasgow", "United Kingdom", 55.8642, -4.2518, 1800, 1.4, ()),
+    _c("Edinburgh", "United Kingdom", 55.9533, -3.1883, 1300, 1.4, ()),
+    _c("Leeds", "United Kingdom", 53.8008, -1.5491, 1900, 1.3, ()),
+    _c("Dublin", "Ireland", 53.3498, -6.2603, 1800, 1.6, ()),
+    _c("Paris", "France", 48.8566, 2.3522, 12200, 1.6,
+       ("Paris, France",)),
+    _c("Lyon", "France", 45.7640, 4.8357, 2200, 0.9, ()),
+    _c("Marseille", "France", 43.2965, 5.3698, 1700, 0.8, ()),
+    _c("Berlin", "Germany", 52.5200, 13.4050, 5000, 1.3, ()),
+    _c("Munich", "Germany", 48.1351, 11.5820, 2600, 1.0,
+       ("München",)),
+    _c("Hamburg", "Germany", 53.5511, 9.9937, 3200, 1.0, ()),
+    _c("Frankfurt", "Germany", 50.1109, 8.6821, 2300, 0.9, ()),
+    _c("Cologne", "Germany", 50.9375, 6.9603, 2000, 0.8,
+       ("Köln",)),
+    _c("Madrid", "Spain", 40.4168, -3.7038, 6300, 1.5, ()),
+    _c("Barcelona", "Spain", 41.3851, 2.1734, 5400, 1.5,
+       ("BCN",)),
+    _c("Valencia", "Spain", 39.4699, -0.3763, 1700, 0.9, ()),
+    _c("Seville", "Spain", 37.3891, -5.9845, 1500, 0.8,
+       ("Sevilla",)),
+    _c("Lisbon", "Portugal", 38.7223, -9.1393, 2800, 1.0,
+       ("Lisboa",)),
+    _c("Rome", "Italy", 41.9028, 12.4964, 4300, 1.1,
+       ("Roma",)),
+    _c("Milan", "Italy", 45.4642, 9.1900, 4300, 1.1,
+       ("Milano",)),
+    _c("Naples", "Italy", 40.8518, 14.2681, 3100, 0.8,
+       ("Napoli",)),
+    _c("Turin", "Italy", 45.0703, 7.6869, 1700, 0.8,
+       ("Torino",)),
+    _c("Amsterdam", "Netherlands", 52.3676, 4.9041, 2400, 2.2,
+       ("A'dam",)),
+    _c("Rotterdam", "Netherlands", 51.9244, 4.4777, 1400, 1.6, ()),
+    _c("Brussels", "Belgium", 50.8503, 4.3517, 2100, 1.2,
+       ("Bruxelles",)),
+    _c("Vienna", "Austria", 48.2082, 16.3738, 2600, 0.9,
+       ("Wien",)),
+    _c("Zurich", "Switzerland", 47.3769, 8.5417, 1300, 1.0,
+       ("Zürich",)),
+    _c("Geneva", "Switzerland", 46.2044, 6.1432, 900, 0.9,
+       ("Genève",)),
+    _c("Stockholm", "Sweden", 59.3293, 18.0686, 2100, 1.6, ()),
+    _c("Oslo", "Norway", 59.9139, 10.7522, 1500, 1.4, ()),
+    _c("Copenhagen", "Denmark", 55.6761, 12.5683, 1900, 1.4,
+       ("København",)),
+    _c("Helsinki", "Finland", 60.1699, 24.9384, 1300, 1.3, ()),
+    _c("Warsaw", "Poland", 52.2297, 21.0122, 3100, 0.8,
+       ("Warszawa",)),
+    _c("Prague", "Czech Republic", 50.0755, 14.4378, 2100, 0.8,
+       ("Praha",)),
+    _c("Budapest", "Hungary", 47.4979, 19.0402, 2500, 0.7, ()),
+    _c("Athens", "Greece", 37.9838, 23.7275, 3800, 0.8,
+       ("Athina",)),
+    _c("Istanbul", "Turkey", 41.0082, 28.9784, 13100, 1.3, ()),
+    _c("Ankara", "Turkey", 39.9334, 32.8597, 4600, 0.8, ()),
+    _c("Moscow", "Russia", 55.7558, 37.6173, 11500, 0.9,
+       ("Москва",)),
+    _c("Saint Petersburg", "Russia", 59.9311, 30.3609, 4900, 0.7,
+       ("St Petersburg", "SPb")),
+    _c("Kyiv", "Ukraine", 50.4501, 30.5234, 2800, 0.6,
+       ("Kiev",)),
+    # --- Middle East / Africa ---
+    _c("Cairo", "Egypt", 30.0444, 31.2357, 16900, 1.2,
+       ("Al-Qahirah",)),
+    _c("Alexandria", "Egypt", 31.2001, 29.9187, 4400, 0.7, ()),
+    _c("Tel Aviv", "Israel", 32.0853, 34.7818, 3300, 1.3, ()),
+    _c("Jerusalem", "Israel", 31.7683, 35.2137, 1000, 0.8, ()),
+    _c("Riyadh", "Saudi Arabia", 24.7136, 46.6753, 5200, 1.2, ()),
+    _c("Jeddah", "Saudi Arabia", 21.4858, 39.1925, 3400, 1.0, ()),
+    _c("Dubai", "United Arab Emirates", 25.2048, 55.2708, 1900, 1.4, ()),
+    _c("Abu Dhabi", "United Arab Emirates", 24.4539, 54.3773, 1000, 0.9, ()),
+    _c("Tehran", "Iran", 35.6892, 51.3890, 12100, 0.7, ()),
+    _c("Baghdad", "Iraq", 33.3152, 44.3661, 6000, 0.4, ()),
+    _c("Beirut", "Lebanon", 33.8938, 35.5018, 2000, 0.8, ()),
+    _c("Amman", "Jordan", 31.9454, 35.9284, 2500, 0.7, ()),
+    _c("Doha", "Qatar", 25.2854, 51.5310, 800, 0.9, ()),
+    _c("Lagos", "Nigeria", 6.5244, 3.3792, 10500, 0.7, ()),
+    _c("Abuja", "Nigeria", 9.0765, 7.3986, 2000, 0.4, ()),
+    _c("Nairobi", "Kenya", -1.2921, 36.8219, 3100, 0.6, ()),
+    _c("Johannesburg", "South Africa", -26.2041, 28.0473, 7100, 0.8,
+       ("Joburg", "Jozi")),
+    _c("Cape Town", "South Africa", -33.9249, 18.4241, 3400, 0.3,
+       ("Kaapstad",)),
+    _c("Durban", "South Africa", -29.8587, 31.0218, 3100, 0.4, ()),
+    _c("Accra", "Ghana", 5.6037, -0.1870, 2300, 0.4, ()),
+    _c("Casablanca", "Morocco", 33.5731, -7.5898, 3300, 0.5, ()),
+    _c("Tunis", "Tunisia", 36.8065, 10.1815, 2300, 0.6, ()),
+    _c("Addis Ababa", "Ethiopia", 9.0320, 38.7469, 2700, 0.2, ()),
+    # --- Asia / Pacific (Japan & Indonesia were huge 2011 markets) ---
+    _c("Tokyo", "Japan", 35.6762, 139.6503, 36900, 3.0,
+       ("東京", "Tokyo, Japan")),
+    _c("Osaka", "Japan", 34.6937, 135.5023, 19300, 2.2,
+       ("大阪",)),
+    _c("Nagoya", "Japan", 35.1815, 136.9066, 9100, 1.6, ()),
+    _c("Fukuoka", "Japan", 33.5904, 130.4017, 5500, 1.4, ()),
+    _c("Sapporo", "Japan", 43.0618, 141.3545, 2600, 1.2, ()),
+    _c("Sendai", "Japan", 38.2682, 140.8694, 2300, 1.1, ()),
+    _c("Seoul", "South Korea", 37.5665, 126.9780, 25600, 1.8,
+       ("서울",)),
+    _c("Busan", "South Korea", 35.1796, 129.0756, 3400, 1.0, ()),
+    _c("Beijing", "China", 39.9042, 116.4074, 19600, 0.3,
+       ("Peking",)),
+    _c("Shanghai", "China", 31.2304, 121.4737, 22300, 0.3, ()),
+    _c("Guangzhou", "China", 23.1291, 113.2644, 11800, 0.2,
+       ("Canton",)),
+    _c("Shenzhen", "China", 22.5431, 114.0579, 10400, 0.2, ()),
+    _c("Hong Kong", "China", 22.3193, 114.1694, 7100, 1.2,
+       ("HK",)),
+    _c("Taipei", "Taiwan", 25.0330, 121.5654, 6900, 1.0, ()),
+    _c("Singapore", "Singapore", 1.3521, 103.8198, 5100, 1.6,
+       ("SG", "Singapura")),
+    _c("Kuala Lumpur", "Malaysia", 3.1390, 101.6869, 6300, 1.4,
+       ("KL",)),
+    _c("Jakarta", "Indonesia", -6.2088, 106.8456, 26000, 2.6,
+       ("JKT",)),
+    _c("Bandung", "Indonesia", -6.9175, 107.6191, 7600, 1.8, ()),
+    _c("Surabaya", "Indonesia", -7.2575, 112.7521, 5600, 1.5, ()),
+    _c("Bangkok", "Thailand", 13.7563, 100.5018, 14600, 1.2,
+       ("Krung Thep", "BKK")),
+    _c("Manila", "Philippines", 14.5995, 120.9842, 20700, 1.5,
+       ("Metro Manila",)),
+    _c("Cebu", "Philippines", 10.3157, 123.8854, 2600, 0.9, ()),
+    _c("Ho Chi Minh City", "Vietnam", 10.8231, 106.6297, 7400, 0.5,
+       ("Saigon", "HCMC")),
+    _c("Hanoi", "Vietnam", 21.0278, 105.8342, 6500, 0.4, ()),
+    _c("Mumbai", "India", 19.0760, 72.8777, 19700, 0.9,
+       ("Bombay",)),
+    _c("Delhi", "India", 28.7041, 77.1025, 21900, 0.9,
+       ("New Delhi",)),
+    _c("Bangalore", "India", 12.9716, 77.5946, 8500, 1.1,
+       ("Bengaluru",)),
+    _c("Chennai", "India", 13.0827, 80.2707, 8700, 0.8,
+       ("Madras",)),
+    _c("Hyderabad", "India", 17.3850, 78.4867, 7700, 0.7, ()),
+    _c("Kolkata", "India", 22.5726, 88.3639, 14100, 0.6,
+       ("Calcutta",)),
+    _c("Karachi", "Pakistan", 24.8607, 67.0011, 13200, 0.5, ()),
+    _c("Lahore", "Pakistan", 31.5204, 74.3587, 8400, 0.4, ()),
+    _c("Dhaka", "Bangladesh", 23.8103, 90.4125, 14600, 0.3, ()),
+    _c("Colombo", "Sri Lanka", 6.9271, 79.8612, 2300, 0.4, ()),
+    _c("Sydney", "Australia", -33.8688, 151.2093, 4600, 1.8, ()),
+    _c("Melbourne", "Australia", -37.8136, 144.9631, 4100, 1.7, ()),
+    _c("Brisbane", "Australia", -27.4698, 153.0251, 2100, 1.3, ()),
+    _c("Perth", "Australia", -31.9505, 115.8605, 1800, 1.1, ()),
+    _c("Auckland", "New Zealand", -36.8485, 174.7633, 1400, 1.2, ()),
+    _c("Wellington", "New Zealand", -41.2866, 174.7756, 400, 1.0, ()),
+    # --- Earthquake-prone localities used by the earthquake workload ---
+    _c("Christchurch", "New Zealand", -43.5321, 172.6362, 380, 1.0, ()),
+    _c("Santiago de Cuba", "Cuba", 20.0247, -75.8219, 500, 0.2, ()),
+    _c("Anchorage", "United States", 61.2181, -149.9003, 380, 0.8, ()),
+    _c("Valparaíso", "Chile", -33.0472, -71.6127, 930, 0.7,
+       ("Valparaiso",)),
+    _c("Kathmandu", "Nepal", 27.7172, 85.3240, 1000, 0.2, ()),
+    _c("Port-au-Prince", "Haiti", 18.5944, -72.3074, 2300, 0.2, ()),
+    _c("Concepción", "Chile", -36.8201, -73.0440, 970, 0.6,
+       ("Concepcion",)),
+    _c("Padang", "Indonesia", -0.9471, 100.4172, 830, 0.7, ()),
+    _c("Izmir", "Turkey", 38.4237, 27.1428, 2800, 0.6,
+       ("İzmir",)),
+    _c("Kobe", "Japan", 34.6901, 135.1956, 1500, 1.0, ()),
+)
+
+
+class Gazetteer:
+    """Lookup structure over the embedded city list.
+
+    Lookups are case-insensitive and cover canonical names and aliases.
+    """
+
+    def __init__(self, cities: tuple[City, ...] = CITIES) -> None:
+        self._cities = cities
+        self._by_key: dict[str, City] = {}
+        for city in cities:
+            self._by_key[city.name.casefold()] = city
+            for alias in city.aliases:
+                self._by_key.setdefault(alias.casefold(), city)
+
+    @property
+    def cities(self) -> tuple[City, ...]:
+        """All cities, in embedded order."""
+        return self._cities
+
+    def __len__(self) -> int:
+        return len(self._cities)
+
+    def lookup(self, name: str) -> City | None:
+        """Find a city by canonical name or alias (case-insensitive)."""
+        return self._by_key.get(name.strip().casefold())
+
+    def nearest(self, lat: float, lon: float) -> City:
+        """Return the city nearest the given coordinates.
+
+        Uses equirectangular distance, which is fine at gazetteer granularity.
+        """
+        import math
+
+        def dist2(city: City) -> float:
+            dlat = city.lat - lat
+            dlon = (city.lon - lon) * math.cos(math.radians(lat))
+            return dlat * dlat + dlon * dlon
+
+        return min(self._cities, key=dist2)
+
+    def twitter_weights(self) -> list[float]:
+        """Per-city weights for sampling synthetic user home cities.
+
+        Weight is population x Twitter adoption, reproducing the paper's
+        observation that tweet density is uneven across the globe.
+        """
+        return [c.population * c.twitter_weight for c in self._cities]
+
+
+_DEFAULT: Gazetteer | None = None
+
+
+def default_gazetteer() -> Gazetteer:
+    """Return the shared default :class:`Gazetteer` (built lazily once)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Gazetteer()
+    return _DEFAULT

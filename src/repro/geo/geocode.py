@@ -1,0 +1,129 @@
+"""Free-text geocoding.
+
+Twitter profile locations in 2011 were free text ("new york, ny", "NYC!!",
+"São Paulo/Brasil", "somewhere over the rainbow"). The paper's
+``latitude(loc)`` / ``longitude(loc)`` UDFs forwarded such strings to a
+remote geocoding service. :class:`Geocoder` is the resolution logic of that
+service: normalize the messy string, match it against the gazetteer, and
+return coordinates — or fail, as real geocoders often do on whimsical
+profile locations.
+
+The latency/failure behaviour of the *remote* service lives in
+:mod:`repro.geo.service`; this module is pure lookup logic and is synchronous
+and fast, which also makes it reusable as the ground-truth oracle in tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import GeocodeError
+from repro.geo.gazetteer import City, Gazetteer, default_gazetteer
+
+_PUNCT_RE = re.compile(r"[!?.…~*#@♥❤()\[\]{}<>|_=+^\"']+")
+_WS_RE = re.compile(r"\s+")
+
+#: Suffix tokens users append that carry no geographic signal.
+_NOISE_TOKENS = frozenset(
+    {
+        "area", "city", "greater", "metro", "downtown", "uptown",
+        "the", "in", "from", "of", "near", "via", "currently",
+    }
+)
+
+
+def normalize_location(raw: str) -> str:
+    """Normalize a free-text profile location for matching.
+
+    Strips decorative punctuation, collapses whitespace, and lowercases.
+    """
+    text = _PUNCT_RE.sub(" ", raw)
+    text = _WS_RE.sub(" ", text).strip()
+    return text.casefold()
+
+
+class Geocoder:
+    """Resolve free-text locations to gazetteer cities.
+
+    Resolution strategy, in order:
+
+    1. exact match of the normalized string against names and aliases;
+    2. match of the part before a comma/slash ("boston, ma" → "boston");
+    3. per-token match after dropping noise words ("downtown tokyo" →
+       "tokyo");
+    4. substring scan for multi-word city names ("living in new york city").
+
+    Anything still unresolved raises :class:`~repro.errors.GeocodeError`,
+    mirroring a real service's NOT_FOUND response.
+    """
+
+    def __init__(self, gazetteer: Gazetteer | None = None) -> None:
+        self._gazetteer = gazetteer or default_gazetteer()
+        # Precompute normalized name → City, longest names first so that
+        # substring scanning prefers "new york city" over "york".
+        self._keys: list[tuple[str, City]] = []
+        for city in self._gazetteer.cities:
+            self._keys.append((normalize_location(city.name), city))
+            for alias in city.aliases:
+                self._keys.append((normalize_location(alias), city))
+        self._exact = {key: city for key, city in self._keys}
+        self._keys.sort(key=lambda pair: len(pair[0]), reverse=True)
+
+    @property
+    def gazetteer(self) -> Gazetteer:
+        """The gazetteer backing this geocoder."""
+        return self._gazetteer
+
+    def resolve(self, location: str) -> City:
+        """Resolve a location string to a :class:`City`.
+
+        Raises:
+            GeocodeError: when no gazetteer entry matches.
+        """
+        if not location or not location.strip():
+            raise GeocodeError(location)
+        norm = normalize_location(location)
+        if not norm:
+            raise GeocodeError(location)
+
+        city = self._exact.get(norm)
+        if city is not None:
+            return city
+
+        # Leading segment before a separator: "boston, ma" / "rio / brazil".
+        head = re.split(r"[,/;-]", norm, maxsplit=1)[0].strip()
+        if head and head != norm:
+            city = self._exact.get(head)
+            if city is not None:
+                return city
+
+        # Token-wise match with noise words removed.
+        tokens = [t for t in norm.split() if t not in _NOISE_TOKENS]
+        for size in (3, 2, 1):
+            for start in range(0, max(0, len(tokens) - size + 1)):
+                candidate = " ".join(tokens[start : start + size])
+                city = self._exact.get(candidate)
+                if city is not None:
+                    return city
+
+        # Substring scan (longest city names first).
+        for key, candidate_city in self._keys:
+            if len(key) >= 4 and key in norm:
+                return candidate_city
+
+        raise GeocodeError(location)
+
+    def geocode(self, location: str) -> tuple[float, float]:
+        """Resolve a location string to a (lat, lon) pair.
+
+        Raises:
+            GeocodeError: when no gazetteer entry matches.
+        """
+        return self.resolve(location).coordinates
+
+    def try_geocode(self, location: str) -> tuple[float, float] | None:
+        """Like :meth:`geocode` but returns None instead of raising."""
+        try:
+            return self.geocode(location)
+        except GeocodeError:
+            return None

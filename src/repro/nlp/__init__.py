@@ -1,0 +1,30 @@
+"""Text analytics substrate.
+
+TweeQL's "classification framework, used primarily for sentiment analysis"
+plus the text machinery TwitInfo's panels need:
+
+- :mod:`repro.nlp.tokenize` — tweet-aware tokenization,
+- :mod:`repro.nlp.corpus` — emoticon distant-supervision training data,
+- :mod:`repro.nlp.sentiment` — the Naive Bayes classifier,
+- :mod:`repro.nlp.keywords` — TF-IDF key-term extraction (peak labels),
+- :mod:`repro.nlp.similarity` — cosine ranking (relevant tweets),
+- :mod:`repro.nlp.entities` — OpenCalais-style named-entity extraction.
+"""
+
+from repro.nlp.entities import Entity, EntityExtractor
+from repro.nlp.keywords import KeywordExtractor
+from repro.nlp.sentiment import SentimentClassifier, train_default_classifier
+from repro.nlp.similarity import cosine_similarity, rank_by_similarity
+from repro.nlp.tokenize import STOPWORDS, tokenize
+
+__all__ = [
+    "Entity",
+    "EntityExtractor",
+    "KeywordExtractor",
+    "SentimentClassifier",
+    "train_default_classifier",
+    "cosine_similarity",
+    "rank_by_similarity",
+    "STOPWORDS",
+    "tokenize",
+]

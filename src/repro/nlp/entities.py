@@ -1,0 +1,72 @@
+"""Named-entity extraction (the simulated OpenCalais).
+
+The paper: "Another UDF takes tweet text, passes it to OpenCalais, and
+returns named entities mentioned in the text." OpenCalais is a remote
+service; our stand-in is a gazetteer/lexicon matcher over the synthetic
+vocabulary wrapped — like the geocoder — in the simulated web-service shell
+(see :mod:`repro.geo.service`), so the executor sees the same API shape and
+latency profile.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.geo.gazetteer import Gazetteer, default_gazetteer
+from repro.twitter.vocabulary import KNOWN_ORGANIZATIONS, KNOWN_PEOPLE
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One extracted entity."""
+
+    text: str
+    type: str  # "Person" | "Organization" | "City"
+
+    def __str__(self) -> str:
+        return f"{self.text}/{self.type}"
+
+
+class EntityExtractor:
+    """Lexicon-based NER over people, organizations, and gazetteer cities."""
+
+    def __init__(self, gazetteer: Gazetteer | None = None) -> None:
+        gazetteer = gazetteer or default_gazetteer()
+        patterns: list[tuple[re.Pattern[str], str, str]] = []
+        for person in KNOWN_PEOPLE:
+            patterns.append((_word_pattern(person), person, "Person"))
+        for organization in KNOWN_ORGANIZATIONS:
+            patterns.append((_word_pattern(organization), organization, "Organization"))
+        for city in gazetteer.cities:
+            patterns.append((_word_pattern(city.name), city.name, "City"))
+        # Longest names first so "manchester city" beats "manchester".
+        patterns.sort(key=lambda entry: len(entry[1]), reverse=True)
+        self._patterns = patterns
+
+    def extract(self, text: str) -> list[Entity]:
+        """Entities mentioned in ``text``, deduplicated, longest-match-first.
+
+        A shorter entity fully covered by an already-matched longer one is
+        suppressed ("manchester city" absorbs "manchester").
+        """
+        found: list[Entity] = []
+        covered: list[tuple[int, int]] = []
+        for pattern, canonical, entity_type in self._patterns:
+            for match in pattern.finditer(text):
+                span = match.span()
+                if any(span[0] >= s and span[1] <= e for s, e in covered):
+                    continue
+                covered.append(span)
+                entity = Entity(text=canonical, type=entity_type)
+                if entity not in found:
+                    found.append(entity)
+        return found
+
+    def __call__(self, text: str) -> list[str]:
+        """Service-resolver form: entity strings for one text."""
+        return [str(entity) for entity in self.extract(text)]
+
+
+def _word_pattern(name: str) -> re.Pattern[str]:
+    return re.compile(rf"\b{re.escape(name)}\b", re.IGNORECASE)

@@ -1,0 +1,145 @@
+"""Tokenizer for the TweeQL dialect.
+
+Hand-rolled single-pass lexer. Keywords are case-insensitive; identifiers
+preserve case but compare case-insensitively downstream. String literals use
+single quotes with ``''`` as the escape (standard SQL), and the dialect adds
+square brackets for the geographic literal syntax the paper shows
+(``[bounding box for NYC]``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"  # punctuation and operators
+    EOF = "eof"
+
+
+#: Reserved words (stored uppercase).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT",
+        "IN", "IS", "NULL", "TRUE", "FALSE", "WINDOW", "EVERY", "HAVING",
+        "LIMIT", "INTO", "CONTAINS", "MATCHES", "LIKE", "BOUNDING", "BOX",
+        "FOR", "SECOND", "SECONDS", "MINUTE", "MINUTES", "HOUR", "HOURS",
+        "DAY", "DAYS", "TWEET", "TWEETS", "JOIN", "ON", "ASC", "DESC",
+        "ORDER", "BETWEEN", "DISTINCT",
+    }
+)
+
+#: Multi-character operators, longest first so '<=' wins over '<'.
+_MULTI_OPS = ("<=", ">=", "<>", "!=", "==")
+_SINGLE_OPS = set("+-*/%(),.;<>=[]")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        type: token category.
+        value: normalized text — keywords uppercased, numbers as written,
+            strings with quotes/escapes removed.
+        position: character offset of the token's first character.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """True when this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        """True when this token is one of the given operator strings."""
+        return self.type is TokenType.OP and self.value in ops
+
+
+def tokenize(query: str) -> list[Token]:
+    """Tokenize a TweeQL query string.
+
+    Returns the token list terminated by an EOF token.
+
+    Raises:
+        LexError: on an unterminated string or unexpected character.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(query)
+    while i < n:
+        ch = query[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and query[i : i + 2] == "--":  # line comment
+            newline = query.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(query, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and query[i + 1].isdigit()
+        ):
+            start = i
+            i += 1
+            seen_dot = ch == "."
+            while i < n and (query[i].isdigit() or (query[i] == "." and not seen_dot)):
+                seen_dot = seen_dot or query[i] == "."
+                i += 1
+            tokens.append(Token(TokenType.NUMBER, query[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (query[i].isalnum() or query[i] == "_"):
+                i += 1
+            word = query[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        two = query[i : i + 2]
+        if two in _MULTI_OPS:
+            tokens.append(Token(TokenType.OP, two, i))
+            i += 2
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token(TokenType.OP, ch, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r} at position {i}", position=i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(query: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string starting at ``start``; '' escapes a quote."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(query)
+    while i < n:
+        ch = query[i]
+        if ch == "'":
+            if query[i : i + 2] == "''":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", position=start)

@@ -1,0 +1,14 @@
+"""Persistence substrate: caches, top-k sketches, and the tweet log."""
+
+from repro.storage.cache import CacheStats, LRUCache
+from repro.storage.topk import SpaceSaving
+from repro.storage.tweetlog import MemoryTweetLog, SqliteTweetLog, TableSink
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "SpaceSaving",
+    "MemoryTweetLog",
+    "SqliteTweetLog",
+    "TableSink",
+]

@@ -1,0 +1,119 @@
+"""LRU/TTL cache.
+
+Backs the high-latency UDF machinery ("We employ caching to avoid
+requests"). Capacity-bounded LRU with an optional time-to-live measured on
+the virtual clock, plus hit/miss counters that the latency benchmarks
+report.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.clock import VirtualClock
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A least-recently-used cache with optional TTL.
+
+    Args:
+        capacity: maximum number of entries (must be positive).
+        ttl_seconds: entry lifetime on the virtual clock; None means
+            entries never expire. Requires ``clock`` when set.
+        clock: the virtual clock used for TTL bookkeeping.
+
+    ``None`` is a legal cached value (a geocoder's NOT_FOUND is worth
+    caching too — negative caching halves repeat misses), which is why the
+    API is ``get``/``put``/``contains`` rather than truthiness tricks.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 10_000,
+        ttl_seconds: float | None = None,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if ttl_seconds is not None and clock is None:
+            raise ValueError("ttl_seconds requires a clock")
+        self._capacity = capacity
+        self._ttl = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[Hashable, tuple[Any, float]] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def _expired(self, stored_at: float) -> bool:
+        if self._ttl is None:
+            return False
+        assert self._clock is not None
+        return self._clock.now - stored_at > self._ttl
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Fetch a value, refreshing recency; ``default`` on miss/expiry."""
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            self.stats.misses += 1
+            return default
+        value, stored_at = entry
+        if self._expired(stored_at):
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def contains(self, key: Hashable) -> bool:
+        """Presence test that does NOT update recency or hit counters."""
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            return False
+        if self._expired(entry[1]):
+            del self._entries[key]
+            self.stats.expirations += 1
+            return False
+        return True
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the LRU entry if full."""
+        now = self._clock.now if self._clock is not None else 0.0
+        if key in self._entries:
+            self._entries[key] = (value, now)
+            self._entries.move_to_end(key)
+            return
+        if len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = (value, now)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()

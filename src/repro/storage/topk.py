@@ -1,0 +1,76 @@
+"""Space-Saving top-k sketch.
+
+TwitInfo's Popular Links panel shows "the top three URLs extracted from
+tweets in the timeframe being explored". Exact counting is fine for one
+event page, but the streaming processor tracks links continuously across
+events, so we keep the classic Metwally et al. Space-Saving summary: a
+fixed number of counters with guaranteed-overestimate error bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class TopItem:
+    """One ranked item: estimated count and maximum overestimate."""
+
+    item: Hashable
+    count: int
+    error: int
+
+    @property
+    def guaranteed(self) -> int:
+        """Lower bound on the true count."""
+        return self.count - self.error
+
+
+class SpaceSaving:
+    """Fixed-memory heavy-hitter counter.
+
+    Args:
+        capacity: number of counters kept (error bound is N / capacity for
+            N observed items).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._counts: dict[Hashable, int] = {}
+        self._errors: dict[Hashable, int] = {}
+        self.observed = 0
+
+    def add(self, item: Hashable, weight: int = 1) -> None:
+        """Record one occurrence (or ``weight`` occurrences) of ``item``."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self.observed += weight
+        if item in self._counts:
+            self._counts[item] += weight
+            return
+        if len(self._counts) < self._capacity:
+            self._counts[item] = weight
+            self._errors[item] = 0
+            return
+        # Replace the current minimum, inheriting its count as error.
+        victim = min(self._counts, key=self._counts.__getitem__)
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[item] = floor + weight
+        self._errors[item] = floor
+
+    def top(self, k: int = 3) -> list[TopItem]:
+        """The ``k`` items with the highest estimated counts."""
+        ranked = sorted(
+            self._counts.items(), key=lambda pair: (-pair[1], str(pair[0]))
+        )
+        return [
+            TopItem(item=item, count=count, error=self._errors[item])
+            for item, count in ranked[:k]
+        ]
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,293 @@
+"""Tweet and result logging.
+
+TwitInfo "saves the event and begins logging tweets matching the query";
+TweeQL's ``INTO table`` clause tees query results into a table. Two
+backends share one interface:
+
+- :class:`MemoryTweetLog` — a sorted in-memory log, the default for
+  experiments;
+- :class:`SqliteTweetLog` — a SQLite-backed log for persistence across
+  processes (SQLite ships with CPython, so this stays dependency-free).
+
+Both support append, time-range scans, and counting by time bucket (the
+timeline's primitive).
+
+:class:`TableSink` is the lightweight row container behind ``INTO``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import sqlite3
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from repro.errors import StorageError
+from repro.twitter.models import Tweet, TweetEntities, User
+
+
+class MemoryTweetLog:
+    """Append-mostly in-memory tweet log ordered by ``created_at``.
+
+    Appends that arrive in timestamp order are O(1); out-of-order appends
+    use insertion to keep scans correct (streams are near-ordered, so this
+    stays cheap).
+    """
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._tweets: list[Tweet] = []
+
+    def append(self, tweet: Tweet) -> None:
+        """Add one tweet, keeping timestamp order."""
+        if not self._times or tweet.created_at >= self._times[-1]:
+            self._times.append(tweet.created_at)
+            self._tweets.append(tweet)
+            return
+        index = bisect.bisect_right(self._times, tweet.created_at)
+        self._times.insert(index, tweet.created_at)
+        self._tweets.insert(index, tweet)
+
+    def extend(self, tweets: Sequence[Tweet]) -> None:
+        for tweet in tweets:
+            self.append(tweet)
+
+    def __len__(self) -> int:
+        return len(self._tweets)
+
+    def scan(self, start: float | None = None, end: float | None = None) -> Iterator[Tweet]:
+        """Tweets with ``start <= created_at < end``, in time order."""
+        lo = 0 if start is None else bisect.bisect_left(self._times, start)
+        hi = len(self._times) if end is None else bisect.bisect_left(self._times, end)
+        return iter(self._tweets[lo:hi])
+
+    def count(self, start: float | None = None, end: float | None = None) -> int:
+        """Number of tweets in the half-open time range."""
+        lo = 0 if start is None else bisect.bisect_left(self._times, start)
+        hi = len(self._times) if end is None else bisect.bisect_left(self._times, end)
+        return hi - lo
+
+    def counts_by_bucket(
+        self, start: float, end: float, bucket_seconds: float
+    ) -> list[tuple[float, int]]:
+        """(bucket_start, count) pairs covering [start, end)."""
+        if bucket_seconds <= 0:
+            raise StorageError("bucket_seconds must be positive")
+        buckets: list[tuple[float, int]] = []
+        t = start
+        while t < end:
+            buckets.append((t, self.count(t, min(t + bucket_seconds, end))))
+            t += bucket_seconds
+        return buckets
+
+
+class SqliteTweetLog:
+    """SQLite-backed tweet log with the same interface.
+
+    Stores the queryable columns natively and the full record (including
+    ground truth) as JSON, so a reloaded log reconstructs complete
+    :class:`Tweet` objects.
+    """
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS tweets (
+            tweet_id   INTEGER PRIMARY KEY,
+            created_at REAL NOT NULL,
+            user_id    INTEGER NOT NULL,
+            text       TEXT NOT NULL,
+            payload    TEXT NOT NULL
+        );
+        CREATE INDEX IF NOT EXISTS idx_tweets_time ON tweets (created_at);
+        CREATE TABLE IF NOT EXISTS meta (
+            key   TEXT PRIMARY KEY,
+            value TEXT NOT NULL
+        );
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(self._SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteTweetLog":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def append(self, tweet: Tweet) -> None:
+        payload = json.dumps(
+            {
+                "user": {
+                    "user_id": tweet.user.user_id,
+                    "screen_name": tweet.user.screen_name,
+                    "location": tweet.user.location,
+                    "home": tweet.user.home,
+                    "geo_enabled": tweet.user.geo_enabled,
+                    "followers": tweet.user.followers,
+                    "lang": tweet.user.lang,
+                },
+                "geo": tweet.geo,
+                "ground_truth": tweet.ground_truth,
+            }
+        )
+        try:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO tweets "
+                "(tweet_id, created_at, user_id, text, payload) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    tweet.tweet_id,
+                    tweet.created_at,
+                    tweet.user.user_id,
+                    tweet.text,
+                    payload,
+                ),
+            )
+        except sqlite3.Error as exc:
+            raise StorageError(f"sqlite append failed: {exc}") from exc
+
+    def extend(self, tweets: Sequence[Tweet]) -> None:
+        for tweet in tweets:
+            self.append(tweet)
+        self._conn.commit()
+
+    def __len__(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM tweets").fetchone()
+        return int(row[0])
+
+    @staticmethod
+    def _row_to_tweet(row: tuple) -> Tweet:
+        tweet_id, created_at, _user_id, text, payload_json = row
+        payload = json.loads(payload_json)
+        user_data = payload["user"]
+        user = User(
+            user_id=user_data["user_id"],
+            screen_name=user_data["screen_name"],
+            location=user_data["location"],
+            home=tuple(user_data["home"]) if user_data["home"] else None,
+            geo_enabled=user_data["geo_enabled"],
+            followers=user_data["followers"],
+            lang=user_data["lang"],
+        )
+        ground_truth = payload.get("ground_truth") or {}
+        if isinstance(ground_truth.get("coords"), list):
+            ground_truth["coords"] = tuple(ground_truth["coords"])
+        return Tweet(
+            tweet_id=tweet_id,
+            created_at=created_at,
+            user=user,
+            text=text,
+            geo=tuple(payload["geo"]) if payload.get("geo") else None,
+            entities=TweetEntities.from_text(text),
+            ground_truth=ground_truth,
+        )
+
+    def set_meta(self, key: str, value: Any) -> None:
+        """Store a JSON-serializable metadata value (event definitions…)."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            (key, json.dumps(value)),
+        )
+        self._conn.commit()
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        """Fetch a metadata value stored by :meth:`set_meta`."""
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return default if row is None else json.loads(row[0])
+
+    def scan(self, start: float | None = None, end: float | None = None) -> Iterator[Tweet]:
+        """Tweets with ``start <= created_at < end``, in time order."""
+        clauses, params = ["1=1"], []
+        if start is not None:
+            clauses.append("created_at >= ?")
+            params.append(start)
+        if end is not None:
+            clauses.append("created_at < ?")
+            params.append(end)
+        cursor = self._conn.execute(
+            "SELECT tweet_id, created_at, user_id, text, payload FROM tweets "
+            f"WHERE {' AND '.join(clauses)} ORDER BY created_at, tweet_id",
+            params,
+        )
+        for row in cursor:
+            yield self._row_to_tweet(row)
+
+    def count(self, start: float | None = None, end: float | None = None) -> int:
+        clauses, params = ["1=1"], []
+        if start is not None:
+            clauses.append("created_at >= ?")
+            params.append(start)
+        if end is not None:
+            clauses.append("created_at < ?")
+            params.append(end)
+        row = self._conn.execute(
+            f"SELECT COUNT(*) FROM tweets WHERE {' AND '.join(clauses)}", params
+        ).fetchone()
+        return int(row[0])
+
+    def counts_by_bucket(
+        self, start: float, end: float, bucket_seconds: float
+    ) -> list[tuple[float, int]]:
+        """(bucket_start, count) pairs covering [start, end)."""
+        if bucket_seconds <= 0:
+            raise StorageError("bucket_seconds must be positive")
+        cursor = self._conn.execute(
+            "SELECT CAST((created_at - ?) / ? AS INTEGER) AS bucket, COUNT(*) "
+            "FROM tweets WHERE created_at >= ? AND created_at < ? "
+            "GROUP BY bucket",
+            (start, bucket_seconds, start, end),
+        )
+        counts = dict(cursor.fetchall())
+        buckets: list[tuple[float, int]] = []
+        index = 0
+        t = start
+        while t < end:
+            buckets.append((t, int(counts.get(index, 0))))
+            index += 1
+            t += bucket_seconds
+        return buckets
+
+
+class TableSink:
+    """Named result table fed by a query's ``INTO`` clause."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.rows: list[dict[str, Any]] = []
+
+    def append(self, row: dict[str, Any]) -> None:
+        self.rows.append(dict(row))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def to_csv(self, path: str) -> int:
+        """Write the table to a CSV file; returns the row count.
+
+        Columns are the union of row keys (insertion-ordered), minus
+        internal ``__``-prefixed fields.
+        """
+        import csv
+
+        columns: dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                if not key.startswith("__"):
+                    columns[key] = None
+        with open(path, "w", newline="", encoding="utf-8") as f:
+            writer = csv.DictWriter(
+                f, fieldnames=list(columns), extrasaction="ignore"
+            )
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+        return len(self.rows)

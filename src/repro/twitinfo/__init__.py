@@ -1,0 +1,29 @@
+"""TwitInfo: event timelines over the TweeQL stream processor.
+
+The application of Section 3 of the paper:
+
+- :mod:`repro.twitinfo.event` — event definitions (keywords, name, window),
+- :mod:`repro.twitinfo.timeline` — tweet-volume binning,
+- :mod:`repro.twitinfo.peaks` — streaming mean-deviation peak detection,
+- :mod:`repro.twitinfo.labels` — automatic key terms per peak,
+- :mod:`repro.twitinfo.sentiment_view` — the Overall Sentiment pie,
+- :mod:`repro.twitinfo.links` — the Popular Links panel,
+- :mod:`repro.twitinfo.mapview` — the sentiment-colored Tweet Map,
+- :mod:`repro.twitinfo.relevance` — the Relevant Tweets ranking,
+- :mod:`repro.twitinfo.dashboard` — panel assembly and rendering,
+- :mod:`repro.twitinfo.app` — the application gluing it to TweeQL.
+"""
+
+from repro.twitinfo.app import EventReport, TwitInfoApp
+from repro.twitinfo.event import EventDefinition
+from repro.twitinfo.peaks import Peak, PeakDetector
+from repro.twitinfo.timeline import Timeline
+
+__all__ = [
+    "EventReport",
+    "TwitInfoApp",
+    "EventDefinition",
+    "Peak",
+    "PeakDetector",
+    "Timeline",
+]

@@ -1,0 +1,436 @@
+"""The TwitInfo application.
+
+Glues the panels to the TweeQL stream processor exactly the way Section 3
+describes: an event definition becomes a keyword TweeQL query; matching
+tweets are logged; the timeline, peak detector, labeler, sentiment counts,
+link aggregator, and map fill in as tweets stream through; and
+:meth:`TwitInfoApp.dashboard` assembles the Figure-1 interface for the
+whole event or for one selected peak (the timeline-as-filter drill-down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.session import TweeQL
+from repro.storage.tweetlog import MemoryTweetLog
+from repro.twitinfo.dashboard import Dashboard
+from repro.twitinfo.event import EventDefinition, PeakAnnotation
+from repro.twitinfo.labels import PeakLabeler
+from repro.twitinfo.links import LinkAggregator
+from repro.twitinfo.mapview import MapMarker, MapView
+from repro.twitinfo.peaks import Peak, PeakDetector, PeakDetectorParams
+from repro.twitinfo.relevance import RelevantTweet, relevant_tweets
+from repro.twitinfo.sentiment_view import SentimentSummary
+from repro.twitinfo.timeline import Timeline
+from repro.twitter.models import Tweet
+
+
+@dataclass
+class LiveSnapshot:
+    """One update from :meth:`TwitInfoApp.monitor`."""
+
+    stream_time: float
+    tweets_seen: int
+    new_peaks: list[PeakAnnotation]
+    total_peaks: int
+    final: bool = False
+
+
+@dataclass
+class EventReport:
+    """Summary numbers for one tracked event."""
+
+    name: str
+    tweets_logged: int
+    peaks: int
+    positive: int
+    negative: int
+    neutral: int
+    distinct_links: int
+    geotagged: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "tweets_logged": self.tweets_logged,
+            "peaks": self.peaks,
+            "positive": self.positive,
+            "negative": self.negative,
+            "neutral": self.neutral,
+            "distinct_links": self.distinct_links,
+            "geotagged": self.geotagged,
+        }
+
+
+class TrackedEvent:
+    """One event being tracked: the log plus every live panel's state."""
+
+    def __init__(
+        self,
+        definition: EventDefinition,
+        detector_params: PeakDetectorParams | None = None,
+    ) -> None:
+        self.definition = definition
+        self.log = MemoryTweetLog()
+        self.timeline = Timeline(bin_seconds=definition.bin_seconds)
+        self.labeler = PeakLabeler(definition)
+        self.sentiments: dict[int, int] = {}  # tweet_id → label
+        self.links = LinkAggregator()
+        self.map = MapView()
+        self.detector = PeakDetector(
+            params=detector_params or PeakDetectorParams(),
+            bin_seconds=definition.bin_seconds,
+        )
+        self.peaks: list[PeakAnnotation] = []
+        self._raw_peaks: list[Peak] = []
+        self._fed_to_index: int | None = None
+        self._annotated_labels: set[str] = set()
+
+    def ingest(self, tweet: Tweet, sentiment: int) -> None:
+        """Process one matching tweet through every panel."""
+        self.log.append(tweet)
+        self.timeline.add(tweet.created_at)
+        self.labeler.observe(tweet.text)
+        self.sentiments[tweet.tweet_id] = sentiment
+        assert tweet.entities is not None
+        for url in tweet.entities.urls:
+            self.links.add(url, tweet.created_at)
+        if tweet.geo is not None:
+            self.map.add(
+                MapMarker(
+                    lat=tweet.geo[0],
+                    lon=tweet.geo[1],
+                    sentiment=sentiment,
+                    timestamp=tweet.created_at,
+                    text=tweet.text,
+                )
+            )
+
+    # -- live (incremental) peak detection ------------------------------------
+
+    def feed_closed_bins(self, upto_time: float) -> list[PeakAnnotation]:
+        """Feed every timeline bin that closed before ``upto_time`` to the
+        live detector; returns annotations for peaks that closed.
+
+        This is the "monitor the event in realtime" path (§3.2): the
+        detector state advances as stream time does, and a peak becomes
+        visible (flag + key terms) as soon as its window ends.
+        """
+        import math
+
+        bin_seconds = self.definition.bin_seconds
+        if math.isinf(upto_time):
+            last_full = max(self.timeline._counts, default=0)
+        else:
+            last_full = math.floor(upto_time / bin_seconds) - 1
+        if self._fed_to_index is None:
+            if not self.timeline._counts:
+                return []
+            self._fed_to_index = min(self.timeline._counts) - 1
+        newly_closed: list[PeakAnnotation] = []
+        counts = self.timeline._counts
+        index = self._fed_to_index + 1
+        while index <= last_full:
+            self.detector.update(
+                self.timeline.bin_start(index), float(counts.get(index, 0))
+            )
+            index += 1
+        self._fed_to_index = max(self._fed_to_index, last_full)
+        for peak in self.detector.peaks:
+            if peak.closed and peak.label not in self._annotated_labels:
+                texts = [t.text for t in self.log.scan(peak.start, peak.end)]
+                annotation = self.labeler.annotate(peak, texts)
+                self._annotated_labels.add(peak.label)
+                self.peaks.append(annotation)
+                newly_closed.append(annotation)
+        return newly_closed
+
+    def finish_live(self) -> list[PeakAnnotation]:
+        """Close out the live detector at end of stream."""
+        closed = self.feed_closed_bins(float("inf"))
+        self.detector.finish()
+        return closed + self.feed_closed_bins(float("inf"))
+
+    def detect_peaks(self) -> list[PeakAnnotation]:
+        """Run (batch) peak detection over the timeline and label each peak.
+
+        Replaces any annotations accumulated by the live path — the batch
+        detector sees the complete gap-filled timeline, which is the
+        authoritative view once the event is over.
+        """
+        detector = PeakDetector(
+            params=self.detector.params, bin_seconds=self.definition.bin_seconds
+        )
+        raw = detector.run(self.timeline.bins())
+        self._raw_peaks = raw
+        annotated = []
+        for peak in raw:
+            texts = [t.text for t in self.log.scan(peak.start, peak.end)]
+            annotated.append(self.labeler.annotate(peak, texts))
+        self.peaks = annotated
+        self._annotated_labels = {p.label for p in annotated}
+        return annotated
+
+    def sentiment_summary(
+        self, start: float | None = None, end: float | None = None
+    ) -> SentimentSummary:
+        """Pie-chart counts for the event or a timeframe."""
+        summary = SentimentSummary()
+        for tweet in self.log.scan(start, end):
+            summary.add(self.sentiments[tweet.tweet_id])
+        return summary
+
+    def relevant(
+        self,
+        start: float | None = None,
+        end: float | None = None,
+        extra_terms: tuple[str, ...] = (),
+        limit: int = 10,
+    ) -> list[RelevantTweet]:
+        """The Relevant Tweets panel for a timeframe."""
+        tweets = list(self.log.scan(start, end))
+        labels = [self.sentiments[t.tweet_id] for t in tweets]
+        keywords = tuple(self.definition.keywords) + extra_terms
+        return relevant_tweets(
+            tweets, keywords, labels, extractor=self.labeler.extractor,
+            limit=limit,
+        )
+
+    def search_peaks(self, needle: str) -> list[PeakAnnotation]:
+        """Text search over peak key terms (§3.2's peak search)."""
+        return [p for p in self.peaks if p.matches_search(needle)]
+
+    def report(self) -> EventReport:
+        """Headline numbers for the event."""
+        summary = self.sentiment_summary()
+        return EventReport(
+            name=self.definition.name,
+            tweets_logged=len(self.log),
+            peaks=len(self.peaks),
+            positive=summary.positive,
+            negative=summary.negative,
+            neutral=summary.neutral,
+            distinct_links=self.links.distinct,
+            geotagged=len(self.map),
+        )
+
+
+class TwitInfoApp:
+    """The TwitInfo web application, minus the browser.
+
+    Args:
+        session: the TweeQL session whose ``twitter`` source the events
+            will track.
+    """
+
+    def __init__(self, session: TweeQL) -> None:
+        self.session = session
+        self.events: dict[str, TrackedEvent] = {}
+
+    def create_event(
+        self,
+        name: str,
+        keywords: tuple[str, ...] | list[str],
+        start: float | None = None,
+        end: float | None = None,
+        bin_seconds: float = 60.0,
+        detector_params: PeakDetectorParams | None = None,
+    ) -> TrackedEvent:
+        """Define an event and begin logging (§3.1)."""
+        definition = EventDefinition(
+            name=name,
+            keywords=tuple(keywords),
+            start=start,
+            end=end,
+            bin_seconds=bin_seconds,
+        )
+        tracked = TrackedEvent(definition, detector_params=detector_params)
+        self.events[name] = tracked
+        return tracked
+
+    def run_event(self, tracked: TrackedEvent, limit: int | None = None) -> EventReport:
+        """Drain the event's TweeQL query and build every panel.
+
+        The query is exactly ``definition.to_tweeql()`` — keyword filters
+        OR-ed for the API's ``track`` endpoint, window bounds applied
+        locally. Sentiment uses the session's classifier (the same one the
+        ``sentiment()`` UDF calls).
+        """
+        classify = self.session.classifier.classify
+        handle = self.session.query(tracked.definition.to_tweeql())
+        count = 0
+        for row in handle:
+            tweet: Tweet = row["__tweet__"]
+            tracked.ingest(tweet, classify(tweet.text))
+            count += 1
+            if limit is not None and count >= limit:
+                break
+        handle.close()
+        tracked.detect_peaks()
+        return tracked.report()
+
+    def track(
+        self,
+        name: str,
+        keywords: tuple[str, ...] | list[str],
+        start: float | None = None,
+        end: float | None = None,
+        bin_seconds: float = 60.0,
+        detector_params: PeakDetectorParams | None = None,
+    ) -> TrackedEvent:
+        """create_event + run_event in one call (the common path)."""
+        tracked = self.create_event(
+            name, keywords, start=start, end=end, bin_seconds=bin_seconds,
+            detector_params=detector_params,
+        )
+        self.run_event(tracked)
+        return tracked
+
+    def monitor(
+        self,
+        tracked: TrackedEvent,
+        snapshot_every: int = 500,
+        limit: int | None = None,
+    ):
+        """Track an event *live*: yields :class:`LiveSnapshot` updates.
+
+        Runs the event's TweeQL query incrementally; every
+        ``snapshot_every`` ingested tweets, closed timeline bins are fed to
+        the streaming detector, and a snapshot reports any peaks whose
+        windows just ended (flag + key terms, available while the event is
+        still running — §3.2's realtime monitoring). A final snapshot
+        flushes the detector at end of stream.
+        """
+        classify = self.session.classifier.classify
+        handle = self.session.query(tracked.definition.to_tweeql())
+        seen = 0
+        try:
+            for row in handle:
+                tweet: Tweet = row["__tweet__"]
+                tracked.ingest(tweet, classify(tweet.text))
+                seen += 1
+                if seen % snapshot_every == 0:
+                    new_peaks = tracked.feed_closed_bins(tweet.created_at)
+                    yield LiveSnapshot(
+                        stream_time=tweet.created_at,
+                        tweets_seen=seen,
+                        new_peaks=new_peaks,
+                        total_peaks=len(tracked.peaks),
+                    )
+                if limit is not None and seen >= limit:
+                    break
+        finally:
+            handle.close()
+        final_peaks = tracked.finish_live()
+        yield LiveSnapshot(
+            stream_time=self.session.clock.now,
+            tweets_seen=seen,
+            new_peaks=final_peaks,
+            total_peaks=len(tracked.peaks),
+            final=True,
+        )
+
+    # -- persistence -------------------------------------------------------------
+
+    def save_event(self, tracked: TrackedEvent, path: str) -> None:
+        """Persist an event (definition + logged tweets) to a SQLite file."""
+        from repro.storage.tweetlog import SqliteTweetLog
+
+        with SqliteTweetLog(path) as db:
+            db.set_meta(
+                "event",
+                {
+                    "name": tracked.definition.name,
+                    "keywords": list(tracked.definition.keywords),
+                    "start": tracked.definition.start,
+                    "end": tracked.definition.end,
+                    "bin_seconds": tracked.definition.bin_seconds,
+                },
+            )
+            db.extend(list(tracked.log.scan()))
+
+    def load_event(self, path: str) -> TrackedEvent:
+        """Rebuild a tracked event saved by :meth:`save_event`.
+
+        Tweets are re-ingested through the panels (sentiment re-classified
+        with the session's classifier) and peaks re-detected, so a loaded
+        event behaves identically to a freshly tracked one.
+        """
+        from repro.storage.tweetlog import SqliteTweetLog
+
+        classify = self.session.classifier.classify
+        with SqliteTweetLog(path) as db:
+            meta = db.get_meta("event")
+            if meta is None:
+                raise KeyError(f"{path!r} holds no saved event")
+            definition = EventDefinition(
+                name=meta["name"],
+                keywords=tuple(meta["keywords"]),
+                start=meta["start"],
+                end=meta["end"],
+                bin_seconds=meta["bin_seconds"],
+            )
+            tracked = TrackedEvent(definition)
+            for tweet in db.scan():
+                tracked.ingest(tweet, classify(tweet.text))
+        tracked.detect_peaks()
+        self.events[definition.name] = tracked
+        return tracked
+
+    def dashboard(
+        self, tracked: TrackedEvent, peak_label: str | None = None
+    ) -> Dashboard:
+        """Assemble the Figure-1 dashboard.
+
+        With ``peak_label``, every panel is filtered to that peak's window
+        — "when the user clicks on a peak, the other interface elements …
+        refresh to show only tweets in the time period of that peak."
+        """
+        start = tracked.definition.start
+        end = tracked.definition.end
+        selected: PeakAnnotation | None = None
+        extra_terms: tuple[str, ...] = ()
+        if peak_label is not None:
+            selected = next(
+                (p for p in tracked.peaks if p.label == peak_label), None
+            )
+            if selected is None:
+                raise KeyError(
+                    f"no peak {peak_label!r} in event {tracked.definition.name!r}"
+                )
+            start, end = selected.start, selected.end
+            extra_terms = selected.terms
+        return self._assemble(tracked, start, end, selected, extra_terms)
+
+    def dashboard_range(
+        self, tracked: TrackedEvent, start: float, end: float
+    ) -> Dashboard:
+        """Every panel filtered to an arbitrary [start, end) time range —
+        the generalization of peak drill-down (drag-select on the
+        timeline)."""
+        if end <= start:
+            raise ValueError("range end must be after start")
+        return self._assemble(tracked, start, end, selected=None, extra_terms=())
+
+    def _assemble(
+        self,
+        tracked: TrackedEvent,
+        start: float | None,
+        end: float | None,
+        selected: PeakAnnotation | None,
+        extra_terms: tuple[str, ...],
+    ) -> Dashboard:
+        summary = tracked.sentiment_summary(start, end)
+        return Dashboard(
+            event_name=tracked.definition.name,
+            keywords=tracked.definition.keywords,
+            window=(start, end),
+            selected_peak=selected,
+            timeline=tracked.timeline,
+            peaks=list(tracked.peaks),
+            relevant=tracked.relevant(start, end, extra_terms=extra_terms),
+            sentiment=summary,
+            links=tracked.links.top(3, start, end),
+            markers=tracked.map.markers(start, end),
+        )

@@ -1,0 +1,250 @@
+"""Dashboard assembly and rendering.
+
+The Figure-1 interface as a data object plus three renderers:
+
+- :meth:`Dashboard.to_json` — the structure a web front end would consume,
+- :meth:`Dashboard.render_text` — a terminal dashboard (timeline
+  sparkline, flagged peaks with key terms, colored tweet list, pie
+  numbers, links, map cluster counts),
+- :meth:`Dashboard.render_html` — a single self-contained HTML page with
+  an inline SVG timeline, peak flags, and all panels.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass
+
+from repro.clock import format_timestamp
+from repro.twitinfo.event import PeakAnnotation
+from repro.twitinfo.links import PopularLink
+from repro.twitinfo.mapview import MapMarker
+from repro.twitinfo.relevance import RelevantTweet
+from repro.twitinfo.sentiment_view import SentimentSummary
+from repro.twitinfo.timeline import Timeline
+
+
+@dataclass
+class Dashboard:
+    """One rendered view of an event (whole event or one peak)."""
+
+    event_name: str
+    keywords: tuple[str, ...]
+    window: tuple[float | None, float | None]
+    selected_peak: PeakAnnotation | None
+    timeline: Timeline
+    peaks: list[PeakAnnotation]
+    relevant: list[RelevantTweet]
+    sentiment: SentimentSummary
+    links: list[PopularLink]
+    markers: list[MapMarker]
+
+    # -- structured -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-serializable dashboard state."""
+        positive_share, negative_share = self.sentiment.proportions()
+        return {
+            "event": self.event_name,
+            "keywords": list(self.keywords),
+            "window": list(self.window),
+            "selected_peak": self.selected_peak.label if self.selected_peak else None,
+            "timeline": [
+                {"start": start, "count": count}
+                for start, count in self.timeline.bins()
+            ],
+            "peaks": [
+                {
+                    "label": peak.label,
+                    "start": peak.start,
+                    "end": peak.end,
+                    "apex_time": peak.apex_time,
+                    "apex_count": peak.apex_count,
+                    "terms": list(peak.terms),
+                }
+                for peak in self.peaks
+            ],
+            "relevant_tweets": [
+                {
+                    "text": entry.tweet.text,
+                    "similarity": entry.similarity,
+                    "sentiment": entry.sentiment,
+                    "color": entry.color,
+                    "created_at": entry.tweet.created_at,
+                }
+                for entry in self.relevant
+            ],
+            "sentiment": {
+                "positive": self.sentiment.positive,
+                "negative": self.sentiment.negative,
+                "neutral": self.sentiment.neutral,
+                "pie": {"positive": positive_share, "negative": negative_share},
+            },
+            "popular_links": [
+                {"url": link.url, "count": link.count} for link in self.links
+            ],
+            "map": [
+                {
+                    "lat": marker.lat,
+                    "lon": marker.lon,
+                    "color": marker.color,
+                    "text": marker.text,
+                }
+                for marker in self.markers[:200]
+            ],
+        }
+
+    def to_json_text(self, indent: int = 2) -> str:
+        """The JSON dashboard as text."""
+        return json.dumps(self.to_json(), indent=indent)
+
+    # -- text -----------------------------------------------------------------
+
+    def render_text(self, width: int = 72) -> str:
+        """A terminal rendering of the dashboard."""
+        lines: list[str] = []
+        title = f"TwitInfo: {self.event_name}"
+        if self.selected_peak is not None:
+            title += f"  [peak {self.selected_peak.label}]"
+        lines.append(title)
+        lines.append("=" * len(title))
+        lines.append(f"keywords: {', '.join(self.keywords)}")
+        start, end = self.window
+        if start is not None and end is not None:
+            lines.append(
+                f"window:   {format_timestamp(start)} → {format_timestamp(end)}"
+            )
+        lines.append("")
+        lines.append("Timeline (tweets/bin):")
+        lines.append("  " + self.timeline.sparkline(width - 4))
+        lines.append("")
+        if self.peaks:
+            lines.append("Peaks:")
+            for peak in self.peaks:
+                terms = ", ".join(peak.terms) or "—"
+                marker = "*" if (
+                    self.selected_peak and peak.label == self.selected_peak.label
+                ) else " "
+                lines.append(
+                    f" {marker}[{peak.label}] {format_timestamp(peak.apex_time)}"
+                    f"  apex {peak.apex_count:.0f}  terms: {terms}"
+                )
+            lines.append("")
+        positive_share, negative_share = self.sentiment.proportions()
+        lines.append(
+            "Overall sentiment: "
+            f"{self.sentiment.positive}+ / {self.sentiment.negative}- / "
+            f"{self.sentiment.neutral}·  "
+            f"(pie: {positive_share:.0%} positive, {negative_share:.0%} negative)"
+        )
+        lines.append("")
+        if self.links:
+            lines.append("Popular links:")
+            for link in self.links:
+                lines.append(f"  {link.count:>5}  {link.url}")
+            lines.append("")
+        if self.relevant:
+            lines.append("Relevant tweets:")
+            for entry in self.relevant:
+                mark = {"blue": "+", "red": "-", "white": "·"}[entry.color]
+                text = entry.tweet.text
+                if len(text) > width - 10:
+                    text = text[: width - 11] + "…"
+                lines.append(f"  {mark} ({entry.similarity:.2f}) {text}")
+            lines.append("")
+        lines.append(f"Map: {len(self.markers)} geotagged tweets")
+        return "\n".join(lines)
+
+    # -- html -----------------------------------------------------------------
+
+    def render_html(self) -> str:
+        """A self-contained HTML page with an SVG timeline and all panels."""
+        bins = self.timeline.bins()
+        svg = self._timeline_svg(bins, width=720, height=160)
+        positive_share, negative_share = self.sentiment.proportions()
+        peak_rows = "".join(
+            f"<tr><td><b>{html.escape(p.label)}</b></td>"
+            f"<td>{format_timestamp(p.apex_time)}</td>"
+            f"<td>{p.apex_count:.0f}</td>"
+            f"<td>{html.escape(', '.join(p.terms))}</td></tr>"
+            for p in self.peaks
+        )
+        tweet_rows = "".join(
+            f'<li class="{e.color}">({e.similarity:.2f}) '
+            f"{html.escape(e.tweet.text)}</li>"
+            for e in self.relevant
+        )
+        link_rows = "".join(
+            f"<li>{l.count} × <code>{html.escape(l.url)}</code></li>"
+            for l in self.links
+        )
+        marker_rows = "".join(
+            f'<circle cx="{360 + m.lon * 2:.1f}" cy="{90 - m.lat:.1f}" r="2" '
+            f'fill="{"steelblue" if m.color == "blue" else "indianred" if m.color == "red" else "#bbb"}">'
+            f"<title>{html.escape(m.text)}</title></circle>"
+            for m in self.markers[:500]
+        )
+        selected = (
+            f" — peak {html.escape(self.selected_peak.label)}"
+            if self.selected_peak
+            else ""
+        )
+        return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>TwitInfo: {html.escape(self.event_name)}</title>
+<style>
+body {{ font-family: Helvetica, Arial, sans-serif; margin: 2em; color: #222; }}
+h1 {{ font-size: 1.4em; }} h2 {{ font-size: 1.1em; margin-top: 1.4em; }}
+li.blue {{ color: #1f5fa8; }} li.red {{ color: #b03030; }} li.white {{ color: #555; }}
+table {{ border-collapse: collapse; }} td {{ padding: 2px 10px; border-bottom: 1px solid #eee; }}
+.pie {{ display: inline-block; width: 120px; height: 120px; border-radius: 50%;
+  background: conic-gradient(#1f5fa8 0 {positive_share * 360:.0f}deg,
+  #b03030 {positive_share * 360:.0f}deg 360deg); }}
+</style></head><body>
+<h1>TwitInfo: {html.escape(self.event_name)}{selected}</h1>
+<p>keywords: {html.escape(', '.join(self.keywords))}</p>
+<h2>Event timeline</h2>{svg}
+<h2>Peaks</h2><table><tr><th>flag</th><th>apex</th><th>tweets</th><th>key terms</th></tr>{peak_rows}</table>
+<h2>Overall sentiment</h2>
+<div class="pie"></div>
+<p>{self.sentiment.positive} positive / {self.sentiment.negative} negative /
+{self.sentiment.neutral} neutral ({positive_share:.0%} / {negative_share:.0%} of polarized)</p>
+<h2>Popular links</h2><ol>{link_rows}</ol>
+<h2>Relevant tweets</h2><ul>{tweet_rows}</ul>
+<h2>Tweet map ({len(self.markers)} geotagged)</h2>
+<svg width="720" height="200" viewBox="0 0 720 180" style="background:#eef4f8">{marker_rows}</svg>
+</body></html>"""
+
+    def _timeline_svg(
+        self, bins: list[tuple[float, int]], width: int, height: int
+    ) -> str:
+        if not bins:
+            return "<svg width='720' height='160'></svg>"
+        top = max(count for _s, count in bins) or 1
+        t0 = bins[0][0]
+        t1 = bins[-1][0] + self.timeline.bin_seconds
+        span = max(1.0, t1 - t0)
+
+        def x(t: float) -> float:
+            return (t - t0) / span * (width - 20) + 10
+
+        def y(c: float) -> float:
+            return height - 20 - (c / top) * (height - 40)
+
+        points = " ".join(
+            f"{x(start + self.timeline.bin_seconds / 2):.1f},{y(count):.1f}"
+            for start, count in bins
+        )
+        flags = "".join(
+            f'<g><line x1="{x(p.apex_time):.1f}" y1="{y(p.apex_count):.1f}" '
+            f'x2="{x(p.apex_time):.1f}" y2="14" stroke="#b03030"/>'
+            f'<text x="{x(p.apex_time) + 3:.1f}" y="12" font-size="11" '
+            f'fill="#b03030">{html.escape(p.label)}</text></g>'
+            for p in self.peaks
+        )
+        return (
+            f'<svg width="{width}" height="{height}" '
+            f'style="background:#fafafa;border:1px solid #ddd">'
+            f'<polyline points="{points}" fill="none" stroke="#1f5fa8" '
+            f'stroke-width="1.5"/>{flags}</svg>'
+        )

@@ -1,0 +1,93 @@
+"""Event definitions.
+
+Section 3.1: "TwitInfo users define an event by specifying a Twitter
+keyword query … Users give the event a human-readable name … as well as an
+optional time window. When users are done entering the information,
+TwitInfo saves the event and begins logging tweets matching the query."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EventDefinition:
+    """A TwitInfo event specification.
+
+    Attributes:
+        name: human-readable name ("Soccer: Manchester City vs. Liverpool").
+        keywords: the tracked keyword query terms.
+        start/end: optional time window; None means unbounded on that side.
+        bin_seconds: timeline bin width (TwitInfo binned by the minute for
+            games, coarser for long events).
+    """
+
+    name: str
+    keywords: tuple[str, ...]
+    start: float | None = None
+    end: float | None = None
+    bin_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise ValueError("an event needs at least one keyword")
+        if any(not k.strip() for k in self.keywords):
+            raise ValueError("keywords must be non-empty")
+        if (
+            self.start is not None
+            and self.end is not None
+            and self.end <= self.start
+        ):
+            raise ValueError("event end must be after start")
+        if self.bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        object.__setattr__(
+            self, "keywords", tuple(k.strip() for k in self.keywords)
+        )
+
+    def to_tweeql(self, into: str | None = None) -> str:
+        """The TweeQL query that logs this event's tweets.
+
+        Exactly the shape the paper shows: keyword containment filters,
+        OR-ed together, optionally bounded by the event window.
+        """
+        predicate = " OR ".join(
+            "text contains '{}'".format(keyword.replace("'", "''"))
+            for keyword in self.keywords
+        )
+        clauses = [f"({predicate})"]
+        if self.start is not None:
+            clauses.append(f"created_at >= {self.start:.0f}")
+        if self.end is not None:
+            clauses.append(f"created_at < {self.end:.0f}")
+        sql = f"SELECT * FROM twitter WHERE {' AND '.join(clauses)}"
+        if into:
+            sql += f" INTO {into}"
+        return sql + ";"
+
+    def in_window(self, timestamp: float) -> bool:
+        """Whether a timestamp falls inside the event's (optional) window."""
+        if self.start is not None and timestamp < self.start:
+            return False
+        if self.end is not None and timestamp >= self.end:
+            return False
+        return True
+
+
+@dataclass
+class PeakAnnotation:
+    """A detected peak joined with its automatic labels (Figure 1's flags
+    and the key-term list to the right of the timeline)."""
+
+    label: str
+    start: float
+    end: float
+    apex_time: float
+    apex_count: float
+    terms: tuple[str, ...] = field(default_factory=tuple)
+
+    def matches_search(self, needle: str) -> bool:
+        """Text search over key terms (the interface's peak search box)."""
+        folded = needle.casefold()
+        return any(folded in term.casefold() for term in self.terms)

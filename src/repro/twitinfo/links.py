@@ -1,0 +1,75 @@
+"""The Popular Links panel.
+
+Section 3.3: "Twitter users share links as a story unfolds. The Popular
+Links panel aggregates the top three URLs extracted from tweets in the
+timeframe being explored."
+
+:class:`LinkAggregator` keeps exact per-URL counts with timestamps (an
+event page's link set is small) so any timeframe can be queried; a
+:class:`~repro.storage.topk.SpaceSaving` sketch guards the memory of very
+long-running events by capping the distinct-URL set it tracks exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.storage.topk import SpaceSaving
+
+
+@dataclass(frozen=True)
+class PopularLink:
+    """One ranked URL with its count in the queried timeframe."""
+
+    url: str
+    count: int
+
+
+@dataclass
+class LinkAggregator:
+    """Time-indexed URL counts with top-k queries over any timeframe.
+
+    Attributes:
+        exact_urls: number of distinct URLs tracked exactly; once exceeded,
+            new URLs only feed the Space-Saving sketch (whose top-k then
+            answers whole-event queries approximately).
+    """
+
+    exact_urls: int = 10_000
+    _times: dict[str, list[float]] = field(default_factory=lambda: defaultdict(list))
+    _sketch: SpaceSaving = field(default_factory=lambda: SpaceSaving(capacity=512))
+
+    def add(self, url: str, timestamp: float) -> None:
+        """Record one URL mention at a time (must arrive in time order
+        per URL for range queries to be exact)."""
+        self._sketch.add(url)
+        if url in self._times or len(self._times) < self.exact_urls:
+            self._times[url].append(timestamp)
+
+    @property
+    def distinct(self) -> int:
+        """Distinct URLs tracked exactly."""
+        return len(self._times)
+
+    def top(
+        self, k: int = 3, start: float | None = None, end: float | None = None
+    ) -> list[PopularLink]:
+        """Top-``k`` URLs within [start, end) (whole event when omitted)."""
+        ranked: list[PopularLink] = []
+        for url, times in self._times.items():
+            lo = 0 if start is None else bisect.bisect_left(times, start)
+            hi = len(times) if end is None else bisect.bisect_left(times, end)
+            count = hi - lo
+            if count > 0:
+                ranked.append(PopularLink(url=url, count=count))
+        ranked.sort(key=lambda link: (-link.count, link.url))
+        return ranked[:k]
+
+    def top_sketched(self, k: int = 3) -> list[PopularLink]:
+        """Whole-event top-``k`` from the bounded-memory sketch."""
+        return [
+            PopularLink(url=str(item.item), count=item.count)
+            for item in self._sketch.top(k)
+        ]

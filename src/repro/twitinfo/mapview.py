@@ -1,0 +1,92 @@
+"""The Tweet Map panel.
+
+Section 3.3: "The Tweet Map displays tweets that provide geolocation
+metadata. The marker for each tweet is colored according to its sentiment,
+and clicking on a pin reveals the associated tweet." The motivating
+example: clusters around New York and Boston during a Red Sox–Yankees
+game, with per-region sentiment differing peak by peak.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.geo.bbox import BoundingBox
+
+
+@dataclass(frozen=True)
+class MapMarker:
+    """One pin: location, sentiment color, and the tweet behind it."""
+
+    lat: float
+    lon: float
+    sentiment: int  # +1 / 0 / -1
+    timestamp: float
+    text: str
+
+    @property
+    def color(self) -> str:
+        """The interface's marker color (blue/red/white as in §3.2)."""
+        if self.sentiment > 0:
+            return "blue"
+        if self.sentiment < 0:
+            return "red"
+        return "white"
+
+
+@dataclass
+class MapView:
+    """Time-indexed geo markers with range and region queries."""
+
+    _markers: list[MapMarker] = field(default_factory=list)
+    _times: list[float] = field(default_factory=list)
+
+    def add(self, marker: MapMarker) -> None:
+        """Add a marker (markers must arrive in time order)."""
+        if self._times and marker.timestamp < self._times[-1]:
+            index = bisect.bisect_right(self._times, marker.timestamp)
+            self._times.insert(index, marker.timestamp)
+            self._markers.insert(index, marker)
+            return
+        self._times.append(marker.timestamp)
+        self._markers.append(marker)
+
+    def __len__(self) -> int:
+        return len(self._markers)
+
+    def markers(
+        self,
+        start: float | None = None,
+        end: float | None = None,
+        box: BoundingBox | None = None,
+        limit: int | None = None,
+    ) -> list[MapMarker]:
+        """Markers in [start, end), optionally inside a region, time order."""
+        lo = 0 if start is None else bisect.bisect_left(self._times, start)
+        hi = len(self._times) if end is None else bisect.bisect_left(self._times, end)
+        selected = self._markers[lo:hi]
+        if box is not None:
+            selected = [m for m in selected if box.contains(m.lat, m.lon)]
+        return selected[:limit] if limit is not None else selected
+
+    def sentiment_by_region(
+        self,
+        boxes: dict[str, BoundingBox],
+        start: float | None = None,
+        end: float | None = None,
+    ) -> dict[str, tuple[int, int, int]]:
+        """(positive, negative, neutral) marker counts per named region —
+        the "opinion differs by geographic region" drill-down."""
+        result: dict[str, tuple[int, int, int]] = {}
+        for name, box in boxes.items():
+            positive = negative = neutral = 0
+            for marker in self.markers(start, end, box):
+                if marker.sentiment > 0:
+                    positive += 1
+                elif marker.sentiment < 0:
+                    negative += 1
+                else:
+                    neutral += 1
+            result[name] = (positive, negative, neutral)
+        return result

@@ -1,0 +1,203 @@
+"""Streaming peak detection.
+
+The paper: "TwitInfo's peak detection algorithm is a stateful TweeQL UDF
+that performs streaming mean deviation detection over the aggregate tweet
+count." The companion TwitInfo paper (CHI 2011) spells the algorithm out;
+it adapts TCP's round-trip-time estimator:
+
+- keep exponentially weighted estimates of the per-bin tweet count's mean
+  and mean deviation (update factor ``alpha``, TCP's classic 0.125);
+- flag a peak when a bin exceeds the mean by more than ``tau`` mean
+  deviations;
+- while the count keeps climbing, track the apex; the peak window ends
+  when the count falls back to the pre-peak mean (or the stream moves on
+  longer than ``max_duration_bins``);
+- during a flagged peak, updates to the mean/deviation estimates use a
+  larger update factor so the detector recovers quickly after a burst
+  (otherwise one goal suppresses detection of the next).
+
+Peaks are labeled "A", "B", … in detection order, exactly like the flags
+in Figure 1 of the demo paper.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Peak:
+    """One detected peak.
+
+    Attributes:
+        label: "A", "B", … in detection order ("AA" after "Z").
+        start: bin timestamp where the peak began (first flagged bin).
+        apex_time: bin timestamp of the maximum count.
+        apex_count: that maximum count.
+        end: bin timestamp where the peak window closed (exclusive).
+        onset_mean: the running mean just before detection — the baseline
+            the spike rose from.
+        score: deviation score at detection ((count − mean) / meandev).
+    """
+
+    label: str
+    start: float
+    apex_time: float
+    apex_count: float
+    end: float
+    onset_mean: float
+    score: float
+    closed: bool = False
+
+    @property
+    def window(self) -> tuple[float, float]:
+        """[start, end) time range of the peak."""
+        return (self.start, self.end)
+
+    def contains(self, timestamp: float) -> bool:
+        return self.start <= timestamp < self.end
+
+
+def _peak_label(index: int) -> str:
+    """0 → 'A', 25 → 'Z', 26 → 'AA', …"""
+    letters = string.ascii_uppercase
+    label = ""
+    index += 1
+    while index > 0:
+        index, remainder = divmod(index - 1, 26)
+        label = letters[remainder] + label
+    return label
+
+
+@dataclass
+class PeakDetectorParams:
+    """Tunable knobs (ablated in benchmark E6).
+
+    Attributes:
+        alpha: EWMA update factor outside peaks (TCP's 0.125).
+        peak_alpha: update factor while inside a peak window (faster, so
+            the baseline catches up and consecutive events both register).
+        tau: detection threshold in mean deviations.
+        min_count: bins below this count never open a peak (suppresses
+            flapping on near-zero traffic).
+        max_duration_bins: hard cap on a peak window's length.
+    """
+
+    alpha: float = 0.125
+    peak_alpha: float = 0.5
+    tau: float = 2.0
+    min_count: float = 10.0
+    max_duration_bins: int = 30
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1 or not 0 < self.peak_alpha <= 1:
+            raise ValueError("alpha values must be in (0, 1]")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.max_duration_bins <= 0:
+            raise ValueError("max_duration_bins must be positive")
+
+
+@dataclass
+class PeakDetector:
+    """Streaming mean-deviation peak detector over binned counts.
+
+    Feed bins in time order with :meth:`update`; it returns the
+    :class:`Peak` *opened* by that bin, if any. :attr:`peaks` accumulates
+    every peak found; open peaks are finalized by later bins or
+    :meth:`finish`.
+    """
+
+    params: PeakDetectorParams = field(default_factory=PeakDetectorParams)
+    bin_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        self._mean: float | None = None
+        self._meandev: float | None = None
+        self._open: Peak | None = None
+        self._open_bins = 0
+        self._last_count: float | None = None
+        self.peaks: list[Peak] = []
+
+    @property
+    def mean(self) -> float | None:
+        """Current baseline estimate (None before the first bin)."""
+        return self._mean
+
+    @property
+    def meandev(self) -> float | None:
+        """Current mean-deviation estimate."""
+        return self._meandev
+
+    def update(self, bin_start: float, count: float) -> Peak | None:
+        """Consume one time bin; returns a newly *opened* peak, or None."""
+        params = self.params
+        opened: Peak | None = None
+
+        if self._mean is None or self._meandev is None:
+            # Bootstrap from the first bin, like the CHI'11 algorithm.
+            self._mean = count
+            self._meandev = max(1.0, count / 2.0)
+            self._last_count = count
+            return None
+
+        deviation_score = (count - self._mean) / self._meandev if self._meandev else 0.0
+
+        if self._open is None:
+            if deviation_score > params.tau and count >= params.min_count:
+                opened = Peak(
+                    label=_peak_label(len(self.peaks)),
+                    start=bin_start,
+                    apex_time=bin_start,
+                    apex_count=count,
+                    end=bin_start + self.bin_seconds,
+                    onset_mean=self._mean,
+                    score=deviation_score,
+                )
+                self._open = opened
+                self._open_bins = 1
+                self.peaks.append(opened)
+        else:
+            peak = self._open
+            self._open_bins += 1
+            if count > peak.apex_count:
+                peak.apex_count = count
+                peak.apex_time = bin_start
+            over_cap = self._open_bins >= params.max_duration_bins
+            receded = count <= max(peak.onset_mean, params.min_count / 2)
+            declining = (
+                self._last_count is not None
+                and count < self._last_count
+                and count <= peak.onset_mean + (peak.apex_count - peak.onset_mean) * 0.15
+            )
+            if receded or declining or over_cap:
+                peak.end = bin_start + self.bin_seconds
+                peak.closed = True
+                self._open = None
+            else:
+                peak.end = bin_start + self.bin_seconds
+
+        # Update the running estimates; faster inside a peak window.
+        alpha = params.peak_alpha if self._open is not None else params.alpha
+        deviation = abs(count - self._mean)
+        self._meandev = alpha * deviation + (1 - alpha) * self._meandev
+        # Floor at one tweet of deviation: a perfectly flat synthetic stream
+        # must not make an epsilon bump score astronomically.
+        self._meandev = max(self._meandev, 1.0)
+        self._mean = alpha * count + (1 - alpha) * self._mean
+        self._last_count = count
+        return opened
+
+    def finish(self) -> None:
+        """Close any still-open peak at end of stream."""
+        if self._open is not None:
+            self._open.closed = True
+            self._open = None
+
+    def run(self, bins: list[tuple[float, float]]) -> list[Peak]:
+        """Convenience: run over (bin_start, count) pairs and finish."""
+        for bin_start, count in bins:
+            self.update(bin_start, count)
+        self.finish()
+        return self.peaks

@@ -1,0 +1,118 @@
+"""The Overall Sentiment panel.
+
+Section 3.3: "The Overall Sentiment panel displays a piechart representing
+the total proportion of positive and negative tweets during the event."
+
+The companion TwitInfo paper additionally corrects the raw counts for the
+classifier's unequal per-class recall (a classifier that finds negatives
+more reliably than positives would skew every pie negative); the
+:class:`SentimentSummary` supports that correction when recall estimates
+are supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SentimentSummary:
+    """Counts of classified tweets and derived pie proportions."""
+
+    positive: int = 0
+    negative: int = 0
+    neutral: int = 0
+
+    def add(self, label: int) -> None:
+        """Count one classified tweet (+1 / -1 / 0)."""
+        if label > 0:
+            self.positive += 1
+        elif label < 0:
+            self.negative += 1
+        else:
+            self.neutral += 1
+
+    @property
+    def total(self) -> int:
+        return self.positive + self.negative + self.neutral
+
+    @property
+    def classified(self) -> int:
+        """Tweets that expressed a polarity."""
+        return self.positive + self.negative
+
+    def proportions(self) -> tuple[float, float]:
+        """(positive, negative) shares of polarized tweets — the pie chart.
+
+        (0.0, 0.0) when nothing was polarized.
+        """
+        if not self.classified:
+            return (0.0, 0.0)
+        return (
+            self.positive / self.classified,
+            self.negative / self.classified,
+        )
+
+    def corrected_proportions(
+        self, recall_positive: float, recall_negative: float
+    ) -> tuple[float, float]:
+        """Recall-corrected pie shares.
+
+        If the classifier only recognizes a fraction r⁺ of true positives
+        and r⁻ of true negatives, the observed counts understate each class
+        by that factor; dividing by recall re-inflates them before
+        normalizing (the TwitInfo CHI'11 correction).
+        """
+        if recall_positive <= 0 or recall_negative <= 0:
+            raise ValueError("recall estimates must be positive")
+        adjusted_positive = self.positive / recall_positive
+        adjusted_negative = self.negative / recall_negative
+        denominator = adjusted_positive + adjusted_negative
+        if denominator == 0:
+            return (0.0, 0.0)
+        return (
+            adjusted_positive / denominator,
+            adjusted_negative / denominator,
+        )
+
+    def confusion_corrected_proportions(
+        self, confusion: list[list[float]]
+    ) -> tuple[float, float]:
+        """De-biased pie shares using a full confusion matrix.
+
+        ``confusion`` is row-normalized P(predicted | true) over
+        (positive, negative, neutral) — see
+        :meth:`repro.nlp.sentiment.SentimentClassifier.confusion_matrix`.
+        The observed label counts satisfy ``observed = confusionᵀ · true``;
+        inverting recovers estimated true counts, correcting both missed
+        detections (recall) *and* false positives (precision) — the failure
+        mode simple recall scaling cannot fix.
+
+        Estimated negative counts are clamped at zero before normalizing.
+        """
+        import numpy
+
+        matrix = numpy.asarray(confusion, dtype=float).T
+        observed = numpy.asarray(
+            [self.positive, self.negative, self.neutral], dtype=float
+        )
+        try:
+            estimated = numpy.linalg.solve(matrix, observed)
+        except numpy.linalg.LinAlgError:
+            return self.proportions()
+        estimated = numpy.clip(estimated, 0.0, None)
+        polarized = estimated[0] + estimated[1]
+        if polarized <= 0:
+            return (0.0, 0.0)
+        return (
+            float(estimated[0] / polarized),
+            float(estimated[1] / polarized),
+        )
+
+    def merged(self, other: "SentimentSummary") -> "SentimentSummary":
+        """Combine two summaries (e.g. across shards)."""
+        return SentimentSummary(
+            positive=self.positive + other.positive,
+            negative=self.negative + other.negative,
+            neutral=self.neutral + other.neutral,
+        )

@@ -1,0 +1,194 @@
+"""The TwitInfo web application server.
+
+The paper: "Once users have created an event, they can monitor the event
+in realtime by navigating to a web page that TwitInfo creates for the
+event." This module serves exactly that — a dependency-free
+``http.server`` application over a :class:`~repro.twitinfo.app.TwitInfoApp`:
+
+- ``GET /``                         — index of tracked events,
+- ``GET /event/<name>``             — the event's dashboard (HTML),
+- ``GET /event/<name>?peak=F``      — drilled into one peak,
+- ``GET /event/<name>.json``        — the dashboard as JSON (the API a
+  richer front end would poll),
+- ``GET /event/<name>/peaks?q=term``— peak search by key term (JSON),
+- ``POST /track`` — create and run a new event from form fields ``name``,
+  ``keywords`` (comma-separated), optional ``bin_seconds`` — §4's "track
+  new terms of interest".
+
+Use :class:`TwitInfoServer` as a context manager in tests/examples; it
+runs on a background thread bound to an ephemeral localhost port.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.twitinfo.app import TwitInfoApp
+
+
+def _make_handler(app: TwitInfoApp):
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "TwitInfo/0.1"
+
+        def log_message(self, *args) -> None:  # silence test output
+            pass
+
+        def _send(self, status: int, body: str, content_type: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_json(self, status: int, data) -> None:
+            self._send(status, json.dumps(data), "application/json")
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            parsed = urllib.parse.urlparse(self.path)
+            params = urllib.parse.parse_qs(parsed.query)
+            parts = [p for p in parsed.path.split("/") if p]
+            try:
+                if not parts:
+                    self._index()
+                elif parts[0] == "event" and len(parts) >= 2:
+                    name = urllib.parse.unquote(parts[1])
+                    if len(parts) == 3 and parts[2] == "peaks":
+                        self._peaks(name, params)
+                    elif name.endswith(".json"):
+                        self._dashboard(name[: -len(".json")], params, as_json=True)
+                    else:
+                        self._dashboard(name, params, as_json=False)
+                else:
+                    self._send_json(404, {"error": "not found"})
+            except KeyError as exc:
+                self._send_json(404, {"error": str(exc)})
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            parsed = urllib.parse.urlparse(self.path)
+            if parsed.path.rstrip("/") != "/track":
+                self._send_json(404, {"error": "not found"})
+                return
+            length = int(self.headers.get("Content-Length", "0"))
+            body = self.rfile.read(length).decode("utf-8")
+            form = urllib.parse.parse_qs(body)
+            name = form.get("name", [""])[0].strip()
+            keywords = tuple(
+                k.strip()
+                for k in form.get("keywords", [""])[0].split(",")
+                if k.strip()
+            )
+            if not name or not keywords:
+                self._send_json(
+                    400, {"error": "fields 'name' and 'keywords' are required"}
+                )
+                return
+            try:
+                bin_seconds = float(form.get("bin_seconds", ["60"])[0])
+                tracked = app.track(name, keywords, bin_seconds=bin_seconds)
+            except ValueError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            self._send_json(
+                201,
+                {
+                    "event": name,
+                    "url": f"/event/{urllib.parse.quote(name)}",
+                    **tracked.report().as_dict(),
+                },
+            )
+
+        def _index(self) -> None:
+            items = "".join(
+                f'<li><a href="/event/{urllib.parse.quote(name)}">'
+                f"{html.escape(name)}</a> "
+                f"({len(tracked.log)} tweets, {len(tracked.peaks)} peaks)</li>"
+                for name, tracked in app.events.items()
+            )
+            form = (
+                '<h2>Track new terms of interest</h2>'
+                '<form method="POST" action="/track">'
+                'name <input name="name"> '
+                'keywords (comma-separated) <input name="keywords"> '
+                '<button type="submit">track</button></form>'
+            )
+            self._send(
+                200,
+                "<!DOCTYPE html><html><head><title>TwitInfo</title></head>"
+                f"<body><h1>TwitInfo events</h1><ul>{items}</ul>{form}"
+                "</body></html>",
+                "text/html",
+            )
+
+        def _resolve(self, name: str):
+            tracked = app.events.get(name)
+            if tracked is None:
+                raise KeyError(f"no event named {name!r}")
+            return tracked
+
+        def _dashboard(self, name: str, params: dict, as_json: bool) -> None:
+            tracked = self._resolve(name)
+            peak_label = params.get("peak", [None])[0]
+            dashboard = app.dashboard(tracked, peak_label=peak_label)
+            if as_json:
+                self._send_json(200, dashboard.to_json())
+            else:
+                self._send(200, dashboard.render_html(), "text/html")
+
+        def _peaks(self, name: str, params: dict) -> None:
+            tracked = self._resolve(name)
+            needle = params.get("q", [""])[0]
+            hits = tracked.search_peaks(needle) if needle else tracked.peaks
+            self._send_json(
+                200,
+                [
+                    {
+                        "label": p.label,
+                        "apex_time": p.apex_time,
+                        "apex_count": p.apex_count,
+                        "terms": list(p.terms),
+                    }
+                    for p in hits
+                ],
+            )
+
+    return Handler
+
+
+class TwitInfoServer:
+    """A background-thread TwitInfo web server.
+
+    Example::
+
+        with TwitInfoServer(app) as server:
+            page = urllib.request.urlopen(server.url + "/event/Soccer").read()
+    """
+
+    def __init__(self, app: TwitInfoApp, host: str = "127.0.0.1", port: int = 0):
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(app))
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "TwitInfoServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TwitInfoServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -1,0 +1,104 @@
+"""Tweet-volume timeline.
+
+Section 3.2: "The event timeline reports tweet activity by volume. The
+more tweets that match the query during a period of time, the higher the
+y-axis value on the timeline for that period."
+
+:class:`Timeline` accumulates per-bin counts incrementally (tweets arrive
+in time order from the stream) and exposes the closed bins to the peak
+detector and renderers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timeline:
+    """Streaming per-bin tweet counts.
+
+    Attributes:
+        bin_seconds: bin width.
+        origin: bins are aligned to multiples of ``bin_seconds`` from this
+            origin (0.0 aligns to the epoch).
+    """
+
+    bin_seconds: float = 60.0
+    origin: float = 0.0
+    _counts: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+
+    def _bin_index(self, timestamp: float) -> int:
+        return math.floor((timestamp - self.origin) / self.bin_seconds)
+
+    def bin_start(self, index: int) -> float:
+        """Timestamp of a bin's left edge."""
+        return self.origin + index * self.bin_seconds
+
+    def add(self, timestamp: float, count: int = 1) -> None:
+        """Count one tweet (or ``count`` of them) at ``timestamp``."""
+        index = self._bin_index(timestamp)
+        self._counts[index] = self._counts.get(index, 0) + count
+
+    @property
+    def total(self) -> int:
+        """Total tweets counted."""
+        return sum(self._counts.values())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def bins(self, fill_gaps: bool = True) -> list[tuple[float, int]]:
+        """(bin_start, count) in time order.
+
+        With ``fill_gaps``, empty bins between the first and last
+        populated bin are included with count 0 — the peak detector must
+        see quiet minutes, or a lull looks like a time warp.
+        """
+        if not self._counts:
+            return []
+        indices = sorted(self._counts)
+        if not fill_gaps:
+            return [(self.bin_start(i), self._counts[i]) for i in indices]
+        lo, hi = indices[0], indices[-1]
+        return [
+            (self.bin_start(i), self._counts.get(i, 0))
+            for i in range(lo, hi + 1)
+        ]
+
+    def count_between(self, start: float, end: float) -> int:
+        """Total count across bins intersecting [start, end)."""
+        lo = self._bin_index(start)
+        hi = self._bin_index(end - 1e-9)
+        return sum(self._counts.get(i, 0) for i in range(lo, hi + 1))
+
+    def max_count(self) -> int:
+        """The busiest bin's count (0 when empty)."""
+        return max(self._counts.values(), default=0)
+
+    def sparkline(self, width: int = 60) -> str:
+        """A unicode sparkline of the timeline (for the text dashboard)."""
+        bins = self.bins()
+        if not bins:
+            return ""
+        blocks = " ▁▂▃▄▅▆▇█"
+        counts = [count for _start, count in bins]
+        # Downsample to `width` columns by max-pooling.
+        if len(counts) > width:
+            stride = len(counts) / width
+            pooled = [
+                max(counts[int(i * stride) : max(int(i * stride) + 1, int((i + 1) * stride))])
+                for i in range(width)
+            ]
+        else:
+            pooled = counts
+        top = max(pooled) or 1
+        return "".join(
+            blocks[min(len(blocks) - 1, round(c / top * (len(blocks) - 1)))]
+            for c in pooled
+        )

@@ -1,0 +1,46 @@
+"""Simulated Twitter substrate.
+
+The live 2011 Twitter streaming API is no longer available, so this package
+provides a deterministic stand-in exposing the same surface TweeQL consumed:
+
+- :mod:`repro.twitter.models` — the tweet/user records,
+- :mod:`repro.twitter.users` — a synthetic user population with Zipfian
+  activity and a realistic global geographic distribution,
+- :mod:`repro.twitter.vocabulary` + :mod:`repro.twitter.text` — tweet text
+  synthesis (topics, sentiment-bearing phrasing, hashtags, URLs, emoticons),
+- :mod:`repro.twitter.workloads` — scenario generators with retained ground
+  truth (the soccer match, earthquake timeline, and news-month demos from
+  the paper, plus background chatter),
+- :mod:`repro.twitter.stream` — the firehose and the ``StreamingAPI`` façade
+  with ``track`` / ``locations`` / ``follow`` filters.
+"""
+
+from repro.twitter.models import Tweet, TweetEntities, User
+from repro.twitter.stream import Firehose, StreamConnection, StreamingAPI
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import (
+    GroundTruth,
+    ScenarioEvent,
+    background_chatter,
+    baseball_game_scenario,
+    earthquake_scenario,
+    news_month_scenario,
+    soccer_match_scenario,
+)
+
+__all__ = [
+    "Tweet",
+    "TweetEntities",
+    "User",
+    "Firehose",
+    "StreamConnection",
+    "StreamingAPI",
+    "UserPopulation",
+    "GroundTruth",
+    "ScenarioEvent",
+    "background_chatter",
+    "baseball_game_scenario",
+    "earthquake_scenario",
+    "news_month_scenario",
+    "soccer_match_scenario",
+]

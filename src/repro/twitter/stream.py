@@ -1,0 +1,306 @@
+"""The simulated firehose and streaming API.
+
+Reproduces the surface of Twitter's 2011 streaming API that TweeQL consumed
+(`statuses/filter` and `statuses/sample`):
+
+- a connection carries **exactly one filter type** — keyword ``track``,
+  geographic ``locations``, or userid ``follow``. The paper's "Uncertain
+  Selectivities" section exists precisely because of this restriction: a
+  query with both a keyword and a location predicate must choose which one
+  the API applies, and apply the other locally.
+- filtered streams deliver *most* matching tweets (the real API was lossy
+  at high volume); the default delivery ratio is configurable.
+- ``sample()`` returns a small uniform sample of the whole firehose, which
+  is how TweeQL estimates the selectivity of candidate filters.
+- connections are limited and metered, like the real API.
+
+The firehose itself is a time-ordered sequence of tweets from one or more
+:class:`~repro.twitter.workloads.Scenario` generators.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, replace
+
+from repro import rng as rng_mod
+from repro.clock import VirtualClock
+from repro.errors import StreamError
+from repro.geo.bbox import BoundingBox
+from repro.twitter.models import Tweet
+from repro.twitter.workloads import Scenario
+
+
+class Firehose:
+    """The full simulated tweet stream, in timestamp order."""
+
+    def __init__(self, tweets: list[Tweet]) -> None:
+        self._tweets = tweets
+
+    @classmethod
+    def from_scenarios(cls, *scenarios: Scenario) -> "Firehose":
+        """Merge several scenarios into one firehose.
+
+        Tweets are merged by timestamp and re-assigned globally unique,
+        increasing ids (preserving each tweet's other fields and ground
+        truth).
+        """
+        merged = heapq.merge(
+            *(s.tweets for s in scenarios), key=lambda t: t.created_at
+        )
+        tweets = [
+            replace(tweet, tweet_id=index + 1)
+            for index, tweet in enumerate(merged)
+        ]
+        return cls(tweets)
+
+    @property
+    def tweets(self) -> list[Tweet]:
+        """All tweets in timestamp order."""
+        return self._tweets
+
+    def __len__(self) -> int:
+        return len(self._tweets)
+
+    def __iter__(self) -> Iterator[Tweet]:
+        return iter(self._tweets)
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(first, last) tweet timestamps; (0, 0) when empty."""
+        if not self._tweets:
+            return (0.0, 0.0)
+        return (self._tweets[0].created_at, self._tweets[-1].created_at)
+
+
+@dataclass
+class ConnectionStats:
+    """Delivery accounting for one streaming connection."""
+
+    scanned: int = 0
+    matched: int = 0
+    delivered: int = 0
+    dropped: int = 0
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of firehose tweets that matched this filter."""
+        return self.matched / self.scanned if self.scanned else 0.0
+
+
+class StreamConnection:
+    """One long-running filtered stream request.
+
+    Iterating yields matching tweets in timestamp order; if the connection
+    was opened with a clock, the clock advances to each tweet's creation
+    time as it is delivered (stream time drives query time).
+    """
+
+    def __init__(
+        self,
+        tweets: Iterable[Tweet],
+        predicate,
+        delivery_ratio: float,
+        seed: int,
+        clock: VirtualClock | None,
+        description: str,
+    ) -> None:
+        self._tweets = tweets
+        self._predicate = predicate
+        self._delivery_ratio = delivery_ratio
+        self._rng = rng_mod.derive(seed, f"connection:{description}")
+        self._clock = clock
+        self.description = description
+        self.stats = ConnectionStats()
+        self._closed = False
+
+    def __iter__(self) -> Iterator[Tweet]:
+        try:
+            for tweet in self._tweets:
+                if self._closed:
+                    return
+                self.stats.scanned += 1
+                if not self._predicate(tweet):
+                    continue
+                self.stats.matched += 1
+                if (
+                    self._delivery_ratio < 1.0
+                    and self._rng.random() > self._delivery_ratio
+                ):
+                    self.stats.dropped += 1
+                    continue
+                self.stats.delivered += 1
+                if self._clock is not None and tweet.created_at > self._clock.now:
+                    self._clock.advance_to(tweet.created_at)
+                yield tweet
+        finally:
+            # A drained (or abandoned) connection releases its slot; real
+            # streams end when the server hangs up, not only on client
+            # close.
+            self.close()
+
+    def close(self) -> None:
+        """Terminate the connection; iteration stops at the next tweet."""
+        self._closed = True
+
+
+class StreamingAPI:
+    """Façade over the firehose with the 2011 filter semantics.
+
+    Args:
+        firehose: the underlying tweet stream.
+        clock: optional shared virtual clock, advanced as tweets arrive.
+        delivery_ratio: fraction of matching tweets actually delivered on
+            filtered connections ("most tweets"). ``sample()`` is lossless
+            at its sampling rate.
+        max_connections: concurrent connection budget (the real API allowed
+            very few per account).
+        seed: RNG seed for loss and sampling draws.
+    """
+
+    def __init__(
+        self,
+        firehose: Firehose,
+        clock: VirtualClock | None = None,
+        delivery_ratio: float = 0.98,
+        max_connections: int = 4,
+        seed: int = rng_mod.DEFAULT_SEED,
+        sample_budget: int | None = None,
+    ) -> None:
+        if not 0.0 < delivery_ratio <= 1.0:
+            raise ValueError("delivery_ratio must be in (0, 1]")
+        if sample_budget is not None and sample_budget < 0:
+            raise ValueError("sample_budget must be non-negative")
+        self._firehose = firehose
+        self._clock = clock
+        self._delivery_ratio = delivery_ratio
+        self._max_connections = max_connections
+        self._seed = seed
+        self._open_connections = 0
+        self._connection_serial = 0
+        self._sample_budget = sample_budget
+        self._samples_used = 0
+
+    @property
+    def firehose(self) -> Firehose:
+        """The backing firehose (visible to tests, not to queries)."""
+        return self._firehose
+
+    @property
+    def open_connections(self) -> int:
+        """Number of currently open connections."""
+        return self._open_connections
+
+    def _connect(self, predicate, description: str) -> StreamConnection:
+        if self._open_connections >= self._max_connections:
+            raise StreamError(
+                f"connection limit reached ({self._max_connections}); "
+                "close an existing stream first"
+            )
+        self._open_connections += 1
+        self._connection_serial += 1
+        connection = StreamConnection(
+            self._firehose,
+            predicate,
+            self._delivery_ratio,
+            seed=self._seed + self._connection_serial,
+            clock=self._clock,
+            description=description,
+        )
+
+        original_close = connection.close
+
+        def close_and_release() -> None:
+            if not connection._closed:
+                self._open_connections -= 1
+            original_close()
+
+        connection.close = close_and_release  # type: ignore[method-assign]
+        return connection
+
+    def filter(
+        self,
+        track: tuple[str, ...] | list[str] | None = None,
+        locations: tuple[BoundingBox, ...] | list[BoundingBox] | None = None,
+        follow: tuple[int, ...] | list[int] | None = None,
+    ) -> StreamConnection:
+        """Open a ``statuses/filter`` connection.
+
+        Exactly one of ``track``, ``locations``, ``follow`` must be given —
+        the single-filter-type restriction the paper's planner works around.
+
+        - ``track``: tweets whose text contains any keyword
+          (case-insensitive substring, as the real API matched).
+        - ``locations``: tweets with an exact geotag inside any box (the
+          real API only matched geotagged tweets for location filters).
+        - ``follow``: tweets authored by any of the given user ids.
+        """
+        provided = [f for f in (track, locations, follow) if f]
+        if len(provided) != 1:
+            raise StreamError(
+                "statuses/filter accepts exactly one filter type per "
+                "connection (track OR locations OR follow)"
+            )
+        if track:
+            keywords = tuple(track)
+            return self._connect(
+                lambda tweet: tweet.matches_any_keyword(keywords),
+                description=f"track={','.join(keywords)}",
+            )
+        if locations:
+            boxes = tuple(locations)
+            return self._connect(
+                lambda tweet: any(b.contains_point(tweet.geo) for b in boxes),
+                description=f"locations={','.join(b.name or '?' for b in boxes)}",
+            )
+        follow_ids = frozenset(follow or ())
+        return self._connect(
+            lambda tweet: tweet.user.user_id in follow_ids,
+            description=f"follow={len(follow_ids)} users",
+        )
+
+    def unfiltered(self) -> StreamConnection:
+        """A full-firehose connection (no server-side filter).
+
+        The 2011 API reserved this for elevated access tiers ("Gardenhose"/
+        "Firehose" partners); the simulator grants it so that queries with
+        no API-eligible predicate still run. Counts against the connection
+        limit like any other stream.
+        """
+        return self._connect(lambda _tweet: True, description="firehose")
+
+    def sample(self, rate: float = 0.01, limit: int | None = None) -> list[Tweet]:
+        """The ``statuses/sample`` endpoint: a uniform firehose sample.
+
+        Args:
+            rate: sampling probability per tweet (Twitter's was ~1%).
+            limit: stop after this many sampled tweets.
+
+        Returns the sampled tweets eagerly (selectivity estimation wants a
+        snapshot, not a long-running connection). Does not count against
+        the connection limit and does not advance the clock. When the API
+        was built with a ``sample_budget``, each call consumes one unit
+        and exhaustion raises :class:`~repro.errors.RateLimitError` (the
+        real API metered this endpoint).
+        """
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+        if self._sample_budget is not None:
+            if self._samples_used >= self._sample_budget:
+                from repro.errors import RateLimitError
+
+                raise RateLimitError(
+                    f"statuses/sample budget of {self._sample_budget} "
+                    "requests exhausted"
+                )
+            self._samples_used += 1
+        self._connection_serial += 1
+        rng = rng_mod.derive(self._seed + self._connection_serial, "sample")
+        sampled: list[Tweet] = []
+        for tweet in self._firehose:
+            if rng.random() < rate:
+                sampled.append(tweet)
+                if limit is not None and len(sampled) >= limit:
+                    break
+        return sampled

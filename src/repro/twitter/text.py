@@ -1,0 +1,215 @@
+"""Tweet text synthesis.
+
+Composes 140-character tweet bodies from the vocabularies in
+:mod:`repro.twitter.vocabulary`. Each composer returns the text *and* the
+true sentiment label it encoded, so generators can stamp ground truth onto
+tweets.
+
+Sentiment is expressed the way 2011 tweets expressed it — opinion phrases
+("what a disaster") and emoticons (":(") — which is exactly the
+distant-supervision signal the original TweeQL sentiment classifier was
+trained on. Neutral tweets avoid both.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.twitter import vocabulary as V
+
+#: Canonical sentiment labels used across the library.
+POSITIVE, NEUTRAL, NEGATIVE = 1, 0, -1
+
+_MAX_LEN = 140
+
+
+def _truncate(text: str) -> str:
+    """Clamp to the 2011 tweet length limit, on a word boundary if possible."""
+    if len(text) <= _MAX_LEN:
+        return text
+    cut = text[:_MAX_LEN]
+    space = cut.rfind(" ")
+    return cut[:space] if space > 60 else cut
+
+
+def _emotion(rng: random.Random, sentiment: int) -> str:
+    """An emoticon or short phrase expressing the sentiment ('' if neutral)."""
+    if sentiment == POSITIVE:
+        if rng.random() < 0.6:
+            return rng.choice(V.POSITIVE_EMOTICONS)
+        return rng.choice(V.POSITIVE_PHRASES)
+    if sentiment == NEGATIVE:
+        if rng.random() < 0.6:
+            return rng.choice(V.NEGATIVE_EMOTICONS)
+        return rng.choice(V.NEGATIVE_PHRASES)
+    return ""
+
+
+def _maybe_url(rng: random.Random, probability: float) -> str:
+    return rng.choice(V.URL_POOL) if rng.random() < probability else ""
+
+
+def _opinion_suffix(rng: random.Random, sentiment: int) -> str:
+    """An explicit opinion clause; strengthens the sentiment signal."""
+    if sentiment == POSITIVE:
+        phrase = rng.choice(V.POSITIVE_PHRASES)
+    elif sentiment == NEGATIVE:
+        phrase = rng.choice(V.NEGATIVE_PHRASES)
+    else:
+        return ""
+    if rng.random() < 0.4:
+        phrase = f"{rng.choice(V.INTENSIFIERS)} {phrase}"
+    return phrase
+
+
+def sample_sentiment(
+    rng: random.Random, positive: float, negative: float
+) -> int:
+    """Draw a sentiment label with the given positive/negative mass."""
+    roll = rng.random()
+    if roll < positive:
+        return POSITIVE
+    if roll < positive + negative:
+        return NEGATIVE
+    return NEUTRAL
+
+
+def compose_chatter(rng: random.Random) -> tuple[str, int]:
+    """Background chatter: everyday content, mild sentiment mix."""
+    sentiment = sample_sentiment(rng, positive=0.25, negative=0.15)
+    template = rng.choice(V.CHATTER_TEMPLATES)
+    text = template.format(
+        subject=rng.choice(V.CHATTER_SUBJECTS),
+        verdict=rng.choice(V.CHATTER_VERDICTS),
+        intens=rng.choice(V.INTENSIFIERS),
+    )
+    suffix = _emotion(rng, sentiment)
+    if suffix:
+        text = f"{text} {suffix}"
+    return _truncate(text), sentiment
+
+
+def compose_soccer_goal(
+    rng: random.Random,
+    scorer: str,
+    score: str,
+    team: str,
+    supporters_positive: float,
+) -> tuple[str, int]:
+    """A goal reaction tweet.
+
+    ``supporters_positive`` is the share of the reacting crowd happy about
+    the goal (scoring side's fans), controlling the sentiment mix.
+    """
+    sentiment = POSITIVE if rng.random() < supporters_positive else NEGATIVE
+    template = rng.choice(V.SOCCER_GOAL_TEMPLATES)
+    text = template.format(
+        scorer=scorer,
+        score=score,
+        team=team,
+        hashtag=rng.choice(V.SOCCER_HASHTAGS),
+        emotion=_emotion(rng, sentiment),
+        reaction=_opinion_suffix(rng, sentiment) or "scenes",
+    )
+    if rng.random() < 0.10:
+        text = f"{text} {rng.choice(V.URL_POOL)}"
+    return _truncate(text), sentiment
+
+
+def compose_soccer_play(rng: random.Random, keyword_hint: str) -> tuple[str, int]:
+    """Ordinary in-match commentary between goals."""
+    sentiment = sample_sentiment(rng, positive=0.30, negative=0.20)
+    template = rng.choice(V.SOCCER_PLAY_TEMPLATES)
+    side = rng.random() < 0.5
+    text = template.format(
+        player=rng.choice(
+            V.SOCCER_PLAYERS_HOME if side else V.SOCCER_PLAYERS_AWAY
+        ),
+        team="manchester city" if side else "liverpool",
+        hashtag=rng.choice(V.SOCCER_HASHTAGS),
+        emotion=_emotion(rng, sentiment),
+        kw=keyword_hint,
+    )
+    suffix = _opinion_suffix(rng, sentiment)
+    if suffix and "{emotion}" not in template:
+        text = f"{text} — {suffix}"
+    return _truncate(text), sentiment
+
+
+def compose_baseball_homerun(
+    rng: random.Random,
+    slugger: str,
+    score: str,
+    team: str,
+    supporters_positive: float,
+) -> tuple[str, int]:
+    """A home-run reaction; sentiment set by which side the crowd is on."""
+    sentiment = POSITIVE if rng.random() < supporters_positive else NEGATIVE
+    template = rng.choice(V.BASEBALL_HOMERUN_TEMPLATES)
+    text = template.format(
+        slugger=slugger,
+        score=score,
+        team=team,
+        hashtag=rng.choice(V.BASEBALL_HASHTAGS),
+        emotion=_emotion(rng, sentiment),
+        reaction=_opinion_suffix(rng, sentiment) or "scenes",
+    )
+    return _truncate(text), sentiment
+
+
+def compose_baseball_play(rng: random.Random, keyword_hint: str) -> tuple[str, int]:
+    """Ordinary in-game baseball commentary."""
+    sentiment = sample_sentiment(rng, positive=0.25, negative=0.20)
+    side = rng.random() < 0.5
+    template = rng.choice(V.BASEBALL_PLAY_TEMPLATES)
+    text = template.format(
+        player=rng.choice(
+            V.BASEBALL_PLAYERS_YANKEES if side else V.BASEBALL_PLAYERS_REDSOX
+        ),
+        team="yankees" if side else "redsox",
+        hashtag=rng.choice(V.BASEBALL_HASHTAGS),
+        emotion=_emotion(rng, sentiment),
+        kw=keyword_hint,
+    )
+    suffix = _opinion_suffix(rng, sentiment)
+    if suffix and "{emotion}" not in template:
+        text = f"{text} — {suffix}"
+    return _truncate(text), sentiment
+
+
+def compose_earthquake(
+    rng: random.Random, place: str, magnitude: float
+) -> tuple[str, int]:
+    """An earthquake report/reaction; skews negative, many URLs."""
+    sentiment = sample_sentiment(rng, positive=0.05, negative=0.55)
+    template = rng.choice(V.EARTHQUAKE_TEMPLATES)
+    text = template.format(
+        place=place,
+        magnitude=f"{magnitude:.1f}",
+        emotion=_emotion(rng, sentiment),
+        url=_maybe_url(rng, 0.7) or "just now",
+    )
+    return _truncate(text), sentiment
+
+
+def compose_news(
+    rng: random.Random,
+    story_verb: str,
+    story_object: str,
+    positive: float,
+    negative: float,
+) -> tuple[str, int]:
+    """A news reaction tweet about a story (the Obama-month scenario)."""
+    sentiment = sample_sentiment(rng, positive, negative)
+    template = rng.choice(V.NEWS_STORY_TEMPLATES)
+    text = template.format(
+        story_verb=story_verb,
+        story_object=story_object,
+        url=_maybe_url(rng, 0.5) or "now",
+        emotion=_emotion(rng, sentiment),
+        verdict=rng.choice(V.NEWS_VERDICTS),
+    )
+    suffix = _opinion_suffix(rng, sentiment)
+    if suffix and rng.random() < 0.5:
+        text = f"{text} {suffix}"
+    return _truncate(text), sentiment

@@ -1,0 +1,708 @@
+"""Scenario workload generators.
+
+Section 4 of the paper commits the demo to three canned TwitInfo scenarios —
+"a soccer match, a timeline of earthquakes, and a summary of a month in
+Barack Obama's life" — and the TweeQL examples track keywords like "obama"
+against background traffic. This module generates all of them as
+deterministic, seeded streams of :class:`~repro.twitter.models.Tweet`
+objects with retained ground truth:
+
+- every tweet carries its true sentiment, topic, and causal event id;
+- every scenario carries a list of :class:`ScenarioEvent` records (goal
+  times and scorers, quake onsets and magnitudes, news-story days) against
+  which peak detection and labeling are scored — these play the role of the
+  human annotators in the TwitInfo CHI'11 evaluation.
+
+Tweet arrivals are non-homogeneous Poisson processes built from
+piecewise-constant rate tracks: a background-chatter track, a topical base
+track, and a burst track per event (sharp onset, staged decay — the shape
+of real reaction spikes on Twitter).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import rng as rng_mod
+from repro.clock import DEFAULT_EPOCH
+from repro.twitter import text as text_mod
+from repro.twitter import vocabulary as V
+from repro.twitter.models import Tweet, User
+from repro.twitter.users import UserPopulation
+
+#: A composer returns (text, true_sentiment) for a tweet at a given time.
+Composer = Callable[[random.Random, float], tuple[str, int]]
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """Ground truth for one real-world moment within a scenario.
+
+    Attributes:
+        event_id: unique within the scenario.
+        name: human-readable description ("GOAL Tevez 1-0").
+        time: the instant the event happened (virtual seconds).
+        start/end: the window in which reaction tweets were generated.
+        expected_terms: tokens a good peak labeler should surface for this
+            event (the paper's "3-0", "Tevez" example).
+        info: extra scenario-specific facts (magnitude, place, score…).
+    """
+
+    event_id: int
+    name: str
+    time: float
+    start: float
+    end: float
+    expected_terms: tuple[str, ...] = ()
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Everything a scorer needs about a scenario's reality."""
+
+    events: tuple[ScenarioEvent, ...]
+
+    def event_near(self, time: float, tolerance: float) -> ScenarioEvent | None:
+        """The event whose instant lies within ``tolerance`` of ``time``."""
+        best: ScenarioEvent | None = None
+        best_gap = tolerance
+        for event in self.events:
+            gap = abs(event.time - time)
+            if gap <= best_gap:
+                best, best_gap = event, gap
+        return best
+
+
+@dataclass
+class Scenario:
+    """A generated workload: tweets in timestamp order plus ground truth.
+
+    Attributes:
+        name: scenario label ("soccer", "earthquakes", "news-month").
+        keywords: the ``track`` keywords a TwitInfo event for this scenario
+            would use.
+        start/end: the covered virtual time span.
+        tweets: all tweets, sorted by ``created_at``, ids assigned in order.
+        truth: the retained ground truth.
+    """
+
+    name: str
+    keywords: tuple[str, ...]
+    start: float
+    end: float
+    tweets: list[Tweet]
+    truth: GroundTruth
+
+    def stream(self) -> Iterator[Tweet]:
+        """Iterate tweets in timestamp order."""
+        return iter(self.tweets)
+
+    def __len__(self) -> int:
+        return len(self.tweets)
+
+
+# ---------------------------------------------------------------------------
+# Poisson-track machinery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Track:
+    """One piecewise-constant-rate Poisson arrival track."""
+
+    start: float
+    end: float
+    rate: float  # tweets per second
+    topic: str
+    event_id: int | None
+    compose: Composer
+    localized: tuple[float, float, float] | None = None  # lat, lon, radius
+
+
+def _arrivals(rng: random.Random, track: _Track) -> Iterator[float]:
+    """Exponential inter-arrival sampling over the track's span."""
+    if track.rate <= 0:
+        return
+    t = track.start
+    while True:
+        t += rng.expovariate(track.rate)
+        if t >= track.end:
+            return
+        yield t
+
+
+def _burst_tracks(
+    onset: float,
+    peak_rate: float,
+    topic: str,
+    event_id: int,
+    compose: Composer,
+    stages: tuple[tuple[float, float], ...] = ((60, 1.0), (120, 0.4), (180, 0.15)),
+    localized: tuple[float, float, float] | None = None,
+) -> list[_Track]:
+    """A reaction burst: staged decay from ``peak_rate`` starting at onset.
+
+    ``stages`` is a sequence of (duration_seconds, rate_multiplier).
+    """
+    tracks: list[_Track] = []
+    t = onset
+    for duration, multiplier in stages:
+        tracks.append(
+            _Track(
+                start=t,
+                end=t + duration,
+                rate=peak_rate * multiplier,
+                topic=topic,
+                event_id=event_id,
+                compose=compose,
+                localized=localized,
+            )
+        )
+        t += duration
+    return tracks
+
+
+#: Fraction of topical (non-chatter) tweets that are retweets of a recent
+#: tweet on the same topic — 2011 event streams were thick with RTs.
+RETWEET_RATE = 0.12
+
+#: How many recent topical tweets are retweet candidates.
+_RETWEET_POOL = 50
+
+
+def _materialize(
+    name: str,
+    keywords: tuple[str, ...],
+    start: float,
+    end: float,
+    tracks: list[_Track],
+    events: tuple[ScenarioEvent, ...],
+    population: UserPopulation,
+    seed: int,
+) -> Scenario:
+    """Sample every track, sort arrivals, and mint Tweet objects."""
+    from collections import deque
+
+    arrivals_rng = rng_mod.derive(seed, f"{name}:arrivals")
+    text_rng = rng_mod.derive(seed, f"{name}:text")
+    author_rng = rng_mod.derive(seed, f"{name}:authors")
+    retweet_rng = rng_mod.derive(seed, f"{name}:retweets")
+
+    drawn: list[tuple[float, _Track]] = []
+    for track in tracks:
+        for t in _arrivals(arrivals_rng, track):
+            drawn.append((t, track))
+    drawn.sort(key=lambda pair: pair[0])
+
+    tweets: list[Tweet] = []
+    recent_topical: deque[Tweet] = deque(maxlen=_RETWEET_POOL)
+    for index, (t, track) in enumerate(drawn):
+        if track.localized is not None:
+            lat, lon, radius = track.localized
+            author: User = population.sample_author_near(
+                author_rng, lat, lon, radius
+            )
+        else:
+            author = population.sample_author(author_rng)
+
+        original: Tweet | None = None
+        if (
+            track.topic != "chatter"
+            and recent_topical
+            and retweet_rng.random() < RETWEET_RATE
+        ):
+            original = retweet_rng.choice(list(recent_topical))
+        if original is not None:
+            body = f"RT @{original.screen_name}: {original.text}"
+            if len(body) > 140:
+                body = body[:139] + "…"
+            truth = dict(original.ground_truth)
+            truth["coords"] = author.home
+            truth["retweet_of"] = original.tweet_id
+        else:
+            composed, sentiment = track.compose(text_rng, t)
+            body = composed
+            truth = {
+                "sentiment": sentiment,
+                "topic": track.topic,
+                "event_id": track.event_id,
+                "coords": author.home,
+            }
+        tweet = Tweet(
+            tweet_id=index + 1,
+            created_at=t,
+            user=author,
+            text=body,
+            geo=population.geotag_for(author_rng, author),
+            ground_truth=truth,
+        )
+        tweets.append(tweet)
+        if track.topic != "chatter" and original is None:
+            recent_topical.append(tweet)
+    return Scenario(
+        name=name,
+        keywords=keywords,
+        start=start,
+        end=end,
+        tweets=tweets,
+        truth=GroundTruth(events=events),
+    )
+
+
+def _chatter_tracks(start: float, end: float, rate: float) -> list[_Track]:
+    """Background chatter with a mild diurnal swing (hourly steps)."""
+    import math
+
+    tracks: list[_Track] = []
+    hour = 3600.0
+    t = start
+    while t < end:
+        segment_end = min(t + hour, end)
+        # Diurnal factor in [0.6, 1.4]: a sine with 24 h period.
+        phase = ((t - DEFAULT_EPOCH) % (24 * hour)) / (24 * hour)
+        factor = 1.0 + 0.4 * math.sin(2 * math.pi * (phase - 0.25))
+        tracks.append(
+            _Track(
+                start=t,
+                end=segment_end,
+                rate=rate * factor,
+                topic="chatter",
+                event_id=None,
+                compose=lambda rng, _t: text_mod.compose_chatter(rng),
+            )
+        )
+        t = segment_end
+    return tracks
+
+
+# ---------------------------------------------------------------------------
+# Scenario: soccer match (Figure 1 — Manchester City vs Liverpool)
+# ---------------------------------------------------------------------------
+
+
+def soccer_match_scenario(
+    seed: int = rng_mod.DEFAULT_SEED,
+    population: UserPopulation | None = None,
+    kickoff: float = DEFAULT_EPOCH + 3600.0,
+    intensity: float = 1.0,
+    goals: tuple[tuple[int, str, str], ...] = (
+        (13, "tevez", "1-0"),
+        (52, "silva", "2-0"),
+        (78, "tevez", "3-0"),
+    ),
+) -> Scenario:
+    """The paper's Figure 1 workload: a soccer match with goal spikes.
+
+    Args:
+        seed: determinism seed.
+        population: author pool; a default 5000-user population when None.
+        kickoff: virtual time of kickoff.
+        intensity: global rate multiplier (scale workloads down for fast
+            tests, up for throughput benches).
+        goals: (minute, scorer, new_score) tuples; the default reproduces
+            the paper's annotated example, where Tevez's goal making it 3-0
+            is peak "F" labeled with "3-0" and "Tevez".
+    """
+    population = population or UserPopulation(seed=seed)
+    start = kickoff - 1800.0  # half an hour of build-up
+    full_time = kickoff + 95 * 60.0
+    end = full_time + 1800.0  # half an hour of post-match talk
+
+    tracks = _chatter_tracks(start, end, rate=2.0 * intensity)
+
+    def play_composer(rng: random.Random, _t: float) -> tuple[str, int]:
+        return text_mod.compose_soccer_play(rng, rng.choice(V.SOCCER_KEYWORDS))
+
+    # Build-up / in-match / post-match commentary.
+    tracks.append(
+        _Track(start, kickoff, 0.8 * intensity, "soccer", None, play_composer)
+    )
+    tracks.append(
+        _Track(kickoff, full_time, 3.0 * intensity, "soccer", None, play_composer)
+    )
+    tracks.append(
+        _Track(full_time, end, 1.2 * intensity, "soccer", None, play_composer)
+    )
+
+    events: list[ScenarioEvent] = []
+    for event_id, (minute, scorer, score) in enumerate(goals, start=1):
+        onset = kickoff + minute * 60.0
+        # City (home side) fans are the majority in this crowd: goals by the
+        # home side skew positive overall, which the sentiment pie reflects.
+        supporters_positive = 0.65
+
+        def goal_composer(
+            rng: random.Random,
+            _t: float,
+            scorer: str = scorer,
+            score: str = score,
+            supporters_positive: float = supporters_positive,
+        ) -> tuple[str, int]:
+            return text_mod.compose_soccer_goal(
+                rng, scorer, score, "manchester city", supporters_positive
+            )
+
+        tracks.extend(
+            _burst_tracks(
+                onset,
+                peak_rate=18.0 * intensity,
+                topic="soccer",
+                event_id=event_id,
+                compose=goal_composer,
+            )
+        )
+        events.append(
+            ScenarioEvent(
+                event_id=event_id,
+                name=f"GOAL {scorer} {score}",
+                time=onset,
+                start=onset,
+                end=onset + 360.0,
+                expected_terms=(scorer, score),
+                info={"minute": minute, "scorer": scorer, "score": score},
+            )
+        )
+
+    return _materialize(
+        "soccer",
+        V.SOCCER_KEYWORDS,
+        start,
+        end,
+        tracks,
+        tuple(events),
+        population,
+        seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario: Red Sox vs Yankees (§3.3's regional-sentiment example)
+# ---------------------------------------------------------------------------
+
+#: NYC / Boston coordinates and fan radii for localized reaction tracks.
+#: Radii are tight enough that the two metros stay disjoint.
+_NYC = (40.71, -74.01, 1.2)
+_BOSTON = (42.36, -71.06, 1.2)
+
+
+def baseball_game_scenario(
+    seed: int = rng_mod.DEFAULT_SEED,
+    population: UserPopulation | None = None,
+    first_pitch: float = DEFAULT_EPOCH + 3600.0,
+    intensity: float = 1.0,
+    homeruns: tuple[tuple[int, str, str, str], ...] = (
+        (35, "yankees", "granderson", "1-0"),
+        (95, "redsox", "ortiz", "1-1"),
+        (150, "yankees", "jeter", "2-1"),
+    ),
+) -> Scenario:
+    """The §3.3 example: a Red Sox–Yankees game where "opinion on an event
+    differs by geographic region".
+
+    Each home run spawns *two* localized reaction bursts: fans near the
+    scoring team's city react overwhelmingly positively, fans near the
+    other city negatively — so drilling the map into a peak shows exactly
+    the regional sentiment split the paper describes.
+
+    Args:
+        homeruns: (minute, scoring team, slugger, new score) tuples.
+    """
+    population = population or UserPopulation(seed=seed)
+    start = first_pitch - 1800.0
+    final_out = first_pitch + 190 * 60.0  # ~3h10m game
+    end = final_out + 1800.0
+
+    tracks = _chatter_tracks(start, end, rate=2.0 * intensity)
+
+    def play_composer(rng: random.Random, _t: float) -> tuple[str, int]:
+        return text_mod.compose_baseball_play(
+            rng, rng.choice(V.BASEBALL_KEYWORDS)
+        )
+
+    tracks.append(
+        _Track(start, first_pitch, 0.6 * intensity, "baseball", None, play_composer)
+    )
+    tracks.append(
+        _Track(first_pitch, final_out, 2.0 * intensity, "baseball", None, play_composer)
+    )
+    tracks.append(
+        _Track(final_out, end, 0.9 * intensity, "baseball", None, play_composer)
+    )
+
+    events: list[ScenarioEvent] = []
+    for event_id, (minute, team, slugger, score) in enumerate(homeruns, start=1):
+        onset = first_pitch + minute * 60.0
+        happy_city = _NYC if team == "yankees" else _BOSTON
+        unhappy_city = _BOSTON if team == "yankees" else _NYC
+
+        def hr_composer(
+            positive_share: float,
+            slugger: str = slugger,
+            score: str = score,
+            team: str = team,
+        ):
+            def compose(rng: random.Random, _t: float) -> tuple[str, int]:
+                return text_mod.compose_baseball_homerun(
+                    rng, slugger, score, team, positive_share
+                )
+
+            return compose
+
+        # The scoring side's metro erupts happily; the rival's sulks.
+        tracks.extend(
+            _burst_tracks(
+                onset, peak_rate=9.0 * intensity, topic="baseball",
+                event_id=event_id, compose=hr_composer(0.85),
+                localized=happy_city,
+            )
+        )
+        tracks.extend(
+            _burst_tracks(
+                onset, peak_rate=6.0 * intensity, topic="baseball",
+                event_id=event_id, compose=hr_composer(0.15),
+                localized=unhappy_city,
+            )
+        )
+        # Neutral national chatter about the homer.
+        tracks.extend(
+            _burst_tracks(
+                onset, peak_rate=4.0 * intensity, topic="baseball",
+                event_id=event_id, compose=hr_composer(0.5),
+            )
+        )
+        events.append(
+            ScenarioEvent(
+                event_id=event_id,
+                name=f"HOME RUN {slugger} ({team}) {score}",
+                time=onset,
+                start=onset,
+                end=onset + 360.0,
+                expected_terms=(slugger, score),
+                info={"minute": minute, "team": team, "slugger": slugger,
+                      "score": score},
+            )
+        )
+
+    return _materialize(
+        "baseball",
+        V.BASEBALL_KEYWORDS,
+        start,
+        end,
+        tracks,
+        tuple(events),
+        population,
+        seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario: earthquake timeline
+# ---------------------------------------------------------------------------
+
+#: Default quake sequence: (hour offset, place, magnitude).
+DEFAULT_QUAKES: tuple[tuple[float, str, float], ...] = (
+    (2.0, "Christchurch", 6.3),
+    (9.5, "Tokyo", 5.1),
+    (17.0, "Concepción", 6.9),
+    (21.5, "Padang", 5.6),
+)
+
+
+def earthquake_scenario(
+    seed: int = rng_mod.DEFAULT_SEED,
+    population: UserPopulation | None = None,
+    start: float = DEFAULT_EPOCH,
+    quakes: tuple[tuple[float, str, float], ...] = DEFAULT_QUAKES,
+    intensity: float = 1.0,
+) -> Scenario:
+    """A day of earthquakes: sharp localized spikes, magnitude-scaled.
+
+    Reaction volume scales super-linearly with magnitude, and authors are
+    drawn from near the epicenter (people tweet about quakes they felt),
+    which feeds TwitInfo's map view clusters.
+    """
+    population = population or UserPopulation(seed=seed)
+    end = start + 24 * 3600.0
+
+    tracks = _chatter_tracks(start, end, rate=2.0 * intensity)
+
+    # A trickle of generic quake talk so the topic exists between events.
+    def ambient_composer(rng: random.Random, _t: float) -> tuple[str, int]:
+        return text_mod.compose_earthquake(rng, "California", 3.0 + rng.random())
+
+    tracks.append(
+        _Track(start, end, 0.05 * intensity, "earthquake", None, ambient_composer)
+    )
+
+    gazetteer = population.gazetteer
+    events: list[ScenarioEvent] = []
+    for event_id, (hour, place, magnitude) in enumerate(quakes, start=1):
+        onset = start + hour * 3600.0
+        city = gazetteer.lookup(place)
+        localized = (
+            (city.lat, city.lon, 12.0) if city is not None else None
+        )
+        # Volume scales with shaking: M5 → ~4/s peak, M7 → ~16/s peak.
+        peak_rate = (2.0 ** (magnitude - 3.0)) * intensity
+
+        def quake_composer(
+            rng: random.Random,
+            _t: float,
+            place: str = place,
+            magnitude: float = magnitude,
+        ) -> tuple[str, int]:
+            return text_mod.compose_earthquake(rng, place, magnitude)
+
+        tracks.extend(
+            _burst_tracks(
+                onset,
+                peak_rate=peak_rate,
+                topic="earthquake",
+                event_id=event_id,
+                compose=quake_composer,
+                stages=((120, 1.0), (300, 0.5), (600, 0.2), (900, 0.07)),
+                localized=localized,
+            )
+        )
+        events.append(
+            ScenarioEvent(
+                event_id=event_id,
+                name=f"M{magnitude:.1f} earthquake {place}",
+                time=onset,
+                start=onset,
+                end=onset + 1920.0,
+                expected_terms=(place.lower().split()[0], f"{magnitude:.1f}"),
+                info={"place": place, "magnitude": magnitude},
+            )
+        )
+
+    return _materialize(
+        "earthquakes",
+        V.EARTHQUAKE_KEYWORDS,
+        start,
+        end,
+        tracks,
+        tuple(events),
+        population,
+        seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario: a month of news ("obama")
+# ---------------------------------------------------------------------------
+
+
+def news_month_scenario(
+    seed: int = rng_mod.DEFAULT_SEED,
+    population: UserPopulation | None = None,
+    start: float = DEFAULT_EPOCH,
+    days: int = 30,
+    n_stories: int = 8,
+    intensity: float = 1.0,
+) -> Scenario:
+    """A month of Obama coverage: story-driven multi-hour elevations.
+
+    Each story has its own sentiment mix (a signing skews positive, a budget
+    fight skews negative), so per-peak sentiment differs — the drill-down
+    behaviour TwitInfo's dashboard demonstrates.
+    """
+    population = population or UserPopulation(seed=seed)
+    end = start + days * 24 * 3600.0
+    layout_rng = rng_mod.derive(seed, "news:layout")
+
+    tracks = _chatter_tracks(start, end, rate=1.0 * intensity)
+
+    def ambient_composer(rng: random.Random, _t: float) -> tuple[str, int]:
+        verb, obj = rng.choice(V.NEWS_STORIES)
+        return text_mod.compose_news(rng, verb, obj, positive=0.2, negative=0.2)
+
+    tracks.append(
+        _Track(start, end, 0.08 * intensity, "news", None, ambient_composer)
+    )
+
+    stories = list(V.NEWS_STORIES)
+    layout_rng.shuffle(stories)
+    story_days = sorted(layout_rng.sample(range(1, days - 1), k=min(n_stories, days - 2)))
+
+    events: list[ScenarioEvent] = []
+    for event_id, day in enumerate(story_days, start=1):
+        verb, obj = stories[(event_id - 1) % len(stories)]
+        onset = start + day * 24 * 3600.0 + layout_rng.uniform(9, 20) * 3600.0
+        positive = layout_rng.uniform(0.15, 0.55)
+        negative = layout_rng.uniform(0.15, 0.9 - positive)
+
+        def story_composer(
+            rng: random.Random,
+            _t: float,
+            verb: str = verb,
+            obj: str = obj,
+            positive: float = positive,
+            negative: float = negative,
+        ) -> tuple[str, int]:
+            return text_mod.compose_news(rng, verb, obj, positive, negative)
+
+        tracks.extend(
+            _burst_tracks(
+                onset,
+                peak_rate=1.2 * intensity,
+                topic="news",
+                event_id=event_id,
+                compose=story_composer,
+                stages=((1800, 1.0), (3600, 0.6), (7200, 0.3), (10800, 0.12)),
+            )
+        )
+        key_token = obj.split()[-1]  # "bill", "plan", "justice", …
+        events.append(
+            ScenarioEvent(
+                event_id=event_id,
+                name=f"obama {verb} {obj}",
+                time=onset,
+                start=onset,
+                end=onset + 23400.0,
+                expected_terms=(key_token,),
+                info={
+                    "verb": verb,
+                    "object": obj,
+                    "positive": positive,
+                    "negative": negative,
+                    "day": day,
+                },
+            )
+        )
+
+    return _materialize(
+        "news-month",
+        V.NEWS_KEYWORDS,
+        start,
+        end,
+        tracks,
+        tuple(events),
+        population,
+        seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario: pure background chatter
+# ---------------------------------------------------------------------------
+
+
+def background_chatter(
+    seed: int = rng_mod.DEFAULT_SEED,
+    population: UserPopulation | None = None,
+    start: float = DEFAULT_EPOCH,
+    duration: float = 3600.0,
+    rate: float = 5.0,
+) -> Scenario:
+    """Topic-free chatter; the null workload for engine/selectivity tests."""
+    population = population or UserPopulation(seed=seed)
+    end = start + duration
+    tracks = _chatter_tracks(start, end, rate=rate)
+    return _materialize(
+        "chatter", (), start, end, tracks, (), population, seed
+    )

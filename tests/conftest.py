@@ -1,0 +1,77 @@
+"""Shared fixtures.
+
+Workload generation is the expensive part of testing this library, so the
+population and scenarios are session-scoped: every test sees the same
+deterministic data (seed 11) without regenerating it. Tests that need
+different parameters build their own small scenarios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig, TweeQL
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import (
+    background_chatter,
+    earthquake_scenario,
+    news_month_scenario,
+    soccer_match_scenario,
+)
+
+SEED = 11
+
+
+@pytest.fixture(scope="session")
+def population():
+    """A small shared synthetic user population."""
+    return UserPopulation(size=1200, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def soccer(population):
+    """A reduced-intensity soccer match (~6k tweets)."""
+    return soccer_match_scenario(seed=SEED, population=population, intensity=0.4)
+
+
+@pytest.fixture(scope="session")
+def quakes(population):
+    """A reduced-intensity earthquake day (~? tweets)."""
+    return earthquake_scenario(seed=SEED, population=population, intensity=0.25)
+
+
+@pytest.fixture(scope="session")
+def news_week(population):
+    """One week of news at low intensity."""
+    return news_month_scenario(
+        seed=SEED, population=population, days=7, n_stories=3, intensity=0.3
+    )
+
+
+@pytest.fixture(scope="session")
+def chatter(population):
+    """An hour of topic-free chatter."""
+    return background_chatter(seed=SEED, population=population, duration=1800.0, rate=3.0)
+
+
+@pytest.fixture()
+def soccer_session(soccer):
+    """A fresh TweeQL session over the shared soccer scenario."""
+    return TweeQL.for_scenarios(soccer, seed=SEED)
+
+
+@pytest.fixture()
+def session_factory(soccer, quakes, news_week, chatter):
+    """Build sessions with custom configs over the shared scenarios."""
+    scenarios = {
+        "soccer": soccer,
+        "quakes": quakes,
+        "news": news_week,
+        "chatter": chatter,
+    }
+
+    def build(*names: str, config: EngineConfig | None = None) -> TweeQL:
+        chosen = [scenarios[name] for name in (names or ("soccer",))]
+        return TweeQL.for_scenarios(*chosen, config=config, seed=SEED)
+
+    return build

@@ -1,0 +1,119 @@
+"""Aggregate accumulators."""
+
+import math
+
+import pytest
+
+from repro.engine.aggregates import (
+    AvgAggregate,
+    CountAggregate,
+    make_aggregate,
+)
+from repro.errors import PlanError
+
+
+def test_count_star_counts_rows():
+    agg = make_aggregate("count", distinct=False, count_rows=True)
+    assert not agg.skip_nulls
+    for _ in range(5):
+        agg.add(1)
+    assert agg.result() == 5
+
+
+def test_count_expr_skips_nulls_by_contract():
+    agg = make_aggregate("count", distinct=False, count_rows=False)
+    assert agg.skip_nulls  # the operator filters NULLs before add()
+
+
+def test_count_distinct():
+    agg = make_aggregate("count", distinct=True, count_rows=False)
+    for value in (1, 2, 2, 3, 3, 3):
+        agg.add(value)
+    assert agg.result() == 3
+
+
+def test_distinct_only_for_count():
+    with pytest.raises(PlanError):
+        make_aggregate("sum", distinct=True, count_rows=False)
+
+
+def test_sum():
+    agg = make_aggregate("sum", distinct=False, count_rows=False)
+    for value in (1, 2, 3.5):
+        agg.add(value)
+    assert agg.result() == 6.5
+
+
+def test_sum_empty_is_null():
+    assert make_aggregate("sum", False, False).result() is None
+
+
+def test_min_max():
+    low = make_aggregate("min", False, False)
+    high = make_aggregate("max", False, False)
+    for value in (3, 1, 2):
+        low.add(value)
+        high.add(value)
+    assert low.result() == 1
+    assert high.result() == 3
+
+
+def test_avg_welford_matches_direct():
+    agg = AvgAggregate()
+    values = [1.0, 2.0, 4.0, 8.0, 16.0]
+    for value in values:
+        agg.add(value)
+    assert agg.result() == pytest.approx(sum(values) / len(values))
+    mean = sum(values) / len(values)
+    direct_var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    assert agg.variance == pytest.approx(direct_var)
+
+
+def test_avg_confidence_interval_shrinks_with_n():
+    agg = AvgAggregate()
+    import random
+
+    rng = random.Random(1)
+    agg.add(rng.random())
+    agg.add(rng.random())
+    wide = agg.confidence_interval()
+    for _ in range(500):
+        agg.add(rng.random())
+    narrow = agg.confidence_interval()
+    assert narrow < wide
+
+
+def test_avg_ci_none_below_two():
+    agg = AvgAggregate()
+    assert agg.confidence_interval() is None
+    agg.add(1.0)
+    assert agg.confidence_interval() is None
+
+
+def test_stddev():
+    agg = make_aggregate("stddev", False, False)
+    for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        agg.add(value)
+    assert agg.result() == pytest.approx(math.sqrt(32 / 7))
+
+
+def test_first_last():
+    first = make_aggregate("first", False, False)
+    last = make_aggregate("last", False, False)
+    for value in ("a", "b", "c"):
+        first.add(value)
+        last.add(value)
+    assert first.result() == "a"
+    assert last.result() == "c"
+
+
+def test_unknown_aggregate_raises():
+    with pytest.raises(PlanError):
+        make_aggregate("median", False, False)
+
+
+def test_count_aggregate_direct():
+    agg = CountAggregate(count_rows=False)
+    agg.add("anything")
+    agg.add("else")
+    assert agg.result() == 2

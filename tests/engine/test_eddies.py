@@ -1,0 +1,107 @@
+"""Eddy-style adaptive predicate reordering."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.engine.eddies import AdaptivePredicate, EddyOperator, StaticConjunction
+from repro.engine.types import EvalContext
+
+
+@pytest.fixture()
+def ctx():
+    return EvalContext(clock=VirtualClock(start=0.0))
+
+
+def make_rows(n, phase_of):
+    """Rows whose 'phase' field drives drifting selectivities."""
+    return [
+        {"created_at": float(i), "i": i, "phase": phase_of(i)} for i in range(n)
+    ]
+
+
+def test_conjunction_semantics_match_static(ctx):
+    rows = make_rows(500, lambda i: i % 2)
+    preds = lambda: [
+        AdaptivePredicate("even", lambda r, _c: r["i"] % 2 == 0),
+        AdaptivePredicate("small", lambda r, _c: r["i"] < 250),
+    ]
+    eddy_out = [r["i"] for r in EddyOperator(make_rows(500, lambda i: 0), preds(), ctx)]
+    ctx2 = EvalContext(clock=VirtualClock(start=0.0))
+    static_out = [
+        r["i"]
+        for r in StaticConjunction(make_rows(500, lambda i: 0), preds(), ctx2)
+    ]
+    assert eddy_out == static_out
+
+
+def test_pass_rate_estimates_converge(ctx):
+    predicate = AdaptivePredicate(
+        "tenth", lambda r, _c: r["i"] % 10 == 0, decay=0.98
+    )
+    for row in make_rows(2000, lambda i: 0):
+        predicate.test(row, ctx)
+    assert predicate.pass_rate == pytest.approx(0.1, abs=0.06)
+    assert predicate.evaluations == 2000
+    assert predicate.passes == 200
+
+
+def test_eddy_moves_selective_predicate_first(ctx):
+    """Phase 1: predicate A filters everything; phase 2: B does. The eddy's
+    order must flip between phases."""
+    n = 6000
+    rows = make_rows(n, lambda i: 0 if i < n // 2 else 1)
+    pred_a = AdaptivePredicate(
+        "a", lambda r, _c: r["phase"] == 1, decay=0.99
+    )  # fails in phase 0, passes in phase 1
+    pred_b = AdaptivePredicate(
+        "b", lambda r, _c: r["phase"] == 0, decay=0.99
+    )  # passes in phase 0, fails in phase 1
+    eddy = EddyOperator(rows, [pred_b, pred_a], ctx, resort_every=32)
+    orders = []
+    iterator = iter(eddy)
+    for index, _row in enumerate(iterator):
+        pass  # nothing passes both predicates; loop drains
+    # After draining, phase 2 dominated recent history: 'b' fails everything
+    # now, so 'b' must have moved to the front.
+    assert eddy.current_order[0] == "b"
+
+
+def test_eddy_skips_remaining_predicates_after_failure(ctx):
+    calls = {"expensive": 0}
+
+    def expensive(r, _c):
+        calls["expensive"] += 1
+        return True
+
+    cheap_selective = AdaptivePredicate("cheap", lambda r, _c: False)
+    costly = AdaptivePredicate("costly", expensive)
+    rows = make_rows(1000, lambda i: 0)
+    list(EddyOperator(rows, [cheap_selective, costly], ctx, resort_every=16))
+    # Once the eddy learns 'cheap' kills everything, 'costly' runs rarely.
+    assert calls["expensive"] < 200
+
+
+def test_eddy_beats_bad_static_order_on_drift(ctx):
+    """Total predicate evaluations: adaptive ≤ the bad static order."""
+    n = 4000
+
+    def build_preds():
+        return [
+            AdaptivePredicate("first_half", lambda r, _c: r["phase"] == 0, decay=0.99),
+            AdaptivePredicate("never", lambda r, _c: False, decay=0.99),
+        ]
+
+    rows = make_rows(n, lambda i: 0 if i < n // 2 else 1)
+    eddy_ctx = EvalContext(clock=VirtualClock(start=0.0))
+    list(EddyOperator(rows, build_preds(), eddy_ctx, resort_every=32))
+    static_ctx = EvalContext(clock=VirtualClock(start=0.0))
+    list(StaticConjunction(rows, build_preds(), static_ctx))
+    assert (
+        eddy_ctx.stats.predicate_evaluations
+        <= static_ctx.stats.predicate_evaluations
+    )
+
+
+def test_resort_every_validated(ctx):
+    with pytest.raises(ValueError):
+        EddyOperator([], [], ctx, resort_every=0)

@@ -1,0 +1,136 @@
+"""Extension features: partial results, CSV export, classifier persistence."""
+
+import csv
+
+import pytest
+
+from repro import EngineConfig, TweeQL
+from repro.geo.service import LatencyModel
+from repro.nlp.sentiment import SentimentClassifier, train_default_classifier
+
+
+# --- partial results -----------------------------------------------------------
+
+
+def test_partial_results_never_stall(session_factory):
+    config = EngineConfig(
+        latency_mode="async",
+        partial_results=True,
+        pool_depth=2,  # shallow pool forces in-flight collisions
+        lookahead=128,
+        geocode_latency=LatencyModel(0.3, sigma=0.0),
+    )
+    session = session_factory("soccer", config=config)
+    rows = session.query(
+        "SELECT latitude(loc) AS lat FROM twitter "
+        "WHERE text contains 'soccer' LIMIT 200;"
+    ).all()
+    stats = session.geocode_managed.stats
+    assert len(rows) == 200
+    assert stats.partials > 0  # some values reported as not-yet-known
+    # Partial rows carry NULL; known rows carry real coordinates.
+    known = [r["lat"] for r in rows if r["lat"] is not None]
+    assert known
+
+
+def test_partial_results_trade_nulls_for_stalls(session_factory):
+    sql = (
+        "SELECT latitude(loc) AS lat FROM twitter "
+        "WHERE text contains 'soccer' LIMIT 200;"
+    )
+    outcomes = {}
+    for partial in (False, True):
+        config = EngineConfig(
+            latency_mode="async",
+            partial_results=partial,
+            pool_depth=2,
+            geocode_latency=LatencyModel(0.3, sigma=0.0),
+        )
+        session = session_factory("soccer", config=config)
+        rows = session.query(sql).all()
+        stats = session.geocode_managed.stats
+        outcomes[partial] = {
+            "nulls": sum(1 for r in rows if r["lat"] is None),
+            "stall": stats.stall_seconds,
+        }
+    # Blocking variant stalls more; partial variant answers with more NULLs.
+    assert outcomes[True]["stall"] < outcomes[False]["stall"]
+    assert outcomes[True]["nulls"] >= outcomes[False]["nulls"]
+
+
+def test_partial_results_requires_async():
+    from repro.engine.latency import ManagedCall
+    from repro.clock import VirtualClock
+    from repro.geo.service import SimulatedWebService
+
+    service = SimulatedWebService(
+        "x", lambda k: k, clock=VirtualClock(), latency=LatencyModel(0.1, sigma=0.0)
+    )
+    with pytest.raises(ValueError):
+        ManagedCall(service, mode="cached", partial_results=True)
+
+
+# --- CSV export -------------------------------------------------------------------
+
+
+def test_to_csv_writes_schema_and_rows(soccer_session, tmp_path):
+    path = str(tmp_path / "out.csv")
+    handle = soccer_session.query(
+        "SELECT sentiment(text) AS mood, text FROM twitter "
+        "WHERE text contains 'tevez' LIMIT 7;"
+    )
+    written = handle.to_csv(path)
+    assert written == 7
+    with open(path, encoding="utf-8") as f:
+        rows = list(csv.DictReader(f))
+    assert len(rows) == 7
+    assert set(rows[0]) == {"mood", "text", "created_at"}
+    assert all("tevez" in row["text"].lower() for row in rows)
+
+
+def test_to_csv_limit(soccer_session, tmp_path):
+    path = str(tmp_path / "out.csv")
+    handle = soccer_session.query(
+        "SELECT text FROM twitter WHERE text contains 'soccer';"
+    )
+    assert handle.to_csv(path, limit=5) == 5
+    handle.close()
+
+
+def test_to_csv_drops_internal_fields(soccer_session, tmp_path):
+    path = str(tmp_path / "out.csv")
+    soccer_session.query(
+        "SELECT * FROM twitter WHERE text contains 'tevez' LIMIT 2;"
+    ).to_csv(path)
+    with open(path, encoding="utf-8") as f:
+        header = f.readline()
+    assert "__tweet__" not in header
+
+
+# --- classifier persistence -----------------------------------------------------------
+
+
+def test_classifier_save_load_round_trip(tmp_path):
+    original = train_default_classifier(corpus_size=800, seed=5)
+    path = str(tmp_path / "model.json")
+    original.save(path)
+    restored = SentimentClassifier.load(path)
+    probes = (
+        "what a disaster, gutted",
+        "absolutely brilliant, so happy",
+        "watching the news",
+        "GOAL tevez makes it 3-0",
+    )
+    for text in probes:
+        assert restored.classify(text) == original.classify(text)
+        assert restored.log_odds(text) == pytest.approx(original.log_odds(text))
+
+
+def test_classifier_from_dict_rejects_unknown_format():
+    with pytest.raises(ValueError):
+        SentimentClassifier.from_dict({"format": "other"})
+
+
+def test_classifier_to_dict_requires_training():
+    with pytest.raises(RuntimeError):
+        SentimentClassifier().to_dict()

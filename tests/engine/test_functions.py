@@ -1,0 +1,149 @@
+"""Builtin functions and the registry."""
+
+import pytest
+
+from repro.clock import DEFAULT_EPOCH, VirtualClock
+from repro.engine.functions import MeanDevUDF, default_registry
+from repro.engine.types import EvalContext
+from repro.errors import UnknownFunctionError
+
+
+@pytest.fixture()
+def ctx():
+    return EvalContext(clock=VirtualClock())
+
+
+def call(name, ctx, *args):
+    spec = default_registry().lookup(name)
+    return spec.impl(ctx, *args)
+
+
+def test_math_builtins(ctx):
+    assert call("floor", ctx, 3.7) == 3
+    assert call("ceil", ctx, 3.2) == 4
+    assert call("round", ctx, 3.456, 2) == 3.46
+    assert call("abs", ctx, -2) == 2
+    assert call("sqrt", ctx, 9) == 3.0
+
+
+def test_string_builtins(ctx):
+    assert call("lower", ctx, "ABC") == "abc"
+    assert call("upper", ctx, "abc") == "ABC"
+    assert call("length", ctx, "abcd") == 4
+    assert call("trim", ctx, "  x ") == "x"
+    assert call("replace", ctx, "a-b", "-", "+") == "a+b"
+    assert call("concat", ctx, "a", 1, "b") == "a1b"
+
+
+def test_substr_one_indexed(ctx):
+    assert call("substr", ctx, "abcdef", 2, 3) == "bcd"
+    assert call("substr", ctx, "abcdef", 3) == "cdef"
+
+
+def test_nullsafe_wrappers(ctx):
+    assert call("floor", ctx, None) is None
+    assert call("lower", ctx, None) is None
+    assert call("substr", ctx, None, 1) is None
+
+
+def test_coalesce(ctx):
+    assert call("coalesce", ctx, None, None, 5, 6) == 5
+    assert call("coalesce", ctx, None) is None
+
+
+def test_if(ctx):
+    assert call("if", ctx, True, "a", "b") == "a"
+    assert call("if", ctx, 0, "a", "b") == "b"
+
+
+def test_first_url(ctx):
+    assert call("first_url", ctx, "go http://bit.ly/x now") == "http://bit.ly/x"
+    assert call("first_url", ctx, "no links") is None
+
+
+def test_hashtags(ctx):
+    assert call("hashtags", ctx, "#A and #b") == ("a", "b")
+
+
+def test_point(ctx):
+    assert call("point", ctx, 1.0, 2.0) == (1.0, 2.0)
+    assert call("point", ctx, None, 2.0) is None
+
+
+def test_temporal(ctx):
+    assert call("hour", ctx, DEFAULT_EPOCH) == 0
+    assert call("minute", ctx, DEFAULT_EPOCH + 90) == 1
+    assert call("day", ctx, DEFAULT_EPOCH) == 12
+    assert call("format_time", ctx, DEFAULT_EPOCH) == "2011-06-12 00:00:00"
+
+
+def test_now_reads_stream_time(ctx):
+    ctx.stream_time = 123.0
+    assert call("now", ctx) == 123.0
+
+
+def test_sentiment_uses_service(ctx):
+    ctx.services["sentiment"] = lambda text: 1 if "good" in text else -1
+    assert call("sentiment", ctx, "good day") == 1
+    assert call("sentiment", ctx, "bad day") == -1
+    assert call("sentiment", ctx, None) is None
+
+
+def test_latitude_longitude_use_geocode_service(ctx):
+    ctx.services["geocode"] = lambda loc: (42.0, -71.0)
+    assert call("latitude", ctx, "Boston") == 42.0
+    assert call("longitude", ctx, "Boston") == -71.0
+    assert call("latitude", ctx, "") is None
+    ctx.services["geocode"] = lambda loc: None
+    assert call("latitude", ctx, "nowhere") is None
+
+
+def test_missing_service_raises_clear_error(ctx):
+    with pytest.raises(KeyError) as excinfo:
+        call("sentiment", ctx, "text")
+    assert "sentiment" in str(excinfo.value)
+
+
+def test_named_entities(ctx):
+    ctx.services["entities"] = lambda text: ["obama/Person"]
+    assert call("named_entities", ctx, "obama spoke") == ("obama/Person",)
+
+
+def test_registry_lookup_unknown():
+    with pytest.raises(UnknownFunctionError):
+        default_registry().lookup("definitely_not_a_function")
+
+
+def test_registry_register_and_replace():
+    registry = default_registry()
+    registry.register("twice", lambda _ctx, x: x * 2)
+    assert registry.lookup("twice").impl(None, 4) == 8
+    registry.register("twice", lambda _ctx, x: x * 3)
+    assert registry.lookup("twice").impl(None, 4) == 12
+
+
+def test_registry_names_sorted():
+    names = default_registry().names()
+    assert list(names) == sorted(names)
+    assert "sentiment" in names
+
+
+def test_high_latency_flags():
+    registry = default_registry()
+    assert registry.lookup("latitude").high_latency
+    assert registry.lookup("named_entities").high_latency
+    assert not registry.lookup("sentiment").high_latency
+
+
+def test_meandev_scores_spikes(ctx):
+    udf = MeanDevUDF(alpha=0.2)
+    for _ in range(20):
+        udf(ctx, 10.0)
+    spike_score = udf(ctx, 100.0)
+    assert spike_score > 2.0
+    calm_score = MeanDevUDF()(ctx, 10.0)
+    assert calm_score == 0.0
+
+
+def test_meandev_null_passthrough(ctx):
+    assert MeanDevUDF()(ctx, None) is None

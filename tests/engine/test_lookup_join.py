@@ -1,0 +1,94 @@
+"""Stream-table (lookup) joins."""
+
+import pytest
+
+from repro.errors import PlanError
+
+
+TEAMS = [
+    {"team": "manchester city", "home": "Manchester"},
+    {"team": "liverpool", "home": "Liverpool"},
+]
+
+
+@pytest.fixture()
+def session(soccer_session):
+    soccer_session.register_source(
+        "teams", lambda: iter([dict(r) for r in TEAMS]), ("team", "home")
+    )
+    soccer_session.register_source(
+        "mentions",
+        lambda: iter(
+            [
+                {"created_at": 1.0, "team": "liverpool", "n": 3},
+                {"created_at": 2.0, "team": "manchester city", "n": 5},
+                {"created_at": 3.0, "team": "everton", "n": 1},
+            ]
+        ),
+        ("created_at", "team", "n"),
+    )
+    return soccer_session
+
+
+def test_lookup_join_enriches_stream(session):
+    rows = session.query(
+        "SELECT n, home FROM mentions JOIN teams ON team = team;"
+    ).all()
+    assert {(r["n"], r["home"]) for r in rows} == {
+        (3, "Liverpool"), (5, "Manchester")
+    }
+
+
+def test_lookup_join_is_inner(session):
+    rows = session.query(
+        "SELECT n FROM mentions JOIN teams ON team = team;"
+    ).all()
+    assert len(rows) == 2  # 'everton' has no dimension row
+
+
+def test_lookup_join_needs_no_window(session):
+    # No WINDOW clause, and it plans fine because 'teams' is a table.
+    text = session.explain(
+        "SELECT n, home FROM mentions JOIN teams ON team = team;"
+    )
+    assert "lookup" in text
+
+
+def test_stream_stream_join_still_requires_window(session):
+    session.register_source(
+        "other_stream",
+        lambda: iter([{"created_at": 1.0, "team": "liverpool"}]),
+        ("created_at", "team"),
+    )
+    with pytest.raises(PlanError):
+        session.query(
+            "SELECT n FROM mentions JOIN other_stream ON team = team;"
+        )
+
+
+def test_lookup_join_from_twitter(session):
+    """Dimension-enrich live tweets: screen_name → segment."""
+    session.register_source(
+        "vips",
+        lambda: iter([{"who": "user1", "segment": "vip"}]),
+        ("who", "segment"),
+    )
+    rows = session.query(
+        "SELECT screen_name, segment FROM twitter JOIN vips "
+        "ON screen_name = who WHERE text contains 'soccer' LIMIT 3;"
+    ).all()
+    for row in rows:
+        assert row["screen_name"] == "user1"
+        assert row["segment"] == "vip"
+
+
+def test_lookup_join_colliding_columns_prefixed(session):
+    session.register_source(
+        "dim",
+        lambda: iter([{"team": "liverpool", "n": 99}]),
+        ("team", "n"),
+    )
+    rows = session.query(
+        "SELECT n, r_n FROM mentions JOIN dim ON team = team;"
+    ).all()
+    assert rows == [{"n": 3, "r_n": 99, "created_at": 1.0}]

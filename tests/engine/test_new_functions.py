@@ -1,0 +1,84 @@
+"""extract() and place_name() UDFs."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.engine.functions import default_registry
+from repro.engine.types import EvalContext
+
+
+@pytest.fixture()
+def ctx():
+    return EvalContext(clock=VirtualClock())
+
+
+def call(name, ctx, *args):
+    return default_registry().lookup(name).impl(ctx, *args)
+
+
+def test_extract_group_one_default(ctx):
+    assert call("extract", ctx, "magnitude 6.3 quake", r"magnitude (\d+\.\d+)") == "6.3"
+
+
+def test_extract_group_zero_is_whole_match(ctx):
+    assert call("extract", ctx, "now 3-0 up", r"\d+-\d+", 0) == "3-0"
+
+
+def test_extract_no_match_is_null(ctx):
+    assert call("extract", ctx, "no numbers here", r"(\d+)") is None
+
+
+def test_extract_case_insensitive(ctx):
+    assert call("extract", ctx, "GOAL by Tevez", r"goal by (\w+)") == "Tevez"
+
+
+def test_extract_invalid_regex_is_null(ctx):
+    assert call("extract", ctx, "text", "[") is None
+
+
+def test_extract_group_out_of_range_is_null(ctx):
+    assert call("extract", ctx, "abc", r"(a)", 2) is None
+
+
+def test_extract_null_propagation(ctx):
+    assert call("extract", ctx, None, r"(a)") is None
+    assert call("extract", ctx, "a", None) is None
+
+
+def test_extract_pattern_cache_shared_in_query(ctx):
+    call("extract", ctx, "a1", r"(\d)")
+    assert "__extract_patterns__" in ctx.state
+    assert len(ctx.state["__extract_patterns__"]) == 1
+    call("extract", ctx, "b2", r"(\d)")
+    assert len(ctx.state["__extract_patterns__"]) == 1
+
+
+def test_place_name_nearest_city(ctx):
+    assert call("place_name", ctx, 35.68, 139.69) == "Tokyo"
+    assert call("place_name", ctx, 42.36, -71.06) == "Boston"
+
+
+def test_place_name_null(ctx):
+    assert call("place_name", ctx, None, 1.0) is None
+
+
+def test_extract_in_sql_query(soccer_session):
+    """End to end: pull the score out of goal tweets with a regex."""
+    rows = soccer_session.query(
+        "SELECT extract(text, '(\\d+-\\d+)') AS score, text FROM twitter "
+        "WHERE text contains 'tevez' AND extract(text, '(\\d+-\\d+)') IS NOT NULL "
+        "LIMIT 10;"
+    ).all()
+    assert rows
+    for row in rows:
+        assert row["score"] in row["text"]
+        assert "-" in row["score"]
+
+
+def test_place_name_in_sql_query(soccer_session):
+    rows = soccer_session.query(
+        "SELECT place_name(geo_lat, geo_lon) AS city FROM twitter "
+        "WHERE text contains 'soccer' AND geo_lat IS NOT NULL LIMIT 10;"
+    ).all()
+    assert rows
+    assert all(isinstance(row["city"], str) for row in rows)

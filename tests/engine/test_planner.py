@@ -1,0 +1,181 @@
+"""Planner decisions: conjunct splitting, API candidates, plan errors."""
+
+import pytest
+
+from repro import EngineConfig, TweeQL
+from repro.engine.planner import (
+    extract_api_candidates,
+    split_conjuncts,
+)
+from repro.errors import PlanError, UnknownSourceError
+from repro.sql import parse
+
+
+def where_of(sql):
+    return parse(sql).where
+
+
+def test_split_conjuncts_flattens_ands():
+    where = where_of("SELECT text FROM t WHERE a = 1 AND b = 2 AND c = 3;")
+    assert len(split_conjuncts(where)) == 3
+
+
+def test_split_conjuncts_keeps_or_whole():
+    where = where_of("SELECT text FROM t WHERE a = 1 OR b = 2;")
+    assert len(split_conjuncts(where)) == 1
+
+
+def test_split_none():
+    assert split_conjuncts(None) == []
+
+
+def test_extract_track_candidate():
+    conjuncts = split_conjuncts(
+        where_of("SELECT text FROM t WHERE text contains 'obama' AND followers > 5;")
+    )
+    found = extract_api_candidates(conjuncts)
+    assert len(found) == 1
+    index, candidate = found[0]
+    assert index == 0
+    assert candidate.kind == "track"
+    assert candidate.api_kwargs == {"track": ("obama",)}
+
+
+def test_extract_or_of_contains_as_multi_keyword_track():
+    conjuncts = split_conjuncts(
+        where_of(
+            "SELECT text FROM t WHERE (text contains 'a' OR text contains 'b');"
+        )
+    )
+    found = extract_api_candidates(conjuncts)
+    assert found[0][1].api_kwargs == {"track": ("a", "b")}
+
+
+def test_or_mixing_fields_not_api_eligible():
+    conjuncts = split_conjuncts(
+        where_of("SELECT text FROM t WHERE text contains 'a' OR followers > 5;")
+    )
+    assert extract_api_candidates(conjuncts) == []
+
+
+def test_extract_bbox_candidate():
+    conjuncts = split_conjuncts(
+        where_of("SELECT text FROM t WHERE location in [bounding box for NYC];")
+    )
+    found = extract_api_candidates(conjuncts)
+    assert found[0][1].kind == "locations"
+
+
+def test_extract_follow_candidates():
+    eq = split_conjuncts(where_of("SELECT text FROM t WHERE user_id = 7;"))
+    inlist = split_conjuncts(
+        where_of("SELECT text FROM t WHERE user_id IN (7, 8);")
+    )
+    assert extract_api_candidates(eq)[0][1].kind == "follow"
+    assert extract_api_candidates(inlist)[0][1].api_kwargs == {"follow": (8, 7)} or \
+        extract_api_candidates(inlist)[0][1].api_kwargs == {"follow": (7, 8)}
+
+
+def test_contains_on_other_field_stays_local():
+    conjuncts = split_conjuncts(
+        where_of("SELECT text FROM t WHERE loc contains 'boston';")
+    )
+    assert extract_api_candidates(conjuncts) == []
+
+
+# --- plan-level behaviour through a session ---------------------------------
+
+
+def test_unknown_source(soccer_session):
+    with pytest.raises(UnknownSourceError):
+        soccer_session.query("SELECT x FROM nowhere;")
+
+
+def test_aggregate_without_window_rejected(soccer_session):
+    with pytest.raises(PlanError) as excinfo:
+        soccer_session.query(
+            "SELECT COUNT(*) FROM twitter WHERE text contains 'soccer';"
+        )
+    assert "WINDOW" in str(excinfo.value)
+
+
+def test_having_without_aggregate_rejected(soccer_session):
+    with pytest.raises(PlanError):
+        soccer_session.query(
+            "SELECT text FROM twitter WHERE text contains 'a' HAVING COUNT(*) > 1;"
+        )
+
+
+def test_order_by_without_aggregate_rejected(soccer_session):
+    with pytest.raises(PlanError):
+        soccer_session.query(
+            "SELECT text FROM twitter WHERE text contains 'a' ORDER BY text;"
+        )
+
+
+def test_select_star_with_aggregate_rejected(soccer_session):
+    with pytest.raises(PlanError):
+        soccer_session.query(
+            "SELECT *, COUNT(*) FROM twitter WHERE text contains 'a' WINDOW 1 minutes;"
+        )
+
+
+def test_join_without_window_rejected(soccer_session):
+    soccer_session.register_source("other", lambda: iter(()), ("created_at", "k"))
+    with pytest.raises(PlanError):
+        soccer_session.query(
+            "SELECT text FROM twitter JOIN other ON user_id = k;"
+        )
+
+
+def test_explain_names_api_filter(soccer_session):
+    text = soccer_session.explain(
+        "SELECT text FROM twitter WHERE text contains 'tevez' AND followers > 10;"
+    )
+    assert "track(tevez)" in text
+    assert "followers" in text
+
+
+def test_explain_shows_selectivity_estimates(soccer_session):
+    text = soccer_session.explain(
+        "SELECT text FROM twitter WHERE text contains 'tevez' "
+        "AND location in [bounding box for NYC];"
+    )
+    assert "selectivity" in text
+
+
+def test_chosen_conjunct_removed_from_local_filter(soccer_session):
+    plan = soccer_session.plan(
+        "SELECT text FROM twitter WHERE text contains 'tevez';"
+    )
+    # Only the API filter line; no local Filter line.
+    assert not any(line.startswith("Filter") for line in plan.explain_lines)
+
+
+def test_firehose_fallback_when_no_candidates(soccer_session):
+    text = soccer_session.explain("SELECT text FROM twitter;")
+    assert "firehose" in text
+
+
+def test_eddy_appears_in_explain(soccer):
+    session = TweeQL.for_scenarios(soccer, config=EngineConfig(use_eddy=True))
+    text = session.explain(
+        "SELECT text FROM twitter WHERE text contains 'tevez' "
+        "AND followers > 10 AND lang = 'en';"
+    )
+    assert "eddy" in text
+
+
+def test_registered_source_schema_validated(soccer_session):
+    soccer_session.register_source(
+        "static", lambda: iter([{"created_at": 1.0, "x": 1}]), ("created_at", "x")
+    )
+    rows = soccer_session.query("SELECT x FROM static;").all()
+    assert rows[0]["x"] == 1
+    with pytest.raises(Exception):
+        soccer_session.query("SELECT bogus FROM static;")
+
+
+def test_cannot_shadow_twitter(soccer_session):
+    with pytest.raises(PlanError):
+        soccer_session.register_source("twitter", lambda: iter(()), ("created_at",))

@@ -1,0 +1,96 @@
+"""API filter choice under uncertain selectivities."""
+
+import pytest
+
+from repro.engine.selectivity import (
+    FilterCandidate,
+    choose_api_filter,
+    estimate_selectivities,
+)
+from repro.geo.bbox import named_box
+from repro.twitter.stream import Firehose, StreamingAPI
+
+
+@pytest.fixture(scope="module")
+def api(soccer, chatter):
+    return StreamingAPI(Firehose.from_scenarios(soccer, chatter), delivery_ratio=1.0)
+
+
+def track_candidate(*keywords):
+    kw = tuple(keywords)
+    return FilterCandidate(
+        kind="track",
+        description=f"track({','.join(kw)})",
+        api_kwargs={"track": kw},
+        matches=lambda t, kw=kw: t.matches_any_keyword(kw),
+    )
+
+
+def bbox_candidate(name):
+    box = named_box(name)
+    return FilterCandidate(
+        kind="locations",
+        description=f"locations({name})",
+        api_kwargs={"locations": (box,)},
+        matches=lambda t, box=box: box.contains_point(t.geo),
+    )
+
+
+def test_estimates_reflect_reality(api):
+    rare = track_candidate("tevez")
+    common = track_candidate("soccer", "football", "manchester", "liverpool")
+    estimates = estimate_selectivities(api, [rare, common], sample_rate=0.2)
+    by_desc = {e.candidate.description: e.selectivity for e in estimates}
+    assert by_desc[rare.description] < by_desc[common.description]
+
+
+def test_chooses_lowest_selectivity(api):
+    rare = track_candidate("tevez")
+    common = track_candidate("soccer", "football", "manchester", "liverpool")
+    choice = choose_api_filter(api, [common, rare], sample_rate=0.2)
+    assert choice.chosen is rare
+
+
+def test_single_candidate_skips_sampling(api):
+    only = track_candidate("anything")
+    choice = choose_api_filter(api, [only])
+    assert choice.chosen is only
+    assert choice.sample_size == 0
+
+
+def test_keyword_vs_location(api):
+    keyword = track_candidate("tevez")
+    location = bbox_candidate("nyc")
+    choice = choose_api_filter(api, [keyword, location], sample_rate=0.3)
+    # Both are rare; whichever wins must genuinely be the rarer estimate.
+    estimates = {e.candidate.kind: e.selectivity for e in choice.estimates}
+    chosen_selectivity = min(estimates.values())
+    winner = next(
+        e for e in choice.estimates if e.candidate is choice.chosen
+    )
+    assert winner.selectivity == chosen_selectivity
+
+
+def test_laplace_smoothing_avoids_zero():
+    from repro.engine.selectivity import SelectivityEstimate
+
+    estimate = SelectivityEstimate(
+        candidate=track_candidate("x"), sample_size=100, matched=0
+    )
+    assert estimate.selectivity > 0.0
+
+
+def test_explain_marks_chosen(api):
+    choice = choose_api_filter(
+        api,
+        [track_candidate("tevez"), track_candidate("soccer")],
+        sample_rate=0.2,
+    )
+    text = choice.explain()
+    assert "->" in text
+    assert "selectivity" in text
+
+
+def test_empty_candidates_rejected(api):
+    with pytest.raises(ValueError):
+        choose_api_filter(api, [])

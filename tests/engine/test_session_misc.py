@@ -1,0 +1,83 @@
+"""Session corners: api-less sessions, sliding SQL windows, table CSV,
+ngram classifier option."""
+
+import csv
+
+import pytest
+
+from repro import TweeQL
+from repro.errors import UnknownSourceError
+
+
+def test_session_without_api_uses_registered_sources_only():
+    session = TweeQL()
+    with pytest.raises(UnknownSourceError):
+        session.query("SELECT text FROM twitter;")
+    session.register_source(
+        "numbers",
+        lambda: iter([{"created_at": float(i), "n": i} for i in range(5)]),
+        ("created_at", "n"),
+    )
+    rows = session.query("SELECT n * 2 AS d FROM numbers;").all()
+    assert [r["d"] for r in rows] == [0, 2, 4, 6, 8]
+
+
+def test_sliding_window_sql_end_to_end(soccer_session):
+    rows = soccer_session.query(
+        "SELECT COUNT(*) AS n FROM twitter WHERE text contains 'soccer' "
+        "WINDOW 10 minutes EVERY 5 minutes;"
+    ).all()
+    assert rows
+    starts = [r["window_start"] for r in rows]
+    # Overlapping windows: starts step by the slide, not the size.
+    diffs = {round(b - a) for a, b in zip(starts, starts[1:])}
+    assert 300 in diffs or 300.0 in diffs
+    # Each tweet lands in two windows: total counted ≈ 2x distinct.
+    distinct = soccer_session.query(
+        "SELECT COUNT(*) AS n FROM twitter WHERE text contains 'soccer' "
+        "WINDOW 1 days;"
+    ).all()
+    total_sliding = sum(r["n"] for r in rows)
+    total_once = sum(r["n"] for r in distinct)
+    assert total_once * 1.7 < total_sliding < total_once * 2.3
+
+
+def test_table_to_csv(soccer_session, tmp_path):
+    soccer_session.query(
+        "SELECT COUNT(*) AS n FROM twitter WHERE text contains 'tevez' "
+        "WINDOW 30 minutes INTO counts;"
+    ).all()
+    path = str(tmp_path / "counts.csv")
+    written = soccer_session.table("counts").to_csv(path)
+    assert written > 0
+    with open(path, encoding="utf-8") as f:
+        rows = list(csv.DictReader(f))
+    assert len(rows) == written
+    assert "n" in rows[0]
+
+
+def test_ngram_classifier_option():
+    from repro.nlp.corpus import training_corpus
+    from repro.nlp.sentiment import SentimentClassifier
+
+    train = training_corpus(size=500, seed=3)
+    unigram = SentimentClassifier(ngram=1)
+    bigram = SentimentClassifier(ngram=2)
+    unigram.train(train)
+    bigram.train(train)
+    assert bigram.vocabulary_size > unigram.vocabulary_size
+    with pytest.raises(ValueError):
+        SentimentClassifier(ngram=3)
+
+
+def test_ngram_survives_save_load(tmp_path):
+    from repro.nlp.corpus import training_corpus
+    from repro.nlp.sentiment import SentimentClassifier
+
+    classifier = SentimentClassifier(ngram=2)
+    classifier.train(training_corpus(size=300, seed=3))
+    path = str(tmp_path / "model.json")
+    classifier.save(path)
+    restored = SentimentClassifier.load(path)
+    probe = "what a disaster, absolutely gutted today"
+    assert restored.log_odds(probe) == pytest.approx(classifier.log_odds(probe))

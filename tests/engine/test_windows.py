@@ -1,0 +1,49 @@
+"""Window assignment."""
+
+from repro.engine.windows import next_close_time, window_start, windows_containing
+from repro.sql.ast import WindowSpec
+
+
+def test_tumbling_single_window():
+    spec = WindowSpec(size_seconds=60.0)
+    windows = list(windows_containing(125.0, spec))
+    assert windows == [(120.0, 180.0)]
+
+
+def test_tumbling_boundary_belongs_to_next_window():
+    spec = WindowSpec(size_seconds=60.0)
+    assert list(windows_containing(120.0, spec)) == [(120.0, 180.0)]
+
+
+def test_sliding_membership_count():
+    spec = WindowSpec(size_seconds=300.0, slide_seconds=60.0)
+    windows = list(windows_containing(1000.0, spec))
+    assert len(windows) == 5
+    for start, end in windows:
+        assert start <= 1000.0 < end
+        assert end - start == 300.0
+
+
+def test_sliding_windows_aligned_to_slide():
+    spec = WindowSpec(size_seconds=300.0, slide_seconds=60.0)
+    for start, _end in windows_containing(1234.0, spec):
+        assert start % 60.0 == 0.0
+
+
+def test_window_start_alignment():
+    assert window_start(125.0, 60.0, 60.0) == 120.0
+    assert window_start(59.9, 60.0, 60.0) == 0.0
+
+
+def test_window_spec_defaults_tumbling():
+    spec = WindowSpec(size_seconds=60.0)
+    assert spec.slide == 60.0
+    assert spec.tumbling
+    sliding = WindowSpec(size_seconds=60.0, slide_seconds=10.0)
+    assert not sliding.tumbling
+
+
+def test_next_close_time():
+    assert next_close_time({}) is None
+    windows = {(0.0, 60.0): object(), (60.0, 120.0): object()}
+    assert next_close_time(windows) == 60.0

@@ -1,0 +1,85 @@
+"""Bounding boxes."""
+
+import pytest
+
+from repro.geo.bbox import NAMED_BOXES, BoundingBox, named_box
+
+
+def test_contains_inside():
+    box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+    assert box.contains(5.0, 5.0)
+
+
+def test_contains_boundary_inclusive():
+    box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+    assert box.contains(0.0, 0.0)
+    assert box.contains(10.0, 10.0)
+
+
+def test_contains_outside():
+    box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+    assert not box.contains(-0.1, 5.0)
+    assert not box.contains(5.0, 10.1)
+
+
+def test_contains_point_none_is_outside():
+    box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+    assert not box.contains_point(None)
+    assert box.contains_point((5.0, 5.0))
+
+
+def test_invalid_latitude_order_rejected():
+    with pytest.raises(ValueError):
+        BoundingBox(10.0, 0.0, 0.0, 10.0)
+
+
+def test_invalid_longitude_order_rejected():
+    with pytest.raises(ValueError):
+        BoundingBox(0.0, 10.0, 10.0, 0.0)
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        BoundingBox(-91.0, 0.0, 0.0, 10.0)
+    with pytest.raises(ValueError):
+        BoundingBox(0.0, 0.0, 10.0, 181.0)
+
+
+def test_center():
+    box = BoundingBox(0.0, 0.0, 10.0, 20.0)
+    assert box.center == (5.0, 10.0)
+
+
+def test_area():
+    box = BoundingBox(0.0, 0.0, 2.0, 3.0)
+    assert box.area_deg2 == 6.0
+
+
+def test_expanded_clamps_to_bounds():
+    box = BoundingBox(-89.0, -179.0, 89.0, 179.0).expanded(5.0)
+    assert box.south == -90.0
+    assert box.east == 180.0
+
+
+def test_around_contains_center():
+    box = BoundingBox.around(40.0, -74.0, radius_km=50.0)
+    assert box.contains(40.0, -74.0)
+    assert not box.contains(42.0, -74.0)  # ~220 km north
+
+
+def test_nyc_named_box_contains_manhattan():
+    nyc = named_box("NYC")
+    assert nyc.contains(40.7589, -73.9851)  # Times Square
+    assert not nyc.contains(42.36, -71.06)  # Boston
+
+
+def test_named_box_unknown_raises_with_choices():
+    with pytest.raises(KeyError) as excinfo:
+        named_box("gotham")
+    assert "nyc" in str(excinfo.value)
+
+
+def test_all_named_boxes_valid():
+    for name, box in NAMED_BOXES.items():
+        assert box.name == name
+        assert box.area_deg2 > 0

@@ -1,0 +1,68 @@
+"""Gazetteer lookups and weights."""
+
+from repro.geo.gazetteer import CITIES, Gazetteer, default_gazetteer
+
+
+def test_has_a_useful_size():
+    assert len(default_gazetteer()) >= 120
+
+
+def test_lookup_canonical_name():
+    city = default_gazetteer().lookup("Tokyo")
+    assert city is not None
+    assert city.country == "Japan"
+
+
+def test_lookup_case_insensitive():
+    gazetteer = default_gazetteer()
+    assert gazetteer.lookup("tokyo") is gazetteer.lookup("TOKYO")
+
+
+def test_lookup_alias():
+    city = default_gazetteer().lookup("NYC")
+    assert city is not None
+    assert city.name == "New York"
+
+
+def test_lookup_unknown_returns_none():
+    assert default_gazetteer().lookup("Atlantis") is None
+
+
+def test_lookup_strips_whitespace():
+    assert default_gazetteer().lookup("  boston ") is not None
+
+
+def test_nearest_returns_closest_city():
+    gazetteer = default_gazetteer()
+    tokyo = gazetteer.lookup("Tokyo")
+    found = gazetteer.nearest(35.7, 139.7)
+    assert found is tokyo
+
+
+def test_nearest_far_ocean_point_still_returns_something():
+    city = default_gazetteer().nearest(0.0, -140.0)
+    assert city is not None
+
+
+def test_twitter_weights_reflect_adoption_skew():
+    """The paper's example: Tokyo must far outweigh Cape Town."""
+    gazetteer = default_gazetteer()
+    weights = dict(zip([c.name for c in gazetteer.cities], gazetteer.twitter_weights()))
+    assert weights["Tokyo"] > 20 * weights["Cape Town"]
+
+
+def test_no_duplicate_canonical_names():
+    names = [c.name.casefold() for c in CITIES]
+    assert len(names) == len(set(names))
+
+
+def test_coordinates_are_valid():
+    for city in CITIES:
+        assert -90 <= city.lat <= 90
+        assert -180 <= city.lon <= 180
+        assert city.population > 0
+        assert city.twitter_weight > 0
+
+
+def test_default_gazetteer_is_shared():
+    assert default_gazetteer() is default_gazetteer()

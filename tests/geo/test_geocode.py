@@ -1,0 +1,80 @@
+"""Free-text geocoding."""
+
+import pytest
+
+from repro.errors import GeocodeError
+from repro.geo.geocode import Geocoder, normalize_location
+
+
+@pytest.fixture(scope="module")
+def geocoder():
+    return Geocoder()
+
+
+def test_exact_name(geocoder):
+    lat, lon = geocoder.geocode("Boston")
+    assert abs(lat - 42.36) < 0.1
+    assert abs(lon + 71.06) < 0.1
+
+
+def test_alias(geocoder):
+    assert geocoder.resolve("NYC").name == "New York"
+
+
+def test_case_and_punctuation_noise(geocoder):
+    assert geocoder.resolve("tokyo!!").name == "Tokyo"
+    assert geocoder.resolve("BOSTON???").name == "Boston"
+
+
+def test_city_comma_region(geocoder):
+    assert geocoder.resolve("Boston, MA").name == "Boston"
+    assert geocoder.resolve("Rio / Brazil").name == "Rio de Janeiro"
+
+
+def test_noise_words_dropped(geocoder):
+    assert geocoder.resolve("downtown Tokyo").name == "Tokyo"
+    assert geocoder.resolve("living in Chicago").name == "Chicago"
+
+
+def test_substring_scan_for_multiword(geocoder):
+    assert geocoder.resolve("the great city of new york forever").name == "New York"
+
+
+def test_unresolvable_raises(geocoder):
+    with pytest.raises(GeocodeError):
+        geocoder.geocode("somewhere over the rainbow")
+
+
+def test_empty_raises(geocoder):
+    with pytest.raises(GeocodeError):
+        geocoder.geocode("")
+    with pytest.raises(GeocodeError):
+        geocoder.geocode("   ")
+
+
+def test_try_geocode_returns_none_instead(geocoder):
+    assert geocoder.try_geocode("the moon") is None
+    assert geocoder.try_geocode("Paris") is not None
+
+
+def test_accented_alias(geocoder):
+    assert geocoder.resolve("São Paulo").name == "São Paulo"
+    assert geocoder.resolve("Sao Paulo").name == "São Paulo"
+
+
+def test_normalize_location():
+    assert normalize_location("  NYC!!  ") == "nyc"
+    assert normalize_location("a   b") == "a b"
+
+
+def test_generated_profile_locations_resolve(geocoder):
+    """Every messy style the user generator emits must resolve."""
+    from repro.geo.gazetteer import default_gazetteer
+    from repro.twitter.users import _messy_location
+    import random
+
+    rng = random.Random(3)
+    city = default_gazetteer().lookup("Manchester")
+    for _ in range(50):
+        messy = _messy_location(rng, city)
+        assert geocoder.resolve(messy).name == "Manchester", messy

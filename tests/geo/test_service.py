@@ -1,0 +1,128 @@
+"""Simulated web-service latency, batching, async, and failures."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import ServiceError
+from repro.geo.service import LatencyModel, SimulatedWebService
+
+
+def make_service(clock=None, **kwargs):
+    clock = clock or VirtualClock(start=0.0)
+    service = SimulatedWebService(
+        "echo", lambda item: item * 2, clock=clock, **kwargs
+    )
+    return service, clock
+
+
+def test_request_advances_clock_by_latency():
+    service, clock = make_service(latency=LatencyModel(0.3, sigma=0.0))
+    assert service.request(5) == 10
+    assert clock.now == pytest.approx(0.3)
+
+
+def test_latency_sampling_varies_with_sigma():
+    service, clock = make_service(latency=LatencyModel(0.3, sigma=0.5))
+    before = clock.now
+    service.request(1)
+    first = clock.now - before
+    before = clock.now
+    service.request(1)
+    second = clock.now - before
+    assert first != second  # lognormal draws differ
+
+
+def test_stats_accumulate():
+    service, _clock = make_service(latency=LatencyModel(0.2, sigma=0.0))
+    service.request(1)
+    service.request(2)
+    assert service.stats.requests == 2
+    assert service.stats.items == 2
+    assert service.stats.virtual_seconds_busy == pytest.approx(0.4)
+
+
+def test_batch_amortizes_round_trip():
+    service, clock = make_service(
+        latency=LatencyModel(0.3, sigma=0.0, per_item_seconds=0.002)
+    )
+    results = service.request_batch([1, 2, 3, 4])
+    assert results == [2, 4, 6, 8]
+    # One round trip + 3 marginal items, far less than 4 round trips.
+    assert clock.now == pytest.approx(0.3 + 3 * 0.002)
+
+
+def test_batch_respects_size_limit():
+    service, _clock = make_service(max_batch_size=3)
+    with pytest.raises(ServiceError):
+        service.request_batch([1, 2, 3, 4])
+
+
+def test_batch_isolates_per_item_errors():
+    clock = VirtualClock(start=0.0)
+
+    def resolver(item):
+        if item == 13:
+            raise ServiceError("bad item")
+        return item
+
+    service = SimulatedWebService(
+        "picky", resolver, clock=clock, latency=LatencyModel(0.1, sigma=0.0)
+    )
+    results = service.request_batch([1, 13, 3])
+    assert results[0] == 1
+    assert isinstance(results[1], ServiceError)
+    assert results[2] == 3
+
+
+def test_async_does_not_block():
+    service, clock = make_service(latency=LatencyModel(0.3, sigma=0.0))
+    landed = []
+    done_at = service.request_async(7, lambda value, err: landed.append((value, err)))
+    assert clock.now == 0.0  # caller not blocked
+    assert landed == []
+    clock.advance_to(done_at)
+    assert landed == [(14, None)]
+
+
+def test_async_overlaps_requests():
+    service, clock = make_service(latency=LatencyModel(0.3, sigma=0.0))
+    landed = []
+    for item in range(5):
+        service.request_async(item, lambda v, e: landed.append(v))
+    clock.flush()
+    # Five overlapping requests finish at t=0.3, not t=1.5.
+    assert clock.now == pytest.approx(0.3)
+    assert sorted(landed) == [0, 2, 4, 6, 8]
+    assert service.stats.in_flight_high_water == 5
+
+
+def test_async_error_reaches_callback():
+    clock = VirtualClock(start=0.0)
+
+    def resolver(_item):
+        raise ServiceError("boom")
+
+    service = SimulatedWebService(
+        "broken", resolver, clock=clock, latency=LatencyModel(0.1, sigma=0.0)
+    )
+    landed = []
+    service.request_async(1, lambda v, e: landed.append((v, type(e).__name__)))
+    clock.flush()
+    assert landed == [(None, "ServiceError")]
+
+
+def test_failure_injection():
+    service, _clock = make_service(failure_rate=0.5, latency=LatencyModel(0.01, sigma=0.0))
+    failures = 0
+    for i in range(200):
+        try:
+            service.request(i)
+        except ServiceError:
+            failures += 1
+    assert 50 < failures < 150
+    assert service.stats.failures == failures
+
+
+def test_failure_rate_validated():
+    with pytest.raises(ValueError):
+        make_service(failure_rate=1.0)

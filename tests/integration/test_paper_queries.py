@@ -1,0 +1,102 @@
+"""The three example queries from Section 2 of the paper, end to end.
+
+These are the reproduction's E1 acceptance tests: each query must parse,
+plan with the documented mechanism, and stream sensible results off the
+simulated firehose.
+"""
+
+import pytest
+
+from repro import TweeQL
+
+
+@pytest.fixture(scope="module")
+def news_session(news_week):
+    return TweeQL.for_scenarios(news_week, seed=11)
+
+
+QUERY_1 = (
+    "SELECT sentiment(text), latitude(loc), longitude(loc) "
+    "FROM twitter WHERE text contains 'obama';"
+)
+
+QUERY_2 = (
+    "SELECT text FROM twitter WHERE text contains 'obama' "
+    "AND location in [bounding box for NYC];"
+)
+
+QUERY_3 = (
+    "SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, "
+    "floor(longitude(loc)) AS long FROM twitter "
+    "WHERE text contains 'obama' GROUP BY lat, long WINDOW 3 hours;"
+)
+
+
+def test_query_1_sentiment_and_geocode(news_session):
+    rows = news_session.query(QUERY_1).fetch(50)
+    assert len(rows) == 50
+    sentiments = {row["sentiment(text)"] for row in rows}
+    assert sentiments <= {-1, 0, 1}
+    assert len(sentiments) >= 2
+    located = [row for row in rows if row["latitude(loc)"] is not None]
+    assert located  # many locations geocode
+    for row in located:
+        assert -90 <= row["latitude(loc)"] <= 90
+        assert -180 <= row["longitude(loc)"] <= 180
+
+
+def test_query_2_keyword_and_bbox(news_session):
+    handle = news_session.query(QUERY_2)
+    rows = handle.all(limit=2000)
+    # The planner sampled both candidate filters and picked one.
+    assert handle.filter_choice is not None
+    assert len(handle.filter_choice.estimates) == 2
+    for row in rows:
+        assert "obama" in row["text"].lower()
+    # All rows came from geotagged NYC tweets (the local predicate).
+    from repro.geo.bbox import named_box
+
+    nyc = named_box("nyc")
+    for row in rows:
+        tweet = row["__tweet__"]
+        assert nyc.contains_point(tweet.geo)
+
+
+def test_query_2_chooses_rarer_filter(news_session):
+    handle = news_session.query(QUERY_2)
+    choice = handle.filter_choice
+    chosen = next(e for e in choice.estimates if e.candidate is choice.chosen)
+    others = [e for e in choice.estimates if e.candidate is not choice.chosen]
+    assert all(chosen.selectivity <= other.selectivity for other in others)
+    handle.close()
+
+
+def test_query_3_regional_sentiment(news_session):
+    rows = news_session.query(QUERY_3).all()
+    assert rows
+    for row in rows:
+        assert row["window_end"] - row["window_start"] == 3 * 3600.0
+        if row["lat"] is not None:
+            assert row["lat"] == int(row["lat"])
+        if row["avg(sentiment(text))"] is not None:
+            assert -1.0 <= row["avg(sentiment(text))"] <= 1.0
+    # The 1°×1° grouping yields several distinct regions.
+    regions = {(row["lat"], row["long"]) for row in rows}
+    assert len(regions) > 3
+
+
+def test_query_3_regions_sized_by_population(news_session):
+    """Window counts per region reflect the uneven user distribution."""
+    rows = news_session.query(
+        "SELECT COUNT(*) AS n, floor(latitude(loc)) AS lat, "
+        "floor(longitude(loc)) AS long FROM twitter "
+        "WHERE text contains 'obama' GROUP BY lat, long WINDOW 24 hours;"
+    ).all()
+    by_region: dict[tuple, int] = {}
+    for row in rows:
+        key = (row["lat"], row["long"])
+        by_region[key] = by_region.get(key, 0) + row["n"]
+    # NYC's cell (40, -75) must be among the heavy cells.
+    named = by_region.get((40, -75), 0)
+    assert named > 0
+    assert named >= sorted(by_region.values())[len(by_region) // 2]

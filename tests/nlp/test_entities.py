@@ -1,0 +1,52 @@
+"""Simulated OpenCalais entity extraction."""
+
+import pytest
+
+from repro.nlp.entities import Entity, EntityExtractor
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return EntityExtractor()
+
+
+def test_person(extractor):
+    entities = extractor.extract("obama spoke to congress")
+    assert Entity("obama", "Person") in entities
+    assert Entity("congress", "Organization") in entities
+
+
+def test_city(extractor):
+    entities = extractor.extract("earthquake near Tokyo today")
+    assert Entity("Tokyo", "City") in entities
+
+
+def test_longest_match_wins(extractor):
+    entities = extractor.extract("manchester city dominating")
+    types = {e.text: e.type for e in entities}
+    assert "manchester city" in types
+    assert "Manchester" not in types  # absorbed by the organization
+
+
+def test_case_insensitive(extractor):
+    assert extractor.extract("TEVEZ scores!") == [Entity("tevez", "Person")]
+
+
+def test_word_boundaries(extractor):
+    # 'hart' must not match inside 'heart'.
+    assert Entity("hart", "Person") not in extractor.extract("my heart aches")
+
+
+def test_no_entities(extractor):
+    assert extractor.extract("nothing notable here") == []
+
+
+def test_service_resolver_form(extractor):
+    strings = extractor("obama visits Boston")
+    assert "obama/Person" in strings
+    assert "Boston/City" in strings
+
+
+def test_dedup(extractor):
+    entities = extractor.extract("tevez tevez tevez")
+    assert entities == [Entity("tevez", "Person")]

@@ -1,0 +1,100 @@
+"""Sentiment classifier: training, inference, accuracy on ground truth."""
+
+import pytest
+
+from repro.nlp.corpus import (
+    LabeledTweet,
+    has_emoticon_label,
+    training_corpus,
+)
+from repro.nlp.corpus import test_corpus as heldout_corpus
+from repro.nlp.sentiment import SentimentClassifier, train_default_classifier
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return train_default_classifier(corpus_size=3000, seed=4)
+
+
+def test_corpus_labels_are_binary():
+    for example in training_corpus(size=200, seed=1):
+        assert example.label in (-1, 1)
+
+
+def test_corpus_deterministic():
+    a = training_corpus(size=50, seed=2)
+    b = training_corpus(size=50, seed=2)
+    assert [e.text for e in a] == [e.text for e in b]
+
+
+def test_emoticon_label_extraction():
+    assert has_emoticon_label("great day :)") == 1
+    assert has_emoticon_label("bad day :(") == -1
+    assert has_emoticon_label("meh day") is None
+    assert has_emoticon_label("mixed :) :(") is None
+
+
+def test_untrained_raises():
+    with pytest.raises(RuntimeError):
+        SentimentClassifier().log_odds("text")
+
+
+def test_training_requires_both_classes():
+    classifier = SentimentClassifier()
+    with pytest.raises(ValueError):
+        classifier.train([LabeledTweet("good", 1)])
+
+
+def test_training_rejects_neutral_labels():
+    classifier = SentimentClassifier()
+    with pytest.raises(ValueError):
+        classifier.train([LabeledTweet("meh", 0), LabeledTweet("good", 1)])
+
+
+def test_emoticon_rule_dominates(classifier):
+    assert classifier.classify("whatever happened :)") == 1
+    assert classifier.classify("whatever happened :(") == -1
+
+
+def test_phrase_based_classification(classifier):
+    assert classifier.classify("this is absolutely brilliant, so happy") == 1
+    assert classifier.classify("what a disaster, gutted and furious") == -1
+
+
+def test_neutral_band(classifier):
+    assert classifier.classify("watching the news now") == 0
+
+
+def test_score_signed_and_bounded(classifier):
+    assert classifier.score("so happy, love it :)") == 1.0
+    assert classifier.score("terrible, hate this :(") == -1.0
+    assert -1.0 <= classifier.score("just watching stuff") <= 1.0
+
+
+def test_accuracy_on_ground_truth(classifier):
+    """Distant supervision must generalize to composer ground truth."""
+    examples = heldout_corpus(size=600, seed=4)
+    metrics = classifier.evaluate(examples)
+    # 2011-era tweet sentiment classifiers sat in this band too — the
+    # TwitInfo paper's recall correction exists precisely because per-class
+    # recall was imperfect.
+    assert metrics["accuracy"] > 0.6
+    assert metrics["recall_positive"] > 0.5
+    assert metrics["recall_negative"] > 0.55
+    assert metrics["recall_neutral"] > 0.55
+
+
+def test_vocabulary_nonempty(classifier):
+    assert classifier.vocabulary_size > 100
+
+
+def test_default_classifier_memoized():
+    a = train_default_classifier(corpus_size=500, seed=9)
+    b = train_default_classifier(corpus_size=500, seed=9)
+    assert a is b
+
+
+def test_unseen_tokens_are_neutral_signal(classifier):
+    odds_empty = classifier.log_odds("")
+    odds_unseen = classifier.log_odds("zzz qqq xxyyzz")
+    assert odds_empty == pytest.approx(odds_unseen)

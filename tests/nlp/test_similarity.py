@@ -1,0 +1,71 @@
+"""Cosine similarity and ranking."""
+
+import pytest
+
+from repro.nlp.keywords import KeywordExtractor
+from repro.nlp.similarity import cosine_similarity, rank_by_similarity
+
+
+def test_cosine_identical():
+    v = {"a": 1.0, "b": 2.0}
+    assert cosine_similarity(v, dict(v)) == pytest.approx(1.0)
+
+
+def test_cosine_orthogonal():
+    assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+
+def test_cosine_empty():
+    assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+
+def test_cosine_symmetric():
+    left = {"a": 1.0, "b": 3.0}
+    right = {"b": 2.0, "c": 1.0}
+    assert cosine_similarity(left, right) == pytest.approx(
+        cosine_similarity(right, left)
+    )
+
+
+def test_rank_orders_by_topical_overlap():
+    items = [
+        "the weather is nice today",
+        "tevez scored a goal for manchester",
+        "goal goal goal tevez tevez",
+    ]
+    ranked = rank_by_similarity(items, ["tevez", "goal"], text_of=lambda s: s)
+    assert ranked[0][0] == items[2]
+    assert ranked[-1][0] == items[0]
+    assert ranked[-1][1] == 0.0
+
+
+def test_rank_limit():
+    items = ["a b", "a c", "a d"]
+    ranked = rank_by_similarity(items, ["a"], text_of=lambda s: s, limit=2)
+    assert len(ranked) == 2
+
+
+def test_rank_stable_for_ties():
+    items = ["goal one", "goal two"]
+    ranked = rank_by_similarity(items, ["goal"], text_of=lambda s: s)
+    assert [item for item, _s in ranked] == items
+
+
+def test_idf_weighting_changes_ranking():
+    extractor = KeywordExtractor()
+    for _ in range(100):
+        extractor.observe("match talk about the match")
+    extractor.observe("tevez scored")
+    items = [
+        "match match match",  # only the ubiquitous term
+        "tevez scored",       # the rare, informative term
+    ]
+    query = ["tevez", "match"]
+    without_idf = rank_by_similarity(items, query, text_of=lambda s: s)
+    with_idf = rank_by_similarity(
+        items, query, text_of=lambda s: s, extractor=extractor
+    )
+    # Raw counts favor the repetitive common-term tweet; IDF flips the
+    # ranking toward the rare-term tweet.
+    assert without_idf[0][0] == "match match match"
+    assert with_idf[0][0] == "tevez scored"

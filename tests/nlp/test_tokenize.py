@@ -1,0 +1,66 @@
+"""Tweet-aware tokenizer."""
+
+from repro.nlp.tokenize import STOPWORDS, content_tokens, tokenize
+
+
+def test_lowercases_words():
+    assert tokenize("Hello World") == ["hello", "world"]
+
+
+def test_hashtag_body_kept():
+    assert "mcfc" in tokenize("GOAL #mcfc")
+
+
+def test_mentions_dropped():
+    assert "ref" not in tokenize("@ref that was a foul")
+
+
+def test_urls_dropped():
+    tokens = tokenize("see http://bit.ly/abc now")
+    assert all("http" not in t and "bit" not in t for t in tokens)
+
+
+def test_score_pattern_preserved():
+    assert "3-0" in tokenize("tevez makes it 3-0")
+
+
+def test_multiple_scores():
+    tokens = tokenize("from 1-0 to 2-0")
+    assert "1-0" in tokens and "2-0" in tokens
+
+
+def test_emoticons_kept_by_default():
+    assert ":(" in tokenize("so sad :(")
+
+
+def test_emoticons_strippable():
+    assert ":(" not in tokenize("so sad :(", keep_emoticons=False)
+
+
+def test_apostrophes_kept_in_words():
+    assert "can't" in tokenize("I can't even")
+
+
+def test_content_tokens_drop_stopwords():
+    tokens = content_tokens("this is the best goal of the match")
+    assert "the" not in tokens
+    assert "goal" in tokens
+    assert "match" in tokens
+
+
+def test_content_tokens_drop_single_chars():
+    assert "a" not in content_tokens("a goal")
+
+
+def test_content_tokens_no_emoticons():
+    assert ":(" not in content_tokens("bad day :(")
+
+
+def test_stopwords_reasonable():
+    assert "the" in STOPWORDS
+    assert "goal" not in STOPWORDS
+
+
+def test_empty_text():
+    assert tokenize("") == []
+    assert content_tokens("") == []

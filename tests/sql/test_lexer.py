@@ -1,0 +1,87 @@
+"""Lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(query):
+    return [(t.type, t.value) for t in tokenize(query)[:-1]]
+
+
+def test_keywords_uppercased():
+    assert kinds("select from") == [
+        (TokenType.KEYWORD, "SELECT"),
+        (TokenType.KEYWORD, "FROM"),
+    ]
+
+
+def test_identifiers_preserve_case():
+    assert kinds("Twitter") == [(TokenType.IDENT, "Twitter")]
+
+
+def test_numbers_int_and_float():
+    assert kinds("42 3.14 .5") == [
+        (TokenType.NUMBER, "42"),
+        (TokenType.NUMBER, "3.14"),
+        (TokenType.NUMBER, ".5"),
+    ]
+
+
+def test_string_literal():
+    assert kinds("'obama'") == [(TokenType.STRING, "obama")]
+
+
+def test_string_escape_doubled_quote():
+    assert kinds("'o''brien'") == [(TokenType.STRING, "o'brien")]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize("'open")
+
+
+def test_multichar_operators():
+    assert [v for _t, v in kinds("<= >= <> != ==")] == ["<=", ">=", "<>", "!=", "=="]
+
+
+def test_single_operators_and_brackets():
+    assert [v for _t, v in kinds("( ) [ ] , ; * + - / % . < > =")] == [
+        "(", ")", "[", "]", ",", ";", "*", "+", "-", "/", "%", ".", "<", ">", "=",
+    ]
+
+
+def test_line_comment_skipped():
+    tokens = kinds("select -- comment here\n text")
+    assert tokens == [(TokenType.KEYWORD, "SELECT"), (TokenType.IDENT, "text")]
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError) as excinfo:
+        tokenize("select @")
+    assert excinfo.value.position == 7
+
+
+def test_eof_token_present():
+    tokens = tokenize("select")
+    assert tokens[-1].type is TokenType.EOF
+
+
+def test_positions_recorded():
+    tokens = tokenize("select text")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 7
+
+
+def test_is_keyword_and_is_op_helpers():
+    select, star = tokenize("select *")[:2]
+    assert select.is_keyword("SELECT", "FROM")
+    assert not select.is_keyword("FROM")
+    assert star.is_op("*")
+    assert not star.is_op("+")
+
+
+def test_units_are_keywords():
+    values = [v for t, v in kinds("3 hours 2 minute") if t is TokenType.KEYWORD]
+    assert values == ["HOURS", "MINUTE"]

@@ -1,0 +1,104 @@
+"""LRU/TTL cache."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.storage.cache import LRUCache
+
+
+def test_put_get():
+    cache = LRUCache(capacity=4)
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.stats.hits == 1
+
+
+def test_miss_returns_default():
+    cache = LRUCache(capacity=4)
+    assert cache.get("missing", "fallback") == "fallback"
+    assert cache.stats.misses == 1
+
+
+def test_none_is_a_legal_value():
+    cache = LRUCache(capacity=4)
+    cache.put("negative", None)
+    assert cache.contains("negative")
+    assert cache.get("negative", "default") is None
+
+
+def test_lru_eviction_order():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh a
+    cache.put("c", 3)  # evicts b
+    assert cache.contains("a")
+    assert not cache.contains("b")
+    assert cache.contains("c")
+    assert cache.stats.evictions == 1
+
+
+def test_put_refreshes_recency():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)  # refresh via put
+    cache.put("c", 3)  # evicts b, not a
+    assert cache.get("a") == 10
+    assert not cache.contains("b")
+
+
+def test_capacity_bound():
+    cache = LRUCache(capacity=3)
+    for i in range(10):
+        cache.put(i, i)
+    assert len(cache) == 3
+
+
+def test_ttl_expiry():
+    clock = VirtualClock(start=0.0)
+    cache = LRUCache(capacity=4, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1)
+    clock.advance(5.0)
+    assert cache.get("a") == 1
+    clock.advance(6.0)
+    assert cache.get("a") is None
+    assert cache.stats.expirations == 1
+
+
+def test_ttl_requires_clock():
+    with pytest.raises(ValueError):
+        LRUCache(capacity=4, ttl_seconds=1.0)
+
+
+def test_contains_does_not_touch_stats_or_recency():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.contains("a")
+    assert cache.stats.hits == 0
+    # 'contains' must not refresh: inserting evicts the true LRU ('a').
+    cache.put("c", 3)
+    assert not cache.contains("a")
+
+
+def test_clear_keeps_counters():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 1
+
+
+def test_hit_rate():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("b")
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        LRUCache(capacity=0)

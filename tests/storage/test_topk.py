@@ -1,0 +1,82 @@
+"""Space-Saving top-k sketch."""
+
+import random
+
+import pytest
+
+from repro.storage.topk import SpaceSaving
+
+
+def test_exact_when_under_capacity():
+    sketch = SpaceSaving(capacity=10)
+    for item, count in (("a", 5), ("b", 3), ("c", 1)):
+        for _ in range(count):
+            sketch.add(item)
+    top = sketch.top(3)
+    assert [(t.item, t.count, t.error) for t in top] == [
+        ("a", 5, 0), ("b", 3, 0), ("c", 1, 0),
+    ]
+
+
+def test_overestimate_never_underestimates():
+    """Space-Saving guarantee: estimate >= true count for tracked items."""
+    rng = random.Random(1)
+    items = [f"url{i}" for i in range(200)]
+    weights = [1.0 / (i + 1) for i in range(200)]
+    true_counts: dict[str, int] = {}
+    sketch = SpaceSaving(capacity=20)
+    for _ in range(5000):
+        item = rng.choices(items, weights=weights, k=1)[0]
+        true_counts[item] = true_counts.get(item, 0) + 1
+        sketch.add(item)
+    for entry in sketch.top(20):
+        assert entry.count >= true_counts.get(entry.item, 0)
+        assert entry.guaranteed <= true_counts.get(entry.item, 0)
+
+
+def test_heavy_hitters_survive():
+    rng = random.Random(2)
+    sketch = SpaceSaving(capacity=10)
+    for i in range(3000):
+        sketch.add("heavy" if rng.random() < 0.4 else f"light{i}")
+    top = sketch.top(1)
+    assert top[0].item == "heavy"
+
+
+def test_error_bound():
+    """Max error is observed / capacity."""
+    rng = random.Random(3)
+    sketch = SpaceSaving(capacity=50)
+    for i in range(4000):
+        sketch.add(f"item{rng.randint(0, 500)}")
+    bound = sketch.observed / 50
+    for entry in sketch.top(50):
+        assert entry.error <= bound
+
+
+def test_weight_param():
+    sketch = SpaceSaving(capacity=4)
+    sketch.add("a", weight=7)
+    assert sketch.top(1)[0].count == 7
+    with pytest.raises(ValueError):
+        sketch.add("a", weight=0)
+
+
+def test_capacity_respected():
+    sketch = SpaceSaving(capacity=5)
+    for i in range(100):
+        sketch.add(f"i{i}")
+    assert len(sketch) == 5
+
+
+def test_ties_break_deterministically():
+    sketch = SpaceSaving(capacity=10)
+    sketch.add("b")
+    sketch.add("a")
+    top = sketch.top(2)
+    assert [t.item for t in top] == ["a", "b"]
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        SpaceSaving(capacity=0)

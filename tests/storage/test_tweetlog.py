@@ -1,0 +1,111 @@
+"""Tweet logs: memory and sqlite backends behave identically."""
+
+import pytest
+
+from repro.storage.tweetlog import MemoryTweetLog, SqliteTweetLog, TableSink
+from repro.twitter.models import Tweet, User
+
+
+def make_tweet(tweet_id, t, text="hello", geo=None):
+    return Tweet(
+        tweet_id=tweet_id,
+        created_at=t,
+        user=User(user_id=tweet_id, screen_name=f"u{tweet_id}", location="Boston",
+                  home=(42.36, -71.06), geo_enabled=bool(geo)),
+        text=text,
+        geo=geo,
+        ground_truth={"sentiment": 1, "topic": "t", "event_id": None,
+                      "coords": (42.36, -71.06)},
+    )
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def log(request):
+    if request.param == "memory":
+        yield MemoryTweetLog()
+    else:
+        with SqliteTweetLog(":memory:") as db:
+            yield db
+
+
+def test_append_and_len(log):
+    log.append(make_tweet(1, 10.0))
+    log.append(make_tweet(2, 20.0))
+    assert len(log) == 2
+
+
+def test_scan_time_range_half_open(log):
+    log.extend([make_tweet(i, float(i * 10)) for i in range(1, 6)])
+    scanned = [t.tweet_id for t in log.scan(20.0, 40.0)]
+    assert scanned == [2, 3]
+
+
+def test_scan_unbounded(log):
+    log.extend([make_tweet(i, float(i)) for i in range(1, 4)])
+    assert len(list(log.scan())) == 3
+    assert [t.tweet_id for t in log.scan(start=2.0)] == [2, 3]
+    assert [t.tweet_id for t in log.scan(end=2.0)] == [1]
+
+
+def test_count_matches_scan(log):
+    log.extend([make_tweet(i, float(i)) for i in range(1, 10)])
+    assert log.count(3.0, 7.0) == len(list(log.scan(3.0, 7.0)))
+
+
+def test_counts_by_bucket(log):
+    log.extend([make_tweet(i, float(i)) for i in range(10)])
+    buckets = log.counts_by_bucket(0.0, 10.0, 5.0)
+    assert buckets == [(0.0, 5), (5.0, 5)]
+
+
+def test_counts_by_bucket_includes_empty(log):
+    log.append(make_tweet(1, 1.0))
+    log.append(make_tweet(2, 11.0))
+    buckets = log.counts_by_bucket(0.0, 15.0, 5.0)
+    assert buckets == [(0.0, 1), (5.0, 0), (10.0, 1)]
+
+
+def test_out_of_order_append_kept_sorted(log):
+    log.append(make_tweet(2, 20.0))
+    log.append(make_tweet(1, 10.0))
+    times = [t.created_at for t in log.scan()]
+    assert times == [10.0, 20.0]
+
+
+def test_sqlite_round_trips_full_tweet():
+    with SqliteTweetLog(":memory:") as db:
+        original = make_tweet(7, 70.0, text="GOAL #mcfc", geo=(40.0, -74.0))
+        db.append(original)
+        restored = next(iter(db.scan()))
+        assert restored.tweet_id == original.tweet_id
+        assert restored.text == original.text
+        assert restored.geo == original.geo
+        assert restored.user.screen_name == original.user.screen_name
+        assert restored.ground_truth["coords"] == (42.36, -71.06)
+        assert restored.entities.hashtags == ("mcfc",)
+
+
+def test_sqlite_persists_to_file(tmp_path):
+    path = str(tmp_path / "tweets.db")
+    with SqliteTweetLog(path) as db:
+        db.extend([make_tweet(i, float(i)) for i in range(1, 4)])
+    with SqliteTweetLog(path) as db:
+        assert len(db) == 3
+
+
+def test_bucket_validation(log):
+    with pytest.raises(Exception):
+        log.counts_by_bucket(0.0, 10.0, 0.0)
+
+
+def test_table_sink():
+    sink = TableSink("results")
+    sink.append({"a": 1})
+    sink.append({"a": 2})
+    assert len(sink) == 2
+    assert [row["a"] for row in sink] == [1, 2]
+    # Rows are copied: mutating the original must not alter the table.
+    row = {"x": 1}
+    sink.append(row)
+    row["x"] = 99
+    assert sink.rows[-1]["x"] == 1

@@ -1,0 +1,100 @@
+"""Virtual clock semantics."""
+
+import pytest
+
+from repro.clock import DEFAULT_EPOCH, VirtualClock, format_timestamp
+
+
+def test_starts_at_epoch():
+    clock = VirtualClock()
+    assert clock.now == DEFAULT_EPOCH
+
+
+def test_advance_moves_forward():
+    clock = VirtualClock(start=100.0)
+    clock.advance(5.0)
+    assert clock.now == 105.0
+
+
+def test_advance_to_exact():
+    clock = VirtualClock(start=100.0)
+    clock.advance_to(142.5)
+    assert clock.now == 142.5
+
+
+def test_cannot_go_backwards():
+    clock = VirtualClock(start=100.0)
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(99.0)
+
+
+def test_advance_zero_is_noop():
+    clock = VirtualClock(start=100.0)
+    clock.advance(0.0)
+    assert clock.now == 100.0
+
+
+def test_callbacks_fire_in_deadline_order():
+    clock = VirtualClock(start=0.0)
+    fired = []
+    clock.call_at(5.0, lambda: fired.append("b"))
+    clock.call_at(3.0, lambda: fired.append("a"))
+    clock.call_at(9.0, lambda: fired.append("c"))
+    clock.advance_to(6.0)
+    assert fired == ["a", "b"]
+    assert clock.pending_count == 1
+    clock.flush()
+    assert fired == ["a", "b", "c"]
+    assert clock.now == 9.0
+
+
+def test_callback_sees_its_own_deadline():
+    clock = VirtualClock(start=0.0)
+    seen = []
+    clock.call_at(4.0, lambda: seen.append(clock.now))
+    clock.advance_to(10.0)
+    assert seen == [4.0]
+    assert clock.now == 10.0
+
+
+def test_callback_scheduled_in_past_fires_on_next_advance():
+    clock = VirtualClock(start=50.0)
+    fired = []
+    clock.call_at(10.0, lambda: fired.append(True))
+    clock.advance(0.0)
+    assert fired == [True]
+
+
+def test_callback_may_schedule_more_work():
+    clock = VirtualClock(start=0.0)
+    fired = []
+
+    def first():
+        fired.append("first")
+        clock.call_at(clock.now + 1.0, lambda: fired.append("second"))
+
+    clock.call_at(2.0, first)
+    clock.advance_to(10.0)
+    assert fired == ["first", "second"]
+
+
+def test_ties_fire_in_scheduling_order():
+    clock = VirtualClock(start=0.0)
+    fired = []
+    clock.call_at(1.0, lambda: fired.append(1))
+    clock.call_at(1.0, lambda: fired.append(2))
+    clock.flush()
+    assert fired == [1, 2]
+
+
+def test_format_timestamp():
+    assert format_timestamp(DEFAULT_EPOCH) == "2011-06-12 00:00:00"
+
+
+def test_datetime_is_utc():
+    clock = VirtualClock()
+    moment = clock.datetime()
+    assert moment.utcoffset().total_seconds() == 0
+    assert moment.year == 2011

@@ -1,0 +1,67 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_tweeql_error():
+    for name in (
+        "LexError", "ParseError", "PlanError", "ExecutionError",
+        "UnknownFunctionError", "UnknownSourceError", "UnknownFieldError",
+        "StreamError", "RateLimitError", "ServiceError", "GeocodeError",
+        "StorageError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.TweeQLError), name
+
+
+def test_lex_error_position():
+    exc = errors.LexError("bad", position=7)
+    assert exc.position == 7
+
+
+def test_parse_error_token_and_position():
+    exc = errors.ParseError("bad", token="FROM", position=3)
+    assert exc.token == "FROM"
+    assert exc.position == 3
+
+
+def test_unknown_function_message():
+    exc = errors.UnknownFunctionError("frobnicate")
+    assert "frobnicate" in str(exc)
+    assert exc.name == "frobnicate"
+
+
+def test_unknown_field_lists_available():
+    exc = errors.UnknownFieldError("bogus", available=("text", "loc"))
+    assert "text" in str(exc)
+    assert exc.available == ("text", "loc")
+
+
+def test_unknown_source():
+    exc = errors.UnknownSourceError("nowhere")
+    assert "nowhere" in str(exc)
+
+
+def test_geocode_error_is_service_error():
+    exc = errors.GeocodeError("the moon")
+    assert isinstance(exc, errors.ServiceError)
+    assert exc.location == "the moon"
+
+
+def test_rate_limit_retry_after():
+    exc = errors.RateLimitError("slow down", retry_after=30.0)
+    assert isinstance(exc, errors.StreamError)
+    assert exc.retry_after == 30.0
+
+
+def test_one_base_class_catches_all(soccer_session):
+    from repro.errors import TweeQLError
+
+    with pytest.raises(TweeQLError):
+        soccer_session.query("SELECT FROM;")
+    with pytest.raises(TweeQLError):
+        soccer_session.query("SELECT nosuchfn(text) FROM twitter;")
+    with pytest.raises(TweeQLError):
+        soccer_session.query("SELECT x FROM nowhere;")

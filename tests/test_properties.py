@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import VirtualClock
+from repro.engine.aggregates import AvgAggregate
+from repro.engine.windows import windows_containing
+from repro.geo.bbox import BoundingBox
+from repro.nlp.similarity import cosine_similarity
+from repro.nlp.tokenize import tokenize
+from repro.sql.ast import WindowSpec
+from repro.storage.cache import LRUCache
+from repro.storage.topk import SpaceSaving
+from repro.twitinfo.timeline import Timeline
+
+
+# --- LRU cache ----------------------------------------------------------------
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "get"]), st.integers(0, 20)),
+        max_size=300,
+    ),
+    capacity=st.integers(1, 8),
+)
+def test_cache_never_exceeds_capacity_and_agrees_with_model(ops, capacity):
+    cache = LRUCache(capacity=capacity)
+    model: dict[int, int] = {}
+    order: list[int] = []  # LRU order, least-recent first
+    for op, key in ops:
+        if op == "put":
+            cache.put(key, key * 2)
+            if key in model:
+                order.remove(key)
+            elif len(model) >= capacity:
+                victim = order.pop(0)
+                del model[victim]
+            model[key] = key * 2
+            order.append(key)
+        else:
+            got = cache.get(key)
+            expected = model.get(key)
+            assert got == expected
+            if key in model:
+                order.remove(key)
+                order.append(key)
+        assert len(cache) <= capacity
+        assert len(cache) == len(model)
+
+
+# --- Space-Saving ----------------------------------------------------------------
+
+
+@given(
+    items=st.lists(st.integers(0, 40), min_size=1, max_size=500),
+    capacity=st.integers(1, 16),
+)
+def test_space_saving_overestimates_and_bounds_error(items, capacity):
+    sketch = SpaceSaving(capacity=capacity)
+    truth: Counter[int] = Counter()
+    for item in items:
+        sketch.add(item)
+        truth[item] += 1
+    bound = sketch.observed / capacity
+    for entry in sketch.top(capacity):
+        assert entry.count >= truth[entry.item]
+        assert entry.error <= bound + 1e-9
+        assert entry.guaranteed <= truth[entry.item]
+
+
+# --- Window assignment --------------------------------------------------------------
+
+
+@given(
+    timestamp=st.floats(0, 1e9, allow_nan=False, allow_infinity=False),
+    size_slides=st.tuples(st.integers(1, 3600), st.integers(1, 3600)),
+)
+def test_every_timestamp_covered_by_expected_window_count(timestamp, size_slides):
+    slide_raw, size_extra = size_slides
+    slide = float(slide_raw)
+    size = slide + float(size_extra)  # size >= slide (engine's usage)
+    spec = WindowSpec(size_seconds=size, slide_seconds=slide)
+    windows = list(windows_containing(timestamp, spec))
+    assert windows, "every timestamp belongs to at least one window"
+    for start, end in windows:
+        assert start <= timestamp < end
+        assert end - start == size
+    # Window starts are distinct and aligned to the slide.
+    starts = [start for start, _end in windows]
+    assert len(set(starts)) == len(starts)
+
+
+# --- Timeline ---------------------------------------------------------------------
+
+
+@given(
+    times=st.lists(
+        st.floats(0, 1e5, allow_nan=False, allow_infinity=False), max_size=200
+    ),
+    bin_seconds=st.floats(1.0, 3600),
+)
+@settings(deadline=None)
+def test_timeline_conserves_counts(times, bin_seconds):
+    timeline = Timeline(bin_seconds=bin_seconds)
+    for t in times:
+        timeline.add(t)
+    assert timeline.total == len(times)
+    assert sum(count for _s, count in timeline.bins(fill_gaps=False)) == len(times)
+    gap_filled = timeline.bins()
+    assert sum(count for _s, count in gap_filled) == len(times)
+
+
+# --- BoundingBox ----------------------------------------------------------------------
+
+
+@given(
+    south=st.floats(-89, 88),
+    west=st.floats(-179, 178),
+    dlat=st.floats(0.1, 2),
+    dlon=st.floats(0.1, 2),
+    lat=st.floats(-90, 90),
+    lon=st.floats(-180, 180),
+)
+def test_bbox_expansion_is_monotone(south, west, dlat, dlon, lat, lon):
+    box = BoundingBox(south, west, min(90.0, south + dlat), min(180.0, west + dlon))
+    grown = box.expanded(1.0)
+    if box.contains(lat, lon):
+        assert grown.contains(lat, lon)
+
+
+# --- Tokenizer ------------------------------------------------------------------------
+
+
+@given(st.text(max_size=280))
+def test_tokenizer_never_crashes_and_is_lowercase(text):
+    tokens = tokenize(text)
+    for token in tokens:
+        if token not in {":)", ":-)", ":D", ";)", "=)", "<3", ":(", ":-(",
+                         ":'(", "D:", "=("}:
+            assert token == token.lower()
+
+
+@given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Zs")), max_size=140))
+def test_tokenizer_idempotent_on_plain_text(text):
+    tokens = tokenize(text)
+    assert tokenize(" ".join(tokens)) == tokens
+
+
+# --- Cosine ---------------------------------------------------------------------------
+
+
+weights = st.dictionaries(
+    st.text(st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=4),
+    st.floats(0.01, 100, allow_nan=False),
+    max_size=8,
+)
+
+
+@given(weights, weights)
+def test_cosine_bounded_and_symmetric(left, right):
+    value = cosine_similarity(left, right)
+    assert 0.0 <= value <= 1.0 + 1e-9
+    assert value == pytest.approx(cosine_similarity(right, left))
+
+
+@given(weights)
+def test_cosine_self_similarity_is_one(vector):
+    if vector:
+        assert cosine_similarity(vector, dict(vector)) == pytest.approx(1.0)
+
+
+# --- Welford AVG ------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=100))
+def test_avg_aggregate_matches_numpy_free_mean(values):
+    agg = AvgAggregate()
+    for value in values:
+        agg.add(value)
+    assert agg.result() == pytest.approx(sum(values) / len(values), rel=1e-6, abs=1e-6)
+    assert agg.variance >= -1e-9
+
+
+# --- Virtual clock -----------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(0, 100, allow_nan=False), max_size=50))
+def test_clock_callbacks_fire_in_order(deadlines):
+    clock = VirtualClock(start=0.0)
+    fired: list[float] = []
+    for deadline in deadlines:
+        clock.call_at(deadline, lambda d=deadline: fired.append(d))
+    clock.flush()
+    assert fired == sorted(fired)
+    assert len(fired) == len(deadlines)

@@ -1,0 +1,93 @@
+"""The interactive REPL loop, driven through a scripted stdin."""
+
+import pytest
+
+from repro import TweeQL
+from repro.cli import repl
+
+
+def run_repl(session, lines, capsys, monkeypatch):
+    feed = iter(lines)
+
+    def fake_input(_prompt):
+        try:
+            return next(feed)
+        except StopIteration:
+            raise EOFError
+
+    monkeypatch.setattr("builtins.input", fake_input)
+    repl(session, rows=5)
+    return capsys.readouterr().out
+
+
+@pytest.fixture()
+def session(soccer):
+    return TweeQL.for_scenarios(soccer, seed=11)
+
+
+def test_repl_runs_query(session, capsys, monkeypatch):
+    out = run_repl(
+        session,
+        ["SELECT text FROM twitter WHERE text contains 'tevez';", ".quit"],
+        capsys, monkeypatch,
+    )
+    assert "text=" in out
+    assert "row(s)" in out
+
+
+def test_repl_multiline_query(session, capsys, monkeypatch):
+    out = run_repl(
+        session,
+        [
+            "SELECT text FROM twitter",
+            "WHERE text contains 'tevez';",
+            ".quit",
+        ],
+        capsys, monkeypatch,
+    )
+    assert "text=" in out
+
+
+def test_repl_help_and_examples(session, capsys, monkeypatch):
+    out = run_repl(session, [".help", ".examples", ".quit"], capsys, monkeypatch)
+    assert ".explain" in out
+    assert "obama" in out  # pre-built queries shown
+
+
+def test_repl_schema_and_functions(session, capsys, monkeypatch):
+    out = run_repl(session, [".schema", ".functions", ".quit"], capsys, monkeypatch)
+    assert "twitter(" in out
+    assert "sentiment" in out
+
+
+def test_repl_explain(session, capsys, monkeypatch):
+    out = run_repl(
+        session,
+        [".explain SELECT text FROM twitter WHERE text contains 'goal';", ".quit"],
+        capsys, monkeypatch,
+    )
+    assert "track(goal)" in out
+
+
+def test_repl_reports_errors_and_continues(session, capsys, monkeypatch):
+    out = run_repl(
+        session,
+        [
+            "SELECT COUNT(*) FROM twitter;",  # aggregate without window
+            "SELECT text FROM twitter WHERE text contains 'tevez' LIMIT 1;",
+            ".quit",
+        ],
+        capsys, monkeypatch,
+    )
+    assert "error:" in out
+    assert "text=" in out  # recovered
+
+
+def test_repl_unknown_dot_command(session, capsys, monkeypatch):
+    out = run_repl(session, [".bogus", ".quit"], capsys, monkeypatch)
+    assert "unknown command" in out
+
+
+def test_repl_eof_exits(session, capsys, monkeypatch):
+    out = run_repl(session, [], capsys, monkeypatch)
+    assert "TweeQL demo shell" in out

@@ -1,0 +1,132 @@
+"""TwitInfo end-to-end: tracking, peaks vs ground truth, drill-down,
+dashboards."""
+
+import json
+
+import pytest
+
+from repro import TweeQL
+from repro.twitinfo import TwitInfoApp
+
+
+@pytest.fixture(scope="module")
+def tracked(soccer):
+    session = TweeQL.for_scenarios(soccer, seed=11)
+    app = TwitInfoApp(session)
+    event = app.track(
+        "Soccer: Manchester City vs. Liverpool",
+        soccer.keywords,
+        start=soccer.start,
+        end=soccer.end,
+    )
+    return app, event, soccer
+
+
+def test_event_logs_matching_tweets(tracked):
+    _app, event, soccer = tracked
+    assert len(event.log) > 1000
+    keywords = tuple(k.casefold() for k in soccer.keywords)
+    for tweet in list(event.log.scan())[:200]:
+        assert any(k in tweet.text.casefold() for k in keywords)
+
+
+def test_peaks_cover_all_goals(tracked):
+    """Recall: every ground-truth goal lies inside some detected peak."""
+    _app, event, soccer = tracked
+    for goal in soccer.truth.events:
+        covering = [
+            p for p in event.peaks
+            if p.start - 120 <= goal.time < p.end + 60
+        ]
+        assert covering, f"goal at {goal.time} not covered by any peak"
+
+
+def test_goal_peaks_carry_expected_terms(tracked):
+    """The Figure-1 behaviour: the 3-0 goal peak is labeled '3-0','tevez'."""
+    _app, event, soccer = tracked
+    last_goal = soccer.truth.events[-1]
+    peak = min(event.peaks, key=lambda p: abs(p.apex_time - last_goal.time))
+    assert set(last_goal.expected_terms) <= set(peak.terms)
+
+
+def test_report_numbers_consistent(tracked):
+    _app, event, _soccer = tracked
+    report = event.report()
+    assert report.tweets_logged == len(event.log)
+    assert report.positive + report.negative + report.neutral == report.tweets_logged
+    assert report.peaks == len(event.peaks)
+
+
+def test_dashboard_whole_event(tracked):
+    app, event, _soccer = tracked
+    dashboard = app.dashboard(event)
+    assert dashboard.selected_peak is None
+    assert dashboard.peaks == event.peaks
+    assert len(dashboard.relevant) > 0
+    assert len(dashboard.links) <= 3
+
+
+def test_dashboard_peak_drilldown_filters_panels(tracked):
+    app, event, soccer = tracked
+    last_goal = soccer.truth.events[-1]
+    peak = min(event.peaks, key=lambda p: abs(p.apex_time - last_goal.time))
+    dashboard = app.dashboard(event, peak_label=peak.label)
+    assert dashboard.selected_peak is peak
+    whole = app.dashboard(event)
+    assert dashboard.sentiment.total < whole.sentiment.total
+    # Relevant tweets come from inside the peak window.
+    for entry in dashboard.relevant:
+        assert peak.start <= entry.tweet.created_at < peak.end
+
+
+def test_dashboard_unknown_peak_raises(tracked):
+    app, event, _soccer = tracked
+    with pytest.raises(KeyError):
+        app.dashboard(event, peak_label="ZZ")
+
+
+def test_peak_search(tracked):
+    _app, event, _soccer = tracked
+    hits = event.search_peaks("tevez")
+    assert hits
+    assert all("tevez" in " ".join(p.terms) for p in hits)
+
+
+def test_dashboard_renderings(tracked):
+    app, event, _soccer = tracked
+    dashboard = app.dashboard(event)
+    text = dashboard.render_text()
+    assert "TwitInfo" in text
+    assert "Peaks:" in text
+    html_page = dashboard.render_html()
+    assert html_page.startswith("<!DOCTYPE html>")
+    assert "svg" in html_page
+    payload = json.loads(dashboard.to_json_text())
+    assert payload["event"] == event.definition.name
+    assert payload["timeline"]
+    assert payload["sentiment"]["pie"]["positive"] >= 0
+
+
+def test_goal_sentiment_skews_positive(tracked):
+    """City fans dominate the generator: goal windows skew positive —
+    visible in the drilled-down pie exactly as §3.3 describes."""
+    app, event, soccer = tracked
+    goal = soccer.truth.events[0]
+    peak = min(event.peaks, key=lambda p: abs(p.apex_time - goal.time))
+    dashboard = app.dashboard(event, peak_label=peak.label)
+    positive, negative = dashboard.sentiment.proportions()
+    assert positive > negative
+
+
+def test_map_markers_cluster_in_big_cities(tracked):
+    app, event, _soccer = tracked
+    dashboard = app.dashboard(event)
+    assert len(dashboard.markers) > 50
+
+
+def test_run_event_with_limit(soccer):
+    session = TweeQL.for_scenarios(soccer, seed=11)
+    app = TwitInfoApp(session)
+    event = app.create_event("limited", soccer.keywords)
+    report = app.run_event(event, limit=100)
+    assert report.tweets_logged == 100

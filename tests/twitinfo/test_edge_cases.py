@@ -1,0 +1,97 @@
+"""Dashboard and app edge cases: empty events, no peaks, range views."""
+
+import pytest
+
+from repro import TweeQL
+from repro.twitinfo import TwitInfoApp
+
+
+@pytest.fixture()
+def app(soccer):
+    session = TweeQL.for_scenarios(soccer, seed=11)
+    return TwitInfoApp(session)
+
+
+def test_event_with_no_matching_tweets(app):
+    tracked = app.track("empty", ("zzznothingmatches",))
+    report = tracked.report()
+    assert report.tweets_logged == 0
+    assert report.peaks == 0
+    dashboard = app.dashboard(tracked)
+    text = dashboard.render_text()
+    assert "TwitInfo" in text
+    html = dashboard.render_html()
+    assert html.startswith("<!DOCTYPE html>")
+    payload = dashboard.to_json()
+    assert payload["timeline"] == []
+    assert payload["sentiment"]["pie"] == {"positive": 0.0, "negative": 0.0}
+
+
+def test_event_with_tweets_but_no_peaks(app, soccer):
+    """A rare keyword produces volume too low/flat for any peak."""
+    tracked = app.track(
+        "quiet", ("sitter",), start=soccer.start, end=soccer.end
+    )
+    assert len(tracked.log) > 0
+    dashboard = app.dashboard(tracked)
+    assert dashboard.render_text()
+    assert dashboard.render_html()
+
+
+def test_dashboard_range_view(app, soccer):
+    tracked = app.track(
+        "soccer", soccer.keywords, start=soccer.start, end=soccer.end
+    )
+    goal = soccer.truth.events[0]
+    ranged = app.dashboard_range(tracked, goal.time - 60, goal.time + 300)
+    whole = app.dashboard(tracked)
+    assert ranged.sentiment.total < whole.sentiment.total
+    for entry in ranged.relevant:
+        assert goal.time - 60 <= entry.tweet.created_at < goal.time + 300
+
+
+def test_dashboard_range_validates(app, soccer):
+    tracked = app.track("soccer2", soccer.keywords)
+    with pytest.raises(ValueError):
+        app.dashboard_range(tracked, 100.0, 100.0)
+
+
+def test_monitor_empty_event(app):
+    tracked = app.create_event("empty-live", ("zzznothingmatches",))
+    snapshots = list(app.monitor(tracked, snapshot_every=100))
+    assert len(snapshots) == 1
+    assert snapshots[0].final
+    assert snapshots[0].tweets_seen == 0
+
+
+def test_sample_rate_limit_degrades_planning(soccer):
+    """With the sample budget exhausted, multi-candidate queries still
+    plan (falling back to the first candidate)."""
+    from repro.errors import RateLimitError
+    from repro.twitter.stream import Firehose, StreamingAPI
+    from repro.clock import VirtualClock
+
+    clock = VirtualClock(start=soccer.start)
+    api = StreamingAPI(
+        Firehose.from_scenarios(soccer), clock=clock, sample_budget=0
+    )
+    with pytest.raises(RateLimitError):
+        api.sample(rate=0.01)
+    session = TweeQL(api=api, clock=clock)
+    handle = session.query(
+        "SELECT text FROM twitter WHERE text contains 'tevez' "
+        "AND location in [bounding box for NYC] LIMIT 2;"
+    )
+    assert "fell back" in handle.explain()
+    handle.close()
+
+
+def test_sample_budget_consumed_then_exhausted(soccer):
+    from repro.errors import RateLimitError
+    from repro.twitter.stream import Firehose, StreamingAPI
+
+    api = StreamingAPI(Firehose.from_scenarios(soccer), sample_budget=2)
+    api.sample(rate=0.01, limit=5)
+    api.sample(rate=0.01, limit=5)
+    with pytest.raises(RateLimitError):
+        api.sample(rate=0.01, limit=5)

@@ -1,0 +1,76 @@
+"""Event definitions and their TweeQL compilation."""
+
+import pytest
+
+from repro.sql import parse
+from repro.twitinfo.event import EventDefinition, PeakAnnotation
+
+
+def test_requires_keywords():
+    with pytest.raises(ValueError):
+        EventDefinition(name="x", keywords=())
+    with pytest.raises(ValueError):
+        EventDefinition(name="x", keywords=("",))
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        EventDefinition(name="x", keywords=("a",), start=10.0, end=5.0)
+    with pytest.raises(ValueError):
+        EventDefinition(name="x", keywords=("a",), bin_seconds=0.0)
+
+
+def test_keywords_stripped():
+    event = EventDefinition(name="x", keywords=(" soccer ", "goal"))
+    assert event.keywords == ("soccer", "goal")
+
+
+def test_to_tweeql_parses_and_ors_keywords():
+    event = EventDefinition(
+        name="Soccer", keywords=("soccer", "manchester"), start=100.0, end=200.0
+    )
+    sql = event.to_tweeql()
+    stmt = parse(sql)
+    assert stmt.source == "twitter"
+    rendered = stmt.where.to_sql()
+    assert "soccer" in rendered and "manchester" in rendered
+    assert "created_at" in rendered
+
+
+def test_to_tweeql_escapes_quotes():
+    event = EventDefinition(name="x", keywords=("o'brien",))
+    stmt = parse(event.to_tweeql())
+    # The quote survives the escape/parse round trip as a literal value.
+    from repro.sql import ast
+
+    literals = [
+        node.value for node in ast.walk(stmt.where)
+        if isinstance(node, ast.Literal) and isinstance(node.value, str)
+    ]
+    assert "o'brien" in literals
+
+
+def test_to_tweeql_into():
+    event = EventDefinition(name="x", keywords=("a",))
+    stmt = parse(event.to_tweeql(into="log"))
+    assert stmt.into == "log"
+
+
+def test_in_window():
+    event = EventDefinition(name="x", keywords=("a",), start=10.0, end=20.0)
+    assert event.in_window(10.0)
+    assert event.in_window(19.9)
+    assert not event.in_window(20.0)
+    assert not event.in_window(9.9)
+    unbounded = EventDefinition(name="y", keywords=("a",))
+    assert unbounded.in_window(1e12)
+
+
+def test_peak_annotation_search():
+    peak = PeakAnnotation(
+        label="F", start=0.0, end=1.0, apex_time=0.5, apex_count=10,
+        terms=("3-0", "tevez"),
+    )
+    assert peak.matches_search("tevez")
+    assert peak.matches_search("TEV")
+    assert not peak.matches_search("silva")

@@ -1,0 +1,110 @@
+"""Live monitoring and event persistence."""
+
+import pytest
+
+from repro import TweeQL
+from repro.twitinfo import TwitInfoApp
+
+
+@pytest.fixture()
+def app_and_scenario(soccer):
+    session = TweeQL.for_scenarios(soccer, seed=11)
+    return TwitInfoApp(session), soccer
+
+
+def test_monitor_yields_snapshots_and_final(app_and_scenario):
+    app, soccer = app_and_scenario
+    tracked = app.create_event(
+        "live", soccer.keywords, start=soccer.start, end=soccer.end
+    )
+    snapshots = list(app.monitor(tracked, snapshot_every=1000))
+    assert len(snapshots) >= 2
+    assert snapshots[-1].final
+    assert not any(s.final for s in snapshots[:-1])
+    seen = [s.tweets_seen for s in snapshots]
+    assert seen == sorted(seen)
+
+
+def test_monitor_detects_goals_while_streaming(app_and_scenario):
+    """Peaks surface mid-stream, before the event ends — the §3.2
+    realtime behaviour."""
+    app, soccer = app_and_scenario
+    tracked = app.create_event(
+        "live", soccer.keywords, start=soccer.start, end=soccer.end
+    )
+    first_peak_at = None
+    for snapshot in app.monitor(tracked, snapshot_every=500):
+        if snapshot.new_peaks and first_peak_at is None and not snapshot.final:
+            first_peak_at = snapshot.stream_time
+    assert first_peak_at is not None
+    assert first_peak_at < soccer.end  # seen before the stream finished
+    # All goals eventually become peaks.
+    for goal in soccer.truth.events:
+        assert any(
+            p.start - 120 <= goal.time < p.end + 120 for p in tracked.peaks
+        )
+
+
+def test_monitor_peak_labels_available_live(app_and_scenario):
+    app, soccer = app_and_scenario
+    tracked = app.create_event(
+        "live", soccer.keywords, start=soccer.start, end=soccer.end
+    )
+    labeled = [
+        peak
+        for snapshot in app.monitor(tracked, snapshot_every=800)
+        for peak in snapshot.new_peaks
+    ]
+    assert labeled
+    final_goal = soccer.truth.events[-1]
+    nearest = min(labeled, key=lambda p: abs(p.apex_time - final_goal.time))
+    assert set(final_goal.expected_terms) <= set(nearest.terms)
+
+
+def test_monitor_respects_limit(app_and_scenario):
+    app, soccer = app_and_scenario
+    tracked = app.create_event("live", soccer.keywords)
+    snapshots = list(app.monitor(tracked, snapshot_every=100, limit=250))
+    assert snapshots[-1].tweets_seen == 250
+
+
+def test_live_and_batch_agree_on_goal_peaks(app_and_scenario):
+    app, soccer = app_and_scenario
+    live = app.create_event(
+        "live", soccer.keywords, start=soccer.start, end=soccer.end
+    )
+    for _snapshot in app.monitor(live, snapshot_every=1000):
+        pass
+    live_times = sorted(p.apex_time for p in live.peaks)
+
+    batch = app.track(
+        "batch", soccer.keywords, start=soccer.start, end=soccer.end
+    )
+    batch_times = sorted(p.apex_time for p in batch.peaks)
+    # Every live peak has a batch peak within two bins.
+    for t in live_times:
+        assert any(abs(t - b) <= 120 for b in batch_times)
+
+
+def test_save_and_load_event_round_trip(app_and_scenario, tmp_path):
+    app, soccer = app_and_scenario
+    tracked = app.track(
+        "persisted", soccer.keywords, start=soccer.start, end=soccer.end
+    )
+    path = str(tmp_path / "event.db")
+    app.save_event(tracked, path)
+    loaded = app.load_event(path)
+    assert loaded.definition == tracked.definition
+    assert len(loaded.log) == len(tracked.log)
+    assert loaded.report().as_dict() == tracked.report().as_dict()
+    assert [p.label for p in loaded.peaks] == [p.label for p in tracked.peaks]
+
+
+def test_load_event_missing_meta(tmp_path, app_and_scenario):
+    app, _soccer = app_and_scenario
+    from repro.storage.tweetlog import SqliteTweetLog
+
+    path = str(tmp_path / "empty.db")
+    SqliteTweetLog(path).close()
+    with pytest.raises(KeyError):
+        app.load_event(path)

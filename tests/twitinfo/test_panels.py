@@ -1,0 +1,206 @@
+"""The dashboard panels: sentiment pie, links, map, relevance, labels."""
+
+import pytest
+
+from repro.geo.bbox import named_box
+from repro.nlp.keywords import KeywordExtractor
+from repro.twitinfo.event import EventDefinition
+from repro.twitinfo.labels import PeakLabeler
+from repro.twitinfo.links import LinkAggregator
+from repro.twitinfo.mapview import MapMarker, MapView
+from repro.twitinfo.peaks import Peak
+from repro.twitinfo.relevance import relevant_tweets
+from repro.twitinfo.sentiment_view import SentimentSummary
+from repro.twitter.models import Tweet, User
+
+
+# --- sentiment ----------------------------------------------------------------
+
+
+def test_sentiment_counts_and_pie():
+    summary = SentimentSummary()
+    for label in (1, 1, 1, -1, 0, 0):
+        summary.add(label)
+    assert (summary.positive, summary.negative, summary.neutral) == (3, 1, 2)
+    positive, negative = summary.proportions()
+    assert positive == pytest.approx(0.75)
+    assert negative == pytest.approx(0.25)
+
+
+def test_sentiment_pie_empty():
+    assert SentimentSummary().proportions() == (0.0, 0.0)
+
+
+def test_recall_correction_shifts_pie():
+    """If negatives are recalled at 0.5 and positives at 1.0, observed 3:1
+    positive is really 3:2."""
+    summary = SentimentSummary(positive=3, negative=1)
+    positive, negative = summary.corrected_proportions(1.0, 0.5)
+    assert positive == pytest.approx(0.6)
+    assert negative == pytest.approx(0.4)
+
+
+def test_recall_correction_validates():
+    with pytest.raises(ValueError):
+        SentimentSummary(positive=1).corrected_proportions(0.0, 1.0)
+
+
+def test_sentiment_merge():
+    a = SentimentSummary(positive=1, negative=2, neutral=3)
+    b = SentimentSummary(positive=10)
+    merged = a.merged(b)
+    assert merged.positive == 11
+    assert merged.total == 16
+
+
+# --- links ---------------------------------------------------------------------
+
+
+def test_links_top3_whole_event():
+    links = LinkAggregator()
+    for i in range(5):
+        links.add("http://a", float(i))
+    for i in range(3):
+        links.add("http://b", float(i))
+    links.add("http://c", 0.0)
+    top = links.top(3)
+    assert [(l.url, l.count) for l in top] == [
+        ("http://a", 5), ("http://b", 3), ("http://c", 1),
+    ]
+
+
+def test_links_timeframe_query():
+    links = LinkAggregator()
+    for t in (1.0, 2.0, 100.0):
+        links.add("http://a", t)
+    links.add("http://b", 100.0)
+    top = links.top(3, start=50.0, end=150.0)
+    assert {(l.url, l.count) for l in top} == {("http://a", 1), ("http://b", 1)}
+
+
+def test_links_sketch_agrees_on_heavy_hitter():
+    links = LinkAggregator()
+    for i in range(100):
+        links.add("http://popular", float(i))
+        links.add(f"http://rare{i}", float(i))
+    assert links.top_sketched(1)[0].url == "http://popular"
+
+
+def test_links_tie_break_alphabetical():
+    links = LinkAggregator()
+    links.add("http://z", 0.0)
+    links.add("http://a", 0.0)
+    assert [l.url for l in links.top(2)] == ["http://a", "http://z"]
+
+
+# --- map -------------------------------------------------------------------------
+
+
+def marker(lat, lon, sentiment, t=0.0):
+    return MapMarker(lat=lat, lon=lon, sentiment=sentiment, timestamp=t, text="x")
+
+
+def test_marker_colors():
+    assert marker(0, 0, 1).color == "blue"
+    assert marker(0, 0, -1).color == "red"
+    assert marker(0, 0, 0).color == "white"
+
+
+def test_map_time_filter():
+    view = MapView()
+    view.add(marker(40.7, -74.0, 1, t=10.0))
+    view.add(marker(40.7, -74.0, -1, t=20.0))
+    assert len(view.markers(start=15.0)) == 1
+    assert len(view) == 2
+
+
+def test_map_region_filter():
+    view = MapView()
+    view.add(marker(40.75, -73.98, 1, t=1.0))   # NYC
+    view.add(marker(42.35, -71.06, -1, t=2.0))  # Boston
+    nyc_markers = view.markers(box=named_box("nyc"))
+    assert len(nyc_markers) == 1
+    assert nyc_markers[0].sentiment == 1
+
+
+def test_map_sentiment_by_region():
+    view = MapView()
+    view.add(marker(40.75, -73.98, 1, t=1.0))
+    view.add(marker(40.76, -73.97, 1, t=2.0))
+    view.add(marker(42.35, -71.06, -1, t=3.0))
+    regions = view.sentiment_by_region(
+        {"nyc": named_box("nyc"), "boston": named_box("boston")}
+    )
+    assert regions["nyc"] == (2, 0, 0)
+    assert regions["boston"] == (0, 1, 0)
+
+
+def test_map_out_of_order_insert():
+    view = MapView()
+    view.add(marker(0, 0, 0, t=10.0))
+    view.add(marker(0, 0, 0, t=5.0))
+    times = [m.timestamp for m in view.markers()]
+    assert times == [5.0, 10.0]
+
+
+# --- relevance --------------------------------------------------------------------
+
+
+def tweet_of(tweet_id, text):
+    return Tweet(
+        tweet_id=tweet_id, created_at=float(tweet_id),
+        user=User(user_id=tweet_id, screen_name=f"u{tweet_id}"), text=text,
+    )
+
+
+def test_relevant_tweets_ranking_and_colors():
+    tweets = [
+        tweet_of(1, "nothing to see"),
+        tweet_of(2, "tevez goal tevez"),
+        tweet_of(3, "one goal mentioned"),
+    ]
+    panel = relevant_tweets(tweets, ["tevez", "goal"], [0, 1, -1], limit=3)
+    assert panel[0].tweet.tweet_id == 2
+    assert panel[0].color == "blue"
+    by_id = {entry.tweet.tweet_id: entry for entry in panel}
+    assert by_id[3].color == "red"
+
+
+def test_relevant_tweets_dedupes_texts():
+    tweets = [tweet_of(i, "tevez goal") for i in range(1, 6)]
+    tweets.append(tweet_of(9, "tevez different"))
+    panel = relevant_tweets(tweets, ["tevez"], [0] * 6, limit=5)
+    texts = [entry.tweet.text for entry in panel]
+    assert len(texts) == len(set(texts)) == 2
+
+
+def test_relevant_tweets_alignment_check():
+    with pytest.raises(ValueError):
+        relevant_tweets([tweet_of(1, "a")], ["a"], [])
+
+
+# --- labels -----------------------------------------------------------------------
+
+
+def test_labeler_suppresses_event_keywords():
+    event = EventDefinition(name="x", keywords=("soccer",))
+    labeler = PeakLabeler(event, terms_per_peak=3)
+    for _ in range(50):
+        labeler.observe("soccer chatter filler words")
+    peak_texts = ["soccer tevez 3-0"] * 5 + ["soccer tevez scores"] * 5
+    terms = [t.term for t in labeler.key_terms(peak_texts)]
+    assert "soccer" not in terms
+    assert "tevez" in terms
+
+
+def test_labeler_annotate_builds_annotation():
+    event = EventDefinition(name="x", keywords=("soccer",))
+    labeler = PeakLabeler(event)
+    for _ in range(30):
+        labeler.observe("routine soccer commentary")
+    peak = Peak("A", start=0.0, apex_time=30.0, apex_count=99,
+                end=120.0, onset_mean=1.0, score=5.0)
+    annotation = labeler.annotate(peak, ["tevez 3-0 goal"] * 6)
+    assert annotation.label == "A"
+    assert "tevez" in annotation.terms
+    assert annotation.apex_count == 99

@@ -1,0 +1,137 @@
+"""Streaming mean-deviation peak detection."""
+
+import pytest
+
+from repro.twitinfo.peaks import Peak, PeakDetector, PeakDetectorParams, _peak_label
+
+
+def bins_from(counts, bin_seconds=60.0, start=0.0):
+    return [(start + i * bin_seconds, float(c)) for i, c in enumerate(counts)]
+
+
+def flat(n, level=20):
+    return [level] * n
+
+
+def test_flat_stream_has_no_peaks():
+    detector = PeakDetector()
+    peaks = detector.run(bins_from(flat(100)))
+    assert peaks == []
+
+
+def test_single_spike_detected():
+    counts = flat(30) + [200, 400, 300, 120, 40, 25] + flat(30)
+    detector = PeakDetector()
+    peaks = detector.run(bins_from(counts))
+    assert len(peaks) == 1
+    peak = peaks[0]
+    assert peak.label == "A"
+    assert peak.apex_count == 400.0
+    assert peak.start == 30 * 60.0
+    assert peak.closed
+
+
+def test_spike_apex_time_recorded():
+    counts = flat(20) + [100, 500, 200] + flat(20)
+    peaks = PeakDetector().run(bins_from(counts))
+    assert peaks[0].apex_time == 21 * 60.0
+
+
+def test_consecutive_spikes_both_detected():
+    """The faster in-peak alpha lets the baseline recover between events —
+    two goals minutes apart must both flag (Figure 1 shows exactly this)."""
+    counts = (
+        flat(30)
+        + [300, 500, 250, 100, 40]
+        + flat(10)
+        + [350, 550, 280, 120, 45]
+        + flat(30)
+    )
+    peaks = PeakDetector().run(bins_from(counts))
+    assert len(peaks) == 2
+    assert [p.label for p in peaks] == ["A", "B"]
+
+
+def test_min_count_suppresses_noise_peaks():
+    # Doubling from 2 to 6 tweets/bin is statistically a spike but below
+    # min_count — it must not flag.
+    counts = [2] * 30 + [6, 7, 6] + [2] * 30
+    params = PeakDetectorParams(min_count=10.0)
+    peaks = PeakDetector(params=params).run(bins_from(counts))
+    assert peaks == []
+
+
+def test_tau_controls_sensitivity():
+    # Noisy baseline (meandev ≈ 10) with a moderate bump: score ≈ 4.
+    noisy = [100 + (10 if i % 2 else -10) for i in range(40)]
+    counts = noisy + [145] + noisy[:10]
+    sensitive = PeakDetector(params=PeakDetectorParams(tau=2.0)).run(bins_from(counts))
+    strict = PeakDetector(params=PeakDetectorParams(tau=8.0)).run(bins_from(counts))
+    assert len(sensitive) >= 1
+    assert strict == []
+
+
+def test_max_duration_caps_window():
+    counts = flat(30) + [500] * 100 + flat(10)
+    params = PeakDetectorParams(max_duration_bins=10)
+    peaks = PeakDetector(params=params).run(bins_from(counts))
+    first = peaks[0]
+    assert (first.end - first.start) / 60.0 <= 10
+
+
+def test_open_peak_closed_by_finish():
+    counts = flat(30) + [400, 500, 600]  # stream ends mid-peak
+    detector = PeakDetector()
+    for bin_start, count in bins_from(counts):
+        detector.update(bin_start, count)
+    assert not detector.peaks[0].closed
+    detector.finish()
+    assert detector.peaks[0].closed
+
+
+def test_update_returns_peak_only_on_open():
+    detector = PeakDetector()
+    opened = []
+    for bin_start, count in bins_from(flat(30) + [500, 400] + flat(5)):
+        result = detector.update(bin_start, count)
+        if result is not None:
+            opened.append(result)
+    assert len(opened) == 1
+
+
+def test_peak_contains_and_window():
+    peak = Peak("A", start=60.0, apex_time=120.0, apex_count=10,
+                end=240.0, onset_mean=2.0, score=3.0)
+    assert peak.window == (60.0, 240.0)
+    assert peak.contains(60.0)
+    assert peak.contains(239.9)
+    assert not peak.contains(240.0)
+
+
+def test_labels_sequence():
+    assert _peak_label(0) == "A"
+    assert _peak_label(25) == "Z"
+    assert _peak_label(26) == "AA"
+    assert _peak_label(27) == "AB"
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        PeakDetectorParams(alpha=0.0)
+    with pytest.raises(ValueError):
+        PeakDetectorParams(tau=-1.0)
+    with pytest.raises(ValueError):
+        PeakDetectorParams(max_duration_bins=0)
+
+
+def test_mean_tracks_baseline():
+    detector = PeakDetector()
+    detector.run(bins_from(flat(100, level=50)))
+    assert detector.mean == pytest.approx(50.0, rel=0.05)
+
+
+def test_gradual_rise_no_peak():
+    """A slow linear climb is a trend, not a peak."""
+    counts = [20 + i * 0.4 for i in range(200)]
+    peaks = PeakDetector().run(bins_from(counts))
+    assert peaks == []

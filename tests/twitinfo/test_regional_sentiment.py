@@ -1,0 +1,86 @@
+"""§3.3's Red Sox–Yankees example: per-peak sentiment varies by region.
+
+"A user should be able to quickly zoom in on clusters of activity around
+New York and Boston during a Red Sox-Yankees baseball game, with sentiment
+toward a given peak (e.g., a home run) varying by region."
+"""
+
+import pytest
+
+from repro import TweeQL
+from repro.geo.bbox import named_box
+from repro.twitinfo import TwitInfoApp
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import baseball_game_scenario
+
+
+@pytest.fixture(scope="module")
+def game():
+    population = UserPopulation(size=3000, seed=17)
+    scenario = baseball_game_scenario(seed=17, population=population)
+    session = TweeQL.for_scenarios(scenario, seed=17)
+    app = TwitInfoApp(session)
+    event = app.track(
+        "Red Sox vs Yankees", scenario.keywords,
+        start=scenario.start, end=scenario.end,
+    )
+    return app, event, scenario
+
+
+def polarity(counts):
+    positive, negative, _neutral = counts
+    total = positive + negative
+    return (positive - negative) / total if total else 0.0
+
+
+def test_every_homerun_is_a_labeled_peak(game):
+    _app, event, scenario = game
+    for truth in scenario.truth.events:
+        peak = min(event.peaks, key=lambda p: abs(p.apex_time - truth.time))
+        assert abs(peak.apex_time - truth.time) <= 240
+        assert set(truth.expected_terms) <= set(peak.terms)
+
+
+def test_sentiment_varies_by_region_per_peak(game):
+    """For each home run, the scoring team's metro is happier than the
+    rival's — and the split flips with the scoring team."""
+    _app, event, scenario = game
+    boxes = {"nyc": named_box("nyc"), "boston": named_box("boston")}
+    for truth in scenario.truth.events:
+        regions = event.map.sentiment_by_region(
+            boxes, truth.time, truth.time + 360
+        )
+        nyc = polarity(regions["nyc"])
+        boston = polarity(regions["boston"])
+        if truth.info["team"] == "yankees":
+            assert nyc > boston
+        else:
+            assert boston > nyc
+
+
+def test_activity_clusters_around_both_metros(game):
+    _app, event, scenario = game
+    truth = scenario.truth.events[0]
+    markers = event.map.markers(truth.time, truth.time + 360)
+    boxes = {"nyc": named_box("nyc"), "boston": named_box("boston")}
+    in_metros = sum(
+        1 for m in markers
+        if any(b.contains(m.lat, m.lon) for b in boxes.values())
+    )
+    # The two metro boxes cover ~0.02% of the planet but hold a large
+    # share of the peak's geotagged reaction (national chatter and metro
+    # suburbs outside the tight boxes make up the rest).
+    assert in_metros > 0.15 * len(markers)
+
+
+def test_whole_game_sentiment_is_less_polarized_than_peaks(game):
+    """Regional polarity is a *peak* phenomenon; the whole-game view
+    blends opposite reactions."""
+    _app, event, scenario = game
+    boxes = {"nyc": named_box("nyc")}
+    whole = polarity(event.map.sentiment_by_region(boxes)["nyc"])
+    first = scenario.truth.events[0]  # a Yankees homer: NYC euphoric
+    peak = polarity(
+        event.map.sentiment_by_region(boxes, first.time, first.time + 360)["nyc"]
+    )
+    assert peak > whole

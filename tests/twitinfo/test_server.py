@@ -1,0 +1,123 @@
+"""The TwitInfo web server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import TweeQL
+from repro.twitinfo import TwitInfoApp
+from repro.twitinfo.server import TwitInfoServer
+
+
+@pytest.fixture(scope="module")
+def server(soccer):
+    session = TweeQL.for_scenarios(soccer, seed=11)
+    app = TwitInfoApp(session)
+    app.track("Soccer", soccer.keywords, start=soccer.start, end=soccer.end)
+    with TwitInfoServer(app) as running:
+        yield running
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def test_index_lists_events(server):
+    status, body = fetch(server.url + "/")
+    assert status == 200
+    assert "Soccer" in body
+    assert "peaks" in body
+
+
+def test_event_page_is_the_dashboard(server):
+    status, body = fetch(server.url + "/event/Soccer")
+    assert status == 200
+    assert body.startswith("<!DOCTYPE html>")
+    assert "Event timeline" in body
+
+
+def test_event_json(server):
+    status, body = fetch(server.url + "/event/Soccer.json")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["event"] == "Soccer"
+    assert payload["timeline"]
+    assert payload["peaks"]
+
+
+def test_peak_drilldown_via_query_param(server):
+    _status, body = fetch(server.url + "/event/Soccer.json")
+    label = json.loads(body)["peaks"][-1]["label"]
+    status, drilled = fetch(server.url + f"/event/Soccer.json?peak={label}")
+    assert status == 200
+    payload = json.loads(drilled)
+    assert payload["selected_peak"] == label
+    whole = json.loads(body)
+    assert (
+        payload["sentiment"]["positive"] + payload["sentiment"]["negative"]
+        <= whole["sentiment"]["positive"] + whole["sentiment"]["negative"]
+    )
+
+
+def test_peak_search_endpoint(server):
+    status, body = fetch(server.url + "/event/Soccer/peaks?q=tevez")
+    assert status == 200
+    hits = json.loads(body)
+    assert hits
+    assert all("tevez" in " ".join(h["terms"]) for h in hits)
+
+
+def test_unknown_event_is_404(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        fetch(server.url + "/event/Nothing")
+    assert excinfo.value.code == 404
+
+
+def test_unknown_path_is_404(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        fetch(server.url + "/bogus/path")
+    assert excinfo.value.code == 404
+
+
+def test_unknown_peak_is_404(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        fetch(server.url + "/event/Soccer?peak=ZZ")
+    assert excinfo.value.code == 404
+
+
+def post(url, data):
+    request = urllib.request.Request(
+        url, data=data.encode("utf-8"), method="POST",
+        headers={"Content-Type": "application/x-www-form-urlencoded"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def test_track_new_event_via_post(server):
+    status, body = post(
+        server.url + "/track", "name=Tevez watch&keywords=tevez"
+    )
+    assert status == 201
+    payload = json.loads(body)
+    assert payload["event"] == "Tevez watch"
+    assert payload["tweets_logged"] > 0
+    # The new event is now served like any other.
+    status, page = fetch(server.url + payload["url"])
+    assert status == 200
+    assert "Tevez watch" in page
+
+
+def test_track_requires_fields(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        post(server.url + "/track", "name=&keywords=")
+    assert excinfo.value.code == 400
+
+
+def test_post_unknown_path_is_404(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        post(server.url + "/bogus", "a=1")
+    assert excinfo.value.code == 404

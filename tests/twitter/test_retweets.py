@@ -1,0 +1,72 @@
+"""Retweet generation."""
+
+import re
+
+import pytest
+
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import RETWEET_RATE, soccer_match_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    population = UserPopulation(size=600, seed=13)
+    return soccer_match_scenario(seed=13, population=population, intensity=0.3)
+
+
+def retweets_of(scenario):
+    return [t for t in scenario.tweets if "retweet_of" in t.ground_truth]
+
+
+def test_retweet_rate_roughly_matches(scenario):
+    topical = [
+        t for t in scenario.tweets if t.ground_truth["topic"] != "chatter"
+    ]
+    rts = retweets_of(scenario)
+    rate = len(rts) / len(topical)
+    assert 0.5 * RETWEET_RATE < rate < 1.6 * RETWEET_RATE
+
+
+def test_retweet_text_quotes_original(scenario):
+    by_id = {t.tweet_id: t for t in scenario.tweets}
+    for rt in retweets_of(scenario)[:100]:
+        original = by_id[rt.ground_truth["retweet_of"]]
+        assert rt.text.startswith(f"RT @{original.screen_name}:")
+        assert original.text[:60] in rt.text or rt.text.endswith("…")
+        assert len(rt.text) <= 140
+
+
+def test_retweet_inherits_sentiment_and_topic(scenario):
+    by_id = {t.tweet_id: t for t in scenario.tweets}
+    for rt in retweets_of(scenario)[:100]:
+        original = by_id[rt.ground_truth["retweet_of"]]
+        assert rt.ground_truth["sentiment"] == original.ground_truth["sentiment"]
+        assert rt.ground_truth["topic"] == original.ground_truth["topic"]
+
+
+def test_retweet_coords_are_the_retweeters(scenario):
+    by_id = {t.tweet_id: t for t in scenario.tweets}
+    differs = 0
+    for rt in retweets_of(scenario)[:200]:
+        original = by_id[rt.ground_truth["retweet_of"]]
+        if rt.ground_truth["coords"] != original.ground_truth["coords"]:
+            differs += 1
+    assert differs > 0  # retweeters live elsewhere
+
+
+def test_chatter_never_retweeted(scenario):
+    for rt in retweets_of(scenario):
+        assert rt.ground_truth["topic"] != "chatter"
+
+
+def test_no_retweets_of_retweets(scenario):
+    by_id = {t.tweet_id: t for t in scenario.tweets}
+    for rt in retweets_of(scenario):
+        original = by_id[rt.ground_truth["retweet_of"]]
+        assert "retweet_of" not in original.ground_truth
+
+
+def test_mentions_extracted_from_retweets(scenario):
+    rt = retweets_of(scenario)[0]
+    handle = re.match(r"RT @(\w+):", rt.text).group(1)
+    assert handle in rt.entities.mentions

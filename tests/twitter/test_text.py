@@ -1,0 +1,92 @@
+"""Tweet text composers."""
+
+import random
+
+import pytest
+
+from repro.twitter import text as text_mod
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(17)
+
+
+def test_chatter_within_length(rng):
+    for _ in range(200):
+        body, sentiment = text_mod.compose_chatter(rng)
+        assert len(body) <= 140
+        assert sentiment in (-1, 0, 1)
+
+
+def test_chatter_sentiment_mix(rng):
+    labels = [text_mod.compose_chatter(rng)[1] for _ in range(1000)]
+    assert labels.count(1) > 100
+    assert labels.count(-1) > 50
+    assert labels.count(0) > 300
+
+
+def test_goal_contains_scorer_and_score(rng):
+    for _ in range(100):
+        body, _ = text_mod.compose_soccer_goal(rng, "tevez", "3-0", "manchester city", 0.6)
+        assert "tevez" in body.lower()
+        assert "3-0" in body
+
+
+def test_goal_supporter_share_drives_sentiment(rng):
+    happy = [
+        text_mod.compose_soccer_goal(rng, "tevez", "1-0", "city", 0.9)[1]
+        for _ in range(500)
+    ]
+    sad = [
+        text_mod.compose_soccer_goal(rng, "tevez", "1-0", "city", 0.1)[1]
+        for _ in range(500)
+    ]
+    assert happy.count(1) > 350
+    assert sad.count(-1) > 350
+
+
+def test_goal_never_neutral(rng):
+    labels = {text_mod.compose_soccer_goal(rng, "x", "1-0", "t", 0.5)[1] for _ in range(50)}
+    assert labels <= {1, -1}
+
+
+def test_play_mentions_topic(rng):
+    body, _ = text_mod.compose_soccer_play(rng, "soccer")
+    assert isinstance(body, str) and body
+
+
+def test_earthquake_mentions_place_and_skews_negative(rng):
+    labels = []
+    for _ in range(300):
+        body, label = text_mod.compose_earthquake(rng, "Christchurch", 6.3)
+        labels.append(label)
+        assert "christchurch" in body.lower() or "Christchurch" in body
+    assert labels.count(-1) > labels.count(1)
+
+
+def test_news_sentiment_mix_controllable(rng):
+    positive = [
+        text_mod.compose_news(rng, "signs", "the bill", positive=0.8, negative=0.1)[1]
+        for _ in range(400)
+    ]
+    negative = [
+        text_mod.compose_news(rng, "signs", "the bill", positive=0.1, negative=0.8)[1]
+        for _ in range(400)
+    ]
+    assert positive.count(1) > 240
+    assert negative.count(-1) > 240
+
+
+def test_sample_sentiment_distribution(rng):
+    draws = [text_mod.sample_sentiment(rng, 0.5, 0.3) for _ in range(2000)]
+    assert 800 < draws.count(1) < 1200
+    assert 450 < draws.count(-1) < 750
+    assert 250 < draws.count(0) < 550
+
+
+def test_truncate_prefers_word_boundary():
+    long_text = "word " * 50
+    truncated = text_mod._truncate(long_text)
+    assert len(truncated) <= 140
+    assert not truncated.endswith("wor")
