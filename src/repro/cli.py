@@ -97,6 +97,7 @@ def build_session(args: argparse.Namespace) -> tuple[TweeQL, list[Scenario]]:
         latency_mode=getattr(args, "latency_mode", "cached"),
         use_eddy=getattr(args, "use_eddy", False),
         partial_results=getattr(args, "partial_results", False),
+        workers=getattr(args, "workers", 1),
     )
     return TweeQL.for_scenarios(*scenarios, config=config), scenarios
 
@@ -241,6 +242,14 @@ def make_parser() -> argparse.ArgumentParser:
         default="cached",
         choices=("blocking", "cached", "batched", "async"),
         help="how high-latency UDFs reach their web services",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard each query across N parallel worker pipelines "
+        "(1 = serial; results are identical at any worker count)",
     )
     parser.add_argument(
         "--use-eddy",

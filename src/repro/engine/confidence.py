@@ -104,10 +104,18 @@ class ConfidenceAggregateOperator:
         policy = self._policy
         for row in self._child:
             now = row.get("created_at", self._ctx.stream_time)
+            # Under sharded execution rows carry a global sequence number
+            # and time-only punctuation arrives for rows routed to other
+            # shards; both keep age-based flushes firing at exactly the
+            # triggers the serial operator would have seen.
+            trigger = row.get("__seq__")
 
             # Freshness bound: age out slow groups before processing.
             if policy.max_age_seconds is not None:
-                yield from self._flush_aged(now)
+                yield from self._flush_aged(now, trigger)
+
+            if "__punct__" in row:
+                continue
 
             key = tuple(e(row, self._ctx) for e in self._group_evals)
             value = self._value_eval(row, self._ctx)
@@ -123,13 +131,36 @@ class ConfidenceAggregateOperator:
             if group.aggregate.n >= policy.min_count:
                 half = group.aggregate.confidence_interval(policy.z)
                 if half is not None and half <= policy.ci_halfwidth:
-                    yield self._emit(key, group, "confidence")
+                    yield self._emit(
+                        key, group, "confidence",
+                        order=self._order_tag(trigger, 1, group),
+                    )
 
         for key in sorted(self._groups, key=_key_order):
-            yield self._emit(key, self._groups[key], "eos", pop=False)
+            group = self._groups[key]
+            order = (
+                (math.inf, 2, _key_order(key))
+                if "__seq__" in group.representative
+                else None
+            )
+            yield self._emit(key, group, "eos", pop=False, order=order)
         self._groups.clear()
 
-    def _flush_aged(self, now: float) -> Iterator[Row]:
+    def _order_tag(
+        self, trigger: int | None, phase: int, group: _ConfidenceGroup
+    ) -> tuple | None:
+        """Merge-order tag for sharded execution; None when serial.
+
+        Tags sort by (triggering row, phase, group first-seen row): the
+        serial operator flushes aged groups before processing the trigger
+        row's own group (phase 0 < 1), and emits multiple aged groups in
+        creation order.
+        """
+        if trigger is None:
+            return None
+        return (trigger, phase, group.representative.get("__seq__", -1))
+
+    def _flush_aged(self, now: float, trigger: int | None = None) -> Iterator[Row]:
         assert self._policy.max_age_seconds is not None
         horizon = now - self._policy.max_age_seconds
         aged = [
@@ -138,10 +169,18 @@ class ConfidenceAggregateOperator:
             if group.first_time <= horizon and group.aggregate.n >= 2
         ]
         for key in aged:
-            yield self._emit(key, self._groups[key], "age")
+            group = self._groups[key]
+            yield self._emit(
+                key, group, "age", order=self._order_tag(trigger, 0, group)
+            )
 
     def _emit(
-        self, key: tuple, group: _ConfidenceGroup, reason: str, pop: bool = True
+        self,
+        key: tuple,
+        group: _ConfidenceGroup,
+        reason: str,
+        pop: bool = True,
+        order: tuple | None = None,
     ) -> Row:
         env = dict(group.representative)
         env["__agg0"] = group.aggregate.result()
@@ -156,6 +195,8 @@ class ConfidenceAggregateOperator:
         out["emit_reason"] = reason
         out["group_started"] = group.first_time
         out["created_at"] = group.last_time
+        if order is not None:
+            out["__order__"] = order
         if pop:
             del self._groups[key]
         self._ctx.stats.groups_emitted += 1

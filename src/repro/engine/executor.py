@@ -28,6 +28,7 @@ class QueryHandle:
         self._plan = plan
         self._iterator: Iterator[Row] | None = None
         self._closed = False
+        self._released = False
 
     @property
     def schema(self) -> tuple[str, ...]:
@@ -36,8 +37,32 @@ class QueryHandle:
 
     @property
     def stats(self) -> QueryStats:
-        """Engine counters for this query."""
-        return self._plan.ctx.stats
+        """Engine counters for this query.
+
+        Sharded plans aggregate the per-shard counters; ``rows_emitted``
+        comes from the merge stage, which sees the post-LIMIT output.
+        """
+        plan = self._plan
+        if plan.shard_ctxs:
+            total = QueryStats()
+            for ctx in plan.shard_ctxs:
+                total.merge(ctx.stats)
+            if plan.merge_stats is not None:
+                total.rows_emitted = plan.merge_stats.rows_emitted
+            return total
+        return plan.ctx.stats
+
+    @property
+    def shard_stats(self) -> list[QueryStats]:
+        """Per-stage counters for sharded plans (exchange first, then one
+        entry per worker); empty for serial plans."""
+        return [ctx.stats for ctx in self._plan.shard_ctxs]
+
+    @property
+    def shard_service_stats(self) -> list[dict]:
+        """Per-stage ``{service name → ManagedCallStats}`` for sharded
+        plans; empty for serial plans."""
+        return list(self._plan.shard_service_stats)
 
     @property
     def filter_choice(self):
@@ -56,11 +81,34 @@ class QueryHandle:
         return self._iterator
 
     def _iterate(self) -> Iterator[Row]:
-        yield from self._plan.pipeline
-        # Natural exhaustion (including a LIMIT cutting the stream short):
-        # release API connections now rather than waiting on cycle GC.
+        try:
+            yield from self._plan.pipeline
+        finally:
+            # Natural exhaustion, a pipeline error, or the generator being
+            # closed (GC of an abandoned handle): release everything now
+            # rather than waiting on cycle GC.
+            self._release()
+
+    def _release(self) -> None:
+        """Tear down plan-owned resources exactly once.
+
+        Order matters: worker threads are joined first (they may still be
+        pulling the source), then API connections close, then in-flight
+        service requests drain so their effects reach the stats.
+        """
+        if self._released:
+            return
+        self._released = True
+        for closer in self._plan.closers:
+            closer()
         for connection in self._plan.connections:
             connection.close()
+        self._drain_managed()
+
+    def _drain_managed(self) -> None:
+        """Wait out in-flight async service requests (stats visibility)."""
+        for managed in self._plan.managed_calls:
+            managed.drain()
 
     def fetch(self, n: int) -> list[Row]:
         """Pull up to ``n`` result rows (fewer at end of stream)."""
@@ -84,8 +132,7 @@ class QueryHandle:
             rows.append(row)
             if limit is not None and len(rows) >= limit:
                 break
-        for managed in self._plan.managed_calls:
-            managed.drain()
+        self._drain_managed()
         return rows
 
     def to_csv(self, path: str, limit: int | None = None) -> int:
@@ -97,8 +144,6 @@ class QueryHandle:
         import csv
 
         columns = [name for name in self.schema if not name.startswith("__")]
-        if "created_at" not in columns:
-            columns.append("created_at")
         written = 0
         with open(path, "w", newline="", encoding="utf-8") as f:
             writer = csv.DictWriter(f, fieldnames=columns, extrasaction="ignore")
@@ -108,12 +153,13 @@ class QueryHandle:
                 written += 1
                 if limit is not None and written >= limit:
                     break
+        self._drain_managed()
         return written
 
     def close(self) -> None:
-        """Cancel the query: close its API connections."""
+        """Cancel the query: stop worker threads, close API connections,
+        and drain in-flight service requests."""
         if self._closed:
             return
         self._closed = True
-        for connection in self._plan.connections:
-            connection.close()
+        self._release()

@@ -57,6 +57,11 @@ class FilterOperator:
 
     def __iter__(self) -> Iterator[Row]:
         for row in self._child:
+            if "__punct__" in row:
+                # Sharded-execution punctuation carries time, not data; it
+                # passes every filter without touching the counters.
+                yield row
+                continue
             self._ctx.stats.predicate_evaluations += 1
             verdict = self._predicate(row, self._ctx)
             if verdict is not None and verdict:
@@ -93,6 +98,8 @@ class ProjectOperator:
                 out["created_at"] = row.get("created_at")
             if "__tweet__" in row:
                 out["__tweet__"] = row["__tweet__"]
+            if "__seq__" in row:
+                out["__seq__"] = row["__seq__"]
             self._ctx.stats.rows_emitted += 1
             yield out
 
@@ -213,6 +220,10 @@ class WindowedAggregateOperator:
             out["window_start"] = start
             out["window_end"] = end
             out["created_at"] = end
+            if "__seq__" in env:
+                # Sharded execution: the merge orders same-window groups by
+                # the sequence of the group's first (representative) row.
+                out["__seq__"] = env["__seq__"]
             emitted.append(out)
             self._ctx.stats.groups_emitted += 1
         for evaluate, descending in reversed(self._order_by):

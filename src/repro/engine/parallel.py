@@ -1,0 +1,530 @@
+"""Sharded parallel query execution.
+
+The serial engine runs one pull-based iterator chain per query. This module
+adds the ``workers=N`` path: an **exchange** hash-partitions the source
+stream across N worker pipelines running in a thread pool, and a
+timestamp-ordered **k-way merge** reassembles shard outputs into exactly
+the row sequence the serial engine would have produced.
+
+Determinism contract
+--------------------
+Results must be *byte-identical* to the serial engine, order included,
+under the virtual clock. Three mechanisms make that hold:
+
+- The exchange stamps every routed row with a global sequence number
+  (``__seq__``), strictly increasing in stream order. Scalar pipelines
+  propagate it through projection; the merge orders by it, which *is*
+  stream order.
+- Aggregating pipelines partition by the GROUP BY key, so a group lives
+  entirely in one shard and its accumulators see exactly the rows the
+  serial engine's would. Emissions are tagged ``(window_end,
+  window_start, first-seen seq of the group)`` — the serial engine closes
+  windows in increasing end order and emits groups in first-seen order,
+  so merging on that tag reproduces its sequence. Per-window ORDER BY /
+  LIMIT cannot run shard-locally and are deferred to a post-merge
+  finalizer that applies the same sort the serial operator would.
+- Confidence-triggered aggregation emits on *triggers* (the row whose
+  arrival aged-out or confirmed a group). The exchange runs the WHERE
+  stage itself and broadcasts a punctuation carrying each post-filter
+  row's timestamp to every other shard, so age-based flushes fire at the
+  same triggers as in the serial engine; emissions are tagged with the
+  trigger's sequence number.
+
+Thread safety: the virtual clock, the simulated web services, and the
+:class:`~repro.engine.latency.ManagedCall` wrappers are single-threaded
+constructs. Workers reach them only through :class:`LockedManagedCall`
+proxies sharing one lock, which also collect per-shard
+:class:`~repro.engine.latency.ManagedCallStats`. Row *values* remain
+deterministic because the service resolvers are pure; only latency
+accounting depends on thread scheduling.
+
+Known limits (the planner falls back to serial for these): joins,
+count-based windows, global aggregates (single group), and statements
+calling stateful UDFs or ``now()`` — all of which depend on global row
+order that sharding destroys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import zlib
+from collections.abc import Callable, Iterable, Iterator
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.engine.latency import ManagedCall, ManagedCallStats
+from repro.engine.operators import _sort_key
+from repro.engine.types import EvalContext, Row
+
+#: Queue poll interval; every blocking loop re-checks the stop event at
+#: this granularity so shutdown is prompt.
+_POLL_SECONDS = 0.05
+
+#: Rows per exchange → worker batch (amortizes queue synchronization).
+INPUT_BATCH = 64
+
+_END = object()
+
+
+def stable_hash(value: Any) -> int:
+    """Process-stable hash for partition keys.
+
+    Python's builtin ``hash`` is salted for strings, so two runs (or the
+    equivalence test's serial/sharded sessions under different
+    PYTHONHASHSEED) would partition differently. CRC32 over ``repr`` is
+    stable, cheap, and defined for every value a group key can hold.
+    """
+    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
+
+
+# ---------------------------------------------------------------------------
+# Locked service proxies
+# ---------------------------------------------------------------------------
+
+
+_MANAGED_FIELDS = tuple(f.name for f in dataclasses.fields(ManagedCallStats))
+
+
+class LockedManagedCall:
+    """A thread-safe façade over a shared :class:`ManagedCall`.
+
+    All forwarded operations hold ``lock`` (shared with the exchange's
+    source pulls) because the underlying call advances the virtual clock
+    and mutates its cache. The proxy's own ``stats`` mirror accumulates
+    the *delta* each forwarded operation produced, giving per-shard
+    ManagedCallStats on top of the service's global counters.
+    """
+
+    def __init__(self, inner: ManagedCall, lock: threading.RLock) -> None:
+        self._inner = inner
+        self._lock = lock
+        self.stats = ManagedCallStats()
+
+    @property
+    def mode(self) -> str:
+        return self._inner.mode
+
+    @property
+    def cache(self):
+        return self._inner.cache
+
+    @property
+    def service(self):
+        return self._inner.service
+
+    def _snapshot(self) -> tuple:
+        return tuple(getattr(self._inner.stats, f) for f in _MANAGED_FIELDS)
+
+    def _accumulate(self, before: tuple) -> None:
+        after = self._snapshot()
+        for name, b, a in zip(_MANAGED_FIELDS, before, after):
+            setattr(self.stats, name, getattr(self.stats, name) + (a - b))
+
+    def __call__(self, key: Any) -> Any:
+        with self._lock:
+            before = self._snapshot()
+            try:
+                return self._inner(key)
+            finally:
+                self._accumulate(before)
+
+    def prefetch(self, keys: Iterable[Any]) -> None:
+        keys = list(keys)
+        with self._lock:
+            before = self._snapshot()
+            try:
+                self._inner.prefetch(keys)
+            finally:
+                self._accumulate(before)
+
+    def drain(self) -> None:
+        with self._lock:
+            self._inner.drain()
+
+
+def locked_services(
+    services: dict[str, Any], lock: threading.RLock
+) -> tuple[dict[str, Any], dict[str, ManagedCallStats]]:
+    """Wrap every ManagedCall in ``services`` with a locking proxy.
+
+    Returns the proxied mapping plus {service name → per-shard stats
+    mirror}. Aliases of one ManagedCall (``geocode`` / ``geocode_managed``)
+    share one proxy so the mirror is not double-counted.
+    """
+    proxies: dict[str, Any] = {}
+    by_id: dict[int, LockedManagedCall] = {}
+    stats: dict[str, ManagedCallStats] = {}
+    for name, svc in services.items():
+        if isinstance(svc, ManagedCall):
+            proxy = by_id.get(id(svc))
+            if proxy is None:
+                proxy = LockedManagedCall(svc, lock)
+                by_id[id(svc)] = proxy
+                stats[svc.service.name] = proxy.stats
+            proxies[name] = proxy
+        else:
+            proxies[name] = svc
+    return proxies, stats
+
+
+# ---------------------------------------------------------------------------
+# Output taggers (worker side): strip ordering metadata into a merge tag
+# ---------------------------------------------------------------------------
+
+
+def scalar_tagger(row: Row) -> tuple[tuple, Row]:
+    """Scalar pipelines: merge on the source row's global sequence."""
+    return (row.pop("__seq__"),), row
+
+
+def window_tagger(row: Row) -> tuple[tuple, Row]:
+    """Windowed aggregates: (window end, window start, group-first-seen)."""
+    seq = row.pop("__seq__")
+    return (row["window_end"], row["window_start"], seq), row
+
+
+def confidence_tagger(row: Row) -> tuple[tuple, Row]:
+    """Confidence emissions carry their full order tag (see confidence.py)."""
+    return row.pop("__order__"), row
+
+
+# ---------------------------------------------------------------------------
+# Worker-side stages
+# ---------------------------------------------------------------------------
+
+
+class ShardScan:
+    """Worker-side source adapter over a shard's input queue.
+
+    Advances the worker context's stream time like a ScanOperator but does
+    *not* count ``rows_scanned`` — the exchange's scan already counted every
+    source row once, matching the serial engine's counter.
+    """
+
+    def __init__(self, source: Iterable[Row], ctx: EvalContext) -> None:
+        self._source = source
+        self._ctx = ctx
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._source:
+            timestamp = row.get("created_at")
+            if timestamp is not None and timestamp > self._ctx.stream_time:
+                self._ctx.stream_time = timestamp
+            yield row
+
+
+@dataclasses.dataclass
+class DeferredOrderLimit:
+    """Per-window ORDER BY / LIMIT stripped from shard-local aggregation.
+
+    A worker only holds a slice of each window's groups, so ordering and
+    capping move to :class:`WindowFinalizeOperator` after the merge. The
+    planner fills this while building the worker pipelines.
+    """
+
+    order_evals: list[tuple[Callable, bool]] = dataclasses.field(
+        default_factory=list
+    )
+    limit: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# Post-merge stages
+# ---------------------------------------------------------------------------
+
+
+class WindowFinalizeOperator:
+    """Applies per-window ORDER BY / LIMIT after the merge.
+
+    Workers cannot order or cap a window they only hold a slice of, so the
+    sharded planner strips both from the per-shard aggregate operators and
+    re-applies them here, over the merged stream, with exactly the serial
+    operator's stable sort and NULL ordering. The merged stream arrives
+    grouped by window (the merge orders on window bounds), so one bucket
+    is buffered at a time.
+    """
+
+    def __init__(
+        self,
+        child: Iterable[Row],
+        order_by: list[tuple[Callable, bool]],
+        limit: int | None,
+        ctx: EvalContext,
+    ) -> None:
+        self._child = child
+        self._order_by = order_by
+        self._limit = limit
+        self._ctx = ctx
+
+    def __iter__(self) -> Iterator[Row]:
+        bucket: list[Row] = []
+        current: tuple | None = None
+        for row in self._child:
+            bounds = (row.get("window_end"), row.get("window_start"))
+            if current is not None and bounds != current:
+                yield from self._flush(bucket)
+                bucket = []
+            current = bounds
+            bucket.append(row)
+        yield from self._flush(bucket)
+
+    def _flush(self, bucket: list[Row]) -> Iterator[Row]:
+        for evaluate, descending in reversed(self._order_by):
+            bucket.sort(
+                key=lambda r, e=evaluate: _sort_key(e(r, self._ctx)),
+                reverse=descending,
+            )
+        if self._limit is not None:
+            bucket = bucket[: self._limit]
+        yield from bucket
+
+
+class CountingOperator:
+    """Counts merged output rows into the merge context's stats.
+
+    Per-shard ``rows_emitted`` counters over-count when a per-worker or
+    per-window LIMIT trims rows at the merge, so the aggregated stats take
+    ``rows_emitted`` from this counter instead of the shard sum.
+    """
+
+    def __init__(self, child: Iterable[Row], ctx: EvalContext) -> None:
+        self._child = child
+        self._ctx = ctx
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._child:
+            self._ctx.stats.rows_emitted += 1
+            yield row
+
+
+# ---------------------------------------------------------------------------
+# The execution fabric: exchange thread, worker threads, merging consumer
+# ---------------------------------------------------------------------------
+
+
+class _ShardInput:
+    """Iterable a worker's ScanOperator pulls; fed by the exchange."""
+
+    def __init__(self, q: queue.Queue, stop: threading.Event) -> None:
+        self._q = q
+        self._stop = stop
+
+    def __iter__(self) -> Iterator[Row]:
+        while True:
+            try:
+                batch = self._q.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            if batch is None:  # sentinel: source exhausted
+                return
+            yield from batch
+
+
+class ShardedExecution:
+    """Runs N worker pipelines over a hash-partitioned stream.
+
+    Lifecycle: the planner constructs it, builds the worker pipelines over
+    :meth:`shard_input` iterables, then calls :meth:`configure`. Threads
+    start lazily on the first pull of :meth:`merged` (planning/EXPLAIN must
+    not spawn threads). :meth:`shutdown` is idempotent and joins every
+    thread; the merge generator invokes it from its ``finally`` so natural
+    exhaustion, an abandoned iterator (GC), and ``QueryHandle.close`` all
+    tear the fabric down.
+
+    Queues: worker inputs are bounded (backpressure on the exchange);
+    worker outputs are unbounded — a worker never blocks on output, so it
+    always drains its input, so the exchange always makes progress, so the
+    merge (which may wait a long time on a sparse shard) cannot deadlock
+    the pipeline. The cost is buffering fast shards' results while a slow
+    shard catches up.
+    """
+
+    def __init__(self, n_workers: int, input_batch: int = INPUT_BATCH) -> None:
+        if n_workers < 2:
+            raise ValueError("sharded execution needs at least 2 workers")
+        self.n = n_workers
+        self.lock = threading.RLock()
+        self.stop = threading.Event()
+        self._batch = input_batch
+        self._in: list[queue.Queue] = [queue.Queue(maxsize=64) for _ in range(n_workers)]
+        self._out: list[queue.Queue] = [queue.Queue() for _ in range(n_workers)]
+        self._done = [threading.Event() for _ in range(n_workers)]
+        self._error: BaseException | None = None
+        self._error_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._started = False
+        self._closed = False
+        # Filled by configure():
+        self._source: Iterable[Row] | None = None
+        self._partition: Callable[[Row, int], int] | None = None
+        self._pipelines: list[Iterable[Row]] = []
+        self._taggers: list[Callable[[Row], tuple[tuple, Row]]] = []
+        self._broadcast_punctuation = False
+
+    # -- wiring ----------------------------------------------------------------
+
+    def shard_input(self, worker: int) -> _ShardInput:
+        """The row iterable worker ``worker``'s pipeline scans."""
+        return _ShardInput(self._in[worker], self.stop)
+
+    def configure(
+        self,
+        source: Iterable[Row],
+        partition: Callable[[Row, int], int],
+        pipelines: list[Iterable[Row]],
+        taggers: list[Callable[[Row], tuple[tuple, Row]]],
+        broadcast_punctuation: bool = False,
+    ) -> None:
+        """Attach the source, partitioner, and built worker pipelines."""
+        self._source = source
+        self._partition = partition
+        self._pipelines = pipelines
+        self._taggers = taggers
+        self._broadcast_punctuation = broadcast_punctuation
+
+    # -- threads ---------------------------------------------------------------
+
+    def _record_error(self, error: BaseException) -> None:
+        with self._error_lock:
+            if self._error is None:
+                self._error = error
+        self.stop.set()
+
+    def _raise_if_error(self) -> None:
+        with self._error_lock:
+            error = self._error
+        if error is not None:
+            self.stop.set()
+            raise error
+
+    def _exchange(self) -> None:
+        """Producer: pull the (single) source, partition, and route."""
+        assert self._source is not None and self._partition is not None
+        pending: list[list[Row]] = [[] for _ in range(self.n)]
+        try:
+            iterator = iter(self._source)
+            seq = 0
+            while True:
+                if self.stop.is_set():
+                    return  # cancelled: no sentinels, workers see stop
+                if all(done.is_set() for done in self._done):
+                    break
+                # Source pulls share the service lock: the stream advances
+                # the virtual clock, and so do worker service calls.
+                with self.lock:
+                    row = next(iterator, _END)
+                if row is _END:
+                    break
+                shard = self._partition(row, seq)
+                tagged = dict(row)  # never mutate caller-owned row dicts
+                tagged["__seq__"] = seq
+                pending[shard].append(tagged)
+                if self._broadcast_punctuation:
+                    timestamp = row.get("created_at")
+                    for other in range(self.n):
+                        if other != shard:
+                            pending[other].append(
+                                {
+                                    "__punct__": True,
+                                    "created_at": timestamp,
+                                    "__seq__": seq,
+                                }
+                            )
+                seq += 1
+                for shard_id, batch in enumerate(pending):
+                    if len(batch) >= self._batch:
+                        self._put_batch(shard_id, batch)
+                        pending[shard_id] = []
+        except BaseException as error:  # noqa: BLE001 — surfaced at the merge
+            self._record_error(error)
+            return
+        finally:
+            if not self.stop.is_set():
+                for shard_id, batch in enumerate(pending):
+                    if batch:
+                        self._put_batch(shard_id, batch)
+                    self._put_batch(shard_id, None)
+
+    def _put_batch(self, shard: int, batch: list[Row] | None) -> None:
+        while not self.stop.is_set():
+            if batch is not None and self._done[shard].is_set():
+                return  # worker finished early (LIMIT); drop its feed
+            try:
+                self._in[shard].put(batch, timeout=_POLL_SECONDS)
+                return
+            except queue.Full:
+                continue
+
+    def _worker(self, worker: int) -> None:
+        tagger = self._taggers[worker]
+        out = self._out[worker]
+        try:
+            for row in self._pipelines[worker]:
+                out.put(("row", *tagger(row)))
+        except BaseException as error:  # noqa: BLE001
+            self._record_error(error)
+        finally:
+            self._done[worker].set()
+            out.put(("end",))
+
+    def start(self) -> None:
+        """Spawn the exchange and worker threads (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.n + 1, thread_name_prefix="tweeql-shard"
+        )
+        self._pool.submit(self._exchange)
+        for worker in range(self.n):
+            self._pool.submit(self._worker, worker)
+
+    def shutdown(self) -> None:
+        """Stop every thread and join them (idempotent, safe pre-start)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.stop.set()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    # -- consumer --------------------------------------------------------------
+
+    def merged(self) -> Iterator[Row]:
+        """The k-way ordered merge of shard outputs (lazy thread start)."""
+        import heapq
+
+        try:
+            self.start()
+            heap: list[tuple[tuple, int, Row]] = []
+            for shard in range(self.n):
+                entry = self._next_output(shard)
+                if entry is not None:
+                    heapq.heappush(heap, entry)
+            while heap:
+                _tag, shard, row = heapq.heappop(heap)
+                yield row
+                entry = self._next_output(shard)
+                if entry is not None:
+                    heapq.heappush(heap, entry)
+            self._raise_if_error()
+        finally:
+            self.shutdown()
+
+    def _next_output(self, shard: int) -> tuple[tuple, int, Row] | None:
+        while True:
+            self._raise_if_error()
+            try:
+                item = self._out[shard].get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                if self.stop.is_set():
+                    return None
+                continue
+            if item[0] == "end":
+                return None
+            _kind, tag, row = item
+            return (tag, shard, row)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.engine import operators as ops
+from repro.engine import parallel
 from repro.engine.aggregates import AGGREGATE_NAMES, make_aggregate
 from repro.engine.confidence import ConfidenceAggregateOperator, ConfidencePolicy
 from repro.engine.eddies import AdaptivePredicate, EddyOperator
@@ -75,7 +76,18 @@ class PhysicalPlan:
     explain_lines: list[str] = field(default_factory=list)
     filter_choice: FilterChoice | None = None
     connections: list[Any] = field(default_factory=list)
-    managed_calls: list[ManagedCall] = field(default_factory=list)
+    managed_calls: list[Any] = field(default_factory=list)
+    #: Sharded plans: one EvalContext per stats-bearing stage (the exchange
+    #: first, then each worker). Empty for serial plans.
+    shard_ctxs: list[EvalContext] = field(default_factory=list)
+    #: Sharded plans: per stage, {service name → ManagedCallStats mirror}.
+    shard_service_stats: list[dict[str, Any]] = field(default_factory=list)
+    #: Sharded plans: stats of the merge stage; its ``rows_emitted`` is the
+    #: authoritative output count (per-shard counters over-count under
+    #: merge-side LIMIT).
+    merge_stats: Any = None
+    #: Callbacks that tear down plan-owned resources (worker threads).
+    closers: list[Callable[[], None]] = field(default_factory=list)
 
     def explain(self) -> str:
         """Human-readable plan description."""
@@ -296,13 +308,32 @@ class Planner:
         self._table_factory = table_factory
 
     def plan(self, statement: ast.SelectStatement) -> PhysicalPlan:
-        """Plan one parsed statement into a runnable pipeline."""
+        """Plan one parsed statement into a runnable pipeline.
+
+        With ``EngineConfig.workers > 1`` the plan is sharded (exchange +
+        N worker pipelines + ordered merge) whenever the statement shape
+        allows it; shapes that depend on global row order fall back to the
+        serial pipeline with an EXPLAIN note.
+        """
         from repro.errors import UnknownSourceError
 
         binding = self._sources.get(statement.source.lower())
         if binding is None:
             raise UnknownSourceError(statement.source)
 
+        workers = getattr(self._config, "workers", 1)
+        if workers > 1:
+            reason = self._shard_blocker(statement)
+            if reason is None:
+                return self._plan_sharded(statement, binding, workers)
+            plan = self._plan_serial(statement, binding)
+            plan.explain_lines.append(f"Parallel: serial fallback ({reason})")
+            return plan
+        return self._plan_serial(statement, binding)
+
+    def _plan_serial(
+        self, statement: ast.SelectStatement, binding: SourceBinding
+    ) -> PhysicalPlan:
         ctx = EvalContext(clock=self._clock, services=dict(self._services))
         plan = PhysicalPlan(
             pipeline=iter(()), output_schema=(), ctx=ctx
@@ -320,33 +351,7 @@ class Planner:
             pipeline, schema = self._build_join(statement, pipeline, schema, ctx, plan)
 
         # ---- local predicates ----
-        if conjuncts:
-            predicate_evals = [
-                (
-                    conjunct.to_sql(),
-                    compile_expr(conjunct, self._registry, schema, ctx),
-                )
-                for conjunct in conjuncts
-            ]
-            if self._config.use_eddy and len(predicate_evals) > 1:
-                adaptive = [
-                    AdaptivePredicate(name, evaluate)
-                    for name, evaluate in predicate_evals
-                ]
-                pipeline = EddyOperator(
-                    pipeline, adaptive, ctx, resort_every=self._config.eddy_resort_every
-                )
-                explain.append(
-                    "Filter: eddy over "
-                    + ", ".join(name for name, _ in predicate_evals)
-                )
-            else:
-                for name, evaluate in predicate_evals:
-                    pipeline = ops.FilterOperator(pipeline, evaluate, ctx)
-                if predicate_evals:
-                    explain.append(
-                        "Filter: " + " AND ".join(n for n, _ in predicate_evals)
-                    )
+        pipeline = self._build_filters(conjuncts, pipeline, schema, ctx, plan)
 
         # ---- high-latency prefetch ----
         pipeline = self._maybe_prefetch(statement, pipeline, schema, ctx, plan)
@@ -448,6 +453,47 @@ class Planner:
             explain.extend("  " + line for line in choice.explain().splitlines())
         kwargs = choice.chosen.api_kwargs
         return _lazy_connection_rows(lambda: api.filter(**kwargs), plan)
+
+    # -- local predicates -----------------------------------------------------
+
+    def _build_filters(
+        self,
+        conjuncts: list[ast.Expr],
+        pipeline: Iterable[Row],
+        schema: tuple[str, ...],
+        ctx: EvalContext,
+        plan: PhysicalPlan,
+    ) -> Iterable[Row]:
+        """The local predicate stage: an eddy or a fixed conjunction."""
+        if not conjuncts:
+            return pipeline
+        predicate_evals = [
+            (
+                conjunct.to_sql(),
+                compile_expr(conjunct, self._registry, schema, ctx),
+            )
+            for conjunct in conjuncts
+        ]
+        if self._config.use_eddy and len(predicate_evals) > 1:
+            adaptive = [
+                AdaptivePredicate(name, evaluate)
+                for name, evaluate in predicate_evals
+            ]
+            pipeline = EddyOperator(
+                pipeline, adaptive, ctx,
+                resort_every=self._config.eddy_resort_every,
+            )
+            plan.explain_lines.append(
+                "Filter: eddy over "
+                + ", ".join(name for name, _ in predicate_evals)
+            )
+        else:
+            for _name, evaluate in predicate_evals:
+                pipeline = ops.FilterOperator(pipeline, evaluate, ctx)
+            plan.explain_lines.append(
+                "Filter: " + " AND ".join(n for n, _ in predicate_evals)
+            )
+        return pipeline
 
     # -- join ----------------------------------------------------------------
 
@@ -585,7 +631,9 @@ class Planner:
                 if dedup in seen_args:
                     continue
                 seen_args.add(dedup)
-                managed = self._services.get(f"{spec.service}_managed")
+                # Resolve through the context, not the session catalog:
+                # sharded worker contexts carry locked per-shard proxies.
+                managed = ctx.services.get(f"{spec.service}_managed")
                 if managed is None:
                     continue
                 arg_eval = compile_expr(node.args[0], self._registry, schema, ctx)
@@ -648,6 +696,7 @@ class Planner:
         schema: tuple[str, ...],
         ctx: EvalContext,
         plan: PhysicalPlan,
+        defer: parallel.DeferredOrderLimit | None = None,
     ) -> tuple[Iterable[Row], tuple[str, ...]]:
         sites: list[AggSite] = []
         by_sql: dict[str, AggSite] = {}
@@ -761,6 +810,11 @@ class Planner:
                 f"window {statement.window.size_seconds:g}s "
                 f"slide {statement.window.slide:g}s"
             )
+            if defer is not None:
+                # Sharded: a worker holds only a slice of each window, so
+                # ORDER BY / LIMIT move past the merge (WindowFinalize).
+                defer.order_evals = order_evals
+                defer.limit = statement.limit
             pipeline = ops.WindowedAggregateOperator(
                 pipeline,
                 statement.window,
@@ -769,8 +823,8 @@ class Planner:
                 output_items,
                 ctx,
                 having=having_eval,
-                order_by=order_evals,
-                limit=statement.limit,
+                order_by=[] if defer is not None else order_evals,
+                limit=None if defer is not None else statement.limit,
             )
             return pipeline, output_schema + ("window_start", "window_end")
 
@@ -809,3 +863,253 @@ class Planner:
             "aggregate queries need a WINDOW clause (or a session "
             "confidence policy for AVG; see EngineConfig.confidence_policy)"
         )
+
+    # -- sharded execution -----------------------------------------------------
+
+    def _shard_blocker(self, statement: ast.SelectStatement) -> str | None:
+        """Why this statement cannot shard, or None when it can.
+
+        Everything listed here depends on a *global* property of the stream
+        that hash partitioning destroys: joins see both sides, count-based
+        windows bucket by global row ordinal, a global aggregate is one
+        group, stateful UDFs fold over arrival order, and ``now()`` reads
+        the global stream time. Partial-result emission depends on service
+        call *timing*, which thread interleaving would perturb.
+        """
+        if statement.join is not None:
+            return "stream joins need co-partitioned inputs"
+        if statement.window is not None and statement.window.count_based:
+            return "count-based windows depend on global row ordinals"
+        has_aggregates = bool(statement.group_by) or any(
+            not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
+            for item in statement.select
+        )
+        if has_aggregates and not statement.group_by:
+            return "global aggregates form a single group"
+        if self._config.latency_mode == "async" and self._config.partial_results:
+            return "partial results depend on in-flight call timing"
+        exprs: list[ast.Expr] = [
+            item.expr
+            for item in statement.select
+            if not isinstance(item.expr, ast.Star)
+        ]
+        exprs.extend(split_conjuncts(statement.where))
+        exprs.extend(statement.group_by)
+        if statement.having is not None:
+            exprs.append(statement.having)
+        exprs.extend(expr for expr, _desc in statement.order_by)
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.FuncCall):
+                    continue
+                if node.name in AGGREGATE_NAMES or node.name not in self._registry:
+                    continue
+                if node.name == "now":
+                    return "now() reads the global stream time"
+                if self._registry.lookup(node.name).stateful:
+                    return (
+                        f"stateful UDF {node.name}() folds over global "
+                        "row order"
+                    )
+        return None
+
+    def _plan_sharded(
+        self,
+        statement: ast.SelectStatement,
+        binding: SourceBinding,
+        workers: int,
+    ) -> PhysicalPlan:
+        """Exchange → N worker pipelines → ordered merge.
+
+        The exchange thread pulls the (single) source, hash-partitions on
+        the GROUP BY key (aggregates) or tweet id (scalar queries), and
+        stamps each row with a global sequence number. Worker pipelines are
+        built by the same helpers as the serial plan, each with its own
+        EvalContext whose services are lock-guarded proxies. The merge
+        reassembles shard outputs into the exact serial emission order (see
+        :mod:`repro.engine.parallel`).
+        """
+        merge_ctx = EvalContext(clock=self._clock, services=dict(self._services))
+        plan = PhysicalPlan(pipeline=iter(()), output_schema=(), ctx=merge_ctx)
+        plan.merge_stats = merge_ctx.stats
+        explain = plan.explain_lines
+
+        conjuncts = split_conjuncts(statement.where)
+        source_rows = self._build_source(binding, conjuncts, plan)
+        schema = binding.schema
+
+        has_aggregates = bool(statement.group_by) or any(
+            not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
+            for item in statement.select
+        )
+        windowed_mode = has_aggregates and statement.window is not None
+        confidence_mode = (
+            has_aggregates
+            and statement.window is None
+            and self._config.confidence_policy is not None
+        )
+        if has_aggregates and not windowed_mode and not confidence_mode:
+            raise PlanError(
+                "aggregate queries need a WINDOW clause (or a session "
+                "confidence policy for AVG; see EngineConfig.confidence_policy)"
+            )
+
+        exchange = parallel.ShardedExecution(workers)
+        exchange_services, exchange_service_stats = parallel.locked_services(
+            self._services, exchange.lock
+        )
+        exchange_ctx = EvalContext(clock=self._clock, services=exchange_services)
+        plan.shard_ctxs.append(exchange_ctx)
+        plan.shard_service_stats.append(exchange_service_stats)
+
+        # ---- partition function (runs on the exchange thread) ----
+        if has_aggregates:
+            aliases: dict[str, Evaluator] = {}
+            for item in statement.select:
+                if isinstance(item.expr, ast.Star):
+                    raise PlanError("SELECT * cannot be combined with aggregates")
+                if item.alias and not contains_aggregate(item.expr):
+                    aliases[item.alias] = compile_expr(
+                        item.expr, self._registry, schema, exchange_ctx
+                    )
+            key_evals = [
+                compile_expr(
+                    expr, self._registry, schema, exchange_ctx, aliases=aliases
+                )
+                for expr in statement.group_by
+            ]
+
+            def partition(
+                row: Row, seq: int, _evals=key_evals, _ctx=exchange_ctx,
+                _n=workers,
+            ) -> int:
+                key = tuple(evaluate(row, _ctx) for evaluate in _evals)
+                return parallel.stable_hash(key) % _n
+
+            partition_desc = "hash(" + ", ".join(
+                expr.to_sql() for expr in statement.group_by
+            ) + ")"
+        elif "tweet_id" in schema:
+
+            def partition(row: Row, seq: int, _n=workers) -> int:
+                value = row.get("tweet_id")
+                if value is None:
+                    return seq % _n
+                return parallel.stable_hash(value) % _n
+
+            partition_desc = "hash(tweet_id)"
+        else:
+
+            def partition(row: Row, seq: int, _n=workers) -> int:
+                return seq % _n
+
+            partition_desc = "round-robin"
+
+        # ---- exchange-side stages ----
+        exchange_source: Iterable[Row] = ops.ScanOperator(
+            source_rows, exchange_ctx
+        )
+        if confidence_mode:
+            # Age-out punctuation must reflect *post-filter* rows (the
+            # serial operator only sees triggers that passed WHERE), so the
+            # WHERE stage runs on the exchange in this mode.
+            exchange_source = self._build_filters(
+                conjuncts, exchange_source, schema, exchange_ctx, plan
+            )
+        explain.append(
+            f"Exchange: {partition_desc} over {workers} shards"
+            + (" (post-filter, punctuated)" if confidence_mode else "")
+        )
+
+        # ---- worker pipelines ----
+        defer = parallel.DeferredOrderLimit() if windowed_mode else None
+        pipelines: list[Iterable[Row]] = []
+        output_schema: tuple[str, ...] = ()
+        limit_noted = False
+        for index in range(workers):
+            worker_services, worker_service_stats = parallel.locked_services(
+                self._services, exchange.lock
+            )
+            ctx_w = EvalContext(clock=self._clock, services=worker_services)
+            plan.shard_ctxs.append(ctx_w)
+            plan.shard_service_stats.append(worker_service_stats)
+            # Worker 0 contributes the EXPLAIN lines; the others build
+            # against throwaway plans so stages aren't listed N times.
+            wplan = (
+                plan
+                if index == 0
+                else PhysicalPlan(pipeline=iter(()), output_schema=(), ctx=ctx_w)
+            )
+            pipeline: Iterable[Row] = parallel.ShardScan(
+                exchange.shard_input(index), ctx_w
+            )
+            if not confidence_mode:
+                pipeline = self._build_filters(
+                    conjuncts, pipeline, schema, ctx_w, wplan
+                )
+            pipeline = self._maybe_prefetch(
+                statement, pipeline, schema, ctx_w, wplan
+            )
+            if has_aggregates:
+                pipeline, output_schema = self._build_aggregation(
+                    statement, pipeline, schema, ctx_w, wplan, defer=defer
+                )
+            else:
+                if statement.having is not None:
+                    raise PlanError("HAVING requires aggregation")
+                if statement.order_by:
+                    raise PlanError(
+                        "ORDER BY requires a windowed aggregate query "
+                        "(streams have no global order to sort)"
+                    )
+                pipeline, output_schema = self._build_projection(
+                    statement, pipeline, schema, ctx_w
+                )
+                if statement.limit is not None:
+                    pipeline = ops.LimitOperator(pipeline, statement.limit)
+                    if not limit_noted:
+                        explain.append(
+                            f"Limit: {statement.limit} "
+                            "(per shard, re-applied after merge)"
+                        )
+                        limit_noted = True
+            if index > 0:
+                plan.managed_calls.extend(wplan.managed_calls)
+            pipelines.append(pipeline)
+
+        # ---- merge + post-merge stages ----
+        if windowed_mode:
+            tagger = parallel.window_tagger
+            merge_desc = "window end"
+        elif confidence_mode:
+            tagger = parallel.confidence_tagger
+            merge_desc = "emission trigger"
+        else:
+            tagger = parallel.scalar_tagger
+            merge_desc = "stream order"
+        exchange.configure(
+            exchange_source,
+            partition,
+            pipelines,
+            [tagger] * workers,
+            broadcast_punctuation=confidence_mode,
+        )
+        merged: Iterable[Row] = exchange.merged()
+        explain.append(f"Merge: {workers}-way ordered merge on {merge_desc}")
+        if defer is not None and (defer.order_evals or defer.limit is not None):
+            merged = parallel.WindowFinalizeOperator(
+                merged, defer.order_evals, defer.limit, merge_ctx
+            )
+            explain.append("Finalize: per-window ORDER BY / LIMIT after merge")
+        if not has_aggregates and statement.limit is not None:
+            merged = ops.LimitOperator(merged, statement.limit)
+        merged = parallel.CountingOperator(merged, merge_ctx)
+        if statement.into is not None:
+            sink = self._table_factory(statement.into)
+            merged = ops.IntoOperator(merged, sink)
+            explain.append(f"Into: table {statement.into!r}")
+
+        plan.pipeline = merged
+        plan.output_schema = output_schema
+        plan.closers.append(exchange.shutdown)
+        return plan

@@ -79,6 +79,13 @@ class EngineConfig:
         eddy_resort_every: tuples between eddy re-rankings.
         confidence_policy: enables CONTROL-style confidence-triggered AVG
             emission for windowless aggregate queries.
+        workers: shard the query across this many parallel worker
+            pipelines (thread pool) behind a hash exchange and an ordered
+            merge; 1 (the default) keeps the serial pipeline. Results are
+            identical to serial execution at any worker count; statements
+            whose semantics need global row order (joins, count windows,
+            global aggregates, stateful UDFs, ``now()``) silently fall
+            back to serial with an EXPLAIN note.
         sample_rate / sample_limit: ``statuses/sample`` parameters for
             selectivity estimation.
         geocode_latency: latency model of the geocoding service.
@@ -95,6 +102,7 @@ class EngineConfig:
     use_eddy: bool = False
     eddy_resort_every: int = 64
     confidence_policy: ConfidencePolicy | None = None
+    workers: int = 1
     sample_rate: float = 0.01
     sample_limit: int = 2000
     geocode_latency: LatencyModel = field(default_factory=LatencyModel)

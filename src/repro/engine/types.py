@@ -38,6 +38,20 @@ class QueryStats:
             "groups_emitted": self.groups_emitted,
         }
 
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Accumulate another stats object into this one.
+
+        Sharded plans keep one ``QueryStats`` per worker context; the
+        query handle merges them into the aggregate view callers see.
+        """
+        self.rows_scanned += other.rows_scanned
+        self.rows_after_filter += other.rows_after_filter
+        self.rows_emitted += other.rows_emitted
+        self.predicate_evaluations += other.predicate_evaluations
+        self.windows_closed += other.windows_closed
+        self.groups_emitted += other.groups_emitted
+        return self
+
 
 @dataclass
 class EvalContext:
