@@ -143,6 +143,91 @@ def test_sharded_speedup(soccer):
         )
 
 
+@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("batch_size", [1, 64, 256, 1024])
+def test_batch_size_sweep(benchmark, soccer, batch_size, workers):
+    """E9c — the select+project pipeline across batch sizes and workers.
+
+    batch_size=1 is the legacy row-at-a-time engine; larger batches
+    amortize per-pull dispatch across the pipeline. Records rows/sec so
+    the batching speedup lands in the bench trajectory.
+
+    The predicate is deliberately NOT API-eligible (``length(text)`` is
+    a function call): with ``contains`` the simulated API filter would
+    drop ~99% of the firehose before the engine, and the bench would
+    measure the stream simulator instead of operator dispatch.
+    """
+    sql = (
+        "SELECT lower(text) AS t, length(text) AS n, hour(created_at) AS h "
+        "FROM twitter WHERE length(text) > 10;"
+    )
+
+    def run():
+        session = TweeQL.for_scenarios(
+            soccer,
+            config=EngineConfig(batch_size=batch_size, workers=workers),
+            seed=SEED,
+        )
+        handle = session.query(sql)
+        rows = handle.all()
+        assert f"Batch: {batch_size} row" in handle.explain()
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert rows
+    tuples_per_second = len(soccer) / benchmark.stats.stats.mean
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["tuples_per_second"] = round(tuples_per_second)
+    print(f"\nE9c batch={batch_size} workers={workers}: "
+          f"{len(soccer)} stream tweets → "
+          f"{tuples_per_second:,.0f} tweets/s (wall)")
+
+
+def test_batch_speedup(soccer):
+    """The >= 1.3x batching acceptance criterion (single worker).
+
+    Unlike the sharded speedup this needs no parallelism gate: batching
+    amortizes interpreter dispatch on one thread, so the win survives
+    the GIL and single-core hosts. Same non-API-eligible predicate as
+    the sweep, for the same reason; the projection is plain columns so
+    the measurement is dominated by the dispatch batching amortizes,
+    not by per-row UDF evaluation (which costs the same either way).
+    """
+    import time
+
+    sql = (
+        "SELECT text, screen_name, followers FROM twitter "
+        "WHERE length(text) > 10;"
+    )
+
+    def timed(batch_size: int) -> tuple[float, list]:
+        session = TweeQL.for_scenarios(
+            soccer, config=EngineConfig(batch_size=batch_size), seed=SEED
+        )
+        start = time.perf_counter()
+        rows = session.query(sql).all()
+        return time.perf_counter() - start, rows
+
+    # Interleaved best-of-5: noise (CI neighbours, GC) only ever makes a
+    # run slower, so the min of several runs converges on the true cost,
+    # and alternating configs keeps a load spike from biasing one side.
+    row_at_a_time = batched = float("inf")
+    baseline_rows = batched_rows = None
+    for _ in range(5):
+        t, rows = timed(1)
+        row_at_a_time, baseline_rows = min(row_at_a_time, t), rows
+        t, rows = timed(256)
+        batched, batched_rows = min(batched, t), rows
+    assert batched_rows == baseline_rows
+    speedup = row_at_a_time / batched if batched else float("inf")
+    print(f"\nE9c speedup: batch=1 {row_at_a_time:.2f}s, "
+          f"batch=256 {batched:.2f}s → {speedup:.2f}x")
+    assert speedup >= 1.3, (
+        f"expected >= 1.3x at batch_size=256, measured {speedup:.2f}x"
+    )
+
+
 def test_parse_plan_execute_smoke(benchmark, chatter):
     """Fixed small pipeline for regression tracking."""
     def run():

@@ -98,6 +98,7 @@ def build_session(args: argparse.Namespace) -> tuple[TweeQL, list[Scenario]]:
         use_eddy=getattr(args, "use_eddy", False),
         partial_results=getattr(args, "partial_results", False),
         workers=getattr(args, "workers", 1),
+        batch_size=getattr(args, "batch_size", 256),
     )
     return TweeQL.for_scenarios(*scenarios, config=config), scenarios
 
@@ -250,6 +251,14 @@ def make_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shard each query across N parallel worker pipelines "
         "(1 = serial; results are identical at any worker count)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="rows per batch between operators (1 = row-at-a-time; "
+        "results are identical at any size)",
     )
     parser.add_argument(
         "--use-eddy",

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from repro.engine.aggregates import AvgAggregate
 from repro.engine.expressions import Evaluator
-from repro.engine.types import EvalContext, Row
+from repro.engine.types import EvalContext, Row, RowBatch
 
 
 @dataclass(frozen=True)
@@ -70,7 +70,7 @@ class ConfidenceAggregateOperator:
     """AVG-per-group emission driven by statistical confidence, not time.
 
     Args:
-        child: time-ordered input rows.
+        child: time-ordered input batch stream.
         group_evals: compiled grouping-key expressions.
         value_eval: compiled expression whose mean is being estimated
             (e.g. ``sentiment(text)``).
@@ -85,7 +85,7 @@ class ConfidenceAggregateOperator:
 
     def __init__(
         self,
-        child: Iterable[Row],
+        child: Iterable[RowBatch],
         group_evals: list[Evaluator],
         value_eval: Evaluator,
         output_items: list[tuple[str, Evaluator]],
@@ -100,42 +100,51 @@ class ConfidenceAggregateOperator:
         self._policy = policy or ConfidencePolicy()
         self._groups: dict[tuple, _ConfidenceGroup] = {}
 
-    def __iter__(self) -> Iterator[Row]:
+    def __iter__(self) -> Iterator[RowBatch]:
         policy = self._policy
-        for row in self._child:
-            now = row.get("created_at", self._ctx.stream_time)
-            # Under sharded execution rows carry a global sequence number
-            # and time-only punctuation arrives for rows routed to other
-            # shards; both keep age-based flushes firing at exactly the
-            # triggers the serial operator would have seen.
-            trigger = row.get("__seq__")
+        for batch in self._child:
+            emitted: list[Row] = []
+            for row in batch.rows:
+                now = row.get("created_at", self._ctx.stream_time)
+                # Under sharded execution rows carry a global sequence
+                # number and time-only punctuation arrives for rows routed
+                # to other shards; both keep age-based flushes firing at
+                # exactly the triggers the serial operator would have seen.
+                trigger = row.get("__seq__")
 
-            # Freshness bound: age out slow groups before processing.
-            if policy.max_age_seconds is not None:
-                yield from self._flush_aged(now, trigger)
+                # Freshness bound: age out slow groups before processing.
+                if policy.max_age_seconds is not None:
+                    self._flush_aged(now, trigger, emitted)
 
-            if "__punct__" in row:
-                continue
+                if "__punct__" in row:
+                    continue
 
-            key = tuple(e(row, self._ctx) for e in self._group_evals)
-            value = self._value_eval(row, self._ctx)
-            if value is None:
-                continue
-            group = self._groups.get(key)
-            if group is None:
-                group = _ConfidenceGroup(row, now)
-                self._groups[key] = group
-            group.aggregate.add(value)
-            group.last_time = now
+                key = tuple(e(row, self._ctx) for e in self._group_evals)
+                value = self._value_eval(row, self._ctx)
+                if value is None:
+                    continue
+                group = self._groups.get(key)
+                if group is None:
+                    group = _ConfidenceGroup(row, now)
+                    self._groups[key] = group
+                group.aggregate.add(value)
+                group.last_time = now
 
-            if group.aggregate.n >= policy.min_count:
-                half = group.aggregate.confidence_interval(policy.z)
-                if half is not None and half <= policy.ci_halfwidth:
-                    yield self._emit(
-                        key, group, "confidence",
-                        order=self._order_tag(trigger, 1, group),
-                    )
+                if group.aggregate.n >= policy.min_count:
+                    half = group.aggregate.confidence_interval(policy.z)
+                    if half is not None and half <= policy.ci_halfwidth:
+                        emitted.append(
+                            self._emit(
+                                key, group, "confidence",
+                                order=self._order_tag(trigger, 1, group),
+                            )
+                        )
+            if emitted:
+                yield RowBatch(emitted, seq=batch.seq)
+            if batch.last:
+                break
 
+        tail: list[Row] = []
         for key in sorted(self._groups, key=_key_order):
             group = self._groups[key]
             order = (
@@ -143,8 +152,9 @@ class ConfidenceAggregateOperator:
                 if "__seq__" in group.representative
                 else None
             )
-            yield self._emit(key, group, "eos", pop=False, order=order)
+            tail.append(self._emit(key, group, "eos", pop=False, order=order))
         self._groups.clear()
+        yield RowBatch(tail, last=True)
 
     def _order_tag(
         self, trigger: int | None, phase: int, group: _ConfidenceGroup
@@ -160,7 +170,9 @@ class ConfidenceAggregateOperator:
             return None
         return (trigger, phase, group.representative.get("__seq__", -1))
 
-    def _flush_aged(self, now: float, trigger: int | None = None) -> Iterator[Row]:
+    def _flush_aged(
+        self, now: float, trigger: int | None, emitted: list[Row]
+    ) -> None:
         assert self._policy.max_age_seconds is not None
         horizon = now - self._policy.max_age_seconds
         aged = [
@@ -170,8 +182,10 @@ class ConfidenceAggregateOperator:
         ]
         for key in aged:
             group = self._groups[key]
-            yield self._emit(
-                key, group, "age", order=self._order_tag(trigger, 0, group)
+            emitted.append(
+                self._emit(
+                    key, group, "age", order=self._order_tag(trigger, 0, group)
+                )
             )
 
     def _emit(

@@ -21,7 +21,7 @@ import time
 from collections.abc import Iterable, Iterator
 
 from repro.engine.expressions import Evaluator
-from repro.engine.types import EvalContext, Row
+from repro.engine.types import EvalContext, Row, RowBatch
 
 
 class AdaptivePredicate:
@@ -90,7 +90,7 @@ class EddyOperator:
 
     def __init__(
         self,
-        child: Iterable[Row],
+        child: Iterable[RowBatch],
         predicates: list[AdaptivePredicate],
         ctx: EvalContext,
         resort_every: int = 64,
@@ -107,25 +107,36 @@ class EddyOperator:
         """Predicate names in the order tuples currently visit them."""
         return [p.name for p in self._predicates]
 
-    def __iter__(self) -> Iterator[Row]:
+    def __iter__(self) -> Iterator[RowBatch]:
+        ctx = self._ctx
+        stats = ctx.stats
+        predicates = self._predicates
+        resort_every = self._resort_every
         since_resort = 0
-        for row in self._child:
-            if "__punct__" in row:
-                # Sharded-execution punctuation: pass through untested.
-                yield row
-                continue
-            since_resort += 1
-            if since_resort >= self._resort_every:
-                self._predicates.sort(key=lambda p: p.rank)
-                since_resort = 0
-            passed_all = True
-            for predicate in self._predicates:
-                if not predicate.test(row, self._ctx):
-                    passed_all = False
-                    break
-            if passed_all:
-                self._ctx.stats.rows_after_filter += 1
-                yield row
+        for batch in self._child:
+            kept: list[Row] = []
+            append = kept.append
+            for row in batch.rows:
+                if "__punct__" in row:
+                    # Sharded-execution punctuation: pass through untested.
+                    append(row)
+                    continue
+                since_resort += 1
+                if since_resort >= resort_every:
+                    predicates.sort(key=lambda p: p.rank)
+                    since_resort = 0
+                passed_all = True
+                for predicate in predicates:
+                    if not predicate.test(row, ctx):
+                        passed_all = False
+                        break
+                if passed_all:
+                    stats.rows_after_filter += 1
+                    append(row)
+            if kept or batch.last:
+                yield RowBatch(kept, seq=batch.seq, last=batch.last)
+            if batch.last:
+                return
 
 
 class StaticConjunction:
@@ -133,7 +144,7 @@ class StaticConjunction:
 
     def __init__(
         self,
-        child: Iterable[Row],
+        child: Iterable[RowBatch],
         predicates: list[AdaptivePredicate],
         ctx: EvalContext,
     ) -> None:
@@ -141,8 +152,17 @@ class StaticConjunction:
         self._predicates = predicates
         self._ctx = ctx
 
-    def __iter__(self) -> Iterator[Row]:
-        for row in self._child:
-            if all(p.test(row, self._ctx) for p in self._predicates):
-                self._ctx.stats.rows_after_filter += 1
-                yield row
+    def __iter__(self) -> Iterator[RowBatch]:
+        ctx = self._ctx
+        predicates = self._predicates
+        for batch in self._child:
+            kept = [
+                row
+                for row in batch.rows
+                if all(p.test(row, ctx) for p in predicates)
+            ]
+            ctx.stats.rows_after_filter += len(kept)
+            if kept or batch.last:
+                yield RowBatch(kept, seq=batch.seq, last=batch.last)
+            if batch.last:
+                return

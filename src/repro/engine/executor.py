@@ -65,6 +65,26 @@ class QueryHandle:
         return list(self._plan.shard_service_stats)
 
     @property
+    def service_stats(self) -> dict[str, dict]:
+        """Per-service call and cache accounting for serial plans.
+
+        ``{service: {…ManagedCallStats…, "cache": {…CacheStats…}}}`` — the
+        ``cache`` entry (hits, misses, hit_rate, …) is present only when
+        the latency mode put an LRU in front of the service. Sharded plans
+        expose the per-stage equivalent via :attr:`shard_service_stats`.
+        """
+        out: dict[str, dict] = {}
+        for name, managed in self._plan.ctx.services.items():
+            if not name.endswith("_managed"):
+                continue
+            stats = dict(managed.stats.as_dict())
+            cache = getattr(managed, "cache", None)
+            if cache is not None:
+                stats["cache"] = cache.stats.as_dict()
+            out[name.removesuffix("_managed")] = stats
+        return out
+
+    @property
     def filter_choice(self):
         """The API filter decision, when the query ran against twitter."""
         return self._plan.filter_choice
@@ -81,8 +101,13 @@ class QueryHandle:
         return self._iterator
 
     def _iterate(self) -> Iterator[Row]:
+        # The pipeline speaks RowBatch; the handle flattens back to rows at
+        # the API boundary so callers never see batch framing.
         try:
-            yield from self._plan.pipeline
+            for batch in self._plan.pipeline:
+                yield from batch.rows
+                if batch.last:
+                    break
         finally:
             # Natural exhaustion, a pipeline error, or the generator being
             # closed (GC of an abandoned handle): release everything now

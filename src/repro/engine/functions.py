@@ -21,7 +21,7 @@ NULL (return ``None`` rather than raising).
 from __future__ import annotations
 
 import math
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
 

@@ -1,72 +1,142 @@
-"""Streaming physical operators.
+"""Streaming physical operators (batch-at-a-time).
 
-Every operator is an iterator of rows (dicts) pulled by the executor. The
-pipeline for a typical TweeQL query looks like::
+Every operator consumes and produces :class:`~repro.engine.types.RowBatch`
+streams pulled by the executor. The pipeline for a typical TweeQL query
+looks like::
 
     Scan → Filter (local predicates) → Project            (scalar queries)
     Scan → Filter → WindowedAggregate [→ Having/Order/Limit]  (aggregates)
     Scan + Scan → WindowedJoin → …                        (two-stream joins)
 
+The scan is the batcher: it slices the source into ``batch_size``-row
+batches and the predicate/projection loops then run per batch, amortizing
+interpreter and call overhead across rows. Batch size never changes
+results — each operator processes the rows of a batch in stream order and
+emits its output in the same order the row-at-a-time pipeline would have.
+
 Stream time advances with the tweets the scan yields; windowed operators
 close windows when stream time passes their end, so results are emitted as
-soon as the data allows — there is no wall-clock anywhere.
+soon as the data allows — there is no wall-clock anywhere. Every producer
+ends its output with exactly one ``last=True`` batch (possibly empty), the
+end-of-stream punctuation downstream operators flush on.
 """
 
 from __future__ import annotations
 
-import itertools
 from collections.abc import Iterable, Iterator
+from itertools import islice
 from typing import Any
 
 from repro.engine.expressions import Evaluator
-from repro.engine.types import EvalContext, Row
+from repro.engine.types import (
+    DEFAULT_BATCH_SIZE,
+    EvalContext,
+    Row,
+    RowBatch,
+    iter_rows,
+)
 from repro.sql.ast import WindowSpec
 from repro.engine.windows import windows_containing
 
+#: What operators consume and produce.
+Batches = Iterable[RowBatch]
+
+
+def rebatch(rows: Iterable[Row], batch_size: int) -> Iterator[RowBatch]:
+    """Re-chunk a row stream into batches (join / merge output adapter)."""
+    pending: list[Row] = []
+    seq = 0
+    for row in rows:
+        pending.append(row)
+        if len(pending) >= batch_size:
+            yield RowBatch(pending, seq=seq)
+            seq += 1
+            pending = []
+    yield RowBatch(pending, seq=seq, last=True)
+
 
 class ScanOperator:
-    """Source adapter: yields rows, advancing stream time and counters.
+    """Source adapter: slices rows into batches, advancing stream time.
 
     ``source`` yields rows that must contain a ``created_at`` timestamp (the
-    ``twitter`` source guarantees it).
+    ``twitter`` source guarantees it). Stream time advances over the whole
+    batch before it is released — the batch's rows are all "seen" by the
+    time downstream operators evaluate them, exactly as if each row had
+    been pulled individually.
     """
 
-    def __init__(self, source: Iterable[Row], ctx: EvalContext) -> None:
+    def __init__(
+        self,
+        source: Iterable[Row],
+        ctx: EvalContext,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
         self._source = source
         self._ctx = ctx
+        self._batch_size = batch_size
 
-    def __iter__(self) -> Iterator[Row]:
-        for row in self._source:
-            self._ctx.stats.rows_scanned += 1
-            timestamp = row.get("created_at")
-            if timestamp is not None and timestamp > self._ctx.stream_time:
-                self._ctx.stream_time = timestamp
-            yield row
+    def __iter__(self) -> Iterator[RowBatch]:
+        ctx = self._ctx
+        stats = ctx.stats
+        size = self._batch_size
+        source = iter(self._source)
+        seq = 0
+        while True:
+            rows = list(islice(source, size))
+            last = len(rows) < size
+            if rows:
+                stats.rows_scanned += len(rows)
+                stats.batches += 1
+                stream_time = ctx.stream_time
+                for row in rows:
+                    timestamp = row.get("created_at")
+                    if timestamp is not None and timestamp > stream_time:
+                        stream_time = timestamp
+                ctx.stream_time = stream_time
+            yield RowBatch(rows, seq=seq, last=last)
+            if last:
+                return
+            seq += 1
 
 
 class FilterOperator:
-    """Applies one compiled predicate; emits rows where it is exactly TRUE
+    """Applies one compiled predicate; keeps rows where it is exactly TRUE
     (NULL, like FALSE, drops the row — SQL WHERE semantics)."""
 
     def __init__(
-        self, child: Iterable[Row], predicate: Evaluator, ctx: EvalContext
+        self, child: Batches, predicate: Evaluator, ctx: EvalContext
     ) -> None:
         self._child = child
         self._predicate = predicate
         self._ctx = ctx
 
-    def __iter__(self) -> Iterator[Row]:
-        for row in self._child:
-            if "__punct__" in row:
-                # Sharded-execution punctuation carries time, not data; it
-                # passes every filter without touching the counters.
-                yield row
-                continue
-            self._ctx.stats.predicate_evaluations += 1
-            verdict = self._predicate(row, self._ctx)
-            if verdict is not None and verdict:
-                self._ctx.stats.rows_after_filter += 1
-                yield row
+    def __iter__(self) -> Iterator[RowBatch]:
+        ctx = self._ctx
+        stats = ctx.stats
+        predicate = self._predicate
+        for batch in self._child:
+            kept: list[Row] = []
+            append = kept.append
+            evaluated = passed = 0
+            for row in batch.rows:
+                if "__punct__" in row:
+                    # Sharded-execution punctuation carries time, not data;
+                    # it passes every filter without touching the counters.
+                    append(row)
+                    continue
+                evaluated += 1
+                verdict = predicate(row, ctx)
+                if verdict is not None and verdict:
+                    passed += 1
+                    append(row)
+            stats.predicate_evaluations += evaluated
+            stats.rows_after_filter += passed
+            if kept or batch.last:
+                yield RowBatch(kept, seq=batch.seq, last=batch.last)
+            if batch.last:
+                return
 
 
 class ProjectOperator:
@@ -79,7 +149,7 @@ class ProjectOperator:
 
     def __init__(
         self,
-        child: Iterable[Row],
+        child: Batches,
         items: list[tuple[str, Evaluator]],
         ctx: EvalContext,
         passthrough_time: bool = True,
@@ -89,19 +159,30 @@ class ProjectOperator:
         self._ctx = ctx
         self._passthrough_time = passthrough_time
 
-    def __iter__(self) -> Iterator[Row]:
-        for row in self._child:
-            out: Row = {}
-            for name, evaluate in self._items:
-                out[name] = evaluate(row, self._ctx)
-            if self._passthrough_time and "created_at" not in out:
-                out["created_at"] = row.get("created_at")
-            if "__tweet__" in row:
-                out["__tweet__"] = row["__tweet__"]
-            if "__seq__" in row:
-                out["__seq__"] = row["__seq__"]
-            self._ctx.stats.rows_emitted += 1
-            yield out
+    def __iter__(self) -> Iterator[RowBatch]:
+        ctx = self._ctx
+        stats = ctx.stats
+        items = self._items
+        passthrough_time = self._passthrough_time
+        for batch in self._child:
+            projected: list[Row] = []
+            append = projected.append
+            for row in batch.rows:
+                out: Row = {}
+                for name, evaluate in items:
+                    out[name] = evaluate(row, ctx)
+                if passthrough_time and "created_at" not in out:
+                    out["created_at"] = row.get("created_at")
+                if "__tweet__" in row:
+                    out["__tweet__"] = row["__tweet__"]
+                if "__seq__" in row:
+                    out["__seq__"] = row["__seq__"]
+                append(out)
+            stats.rows_emitted += len(projected)
+            if projected or batch.last:
+                yield RowBatch(projected, seq=batch.seq, last=batch.last)
+            if batch.last:
+                return
 
 
 class _GroupState:
@@ -119,7 +200,7 @@ class WindowedAggregateOperator:
     """GROUP BY + aggregates over tumbling/sliding time windows.
 
     Args:
-        child: input row stream (time-ordered).
+        child: input batch stream (rows time-ordered).
         window: the window specification.
         group_evals: compiled grouping-key expressions ([] → one global
             group per window).
@@ -134,12 +215,14 @@ class WindowedAggregateOperator:
         limit: optional per-window row cap (after ordering).
 
     Output rows carry ``window_start`` and ``window_end`` columns, plus
-    ``created_at`` set to the window end (emission time).
+    ``created_at`` set to the window end (emission time). Windows closed by
+    a batch's rows are emitted with that batch, in exactly the order the
+    row-at-a-time pipeline interleaved them.
     """
 
     def __init__(
         self,
-        child: Iterable[Row],
+        child: Batches,
         window: WindowSpec,
         group_evals: list[Evaluator],
         agg_factories: list[tuple[Any, Evaluator | None, bool]],
@@ -161,51 +244,67 @@ class WindowedAggregateOperator:
         # (window_start, window_end) → {group_key: _GroupState}
         self._open: dict[tuple[float, float], dict[tuple, _GroupState]] = {}
 
-    def __iter__(self) -> Iterator[Row]:
-        for row in self._child:
-            timestamp = row.get("created_at", self._ctx.stream_time)
-            # Close every window that ended at or before this row's time.
-            yield from self._close_due(timestamp)
-            for bounds in windows_containing(timestamp, self._window):
-                groups = self._open.setdefault(bounds, {})
-                key = tuple(
-                    evaluate(row, self._ctx) for evaluate in self._group_evals
-                )
-                state = groups.get(key)
-                if state is None:
-                    state = _GroupState(
-                        [factory() for factory, _arg, _skip in self._agg_factories],
-                        representative=row,
+    def __iter__(self) -> Iterator[RowBatch]:
+        ctx = self._ctx
+        window = self._window
+        group_evals = self._group_evals
+        agg_factories = self._agg_factories
+        open_windows = self._open
+        for batch in self._child:
+            emitted: list[Row] = []
+            for row in batch.rows:
+                timestamp = row.get("created_at", ctx.stream_time)
+                # Close every window that ended at or before this row's time.
+                self._close_due(timestamp, emitted)
+                for bounds in windows_containing(timestamp, window):
+                    groups = open_windows.setdefault(bounds, {})
+                    key = tuple(
+                        evaluate(row, ctx) for evaluate in group_evals
                     )
-                    groups[key] = state
-                state.count += 1
-                for accumulator, (_factory, arg_eval, skip_nulls) in zip(
-                    state.accumulators, self._agg_factories
-                ):
-                    if arg_eval is None:
-                        accumulator.add(1)
-                        continue
-                    value = arg_eval(row, self._ctx)
-                    if value is None and skip_nulls:
-                        continue
-                    accumulator.add(value)
+                    state = groups.get(key)
+                    if state is None:
+                        state = _GroupState(
+                            [factory() for factory, _arg, _skip in agg_factories],
+                            representative=row,
+                        )
+                        groups[key] = state
+                    state.count += 1
+                    for accumulator, (_factory, arg_eval, skip_nulls) in zip(
+                        state.accumulators, agg_factories
+                    ):
+                        if arg_eval is None:
+                            accumulator.add(1)
+                            continue
+                        value = arg_eval(row, ctx)
+                        if value is None and skip_nulls:
+                            continue
+                        accumulator.add(value)
+            if emitted:
+                yield RowBatch(emitted, seq=batch.seq)
+            if batch.last:
+                break
         # End of stream: flush everything still open.
-        yield from self._close_due(float("inf"))
+        tail: list[Row] = []
+        self._close_due(float("inf"), tail)
+        yield RowBatch(tail, last=True)
 
-    def _close_due(self, timestamp: float) -> Iterator[Row]:
+    def _close_due(self, timestamp: float, emitted: list[Row]) -> None:
         due = sorted(
             bounds for bounds in self._open if bounds[1] <= timestamp
         )
         for bounds in due:
             groups = self._open.pop(bounds)
             self._ctx.stats.windows_closed += 1
-            yield from self._emit_window(bounds, groups)
+            self._emit_window(bounds, groups, emitted)
 
     def _emit_window(
-        self, bounds: tuple[float, float], groups: dict[tuple, _GroupState]
-    ) -> Iterator[Row]:
+        self,
+        bounds: tuple[float, float],
+        groups: dict[tuple, _GroupState],
+        emitted: list[Row],
+    ) -> None:
         start, end = bounds
-        emitted: list[Row] = []
+        window_rows: list[Row] = []
         for state in groups.values():
             env = dict(state.representative)
             for index, accumulator in enumerate(state.accumulators):
@@ -224,18 +323,17 @@ class WindowedAggregateOperator:
                 # Sharded execution: the merge orders same-window groups by
                 # the sequence of the group's first (representative) row.
                 out["__seq__"] = env["__seq__"]
-            emitted.append(out)
+            window_rows.append(out)
             self._ctx.stats.groups_emitted += 1
         for evaluate, descending in reversed(self._order_by):
-            emitted.sort(
+            window_rows.sort(
                 key=lambda r, e=evaluate: _sort_key(e(r, self._ctx)),
                 reverse=descending,
             )
         if self._limit is not None:
-            emitted = emitted[: self._limit]
-        for out in emitted:
-            self._ctx.stats.rows_emitted += 1
-            yield out
+            window_rows = window_rows[: self._limit]
+        self._ctx.stats.rows_emitted += len(window_rows)
+        emitted.extend(window_rows)
 
 
 def _sort_key(value: Any) -> tuple[int, Any]:
@@ -251,10 +349,10 @@ class CountWindowedAggregateOperator:
     """GROUP BY + aggregates over tweet-count windows (``WINDOW n TWEETS``).
 
     Windows are defined over the input row *ordinal*: with size N and slide
-    M, window k covers rows [k·M, k·M + N). Emitted rows carry
-    ``window_start``/``window_end`` as the timestamps of the window's first
-    and last rows (so downstream time filtering still works) plus
-    ``window_rows`` with the exact row count.
+    M, window k covers rows [k·M, k·M + N). The ordinal is global across
+    batches. Emitted rows carry ``window_start``/``window_end`` as the
+    timestamps of the window's first and last rows (so downstream time
+    filtering still works) plus ``window_rows`` with the exact row count.
 
     This is the "window size on tweet count" alternative §2 weighs (and
     finds wanting for uneven groups — see benchmark E4).
@@ -262,7 +360,7 @@ class CountWindowedAggregateOperator:
 
     def __init__(
         self,
-        child: Iterable[Row],
+        child: Batches,
         window: WindowSpec,
         group_evals: list[Evaluator],
         agg_factories: list[tuple[Any, Evaluator | None, bool]],
@@ -284,31 +382,40 @@ class CountWindowedAggregateOperator:
         self._order_by = order_by or []
         self._limit = limit
 
-    def __iter__(self) -> Iterator[Row]:
+    def __iter__(self) -> Iterator[RowBatch]:
         # start_ordinal → (groups, first_ts, last_ts, rows_in_window)
         open_windows: dict[int, list] = {}
         index = -1
-        for index, row in enumerate(self._child):
-            due = sorted(
-                s for s in open_windows if s + self._size <= index
-            )
-            for start in due:
-                yield from self._emit(open_windows.pop(start))
-            latest = (index // self._slide) * self._slide
-            start = latest
-            while start > index - self._size and start >= 0:
-                state = open_windows.get(start)
-                timestamp = row.get("created_at", self._ctx.stream_time)
-                if state is None:
-                    state = [{}, timestamp, timestamp, 0]
-                    open_windows[start] = state
-                self._accumulate(state, row, timestamp)
-                start -= self._slide
-            # Windows that started before row 0 don't exist; also handle
-            # slide > size (sampling windows): rows between windows are
-            # simply not accumulated anywhere.
+        for batch in self._child:
+            emitted: list[Row] = []
+            for row in batch.rows:
+                index += 1
+                due = sorted(
+                    s for s in open_windows if s + self._size <= index
+                )
+                for start in due:
+                    self._emit(open_windows.pop(start), emitted)
+                latest = (index // self._slide) * self._slide
+                start = latest
+                while start > index - self._size and start >= 0:
+                    state = open_windows.get(start)
+                    timestamp = row.get("created_at", self._ctx.stream_time)
+                    if state is None:
+                        state = [{}, timestamp, timestamp, 0]
+                        open_windows[start] = state
+                    self._accumulate(state, row, timestamp)
+                    start -= self._slide
+                # Windows that started before row 0 don't exist; also handle
+                # slide > size (sampling windows): rows between windows are
+                # simply not accumulated anywhere.
+            if emitted:
+                yield RowBatch(emitted, seq=batch.seq)
+            if batch.last:
+                break
+        tail: list[Row] = []
         for start in sorted(open_windows):
-            yield from self._emit(open_windows[start])
+            self._emit(open_windows[start], tail)
+        yield RowBatch(tail, last=True)
 
     def _accumulate(self, state: list, row: Row, timestamp: float) -> None:
         groups, _first, _last, _n = state
@@ -334,10 +441,10 @@ class CountWindowedAggregateOperator:
                 continue
             accumulator.add(value)
 
-    def _emit(self, state: list) -> Iterator[Row]:
+    def _emit(self, state: list, emitted: list[Row]) -> None:
         groups, first_ts, last_ts, rows_in_window = state
         self._ctx.stats.windows_closed += 1
-        emitted: list[Row] = []
+        window_rows: list[Row] = []
         for group in groups.values():
             env = dict(group.representative)
             for agg_index, accumulator in enumerate(group.accumulators):
@@ -353,18 +460,17 @@ class CountWindowedAggregateOperator:
             out["window_end"] = last_ts
             out["window_rows"] = rows_in_window
             out["created_at"] = last_ts
-            emitted.append(out)
+            window_rows.append(out)
             self._ctx.stats.groups_emitted += 1
         for evaluate, descending in reversed(self._order_by):
-            emitted.sort(
+            window_rows.sort(
                 key=lambda r, e=evaluate: _sort_key(e(r, self._ctx)),
                 reverse=descending,
             )
         if self._limit is not None:
-            emitted = emitted[: self._limit]
-        for out in emitted:
-            self._ctx.stats.rows_emitted += 1
-            yield out
+            window_rows = window_rows[: self._limit]
+        self._ctx.stats.rows_emitted += len(window_rows)
+        emitted.extend(window_rows)
 
 
 class WindowedJoinOperator:
@@ -376,34 +482,45 @@ class WindowedJoinOperator:
     hash tables keyed by join key, and evicts entries older than the window
     — the standard streaming band join.
 
+    The join itself is row-at-a-time (the two-sided merge needs per-row
+    control over which input advances); inputs are flattened and the output
+    re-batched.
+
     Output rows are the left row's fields plus the right row's, with right
     fields renamed ``<prefix><name>`` on collision.
     """
 
     def __init__(
         self,
-        left: Iterable[Row],
+        left: Batches,
         right: Iterable[Row],
         left_key: Evaluator,
         right_key: Evaluator,
         window: WindowSpec,
         ctx: EvalContext,
         right_prefix: str = "r_",
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
-        self._left = iter(left)
-        self._right = iter(right)
+        self._left = left
+        self._right = right
         self._left_key = left_key
         self._right_key = right_key
         self._window = window
         self._ctx = ctx
         self._right_prefix = right_prefix
+        self._batch_size = batch_size
 
-    def __iter__(self) -> Iterator[Row]:
+    def __iter__(self) -> Iterator[RowBatch]:
+        return rebatch(self._join_rows(), self._batch_size)
+
+    def _join_rows(self) -> Iterator[Row]:
         size = self._window.size_seconds
         left_table: dict[Any, list[Row]] = {}
         right_table: dict[Any, list[Row]] = {}
-        left_row = next(self._left, None)
-        right_row = next(self._right, None)
+        left = iter_rows(self._left)
+        right = iter(self._right)
+        left_row = next(left, None)
+        right_row = next(right, None)
         while left_row is not None or right_row is not None:
             take_left = right_row is None or (
                 left_row is not None
@@ -424,14 +541,14 @@ class WindowedJoinOperator:
                     for match in right_table.get(key, ()):
                         yield self._merge(row, match)
                     left_table.setdefault(key, []).append(row)
-                left_row = next(self._left, None)
+                left_row = next(left, None)
             else:
                 key = self._right_key(row, self._ctx)
                 if key is not None:
                     for match in left_table.get(key, ()):
                         yield self._merge(match, row)
                     right_table.setdefault(key, []).append(row)
-                right_row = next(self._right, None)
+                right_row = next(right, None)
 
     def _merge(self, left: Row, right: Row) -> Row:
         out = dict(left)
@@ -472,7 +589,7 @@ class LookupJoinOperator:
 
     def __init__(
         self,
-        stream: Iterable[Row],
+        stream: Batches,
         table_rows: Iterable[Row],
         stream_key: Evaluator,
         table_key: Evaluator,
@@ -490,21 +607,27 @@ class LookupJoinOperator:
         self._right_prefix = right_prefix
         self._left_outer = left_outer
 
-    def __iter__(self) -> Iterator[Row]:
+    def __iter__(self) -> Iterator[RowBatch]:
         table: dict[Any, list[Row]] = {}
         for row in self._table_rows:
             key = self._table_key(row, self._ctx)
             if key is not None:
                 table.setdefault(key, []).append(row)
         null_extension = {name: None for name in self._table_schema}
-        for row in self._stream:
-            key = self._stream_key(row, self._ctx)
-            matches = table.get(key, ()) if key is not None else ()
-            if matches:
-                for match in matches:
-                    yield self._merge(row, match)
-            elif self._left_outer:
-                yield self._merge(row, null_extension)
+        for batch in self._stream:
+            joined: list[Row] = []
+            for row in batch.rows:
+                key = self._stream_key(row, self._ctx)
+                matches = table.get(key, ()) if key is not None else ()
+                if matches:
+                    for match in matches:
+                        joined.append(self._merge(row, match))
+                elif self._left_outer:
+                    joined.append(self._merge(row, null_extension))
+            if joined or batch.last:
+                yield RowBatch(joined, seq=batch.seq, last=batch.last)
+            if batch.last:
+                return
 
     def _merge(self, left: Row, right: Row) -> Row:
         out = dict(left)
@@ -520,24 +643,42 @@ class LookupJoinOperator:
 
 
 class LimitOperator:
-    """Stops the pipeline after ``limit`` rows."""
+    """Stops the pipeline after ``limit`` rows, truncating mid-batch."""
 
-    def __init__(self, child: Iterable[Row], limit: int) -> None:
+    def __init__(self, child: Batches, limit: int) -> None:
         self._child = child
         self._limit = limit
 
-    def __iter__(self) -> Iterator[Row]:
-        return itertools.islice(iter(self._child), self._limit)
+    def __iter__(self) -> Iterator[RowBatch]:
+        remaining = self._limit
+        if remaining <= 0:
+            yield RowBatch([], last=True)
+            return
+        for batch in self._child:
+            rows = batch.rows
+            if len(rows) >= remaining:
+                yield RowBatch(rows[:remaining], seq=batch.seq, last=True)
+                return
+            remaining -= len(rows)
+            yield RowBatch(rows, seq=batch.seq, last=batch.last)
+            if batch.last:
+                return
+        # Child ended without a last batch (defensive): punctuate anyway.
+        yield RowBatch([], last=True)
 
 
 class IntoOperator:
     """Tees result rows into a storage table while passing them through."""
 
-    def __init__(self, child: Iterable[Row], sink: Any) -> None:
+    def __init__(self, child: Batches, sink: Any) -> None:
         self._child = child
         self._sink = sink
 
-    def __iter__(self) -> Iterator[Row]:
-        for row in self._child:
-            self._sink.append(row)
-            yield row
+    def __iter__(self) -> Iterator[RowBatch]:
+        append = self._sink.append
+        for batch in self._child:
+            for row in batch.rows:
+                append(row)
+            yield batch
+            if batch.last:
+                return

@@ -1,10 +1,14 @@
 """Sharded parallel query execution.
 
-The serial engine runs one pull-based iterator chain per query. This module
+The serial engine runs one pull-based batch pipeline per query. This module
 adds the ``workers=N`` path: an **exchange** hash-partitions the source
 stream across N worker pipelines running in a thread pool, and a
 timestamp-ordered **k-way merge** reassembles shard outputs into exactly
-the row sequence the serial engine would have produced.
+the row sequence the serial engine would have produced. Rows cross every
+thread boundary in whole batches — the exchange routes one source
+:class:`~repro.engine.types.RowBatch` per lock acquisition and ships
+routed row-lists per queue operation, and workers ship tagged output
+batches back — so queue and lock traffic is per batch, not per row.
 
 Determinism contract
 --------------------
@@ -56,14 +60,11 @@ from typing import Any
 
 from repro.engine.latency import ManagedCall, ManagedCallStats
 from repro.engine.operators import _sort_key
-from repro.engine.types import EvalContext, Row
+from repro.engine.types import DEFAULT_BATCH_SIZE, EvalContext, Row, RowBatch
 
 #: Queue poll interval; every blocking loop re-checks the stop event at
 #: this granularity so shutdown is prompt.
 _POLL_SECONDS = 0.05
-
-#: Rows per exchange → worker batch (amortizes queue synchronization).
-INPUT_BATCH = 64
 
 _END = object()
 
@@ -198,21 +199,31 @@ def confidence_tagger(row: Row) -> tuple[tuple, Row]:
 class ShardScan:
     """Worker-side source adapter over a shard's input queue.
 
-    Advances the worker context's stream time like a ScanOperator but does
-    *not* count ``rows_scanned`` — the exchange's scan already counted every
-    source row once, matching the serial engine's counter.
+    Wraps each routed row-list the exchange shipped into a
+    :class:`~repro.engine.types.RowBatch` and advances the worker
+    context's stream time like a ScanOperator, but does *not* count
+    ``rows_scanned`` — the exchange's scan already counted every source
+    row once, matching the serial engine's counter. A final empty
+    ``last`` batch punctuates end of input.
     """
 
-    def __init__(self, source: Iterable[Row], ctx: EvalContext) -> None:
+    def __init__(self, source: Iterable[list[Row]], ctx: EvalContext) -> None:
         self._source = source
         self._ctx = ctx
 
-    def __iter__(self) -> Iterator[Row]:
-        for row in self._source:
-            timestamp = row.get("created_at")
-            if timestamp is not None and timestamp > self._ctx.stream_time:
-                self._ctx.stream_time = timestamp
-            yield row
+    def __iter__(self) -> Iterator[RowBatch]:
+        ctx = self._ctx
+        seq = 0
+        for rows in self._source:
+            stream_time = ctx.stream_time
+            for row in rows:
+                timestamp = row.get("created_at")
+                if timestamp is not None and timestamp > stream_time:
+                    stream_time = timestamp
+            ctx.stream_time = stream_time
+            yield RowBatch(rows, seq=seq)
+            seq += 1
+        yield RowBatch([], seq=seq, last=True)
 
 
 @dataclasses.dataclass
@@ -248,7 +259,7 @@ class WindowFinalizeOperator:
 
     def __init__(
         self,
-        child: Iterable[Row],
+        child: Iterable[RowBatch],
         order_by: list[tuple[Callable, bool]],
         limit: int | None,
         ctx: EvalContext,
@@ -258,19 +269,27 @@ class WindowFinalizeOperator:
         self._limit = limit
         self._ctx = ctx
 
-    def __iter__(self) -> Iterator[Row]:
+    def __iter__(self) -> Iterator[RowBatch]:
         bucket: list[Row] = []
         current: tuple | None = None
-        for row in self._child:
-            bounds = (row.get("window_end"), row.get("window_start"))
-            if current is not None and bounds != current:
-                yield from self._flush(bucket)
-                bucket = []
-            current = bounds
-            bucket.append(row)
-        yield from self._flush(bucket)
+        seq = 0
+        for batch in self._child:
+            finalized: list[Row] = []
+            for row in batch.rows:
+                bounds = (row.get("window_end"), row.get("window_start"))
+                if current is not None and bounds != current:
+                    finalized.extend(self._flush(bucket))
+                    bucket = []
+                current = bounds
+                bucket.append(row)
+            if finalized:
+                yield RowBatch(finalized, seq=seq)
+                seq += 1
+            if batch.last:
+                break
+        yield RowBatch(list(self._flush(bucket)), seq=seq, last=True)
 
-    def _flush(self, bucket: list[Row]) -> Iterator[Row]:
+    def _flush(self, bucket: list[Row]) -> list[Row]:
         for evaluate, descending in reversed(self._order_by):
             bucket.sort(
                 key=lambda r, e=evaluate: _sort_key(e(r, self._ctx)),
@@ -278,7 +297,7 @@ class WindowFinalizeOperator:
             )
         if self._limit is not None:
             bucket = bucket[: self._limit]
-        yield from bucket
+        return bucket
 
 
 class CountingOperator:
@@ -289,14 +308,17 @@ class CountingOperator:
     ``rows_emitted`` from this counter instead of the shard sum.
     """
 
-    def __init__(self, child: Iterable[Row], ctx: EvalContext) -> None:
+    def __init__(self, child: Iterable[RowBatch], ctx: EvalContext) -> None:
         self._child = child
         self._ctx = ctx
 
-    def __iter__(self) -> Iterator[Row]:
-        for row in self._child:
-            self._ctx.stats.rows_emitted += 1
-            yield row
+    def __iter__(self) -> Iterator[RowBatch]:
+        stats = self._ctx.stats
+        for batch in self._child:
+            stats.rows_emitted += len(batch.rows)
+            yield batch
+            if batch.last:
+                return
 
 
 # ---------------------------------------------------------------------------
@@ -305,13 +327,15 @@ class CountingOperator:
 
 
 class _ShardInput:
-    """Iterable a worker's ScanOperator pulls; fed by the exchange."""
+    """Iterable of routed row-lists a worker's ShardScan pulls; fed by the
+    exchange. Each item is one whole exchange batch — queue traffic is per
+    batch, not per row."""
 
     def __init__(self, q: queue.Queue, stop: threading.Event) -> None:
         self._q = q
         self._stop = stop
 
-    def __iter__(self) -> Iterator[Row]:
+    def __iter__(self) -> Iterator[list[Row]]:
         while True:
             try:
                 batch = self._q.get(timeout=_POLL_SECONDS)
@@ -321,7 +345,7 @@ class _ShardInput:
                 continue
             if batch is None:  # sentinel: source exhausted
                 return
-            yield from batch
+            yield batch
 
 
 class ShardedExecution:
@@ -343,25 +367,35 @@ class ShardedExecution:
     shard catches up.
     """
 
-    def __init__(self, n_workers: int, input_batch: int = INPUT_BATCH) -> None:
+    def __init__(
+        self, n_workers: int, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> None:
         if n_workers < 2:
             raise ValueError("sharded execution needs at least 2 workers")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
         self.n = n_workers
         self.lock = threading.RLock()
         self.stop = threading.Event()
-        self._batch = input_batch
+        self._batch = batch_size
         self._in: list[queue.Queue] = [queue.Queue(maxsize=64) for _ in range(n_workers)]
         self._out: list[queue.Queue] = [queue.Queue() for _ in range(n_workers)]
         self._done = [threading.Event() for _ in range(n_workers)]
+        #: Per-shard tagged rows already pulled off the output queue but not
+        #: yet consumed by the merge heap (workers ship whole batches).
+        self._pending: list[list[tuple[tuple, Row]]] = [
+            [] for _ in range(n_workers)
+        ]
+        self._pending_pos = [0] * n_workers
         self._error: BaseException | None = None
         self._error_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._started = False
         self._closed = False
         # Filled by configure():
-        self._source: Iterable[Row] | None = None
+        self._source: Iterable[RowBatch] | None = None
         self._partition: Callable[[Row, int], int] | None = None
-        self._pipelines: list[Iterable[Row]] = []
+        self._pipelines: list[Iterable[RowBatch]] = []
         self._taggers: list[Callable[[Row], tuple[tuple, Row]]] = []
         self._broadcast_punctuation = False
 
@@ -373,9 +407,9 @@ class ShardedExecution:
 
     def configure(
         self,
-        source: Iterable[Row],
+        source: Iterable[RowBatch],
         partition: Callable[[Row, int], int],
-        pipelines: list[Iterable[Row]],
+        pipelines: list[Iterable[RowBatch]],
         taggers: list[Callable[[Row], tuple[tuple, Row]]],
         broadcast_punctuation: bool = False,
     ) -> None:
@@ -402,8 +436,15 @@ class ShardedExecution:
             raise error
 
     def _exchange(self) -> None:
-        """Producer: pull the (single) source, partition, and route."""
+        """Producer: pull source batches, partition their rows, and route.
+
+        Whole batches move under one lock acquisition and whole routed
+        row-lists move per queue operation — the synchronization cost is
+        per batch, not per row.
+        """
         assert self._source is not None and self._partition is not None
+        partition = self._partition
+        broadcast = self._broadcast_punctuation
         pending: list[list[Row]] = [[] for _ in range(self.n)]
         try:
             iterator = iter(self._source)
@@ -416,37 +457,40 @@ class ShardedExecution:
                 # Source pulls share the service lock: the stream advances
                 # the virtual clock, and so do worker service calls.
                 with self.lock:
-                    row = next(iterator, _END)
-                if row is _END:
+                    batch = next(iterator, _END)
+                if batch is _END:
                     break
-                shard = self._partition(row, seq)
-                tagged = dict(row)  # never mutate caller-owned row dicts
-                tagged["__seq__"] = seq
-                pending[shard].append(tagged)
-                if self._broadcast_punctuation:
-                    timestamp = row.get("created_at")
-                    for other in range(self.n):
-                        if other != shard:
-                            pending[other].append(
-                                {
-                                    "__punct__": True,
-                                    "created_at": timestamp,
-                                    "__seq__": seq,
-                                }
-                            )
-                seq += 1
-                for shard_id, batch in enumerate(pending):
-                    if len(batch) >= self._batch:
-                        self._put_batch(shard_id, batch)
+                for row in batch.rows:
+                    shard = partition(row, seq)
+                    tagged = dict(row)  # never mutate caller-owned row dicts
+                    tagged["__seq__"] = seq
+                    pending[shard].append(tagged)
+                    if broadcast:
+                        timestamp = row.get("created_at")
+                        for other in range(self.n):
+                            if other != shard:
+                                pending[other].append(
+                                    {
+                                        "__punct__": True,
+                                        "created_at": timestamp,
+                                        "__seq__": seq,
+                                    }
+                                )
+                    seq += 1
+                for shard_id, routed in enumerate(pending):
+                    if len(routed) >= self._batch:
+                        self._put_batch(shard_id, routed)
                         pending[shard_id] = []
+                if batch.last:
+                    break
         except BaseException as error:  # noqa: BLE001 — surfaced at the merge
             self._record_error(error)
             return
         finally:
             if not self.stop.is_set():
-                for shard_id, batch in enumerate(pending):
-                    if batch:
-                        self._put_batch(shard_id, batch)
+                for shard_id, routed in enumerate(pending):
+                    if routed:
+                        self._put_batch(shard_id, routed)
                     self._put_batch(shard_id, None)
 
     def _put_batch(self, shard: int, batch: list[Row] | None) -> None:
@@ -463,8 +507,12 @@ class ShardedExecution:
         tagger = self._taggers[worker]
         out = self._out[worker]
         try:
-            for row in self._pipelines[worker]:
-                out.put(("row", *tagger(row)))
+            for batch in self._pipelines[worker]:
+                if batch.rows:
+                    # Ship the whole tagged batch as one queue item.
+                    out.put(("rows", [tagger(row) for row in batch.rows]))
+                if batch.last:
+                    break
         except BaseException as error:  # noqa: BLE001
             self._record_error(error)
         finally:
@@ -494,8 +542,13 @@ class ShardedExecution:
 
     # -- consumer --------------------------------------------------------------
 
-    def merged(self) -> Iterator[Row]:
-        """The k-way ordered merge of shard outputs (lazy thread start)."""
+    def merged(self) -> Iterator[RowBatch]:
+        """The k-way ordered merge of shard outputs (lazy thread start).
+
+        Consumes whole tagged batches from the worker output queues,
+        feeds the heap row by row (ordering is per row), and re-chunks
+        the merged sequence into output batches.
+        """
         import heapq
 
         try:
@@ -505,17 +558,30 @@ class ShardedExecution:
                 entry = self._next_output(shard)
                 if entry is not None:
                     heapq.heappush(heap, entry)
+            out: list[Row] = []
+            seq = 0
             while heap:
                 _tag, shard, row = heapq.heappop(heap)
-                yield row
+                out.append(row)
+                if len(out) >= self._batch:
+                    yield RowBatch(out, seq=seq)
+                    seq += 1
+                    out = []
                 entry = self._next_output(shard)
                 if entry is not None:
                     heapq.heappush(heap, entry)
             self._raise_if_error()
+            yield RowBatch(out, seq=seq, last=True)
         finally:
             self.shutdown()
 
     def _next_output(self, shard: int) -> tuple[tuple, int, Row] | None:
+        pending = self._pending[shard]
+        position = self._pending_pos[shard]
+        if position < len(pending):
+            tag, row = pending[position]
+            self._pending_pos[shard] = position + 1
+            return (tag, shard, row)
         while True:
             self._raise_if_error()
             try:
@@ -526,5 +592,10 @@ class ShardedExecution:
                 continue
             if item[0] == "end":
                 return None
-            _kind, tag, row = item
+            rows = item[1]
+            if not rows:
+                continue
+            self._pending[shard] = rows
+            self._pending_pos[shard] = 1
+            tag, row = rows[0]
             return (tag, shard, row)

@@ -37,13 +37,12 @@ from repro.engine.expressions import (
     Evaluator,
     compile_expr,
     contains_aggregate,
-    contains_high_latency,
     resolve_bbox,
 )
 from repro.engine.functions import FunctionRegistry
 from repro.engine.latency import ManagedCall, PrefetchOperator
 from repro.engine.selectivity import FilterCandidate, FilterChoice, choose_api_filter
-from repro.engine.types import EvalContext, Row
+from repro.engine.types import DEFAULT_BATCH_SIZE, EvalContext, Row, RowBatch
 from repro.errors import PlanError
 from repro.sql import ast
 
@@ -68,9 +67,13 @@ class SourceBinding:
 
 @dataclass
 class PhysicalPlan:
-    """The executable result of planning one statement."""
+    """The executable result of planning one statement.
 
-    pipeline: Iterable[Row]
+    ``pipeline`` yields :class:`~repro.engine.types.RowBatch` units; the
+    executor flattens them back to rows at the API boundary.
+    """
+
+    pipeline: Iterable[RowBatch]
     output_schema: tuple[str, ...]
     ctx: EvalContext
     explain_lines: list[str] = field(default_factory=list)
@@ -331,6 +334,50 @@ class Planner:
             return plan
         return self._plan_serial(statement, binding)
 
+    # -- batch sizing ----------------------------------------------------------
+
+    def _batch_blocker(self, statement: ast.SelectStatement) -> str | None:
+        """Why this statement must run row-at-a-time, or None.
+
+        The scan advances stream time over a whole batch before any of the
+        batch's rows are evaluated, so an expression that *reads* stream
+        time per row — ``now()`` — would see the batch's horizon instead of
+        its own row's arrival time. Everything else is batch-invariant:
+        resolvers are pure and operators preserve row order.
+        """
+        exprs: list[ast.Expr] = [
+            item.expr
+            for item in statement.select
+            if not isinstance(item.expr, ast.Star)
+        ]
+        exprs.extend(split_conjuncts(statement.where))
+        exprs.extend(statement.group_by)
+        if statement.having is not None:
+            exprs.append(statement.having)
+        exprs.extend(expr for expr, _desc in statement.order_by)
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.FuncCall) and node.name == "now":
+                    return "now() reads stream time row by row"
+        return None
+
+    def _batch_size_for(
+        self, statement: ast.SelectStatement, plan: PhysicalPlan
+    ) -> int:
+        """The effective batch size for this statement, with EXPLAIN note."""
+        configured = getattr(self._config, "batch_size", DEFAULT_BATCH_SIZE)
+        if configured != 1:
+            reason = self._batch_blocker(statement)
+            if reason is not None:
+                plan.explain_lines.append(
+                    f"Batch: 1 row/batch (row-at-a-time fallback: {reason})"
+                )
+                return 1
+        plan.explain_lines.append(
+            f"Batch: {configured} row{'s' if configured != 1 else ''}/batch"
+        )
+        return configured
+
     def _plan_serial(
         self, statement: ast.SelectStatement, binding: SourceBinding
     ) -> PhysicalPlan:
@@ -344,23 +391,36 @@ class Planner:
 
         # ---- source access + API filter choice ----
         source_rows = self._build_source(binding, conjuncts, plan)
+        batch_size = self._batch_size_for(statement, plan)
         schema = binding.schema
-        pipeline: Iterable[Row] = ops.ScanOperator(source_rows, ctx)
+        pipeline: ops.Batches = ops.ScanOperator(source_rows, ctx, batch_size)
 
         if statement.join is not None:
-            pipeline, schema = self._build_join(statement, pipeline, schema, ctx, plan)
+            pipeline, schema = self._build_join(
+                statement, pipeline, schema, ctx, plan, batch_size
+            )
 
         # ---- local predicates ----
         pipeline = self._build_filters(conjuncts, pipeline, schema, ctx, plan)
+
+        has_aggregates = bool(statement.group_by) or any(
+            not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
+            for item in statement.select
+        )
+
+        # Scalar LIMIT sits below prefetch/projection: projection is 1:1,
+        # so truncating the filtered batch here yields the same rows while
+        # sparing per-row downstream work — and keeps ``rows_emitted``
+        # exact (the projection would otherwise count a whole batch before
+        # a post-projection limit trimmed it).
+        if not has_aggregates and statement.limit is not None:
+            pipeline = ops.LimitOperator(pipeline, statement.limit)
+            explain.append(f"Limit: {statement.limit}")
 
         # ---- high-latency prefetch ----
         pipeline = self._maybe_prefetch(statement, pipeline, schema, ctx, plan)
 
         # ---- projection / aggregation ----
-        has_aggregates = bool(statement.group_by) or any(
-            not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
-            for item in statement.select
-        )
         if has_aggregates:
             pipeline, output_schema = self._build_aggregation(
                 statement, pipeline, schema, ctx, plan
@@ -376,9 +436,6 @@ class Planner:
             pipeline, output_schema = self._build_projection(
                 statement, pipeline, schema, ctx
             )
-            if statement.limit is not None:
-                pipeline = ops.LimitOperator(pipeline, statement.limit)
-                explain.append(f"Limit: {statement.limit}")
 
         if statement.into is not None:
             sink = self._table_factory(statement.into)
@@ -459,11 +516,11 @@ class Planner:
     def _build_filters(
         self,
         conjuncts: list[ast.Expr],
-        pipeline: Iterable[Row],
+        pipeline: ops.Batches,
         schema: tuple[str, ...],
         ctx: EvalContext,
         plan: PhysicalPlan,
-    ) -> Iterable[Row]:
+    ) -> ops.Batches:
         """The local predicate stage: an eddy or a fixed conjunction."""
         if not conjuncts:
             return pipeline
@@ -500,11 +557,12 @@ class Planner:
     def _build_join(
         self,
         statement: ast.SelectStatement,
-        left_pipeline: Iterable[Row],
+        left_pipeline: ops.Batches,
         left_schema: tuple[str, ...],
         ctx: EvalContext,
         plan: PhysicalPlan,
-    ) -> tuple[Iterable[Row], tuple[str, ...]]:
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> tuple[ops.Batches, tuple[str, ...]]:
         join = statement.join
         assert join is not None
         right_binding = self._sources.get(join.source.lower())
@@ -569,7 +627,7 @@ class Planner:
                 f"Join: {statement.source} ⋈ table {join.source} on "
                 f"{left_field} = {right_field} (lookup)"
             )
-            pipeline: Iterable[Row] = ops.LookupJoinOperator(
+            pipeline: ops.Batches = ops.LookupJoinOperator(
                 left_pipeline,
                 right_rows,
                 left_key,
@@ -592,6 +650,7 @@ class Planner:
             right_key,
             statement.window,
             ctx,
+            batch_size=batch_size,
         )
         return pipeline, merged_schema
 
@@ -600,11 +659,11 @@ class Planner:
     def _maybe_prefetch(
         self,
         statement: ast.SelectStatement,
-        pipeline: Iterable[Row],
+        pipeline: ops.Batches,
         schema: tuple[str, ...],
         ctx: EvalContext,
         plan: PhysicalPlan,
-    ) -> Iterable[Row]:
+    ) -> ops.Batches:
         mode = self._config.latency_mode
         if mode not in ("batched", "async"):
             return pipeline
@@ -650,22 +709,20 @@ class Planner:
         if not extractors:
             return pipeline
         plan.explain_lines.append(
-            f"Prefetch: {mode} warm-up for {len(extractors)} high-latency "
-            f"call(s), lookahead {self._config.lookahead}"
+            f"Prefetch: {mode} per-batch warm-up for {len(extractors)} "
+            "high-latency call(s)"
         )
-        return PrefetchOperator(
-            pipeline, extractors, ctx, lookahead=self._config.lookahead
-        )
+        return PrefetchOperator(pipeline, extractors, ctx)
 
     # -- projection ------------------------------------------------------------
 
     def _build_projection(
         self,
         statement: ast.SelectStatement,
-        pipeline: Iterable[Row],
+        pipeline: ops.Batches,
         schema: tuple[str, ...],
         ctx: EvalContext,
-    ) -> tuple[Iterable[Row], tuple[str, ...]]:
+    ) -> tuple[ops.Batches, tuple[str, ...]]:
         items: list[tuple[str, Evaluator]] = []
         output_names: list[str] = []
         for item in statement.select:
@@ -692,12 +749,12 @@ class Planner:
     def _build_aggregation(
         self,
         statement: ast.SelectStatement,
-        pipeline: Iterable[Row],
+        pipeline: ops.Batches,
         schema: tuple[str, ...],
         ctx: EvalContext,
         plan: PhysicalPlan,
         defer: parallel.DeferredOrderLimit | None = None,
-    ) -> tuple[Iterable[Row], tuple[str, ...]]:
+    ) -> tuple[ops.Batches, tuple[str, ...]]:
         sites: list[AggSite] = []
         by_sql: dict[str, AggSite] = {}
 
@@ -954,7 +1011,8 @@ class Planner:
                 "confidence policy for AVG; see EngineConfig.confidence_policy)"
             )
 
-        exchange = parallel.ShardedExecution(workers)
+        batch_size = self._batch_size_for(statement, plan)
+        exchange = parallel.ShardedExecution(workers, batch_size=batch_size)
         exchange_services, exchange_service_stats = parallel.locked_services(
             self._services, exchange.lock
         )
@@ -1006,8 +1064,8 @@ class Planner:
             partition_desc = "round-robin"
 
         # ---- exchange-side stages ----
-        exchange_source: Iterable[Row] = ops.ScanOperator(
-            source_rows, exchange_ctx
+        exchange_source: ops.Batches = ops.ScanOperator(
+            source_rows, exchange_ctx, batch_size
         )
         if confidence_mode:
             # Age-out punctuation must reflect *post-filter* rows (the
@@ -1023,7 +1081,7 @@ class Planner:
 
         # ---- worker pipelines ----
         defer = parallel.DeferredOrderLimit() if windowed_mode else None
-        pipelines: list[Iterable[Row]] = []
+        pipelines: list[ops.Batches] = []
         output_schema: tuple[str, ...] = ()
         limit_noted = False
         for index in range(workers):
@@ -1040,13 +1098,24 @@ class Planner:
                 if index == 0
                 else PhysicalPlan(pipeline=iter(()), output_schema=(), ctx=ctx_w)
             )
-            pipeline: Iterable[Row] = parallel.ShardScan(
+            pipeline: ops.Batches = parallel.ShardScan(
                 exchange.shard_input(index), ctx_w
             )
             if not confidence_mode:
                 pipeline = self._build_filters(
                     conjuncts, pipeline, schema, ctx_w, wplan
                 )
+            # Per-shard scalar LIMIT below projection, as in the serial
+            # plan: a shard never emits more than LIMIT rows, and the
+            # merge-side LimitOperator enforces the global cap.
+            if not has_aggregates and statement.limit is not None:
+                pipeline = ops.LimitOperator(pipeline, statement.limit)
+                if not limit_noted:
+                    explain.append(
+                        f"Limit: {statement.limit} "
+                        "(per shard, re-applied after merge)"
+                    )
+                    limit_noted = True
             pipeline = self._maybe_prefetch(
                 statement, pipeline, schema, ctx_w, wplan
             )
@@ -1065,14 +1134,6 @@ class Planner:
                 pipeline, output_schema = self._build_projection(
                     statement, pipeline, schema, ctx_w
                 )
-                if statement.limit is not None:
-                    pipeline = ops.LimitOperator(pipeline, statement.limit)
-                    if not limit_noted:
-                        explain.append(
-                            f"Limit: {statement.limit} "
-                            "(per shard, re-applied after merge)"
-                        )
-                        limit_noted = True
             if index > 0:
                 plan.managed_calls.extend(wplan.managed_calls)
             pipelines.append(pipeline)
@@ -1094,7 +1155,7 @@ class Planner:
             [tagger] * workers,
             broadcast_punctuation=confidence_mode,
         )
-        merged: Iterable[Row] = exchange.merged()
+        merged: ops.Batches = exchange.merged()
         explain.append(f"Merge: {workers}-way ordered merge on {merge_desc}")
         if defer is not None and (defer.order_evals or defer.limit is not None):
             merged = parallel.WindowFinalizeOperator(

@@ -33,7 +33,7 @@ from repro.engine.executor import QueryHandle
 from repro.engine.functions import FunctionRegistry, default_registry
 from repro.engine.latency import ManagedCall
 from repro.engine.planner import Planner, PhysicalPlan, SourceBinding
-from repro.engine.types import Row
+from repro.engine.types import Row, iter_rows
 from repro.errors import GeocodeError, PlanError
 from repro.geo.geocode import Geocoder
 from repro.geo.service import LatencyModel, SimulatedWebService
@@ -69,7 +69,14 @@ class EngineConfig:
         cache_capacity: LRU size for service caches.
         cache_ttl: optional TTL (virtual seconds) on cached service results.
         pool_depth: max in-flight requests in ``async`` mode.
-        lookahead: prefetch window (rows) for ``batched``/``async``.
+        batch_size: rows per :class:`~repro.engine.types.RowBatch` flowing
+            between operators. 1 reproduces row-at-a-time execution; larger
+            batches amortize per-row overhead and widen the prefetch window
+            for ``batched``/``async`` latency modes (the batch *is* the
+            lookahead). Output is row-for-row identical at every size;
+            queries calling ``now()`` are pinned to 1 by the planner.
+        lookahead: legacy row-at-a-time prefetch window; retained for
+            compatibility but unused — the batch size now plays this role.
         partial_results: with ``async`` mode, never block on an in-flight
             service call — emit NULL for the not-yet-known value instead
             (Raman & Hellerstein-style partial results; the paper cites
@@ -97,6 +104,7 @@ class EngineConfig:
     cache_capacity: int = 10_000
     cache_ttl: float | None = None
     pool_depth: int = 8
+    batch_size: int = 256
     lookahead: int = 64
     partial_results: bool = False
     use_eddy: bool = False
@@ -310,7 +318,7 @@ class TweeQL:
 
         def rows_factory():
             derived_plan = self._planner().plan(base)
-            return iter(derived_plan.pipeline)
+            return iter_rows(derived_plan.pipeline)
 
         columns = [
             column.lower() for column in schema if not column.startswith("__")

@@ -1,12 +1,19 @@
-"""Core engine types: rows, schemas, and the evaluation context.
+"""Core engine types: rows, batches, schemas, and the evaluation context.
 
 Rows are plain dicts (field name → value); a schema is an ordered tuple of
 field names. ``None`` is SQL NULL and propagates through expressions per
 three-valued logic (see :mod:`repro.engine.expressions`).
+
+Operators exchange rows in :class:`RowBatch` units — a list of rows plus a
+batch sequence stamp and an end-of-stream marker. Batch size is a pure
+performance knob (``EngineConfig.batch_size``): results are row-for-row
+identical at every size, with 1 reproducing the legacy row-at-a-time
+pipeline.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -14,6 +21,68 @@ from repro.clock import VirtualClock
 
 Row = dict[str, Any]
 Schema = tuple[str, ...]
+
+#: Default rows per batch. Large enough to amortize per-batch interpreter
+#: overhead (and to give batched/async prefetch a useful key window), small
+#: enough that windowed emission latency stays negligible.
+DEFAULT_BATCH_SIZE = 256
+
+
+@dataclass(slots=True)
+class RowBatch:
+    """One unit of batch-at-a-time data flow.
+
+    Attributes:
+        rows: the payload, in stream order. May be empty — operators must
+            tolerate an empty final batch (pure punctuation).
+        seq: batch sequence stamp from the emitting operator, strictly
+            increasing per producer. Diagnostic; row-level ordering under
+            sharding still uses per-row ``__seq__`` stamps.
+        last: end-of-stream punctuation — no further batches follow. Every
+            producer terminates its output with exactly one ``last`` batch
+            (possibly empty), so downstream operators can flush buffered
+            state without waiting on a ``StopIteration`` that a queue-fed
+            pipeline may never deliver promptly.
+    """
+
+    rows: list[Row]
+    seq: int = 0
+    last: bool = False
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+
+def batch_rows(
+    rows: Iterable[Row], batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[RowBatch]:
+    """Chunk a row iterable into batches; the final batch is marked last.
+
+    Always yields at least one batch (empty + last for an empty input), so
+    consumers can rely on seeing the punctuation.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    pending: list[Row] = []
+    seq = 0
+    for row in rows:
+        pending.append(row)
+        if len(pending) >= batch_size:
+            yield RowBatch(pending, seq=seq)
+            seq += 1
+            pending = []
+    yield RowBatch(pending, seq=seq, last=True)
+
+
+def iter_rows(batches: Iterable[RowBatch]) -> Iterator[Row]:
+    """Flatten a batch stream back into rows (executor / test boundary)."""
+    for batch in batches:
+        yield from batch.rows
+        if batch.last:
+            return
 
 
 @dataclass
@@ -26,6 +95,10 @@ class QueryStats:
     predicate_evaluations: int = 0
     windows_closed: int = 0
     groups_emitted: int = 0
+    #: Batches emitted by the source scan. Sharded plans count per shard
+    #: scan, so this aggregates differently from serial — comparisons
+    #: across worker counts should exclude it.
+    batches: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Snapshot for reports and tests."""
@@ -36,6 +109,7 @@ class QueryStats:
             "predicate_evaluations": self.predicate_evaluations,
             "windows_closed": self.windows_closed,
             "groups_emitted": self.groups_emitted,
+            "batches": self.batches,
         }
 
     def merge(self, other: "QueryStats") -> "QueryStats":
@@ -50,6 +124,7 @@ class QueryStats:
         self.predicate_evaluations += other.predicate_evaluations
         self.windows_closed += other.windows_closed
         self.groups_emitted += other.groups_emitted
+        self.batches += other.batches
         return self
 
 

@@ -7,7 +7,7 @@ messages and the REPL's ``EXPLAIN`` stay readable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Union
 
 Expr = Union[

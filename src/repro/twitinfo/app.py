@@ -10,7 +10,7 @@ whole event or for one selected peak (the timeline-as-filter drill-down).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.engine.session import TweeQL
 from repro.storage.tweetlog import MemoryTweetLog

@@ -11,7 +11,7 @@ from repro.engine.confidence import (
     ConfidencePolicy,
     normal_halfwidth,
 )
-from repro.engine.types import EvalContext
+from repro.engine.types import EvalContext, batch_rows, iter_rows
 
 
 @pytest.fixture()
@@ -27,9 +27,9 @@ def stream(groups):
     ]
 
 
-def operator(rows, ctx, policy):
-    return ConfidenceAggregateOperator(
-        rows,
+def operator(rows, ctx, policy, batch_size=7):
+    return iter_rows(ConfidenceAggregateOperator(
+        batch_rows(rows, batch_size),
         group_evals=[lambda r, _c: r["g"]],
         value_eval=lambda r, _c: r["v"],
         output_items=[
@@ -38,7 +38,7 @@ def operator(rows, ctx, policy):
         ],
         ctx=ctx,
         policy=policy,
-    )
+    ))
 
 
 def test_dense_group_emits_on_confidence(ctx):

@@ -5,7 +5,7 @@ import pytest
 from repro.clock import VirtualClock
 from repro.engine import operators as ops
 from repro.engine.aggregates import make_aggregate
-from repro.engine.types import EvalContext
+from repro.engine.types import EvalContext, batch_rows, iter_rows
 from repro.errors import ParseError, PlanError
 from repro.sql import parse
 from repro.sql.ast import WindowSpec
@@ -64,8 +64,10 @@ def make_operator(rows, ctx, size, slide=None, group=None):
     ]
     if group:
         output.append(("key", lambda r, _c: r.get("k")))
-    return ops.CountWindowedAggregateOperator(
-        rows, spec, group or [], agg_factories, output, ctx
+    return iter_rows(
+        ops.CountWindowedAggregateOperator(
+            batch_rows(rows, 4), spec, group or [], agg_factories, output, ctx
+        )
     )
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.clock import VirtualClock
 from repro.engine.eddies import AdaptivePredicate, EddyOperator, StaticConjunction
-from repro.engine.types import EvalContext
+from repro.engine.types import EvalContext, batch_rows, iter_rows
 
 
 @pytest.fixture()
@@ -19,17 +19,27 @@ def make_rows(n, phase_of):
     ]
 
 
+def batched(rows, size=32):
+    return batch_rows(rows, size)
+
+
 def test_conjunction_semantics_match_static(ctx):
-    rows = make_rows(500, lambda i: i % 2)
     preds = lambda: [
         AdaptivePredicate("even", lambda r, _c: r["i"] % 2 == 0),
         AdaptivePredicate("small", lambda r, _c: r["i"] < 250),
     ]
-    eddy_out = [r["i"] for r in EddyOperator(make_rows(500, lambda i: 0), preds(), ctx)]
+    eddy_out = [
+        r["i"]
+        for r in iter_rows(
+            EddyOperator(batched(make_rows(500, lambda i: 0)), preds(), ctx)
+        )
+    ]
     ctx2 = EvalContext(clock=VirtualClock(start=0.0))
     static_out = [
         r["i"]
-        for r in StaticConjunction(make_rows(500, lambda i: 0), preds(), ctx2)
+        for r in iter_rows(
+            StaticConjunction(batched(make_rows(500, lambda i: 0)), preds(), ctx2)
+        )
     ]
     assert eddy_out == static_out
 
@@ -56,10 +66,8 @@ def test_eddy_moves_selective_predicate_first(ctx):
     pred_b = AdaptivePredicate(
         "b", lambda r, _c: r["phase"] == 0, decay=0.99
     )  # passes in phase 0, fails in phase 1
-    eddy = EddyOperator(rows, [pred_b, pred_a], ctx, resort_every=32)
-    orders = []
-    iterator = iter(eddy)
-    for index, _row in enumerate(iterator):
+    eddy = EddyOperator(batched(rows), [pred_b, pred_a], ctx, resort_every=32)
+    for _row in iter_rows(eddy):
         pass  # nothing passes both predicates; loop drains
     # After draining, phase 2 dominated recent history: 'b' fails everything
     # now, so 'b' must have moved to the front.
@@ -76,7 +84,8 @@ def test_eddy_skips_remaining_predicates_after_failure(ctx):
     cheap_selective = AdaptivePredicate("cheap", lambda r, _c: False)
     costly = AdaptivePredicate("costly", expensive)
     rows = make_rows(1000, lambda i: 0)
-    list(EddyOperator(rows, [cheap_selective, costly], ctx, resort_every=16))
+    list(EddyOperator(batched(rows), [cheap_selective, costly], ctx,
+                      resort_every=16))
     # Once the eddy learns 'cheap' kills everything, 'costly' runs rarely.
     assert calls["expensive"] < 200
 
@@ -93,9 +102,9 @@ def test_eddy_beats_bad_static_order_on_drift(ctx):
 
     rows = make_rows(n, lambda i: 0 if i < n // 2 else 1)
     eddy_ctx = EvalContext(clock=VirtualClock(start=0.0))
-    list(EddyOperator(rows, build_preds(), eddy_ctx, resort_every=32))
+    list(EddyOperator(batched(rows), build_preds(), eddy_ctx, resort_every=32))
     static_ctx = EvalContext(clock=VirtualClock(start=0.0))
-    list(StaticConjunction(rows, build_preds(), static_ctx))
+    list(StaticConjunction(batched(rows), build_preds(), static_ctx))
     assert (
         eddy_ctx.stats.predicate_evaluations
         <= static_ctx.stats.predicate_evaluations

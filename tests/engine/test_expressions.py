@@ -8,8 +8,6 @@ from repro.engine.functions import default_registry
 from repro.engine.types import EvalContext
 from repro.errors import PlanError, UnknownFieldError
 from repro.sql import parse
-from repro.sql.parser import _Parser
-from repro.sql.lexer import tokenize
 
 SCHEMA = ("text", "n", "m", "loc", "location", "flag")
 

@@ -4,7 +4,7 @@ import csv
 
 import pytest
 
-from repro import EngineConfig, TweeQL
+from repro import EngineConfig
 from repro.geo.service import LatencyModel
 from repro.nlp.sentiment import SentimentClassifier, train_default_classifier
 
@@ -17,7 +17,9 @@ def test_partial_results_never_stall(session_factory):
         latency_mode="async",
         partial_results=True,
         pool_depth=2,  # shallow pool forces in-flight collisions
-        lookahead=128,
+        # Batches small enough that requests launched for one batch land
+        # (stream time advances) before later batches need the same keys.
+        batch_size=32,
         geocode_latency=LatencyModel(0.3, sigma=0.0),
     )
     session = session_factory("soccer", config=config)

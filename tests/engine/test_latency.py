@@ -4,7 +4,7 @@ import pytest
 
 from repro.clock import VirtualClock
 from repro.engine.latency import ManagedCall, PrefetchOperator
-from repro.engine.types import EvalContext
+from repro.engine.types import EvalContext, RowBatch, batch_rows, iter_rows
 from repro.errors import ServiceError
 from repro.geo.service import LatencyModel, SimulatedWebService
 
@@ -165,17 +165,44 @@ def test_mode_validated():
         ManagedCall(make_service(clock), mode="async", pool_depth=0)
 
 
+def test_batched_prefetch_charges_prefetch_seconds_not_stalls():
+    clock = VirtualClock(start=0.0)
+    managed = ManagedCall(make_service(clock), mode="batched")
+    managed.prefetch([f"city{i}" for i in range(10)])
+    # The round trip advanced the clock, but no consumer was blocked.
+    assert managed.stats.prefetch_seconds == pytest.approx(clock.now)
+    assert managed.stats.stall_seconds == 0.0
+    assert managed.stats.stalls == 0
+    d = managed.stats.as_dict()
+    assert d["prefetch_seconds"] == pytest.approx(clock.now)
+    assert d["stall_seconds"] == 0.0
+
+
+def test_async_pool_full_wait_still_counts_as_stall():
+    clock = VirtualClock(start=0.0)
+    managed = ManagedCall(make_service(clock, mean=0.3), mode="async",
+                          pool_depth=2)
+    managed.prefetch([f"k{i}" for i in range(5)])
+    # Launching 5 requests through a depth-2 pool blocks on completions.
+    assert managed.stats.stalls > 0
+    assert managed.stats.stall_seconds > 0.0
+    assert managed.stats.prefetch_seconds == 0.0
+
+
+def prefetch_pipeline(rows, managed, batch_size):
+    ctx = EvalContext(clock=managed.service.clock)
+    return PrefetchOperator(
+        batch_rows(rows, batch_size), [(managed, lambda row: row["loc"])], ctx
+    )
+
+
 def test_prefetch_operator_warms_downstream():
     clock = VirtualClock(start=0.0)
     service = make_service(clock)
     managed = ManagedCall(service, mode="batched")
-    ctx = EvalContext(clock=clock)
     rows = [{"created_at": float(i), "loc": f"city{i % 3}"} for i in range(30)]
-    operator = PrefetchOperator(
-        rows, [(managed, lambda row: row["loc"])], ctx, lookahead=10
-    )
     out = []
-    for row in operator:
+    for row in iter_rows(prefetch_pipeline(rows, managed, 10)):
         out.append(managed(row["loc"]))
     assert len(out) == 30
     # Only 3 distinct keys existed; the batch path resolved them.
@@ -183,7 +210,66 @@ def test_prefetch_operator_warms_downstream():
     assert managed.stats.cache_hits == 30
 
 
-def test_prefetch_operator_validates_lookahead():
-    ctx = EvalContext(clock=VirtualClock())
-    with pytest.raises(ValueError):
-        PrefetchOperator([], [], ctx, lookahead=0)
+def test_prefetch_operator_batch_of_one_degenerates_to_per_row():
+    clock = VirtualClock(start=0.0)
+    service = make_service(clock)
+    managed = ManagedCall(service, mode="batched")
+    rows = [{"created_at": float(i), "loc": f"city{i}"} for i in range(4)]
+    out = list(iter_rows(prefetch_pipeline(rows, managed, 1)))
+    assert len(out) == 4
+    # One prefetch round trip per batch → per row at batch size 1.
+    assert service.stats.batch_requests == 4
+
+
+def test_prefetch_operator_partial_final_batch():
+    clock = VirtualClock(start=0.0)
+    service = make_service(clock)
+    managed = ManagedCall(service, mode="batched")
+    # 7 rows through batches of 3: the source runs dry mid-refill and the
+    # final short batch still prefetches and flows downstream.
+    rows = [{"created_at": float(i), "loc": f"city{i}"} for i in range(7)]
+    batches = list(prefetch_pipeline(rows, managed, 3))
+    assert [len(b) for b in batches] == [3, 3, 1]
+    assert batches[-1].last
+    assert service.stats.items == 7
+
+
+def test_prefetch_operator_all_none_keys_skips_service():
+    clock = VirtualClock(start=0.0)
+    service = make_service(clock)
+    managed = ManagedCall(service, mode="batched")
+    rows = [{"created_at": float(i), "loc": None} for i in range(6)]
+    out = list(iter_rows(prefetch_pipeline(rows, managed, 3)))
+    assert len(out) == 6
+    assert service.stats.batch_requests == 0
+    assert service.stats.requests == 0
+
+
+def test_prefetch_operator_dedupes_within_batch():
+    clock = VirtualClock(start=0.0)
+    service = make_service(clock)
+    managed = ManagedCall(service, mode="batched")
+    rows = [{"created_at": float(i), "loc": "boston"} for i in range(8)]
+    list(iter_rows(prefetch_pipeline(rows, managed, 8)))
+    # Eight copies of one key → a single-item batch request.
+    assert service.stats.batch_requests == 1
+    assert service.stats.items == 1
+
+
+def test_prefetch_operator_skips_punctuation_rows():
+    clock = VirtualClock(start=0.0)
+    service = make_service(clock)
+    managed = ManagedCall(service, mode="batched")
+    ctx = EvalContext(clock=clock)
+    batch = RowBatch(
+        [
+            {"created_at": 0.0, "loc": "boston"},
+            {"created_at": 1.0, "loc": "tokyo", "__punct__": True},
+        ],
+        last=True,
+    )
+    operator = PrefetchOperator(
+        iter([batch]), [(managed, lambda row: row["loc"])], ctx
+    )
+    assert len(list(iter_rows(operator))) == 2
+    assert service.stats.items == 1  # the punctuated row's key was skipped

@@ -5,8 +5,13 @@ import pytest
 from repro.clock import VirtualClock
 from repro.engine import operators as ops
 from repro.engine.aggregates import make_aggregate
-from repro.engine.types import EvalContext
+from repro.engine.types import EvalContext, batch_rows, iter_rows
 from repro.sql.ast import WindowSpec
+
+
+def drain(operator):
+    """Flatten an operator's RowBatch output back to rows."""
+    return list(iter_rows(operator))
 
 
 @pytest.fixture()
@@ -21,30 +26,60 @@ def rows_at(*specs):
 
 def test_scan_advances_stream_time_and_counts(ctx):
     rows = rows_at((1.0, {}), (5.0, {}), (9.0, {}))
-    out = list(ops.ScanOperator(rows, ctx))
+    out = drain(ops.ScanOperator(rows, ctx))
     assert len(out) == 3
     assert ctx.stream_time == 9.0
     assert ctx.stats.rows_scanned == 3
 
 
+def test_scan_batches_by_size(ctx):
+    rows = rows_at(*((float(i), {}) for i in range(5)))
+    batches = list(ops.ScanOperator(rows, ctx, batch_size=2))
+    assert [len(b) for b in batches] == [2, 2, 1]
+    assert [b.seq for b in batches] == [0, 1, 2]
+    assert [b.last for b in batches] == [False, False, True]
+    assert ctx.stats.batches == 3
+
+
+def test_scan_emits_empty_last_batch_on_aligned_exhaustion(ctx):
+    rows = rows_at((1.0, {}), (2.0, {}))
+    batches = list(ops.ScanOperator(rows, ctx, batch_size=2))
+    assert [len(b) for b in batches] == [2, 0]
+    assert batches[-1].last
+
+
+def test_scan_validates_batch_size(ctx):
+    with pytest.raises(ValueError):
+        ops.ScanOperator([], ctx, batch_size=0)
+
+
 def test_filter_true_only(ctx):
     rows = rows_at((1.0, {"x": 1}), (2.0, {"x": None}), (3.0, {"x": 0}))
     predicate = lambda row, _ctx: (None if row["x"] is None else row["x"] > 0)
-    out = list(ops.FilterOperator(rows, predicate, ctx))
+    out = drain(ops.FilterOperator(batch_rows(rows, 2), predicate, ctx))
     assert [r["x"] for r in out] == [1]  # NULL verdict drops the row
 
 
 def test_project_evaluates_items_and_keeps_time(ctx):
     rows = rows_at((1.0, {"x": 2}))
-    out = list(
-        ops.ProjectOperator(rows, [("double", lambda r, _c: r["x"] * 2)], ctx)
+    out = drain(
+        ops.ProjectOperator(
+            batch_rows(rows, 2), [("double", lambda r, _c: r["x"] * 2)], ctx
+        )
     )
     assert out == [{"double": 4, "created_at": 1.0}]
 
 
 def test_limit(ctx):
     rows = rows_at(*((float(i), {}) for i in range(10)))
-    assert len(list(ops.LimitOperator(rows, 3))) == 3
+    assert len(drain(ops.LimitOperator(batch_rows(rows, 4), 3))) == 3
+
+
+def test_limit_marks_truncated_batch_last(ctx):
+    rows = rows_at(*((float(i), {}) for i in range(10)))
+    batches = list(ops.LimitOperator(batch_rows(rows, 4), 6))
+    assert [len(b) for b in batches] == [4, 2]
+    assert batches[-1].last
 
 
 def test_into_tees_rows(ctx):
@@ -57,9 +92,19 @@ def test_into_tees_rows(ctx):
 
     sink = Sink()
     rows = rows_at((1.0, {"x": 1}), (2.0, {"x": 2}))
-    out = list(ops.IntoOperator(rows, sink))
+    out = drain(ops.IntoOperator(batch_rows(rows, 1), sink))
     assert len(out) == 2
     assert len(sink.rows) == 2
+
+
+def test_rebatch_rechunks_and_marks_last(ctx):
+    rows = rows_at(*((float(i), {}) for i in range(5)))
+    batches = list(ops.rebatch(iter(rows), 2))
+    assert [len(b) for b in batches] == [2, 2, 1]
+    assert [b.last for b in batches] == [False, False, True]
+    assert [r["created_at"] for b in batches for r in b.rows] == [
+        0.0, 1.0, 2.0, 3.0, 4.0,
+    ]
 
 
 def make_agg_operator(rows, ctx, size=10.0, slide=None, group=None,
@@ -80,9 +125,11 @@ def make_agg_operator(rows, ctx, size=10.0, slide=None, group=None,
     ]
     if group_evals:
         output.append(("key", lambda r, _c: r.get("k")))
-    return ops.WindowedAggregateOperator(
-        rows, spec, group_evals, agg_factories, output, ctx,
-        having=having, order_by=order_by, limit=limit,
+    return iter_rows(
+        ops.WindowedAggregateOperator(
+            batch_rows(rows, 2), spec, group_evals, agg_factories, output,
+            ctx, having=having, order_by=order_by, limit=limit,
+        )
     )
 
 
@@ -177,11 +224,11 @@ def test_join_matches_within_band(ctx):
     left = rows_at((1.0, {"k": 1, "lv": "L1"}), (50.0, {"k": 1, "lv": "L2"}))
     right = rows_at((2.0, {"k": 1, "rv": "R1"}), (100.0, {"k": 2, "rv": "R2"}))
     join = ops.WindowedJoinOperator(
-        left, right,
+        batch_rows(left, 1), right,
         lambda r, _c: r["k"], lambda r, _c: r["k"],
         WindowSpec(size_seconds=10.0), ctx,
     )
-    out = list(join)
+    out = drain(join)
     assert len(out) == 1
     assert out[0]["lv"] == "L1"
     assert out[0]["rv"] == "R1"
@@ -191,11 +238,11 @@ def test_join_renames_colliding_fields(ctx):
     left = rows_at((1.0, {"k": 1, "v": "left"}))
     right = rows_at((1.5, {"k": 1, "v": "right"}))
     join = ops.WindowedJoinOperator(
-        left, right,
+        batch_rows(left, 2), right,
         lambda r, _c: r["k"], lambda r, _c: r["k"],
         WindowSpec(size_seconds=10.0), ctx,
     )
-    out = list(join)[0]
+    out = drain(join)[0]
     assert out["v"] == "left"
     assert out["r_v"] == "right"
 
@@ -204,8 +251,8 @@ def test_join_null_keys_never_match(ctx):
     left = rows_at((1.0, {"k": None}))
     right = rows_at((1.5, {"k": None}))
     join = ops.WindowedJoinOperator(
-        left, right,
+        batch_rows(left, 2), right,
         lambda r, _c: r["k"], lambda r, _c: r["k"],
         WindowSpec(size_seconds=10.0), ctx,
     )
-    assert list(join) == []
+    assert drain(join) == []

@@ -91,9 +91,12 @@ def tweet_streams(draw):
     return rows
 
 
-def make_session(rows, workers, policy=None, use_eddy=False):
+def make_session(rows, workers, policy=None, use_eddy=False, batch_size=256):
     config = EngineConfig(
-        workers=workers, confidence_policy=policy, use_eddy=use_eddy
+        workers=workers,
+        confidence_policy=policy,
+        use_eddy=use_eddy,
+        batch_size=batch_size,
     )
     session = TweeQL(config=config)
     session.register_source(
@@ -118,12 +121,19 @@ def run(session, sql):
 @given(
     rows=tweet_streams(),
     workers=st.sampled_from((1, 2, 4)),
+    batch=st.sampled_from((1, 7, 256)),
     shape=st.sampled_from(sorted(QUERY_SHAPES)),
 )
-def test_sharded_matches_serial(rows, workers, shape):
+def test_sharded_matches_serial(rows, workers, batch, shape):
+    """Every (workers, batch_size) point must reproduce the row-at-a-time
+    serial engine byte for byte — batch size is a pure performance knob."""
     sql, stats_mode = QUERY_SHAPES[shape]
-    serial_rows, serial_stats = run(make_session(rows, workers=1), sql)
-    sharded_rows, sharded_stats = run(make_session(rows, workers=workers), sql)
+    serial_rows, serial_stats = run(
+        make_session(rows, workers=1, batch_size=1), sql
+    )
+    sharded_rows, sharded_stats = run(
+        make_session(rows, workers=workers, batch_size=batch), sql
+    )
     assert sharded_rows == serial_rows
     if stats_mode == "full":
         for key in EXACT_STATS:
@@ -137,8 +147,12 @@ def test_sharded_matches_serial(rows, workers, shape):
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-@given(rows=tweet_streams(), workers=st.sampled_from((2, 4)))
-def test_confidence_window_matches_serial(rows, workers):
+@given(
+    rows=tweet_streams(),
+    workers=st.sampled_from((2, 4)),
+    batch=st.sampled_from((1, 7, 256)),
+)
+def test_confidence_window_matches_serial(rows, workers, batch):
     """Confidence-triggered emission: the hardest shape — age-based flushes
     fire on *other groups'* rows, which punctuation must replicate."""
     policy = ConfidencePolicy(
@@ -146,10 +160,11 @@ def test_confidence_window_matches_serial(rows, workers):
     )
     sql = "SELECT AVG(followers) AS f, lang FROM s GROUP BY lang;"
     serial_rows, serial_stats = run(
-        make_session(rows, workers=1, policy=policy), sql
+        make_session(rows, workers=1, policy=policy, batch_size=1), sql
     )
     sharded_rows, sharded_stats = run(
-        make_session(rows, workers=workers, policy=policy), sql
+        make_session(rows, workers=workers, policy=policy, batch_size=batch),
+        sql,
     )
     assert sharded_rows == serial_rows
     for key in EXACT_STATS:
@@ -177,7 +192,8 @@ def test_eddy_filtering_matches_serial(rows, workers):
 
 
 # ---------------------------------------------------------------------------
-# Acceptance: the paper's demo queries, byte-identical at workers=4
+# Acceptance: the paper's demo queries, byte-identical at every
+# (batch_size, workers) point against the row-at-a-time serial engine
 # ---------------------------------------------------------------------------
 
 
@@ -189,22 +205,31 @@ def test_eddy_filtering_matches_serial(rows, workers):
         pytest.param(QUERY_3, None, id="query-3-regional-avg"),
     ],
 )
-def test_paper_queries_identical_at_4_workers(news_week, sql, limit):
-    serial = TweeQL.for_scenarios(
-        news_week, seed=11, config=EngineConfig(workers=1)
-    )
-    sharded = TweeQL.for_scenarios(
-        news_week, seed=11, config=EngineConfig(workers=4)
-    )
-    serial_handle = serial.query(sql)
-    sharded_handle = sharded.query(sql)
-    serial_rows = serial_handle.all(limit=limit)
-    sharded_rows = sharded_handle.all(limit=limit)
-    serial_handle.close()
-    sharded_handle.close()
-    assert sharded_rows == serial_rows
-    assert "Exchange" in sharded_handle.explain()
-    assert "Merge" in sharded_handle.explain()
+def test_paper_queries_identical_across_batch_and_workers(
+    news_week, sql, limit
+):
+    def run_config(workers, batch):
+        session = TweeQL.for_scenarios(
+            news_week,
+            seed=11,
+            config=EngineConfig(workers=workers, batch_size=batch),
+        )
+        handle = session.query(sql)
+        rows = handle.all(limit=limit)
+        handle.close()
+        return rows, handle
+
+    baseline, _ = run_config(workers=1, batch=1)
+    for workers in (1, 4):
+        for batch in (7, 256):
+            rows, handle = run_config(workers, batch)
+            assert rows == baseline, (workers, batch)
+            if workers > 1:
+                assert "Exchange" in handle.explain()
+                assert "Merge" in handle.explain()
+            assert f"Batch: {batch} rows/batch" in handle.explain()
+    rows, _ = run_config(workers=4, batch=1)
+    assert rows == baseline
 
 
 # ---------------------------------------------------------------------------

@@ -35,9 +35,13 @@ def test_limit_stops_stream(soccer_session):
     assert len(rows) == 4
 
 
-def test_close_releases_connection(soccer_session):
-    api = soccer_session.api
-    handle = soccer_session.query(
+def test_close_releases_connection(session_factory):
+    # A small batch keeps the scan from draining the whole (finite,
+    # API-filtered) stream on the first pull — the connection must stay
+    # open while results remain, and close() must release it.
+    session = session_factory("soccer", config=EngineConfig(batch_size=16))
+    api = session.api
+    handle = session.query(
         "SELECT text FROM twitter WHERE text contains 'soccer';"
     )
     handle.fetch(1)
@@ -183,7 +187,6 @@ def test_cached_mode_far_cheaper_than_blocking(session_factory):
             latency_mode=mode, geocode_latency=LatencyModel(0.3, sigma=0.0)
         )
         session = session_factory("soccer", config=config)
-        start = session.clock.now
         session.query(sql).all()
         times[mode] = session.geocode_managed.stats.stall_seconds
     assert times["cached"] < times["blocking"] / 2

@@ -1,6 +1,6 @@
 """Gazetteer lookups and weights."""
 
-from repro.geo.gazetteer import CITIES, Gazetteer, default_gazetteer
+from repro.geo.gazetteer import CITIES, default_gazetteer
 
 
 def test_has_a_useful_size():

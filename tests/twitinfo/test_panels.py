@@ -3,7 +3,6 @@
 import pytest
 
 from repro.geo.bbox import named_box
-from repro.nlp.keywords import KeywordExtractor
 from repro.twitinfo.event import EventDefinition
 from repro.twitinfo.labels import PeakLabeler
 from repro.twitinfo.links import LinkAggregator
