@@ -9,17 +9,25 @@ Usage::
 
     tweeql repl  --scenario soccer            # interactive queries
     tweeql query --scenario soccer --sql "SELECT …" [--rows 20]
+    tweeql check queries/*.tql --strict       # static analysis, no execution
+    tweeql check --sql "SELECT …" --format=json
     tweeql twitinfo --scenario earthquakes    # print a dashboard
     tweeql twitinfo --scenario soccer --html dashboard.html
 
 Inside the REPL: end a query with ``;`` to run it, or use the dot
-commands ``.help``, ``.examples``, ``.explain <sql>``, ``.schema``,
-``.functions``, ``.quit``.
+commands ``.help``, ``.examples``, ``.explain <sql>``, ``.check <sql>``,
+``.schema``, ``.functions``, ``.quit``. Queries are statically analyzed
+before they run; warnings print ahead of the first result row.
+
+``tweeql check`` exits non-zero when any query has errors — or, with
+``--strict``, warnings. See ``docs/ANALYSIS.md`` for the diagnostic
+code catalogue.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import TweeQL
@@ -152,6 +160,7 @@ def repl(session: TweeQL, rows: int) -> None:
                 print(
                     ".examples            show pre-built queries\n"
                     ".explain <sql>       show the plan without running\n"
+                    ".check <sql>         static analysis without running\n"
                     ".schema              show the twitter stream schema\n"
                     ".functions           list registered functions/UDFs\n"
                     ".quit                leave"
@@ -164,6 +173,8 @@ def repl(session: TweeQL, rows: int) -> None:
                     print(session.explain(argument))
                 except TweeQLError as exc:
                     print(f"error: {exc}")
+            elif command == ".check":
+                print(session.analyze(argument).render())
             elif command == ".schema":
                 print("twitter(" + ", ".join(TWITTER_SCHEMA) + ")")
             elif command == ".functions":
@@ -175,10 +186,86 @@ def repl(session: TweeQL, rows: int) -> None:
         if stripped.endswith(";"):
             sql = "\n".join(buffer)
             buffer = []
+            # Analyze before running: errors print with carets and skip
+            # execution; warnings/notes print ahead of the result rows.
+            result = session.analyze(sql)
+            if not result.ok():
+                print(result.render())
+                continue
+            for diag in result.diagnostics:
+                print(diag.render(sql))
             try:
                 run_query(session, sql, rows)
             except TweeQLError as exc:
                 print(f"error: {exc}")
+
+
+def split_statements(text: str) -> list[str]:
+    """Split a ``.tql`` file into statements.
+
+    ``--`` starts a line comment; statements end at ``;``. Returned
+    statements keep their trailing semicolon and original spacing (so
+    diagnostic spans line up with what the author wrote).
+    """
+    lines = []
+    for line in text.splitlines():
+        stripped = line.lstrip()
+        lines.append("" if stripped.startswith("--") else line)
+    statements: list[str] = []
+    # Note: a ';' inside a string literal would split early; example
+    # files simply avoid that.
+    for chunk in "\n".join(lines).split(";"):
+        if chunk.strip():
+            statements.append(chunk.strip() + ";")
+    return statements
+
+
+def run_check(args: argparse.Namespace) -> int:
+    """``tweeql check``: static analysis only; no query ever executes.
+
+    Exit status is 0 when every query is clean, 1 when any has errors —
+    or warnings under ``--strict``.
+    """
+    from repro import EngineConfig
+    from repro.sql.analysis import analyze_sql
+
+    config = EngineConfig(
+        latency_mode=getattr(args, "latency_mode", "cached"),
+        use_eddy=getattr(args, "use_eddy", False),
+        partial_results=getattr(args, "partial_results", False),
+        workers=getattr(args, "workers", 1),
+        batch_size=getattr(args, "batch_size", 256),
+    )
+    queries: list[tuple[str, str]] = []
+    for sql in args.sql or ():
+        queries.append(("<--sql>", sql))
+    for path in args.files:
+        with open(path, encoding="utf-8") as f:
+            for index, statement in enumerate(split_statements(f.read()), 1):
+                queries.append((f"{path}:{index}", statement))
+    if not queries:
+        print("nothing to check: pass --sql or .tql files", file=sys.stderr)
+        return 2
+
+    failed = False
+    reports = []
+    for label, sql in queries:
+        result = analyze_sql(sql, config=config)
+        if not result.ok(strict=args.strict):
+            failed = True
+        if args.format == "json":
+            reports.append({"source": label, "sql": sql, **result.as_dict()})
+        else:
+            print(f"== {label}")
+            print(result.render())
+            print()
+    if args.format == "json":
+        print(json.dumps({"ok": not failed, "queries": reports}, indent=2))
+    else:
+        verdict = "FAILED" if failed else "ok"
+        print(f"-- checked {len(queries)} quer"
+              f"{'y' if len(queries) == 1 else 'ies'}: {verdict}")
+    return 1 if failed else 0
 
 
 def run_twitinfo(args: argparse.Namespace) -> None:
@@ -279,6 +366,26 @@ def make_parser() -> argparse.ArgumentParser:
     query.add_argument("--sql", required=True)
     query.add_argument("--rows", type=int, default=20)
 
+    check = sub.add_parser(
+        "check", help="statically analyze queries without running them"
+    )
+    check.add_argument(
+        "files", nargs="*", metavar="FILE.tql",
+        help="query files ('--' comments, ';'-terminated statements)",
+    )
+    check.add_argument(
+        "--sql", action="append", metavar="SQL",
+        help="check this query text (repeatable)",
+    )
+    check.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures (non-zero exit)",
+    )
+    check.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="diagnostic output format",
+    )
+
     twitinfo = sub.add_parser("twitinfo", help="print a TwitInfo dashboard")
     twitinfo.add_argument("--peak", default=None, help="drill into one peak")
     twitinfo.add_argument("--html", default=None, help="write an HTML page")
@@ -299,6 +406,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if command == "twitinfo":
             run_twitinfo(args)
+        elif command == "check":
+            return run_check(args)
         elif command == "query":
             session, _ = build_session(args)
             run_query(session, args.sql, args.rows)

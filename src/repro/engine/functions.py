@@ -44,6 +44,16 @@ class FunctionSpec:
             latency machinery.
         service: name of the context service the implementation uses
             (documentation + dependency check at plan time).
+        arg_types: declared parameter types for the static analyzer, one
+            of ``"boolean" | "integer" | "float" | "number" | "string" |
+            "point" | "list" | "any"`` per positional slot. ``None`` means
+            untyped — the analyzer skips signature checks entirely.
+        return_type: declared result type (same vocabulary), or ``None``
+            for unknown.
+        min_args: minimum argument count when trailing parameters are
+            optional; defaults to ``len(arg_types)``.
+        variadic: the last ``arg_types`` slot repeats (``concat``,
+            ``coalesce``); no upper bound on arity.
     """
 
     name: str
@@ -51,6 +61,10 @@ class FunctionSpec:
     stateful: bool = False
     high_latency: bool = False
     service: str | None = None
+    arg_types: tuple[str, ...] | None = None
+    return_type: str | None = None
+    min_args: int | None = None
+    variadic: bool = False
 
 
 class FunctionRegistry:
@@ -71,23 +85,50 @@ class FunctionRegistry:
         stateful: bool = False,
         high_latency: bool = False,
         service: str | None = None,
+        arg_types: tuple[str, ...] | None = None,
+        return_type: str | None = None,
+        min_args: int | None = None,
+        variadic: bool = False,
+        replace: bool = False,
     ) -> None:
-        """Register (or replace) a function under ``name`` (lowercased)."""
+        """Register a function under ``name`` (lowercased).
+
+        Re-registering an existing name requires ``replace=True``;
+        otherwise a :class:`ValueError` flags the accidental shadowing
+        (silently clobbering a builtin like ``sentiment`` turns every
+        query using it into a different query).
+        """
         key = name.lower()
+        if key in self._specs and not replace:
+            raise ValueError(
+                f"function {key!r} is already registered; "
+                "pass replace=True to override it"
+            )
         self._specs[key] = FunctionSpec(
             name=key,
             impl=impl,
             stateful=stateful,
             high_latency=high_latency,
             service=service,
+            arg_types=arg_types,
+            return_type=return_type,
+            min_args=min_args,
+            variadic=variadic,
         )
 
     def lookup(self, name: str) -> FunctionSpec:
-        """Fetch a spec; raises :class:`UnknownFunctionError` when missing."""
+        """Fetch a spec; raises :class:`UnknownFunctionError` when missing,
+        with a did-you-mean hint when a registered name is close."""
         try:
             return self._specs[name.lower()]
         except KeyError:
-            raise UnknownFunctionError(name) from None
+            import difflib
+
+            matches = difflib.get_close_matches(
+                name.lower(), self._specs, n=1, cutoff=0.6
+            )
+            hint = f"did you mean {matches[0]!r}?" if matches else None
+            raise UnknownFunctionError(name, hint) from None
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._specs
@@ -324,58 +365,128 @@ def default_registry() -> FunctionRegistry:
     registry = FunctionRegistry()
 
     # Math / string scalars.
-    registry.register("floor", _nullsafe(math.floor))
-    registry.register("ceil", _nullsafe(math.ceil))
-    registry.register("round", _nullsafe(lambda x, nd=0: round(x, int(nd))))
-    registry.register("abs", _nullsafe(abs))
-    registry.register("sqrt", _nullsafe(math.sqrt))
-    registry.register("lower", _nullsafe(lambda s: str(s).lower()))
-    registry.register("upper", _nullsafe(lambda s: str(s).upper()))
-    registry.register("length", _nullsafe(lambda s: len(str(s))))
-    registry.register("trim", _nullsafe(lambda s: str(s).strip()))
     registry.register(
-        "replace", _nullsafe(lambda s, a, b: str(s).replace(str(a), str(b)))
+        "floor", _nullsafe(math.floor),
+        arg_types=("number",), return_type="integer",
     )
     registry.register(
-        "concat", _nullsafe(lambda *parts: "".join(str(p) for p in parts))
+        "ceil", _nullsafe(math.ceil),
+        arg_types=("number",), return_type="integer",
     )
-    registry.register("substr", _fn_substr)
-    registry.register("coalesce", _fn_coalesce)
-    registry.register("if", _fn_if)
+    registry.register(
+        "round", _nullsafe(lambda x, nd=0: round(x, int(nd))),
+        arg_types=("number", "integer"), return_type="number", min_args=1,
+    )
+    registry.register(
+        "abs", _nullsafe(abs), arg_types=("number",), return_type="number"
+    )
+    registry.register(
+        "sqrt", _nullsafe(math.sqrt), arg_types=("number",), return_type="float"
+    )
+    registry.register(
+        "lower", _nullsafe(lambda s: str(s).lower()),
+        arg_types=("string",), return_type="string",
+    )
+    registry.register(
+        "upper", _nullsafe(lambda s: str(s).upper()),
+        arg_types=("string",), return_type="string",
+    )
+    registry.register(
+        "length", _nullsafe(lambda s: len(str(s))),
+        arg_types=("string",), return_type="integer",
+    )
+    registry.register(
+        "trim", _nullsafe(lambda s: str(s).strip()),
+        arg_types=("string",), return_type="string",
+    )
+    registry.register(
+        "replace", _nullsafe(lambda s, a, b: str(s).replace(str(a), str(b))),
+        arg_types=("string", "string", "string"), return_type="string",
+    )
+    registry.register(
+        "concat", _nullsafe(lambda *parts: "".join(str(p) for p in parts)),
+        arg_types=("any",), return_type="string", min_args=0, variadic=True,
+    )
+    registry.register(
+        "substr", _fn_substr,
+        arg_types=("string", "integer", "integer"), return_type="string",
+        min_args=2,
+    )
+    registry.register(
+        "coalesce", _fn_coalesce,
+        arg_types=("any",), return_type="any", min_args=1, variadic=True,
+    )
+    registry.register(
+        "if", _fn_if,
+        arg_types=("any", "any", "any"), return_type="any",
+    )
 
     # Tweet helpers.
-    registry.register("first_url", _fn_first_url)
-    registry.register("hashtags", _fn_hashtags)
-    registry.register("point", _fn_point)
-    registry.register("extract", _fn_extract)
-    registry.register("place_name", _fn_place_name)
+    registry.register(
+        "first_url", _fn_first_url, arg_types=("string",), return_type="string"
+    )
+    registry.register(
+        "hashtags", _fn_hashtags, arg_types=("string",), return_type="list"
+    )
+    registry.register(
+        "point", _fn_point,
+        arg_types=("number", "number"), return_type="point",
+    )
+    registry.register(
+        "extract", _fn_extract,
+        arg_types=("string", "string", "integer"), return_type="string",
+        min_args=2,
+    )
+    registry.register(
+        "place_name", _fn_place_name,
+        arg_types=("number", "number"), return_type="string",
+    )
 
     # Temporal.
-    registry.register("hour", _fn_hour)
-    registry.register("minute", _fn_minute)
-    registry.register("day", _fn_day)
-    registry.register("format_time", _fn_format_time)
-    registry.register("now", _fn_now)
+    registry.register(
+        "hour", _fn_hour, arg_types=("number",), return_type="integer"
+    )
+    registry.register(
+        "minute", _fn_minute, arg_types=("number",), return_type="integer"
+    )
+    registry.register(
+        "day", _fn_day, arg_types=("number",), return_type="integer"
+    )
+    registry.register(
+        "format_time", _fn_format_time,
+        arg_types=("number",), return_type="string",
+    )
+    registry.register("now", _fn_now, arg_types=(), return_type="float")
 
     # Classification framework.
-    registry.register("sentiment", _fn_sentiment, service="sentiment")
     registry.register(
-        "sentiment_score", _fn_sentiment_score, service="sentiment_score"
+        "sentiment", _fn_sentiment, service="sentiment",
+        arg_types=("string",), return_type="integer",
+    )
+    registry.register(
+        "sentiment_score", _fn_sentiment_score, service="sentiment_score",
+        arg_types=("string",), return_type="float",
     )
 
     # Web-service UDFs (high latency).
     registry.register(
-        "latitude", _fn_latitude, high_latency=True, service="geocode"
+        "latitude", _fn_latitude, high_latency=True, service="geocode",
+        arg_types=("string",), return_type="float",
     )
     registry.register(
-        "longitude", _fn_longitude, high_latency=True, service="geocode"
+        "longitude", _fn_longitude, high_latency=True, service="geocode",
+        arg_types=("string",), return_type="float",
     )
     registry.register(
-        "named_entities", _fn_named_entities, high_latency=True, service="entities"
+        "named_entities", _fn_named_entities, high_latency=True,
+        service="entities", arg_types=("string",), return_type="list",
     )
 
     # Stateful.
-    registry.register("meandev", MeanDevUDF, stateful=True)
+    registry.register(
+        "meandev", MeanDevUDF, stateful=True,
+        arg_types=("number", "float"), return_type="float", min_args=1,
+    )
 
     return registry
 

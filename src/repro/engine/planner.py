@@ -317,12 +317,46 @@ class Planner:
         N worker pipelines + ordered merge) whenever the statement shape
         allows it; shapes that depend on global row order fall back to the
         serial pipeline with an EXPLAIN note.
+
+        Validation runs through the static analyzer first, so every
+        rejection carries a stable ``TQL…`` code and a source span; the
+        inline raises below remain as backstops for states the analyzer
+        cannot see (and keep this module self-contained under direct
+        unit testing).
         """
+        self.analyze(statement).raise_first_error()
+
         from repro.errors import UnknownSourceError
 
         binding = self._sources.get(statement.source.lower())
         if binding is None:
-            raise UnknownSourceError(statement.source)
+            raise UnknownSourceError(
+                statement.source, tuple(sorted(self._sources))
+            )
+        return self._plan_validated(statement)
+
+    def analyze(self, statement: ast.SelectStatement):
+        """This catalog/config's plan-gating analysis of one statement.
+
+        Returns the gated :class:`repro.sql.analysis.AnalysisResult` —
+        only the errors the planner enforces. (Imported lazily: the
+        analysis package depends on engine leaf modules, so a top-level
+        import here would cycle through ``repro.engine.__init__``.)
+        """
+        from repro.sql import analysis
+
+        result = analysis.analyze_statement(
+            statement,
+            catalog=analysis.catalog_from_sources(self._sources),
+            registry=self._registry,
+            config=self._config,
+        )
+        return analysis.gate_result(result)
+
+    def _plan_validated(self, statement: ast.SelectStatement) -> PhysicalPlan:
+        """Build the pipeline for a statement the analyzer accepted."""
+        binding = self._sources.get(statement.source.lower())
+        assert binding is not None
 
         workers = getattr(self._config, "workers", 1)
         if workers > 1:
@@ -569,7 +603,7 @@ class Planner:
         if right_binding is None:
             from repro.errors import UnknownSourceError
 
-            raise UnknownSourceError(join.source)
+            raise UnknownSourceError(join.source, tuple(sorted(self._sources)))
         # A right side without timestamps is a dimension table: lookup
         # join, no window needed. Two timestamped streams band-join within
         # the WINDOW.

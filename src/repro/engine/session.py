@@ -261,15 +261,25 @@ class TweeQL:
         impl: Callable[..., Any],
         stateful: bool = False,
         high_latency: bool = False,
+        arg_types: tuple[str, ...] | None = None,
+        return_type: str | None = None,
+        min_args: int | None = None,
+        variadic: bool = False,
+        replace: bool = False,
     ) -> None:
         """Register a user-defined function usable in queries.
 
         ``impl`` receives ``(ctx, *args)`` — or is a zero-arg factory of
         such a callable when ``stateful`` — mirroring how the demo let the
         audience "build their own UDFs for more advanced processing".
+        Optional ``arg_types``/``return_type`` feed the static analyzer;
+        overriding an existing name (including a builtin) requires
+        ``replace=True``.
         """
         self.registry.register(
-            name, impl, stateful=stateful, high_latency=high_latency
+            name, impl, stateful=stateful, high_latency=high_latency,
+            arg_types=arg_types, return_type=return_type,
+            min_args=min_args, variadic=variadic, replace=replace,
         )
 
     def table(self, name: str) -> TableSink:
@@ -294,6 +304,23 @@ class TweeQL:
     def plan(self, sql: str) -> PhysicalPlan:
         """Parse and plan without executing (EXPLAIN support)."""
         return self._planner().plan(parse(sql))
+
+    def analyze(self, sql: str):
+        """Statically analyze a query against this session's catalog.
+
+        Returns the full :class:`repro.sql.analysis.AnalysisResult` —
+        type findings, semantic errors, and lints with source spans —
+        without planning or executing anything. Syntax errors become
+        diagnostics rather than raising.
+        """
+        from repro.sql import analysis
+
+        return analysis.analyze_sql(
+            sql,
+            catalog=analysis.catalog_from_sources(self._sources),
+            registry=self.registry,
+            config=self.config,
+        )
 
     def query(self, sql: str) -> QueryHandle:
         """Parse, plan, and return a handle on the running query.

@@ -12,9 +12,21 @@ catch one base class at the API boundary.  Subsystems refine it:
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class TweeQLError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    Attributes:
+        code: stable diagnostic code (``TQL…``) when the error came through
+            the static analyzer, else None. See ``docs/ANALYSIS.md``.
+        diagnostic: the full :class:`repro.sql.analysis.Diagnostic` record
+            (with source span and hint) when available.
+    """
+
+    code: str | None = None
+    diagnostic: Any = None
 
 
 class LexError(TweeQLError):
@@ -23,6 +35,8 @@ class LexError(TweeQLError):
     Attributes:
         position: character offset in the query string where lexing failed.
     """
+
+    code = "TQL001"
 
     def __init__(self, message: str, position: int | None = None) -> None:
         super().__init__(message)
@@ -35,17 +49,25 @@ class ParseError(TweeQLError):
     Attributes:
         token: text of the offending token, if known.
         position: character offset of the offending token.
+        end: offset one past the offending token's last character (caret
+            rendering); defaults to ``position + 1`` when unknown.
     """
+
+    code = "TQL002"
 
     def __init__(
         self,
         message: str,
         token: str | None = None,
         position: int | None = None,
+        end: int | None = None,
     ) -> None:
         super().__init__(message)
         self.token = token
         self.position = position
+        if end is None and position is not None:
+            end = position + max(1, len(token or ""))
+        self.end = end
 
 
 class PlanError(TweeQLError):
@@ -53,7 +75,16 @@ class PlanError(TweeQLError):
 
     Examples: unknown stream source, unknown function name, aggregate used
     without a window, GROUP BY referencing an unprojected alias.
+
+    Errors surfaced by the static analyzer carry ``code`` (a stable
+    ``TQL2xx`` identifier) and ``diagnostic`` (the structured record with
+    the source span); errors raised deep inside planning may not.
     """
+
+    def __init__(self, message: str, *, code: str | None = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
 
 
 class ExecutionError(TweeQLError):
@@ -63,21 +94,35 @@ class ExecutionError(TweeQLError):
 class UnknownFunctionError(PlanError):
     """Raised when a query references a function not in the registry."""
 
-    def __init__(self, name: str) -> None:
-        super().__init__(f"unknown function: {name!r}")
+    code = "TQL202"
+
+    def __init__(self, name: str, hint: str | None = None) -> None:
+        suffix = f" ({hint})" if hint else ""
+        super().__init__(f"unknown function: {name!r}{suffix}")
         self.name = name
+        self.hint = hint
 
 
 class UnknownSourceError(PlanError):
     """Raised when a query's FROM clause names an unregistered source."""
 
-    def __init__(self, name: str) -> None:
-        super().__init__(f"unknown stream source: {name!r}")
+    code = "TQL212"
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
+        hint = f" (available: {', '.join(available)})" if available else ""
+        super().__init__(f"unknown stream source: {name!r}{hint}")
         self.name = name
+        self.available = available
 
 
 class UnknownFieldError(PlanError):
-    """Raised when an expression references a field absent from the schema."""
+    """Raised when an expression references a field absent from the schema.
+
+    Every raise site must pass ``available`` so the message always carries
+    the did-you-mean hint (tested in ``tests/engine/test_error_hints.py``).
+    """
+
+    code = "TQL201"
 
     def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
         hint = f" (available: {', '.join(available)})" if available else ""

@@ -1,0 +1,54 @@
+"""Static analysis for TweeQL queries.
+
+Runs between parse and plan: a type inferencer over the expression AST,
+semantic validation mirroring every check the planner enforces, and a lint
+pass for the hazards the paper calls out (unwindowed aggregates over an
+unbounded stream, high-latency web-service UDFs ordered before cheap
+predicates, queries with no streaming-API-eligible filter, catastrophic
+regex shapes, constant predicates).
+
+All problems in a query are collected into structured
+:class:`~repro.sql.analysis.diagnostics.Diagnostic` records — stable codes,
+severity, source span, message, hint — instead of aborting on the first,
+and render as caret snippets against the original SQL. Entry points:
+
+- :func:`analyze_sql` — analyze a query string (syntax errors become
+  diagnostics too);
+- :func:`analyze_statement` — analyze an already-parsed statement;
+- ``TweeQL.analyze()`` — session-aware analysis against the live catalog;
+- ``tweeql check`` — the CLI front end (``--strict`` promotes warnings to
+  a failing exit status).
+
+The full code catalogue lives in ``docs/ANALYSIS.md``.
+"""
+
+from repro.sql.analysis.analyzer import (
+    AnalysisResult,
+    analyze_sql,
+    analyze_statement,
+    catalog_from_sources,
+    gate_result,
+)
+from repro.sql.analysis.catalog import Catalog, SourceInfo
+from repro.sql.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+)
+from repro.sql.analysis.typeinfer import SqlType, TypeInferencer, field_types_for
+
+__all__ = [
+    "AnalysisResult",
+    "Catalog",
+    "Diagnostic",
+    "DiagnosticSink",
+    "Severity",
+    "SourceInfo",
+    "SqlType",
+    "TypeInferencer",
+    "analyze_sql",
+    "analyze_statement",
+    "catalog_from_sources",
+    "field_types_for",
+    "gate_result",
+]

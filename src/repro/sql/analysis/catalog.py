@@ -1,0 +1,50 @@
+"""The analyzer's view of what a session can address.
+
+A :class:`Catalog` is a read-only snapshot of the FROM-able sources — just
+names and schemas, plus whether a source is backed by the live streaming
+API (the firehose lint only applies to live sources). Sessions build one
+from their bindings (``TweeQL.analyze``); standalone analysis
+(``tweeql check`` without a session) uses :meth:`Catalog.default`, which
+knows only the ``twitter`` stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.twitter.models import TWITTER_SCHEMA
+
+
+@dataclass(frozen=True)
+class SourceInfo:
+    """One FROM-able source as the analyzer sees it."""
+
+    name: str
+    schema: tuple[str, ...]
+    live: bool = False  # backed by the streaming API (not a static table)
+
+
+@dataclass(frozen=True)
+class Catalog:
+    """Named sources available to the statement under analysis."""
+
+    sources: tuple[SourceInfo, ...]
+
+    def get(self, name: str) -> SourceInfo | None:
+        key = name.lower()
+        for source in self.sources:
+            if source.name == key:
+                return source
+        return None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(source.name for source in self.sources))
+
+    @classmethod
+    def default(cls) -> "Catalog":
+        """Catalog for session-less analysis: the live tweet stream only."""
+        return cls(
+            sources=(
+                SourceInfo(name="twitter", schema=TWITTER_SCHEMA, live=True),
+            )
+        )

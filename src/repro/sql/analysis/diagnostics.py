@@ -1,0 +1,173 @@
+"""Structured diagnostics with stable codes and caret rendering.
+
+Code ranges (catalogued with examples in ``docs/ANALYSIS.md``):
+
+- ``TQL0xx`` — lexical/syntactic (``TQL001`` lex, ``TQL002`` syntax);
+- ``TQL1xx`` — type diagnostics from the inferencer;
+- ``TQL2xx`` — semantic errors (everything the planner would reject);
+- ``TQL3xx`` — streamability / performance / safety lints.
+
+A :class:`Diagnostic` is an immutable record; a :class:`DiagnosticSink`
+collects every problem found in one pass over a statement so a user fixing
+a query sees all of them at once, not one per round trip.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.sql.ast import Span
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ERROR means the planner would reject the query; WARNING flags a hazard
+    that plans fine but will bite at stream time; INFO is advisory.
+    ``tweeql check --strict`` treats warnings as failures.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding.
+
+    Attributes:
+        code: stable identifier, e.g. ``"TQL201"``.
+        severity: :class:`Severity`.
+        message: one-line human description.
+        span: source range the finding points at (None when unknown, e.g.
+            a statement-level problem with no single offending token).
+        hint: optional fix suggestion ("did you mean …", "add a WINDOW
+            clause", …).
+        payload: structured details for programmatic consumers (the
+            planner gate rebuilds typed exceptions — e.g.
+            ``UnknownFieldError(name, available)`` — from this instead of
+            re-parsing the message). Excluded from equality.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span | None = None
+    hint: str | None = None
+    payload: Mapping[str, object] | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (``tweeql check --format=json``)."""
+        payload: dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.span is not None:
+            payload["span"] = {"start": self.span.start, "end": self.span.end}
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        return payload
+
+    def render(self, source: str | None = None) -> str:
+        """Render as ``code severity: message`` plus a caret snippet.
+
+        The snippet shows the source line containing the span with
+        ``^^^^`` underlining the offending range, using the lexer's
+        character offsets::
+
+            TQL201 error: unknown field: 'bogs' (available: …)
+              SELECT bogs FROM twitter;
+                     ^^^^
+              hint: did you mean 'loc'?
+        """
+        head = f"{self.code} {self.severity.value}: {self.message}"
+        lines = [head]
+        snippet = _caret_snippet(source, self.span)
+        if snippet:
+            lines.extend(f"  {line}" for line in snippet)
+        if self.hint:
+            lines.append(f"  hint: {self.hint}")
+        return "\n".join(lines)
+
+
+def _caret_snippet(source: str | None, span: Span | None) -> list[str]:
+    """The source line covering ``span`` and a caret underline, or []."""
+    if source is None or span is None:
+        return []
+    start = max(0, min(span.start, len(source)))
+    line_start = source.rfind("\n", 0, start) + 1
+    line_end = source.find("\n", start)
+    if line_end < 0:
+        line_end = len(source)
+    line = source[line_start:line_end]
+    if not line.strip():
+        return []
+    caret_from = start - line_start
+    caret_len = max(1, min(span.end, line_end) - start)
+    underline = " " * caret_from + "^" * caret_len
+    return [line, underline]
+
+
+class DiagnosticSink:
+    """Accumulates diagnostics during one analysis pass."""
+
+    def __init__(self) -> None:
+        self._items: list[Diagnostic] = []
+
+    def add(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        span: Span | None = None,
+        hint: str | None = None,
+        payload: Mapping[str, object] | None = None,
+    ) -> None:
+        self._items.append(
+            Diagnostic(code, severity, message, span, hint, payload)
+        )
+
+    def error(
+        self, code: str, message: str, span: Span | None = None,
+        hint: str | None = None, payload: Mapping[str, object] | None = None,
+    ) -> None:
+        self.add(code, Severity.ERROR, message, span, hint, payload)
+
+    def warning(
+        self, code: str, message: str, span: Span | None = None,
+        hint: str | None = None, payload: Mapping[str, object] | None = None,
+    ) -> None:
+        self.add(code, Severity.WARNING, message, span, hint, payload)
+
+    def info(
+        self, code: str, message: str, span: Span | None = None,
+        hint: str | None = None, payload: Mapping[str, object] | None = None,
+    ) -> None:
+        self.add(code, Severity.INFO, message, span, hint, payload)
+
+    def collect(self) -> tuple[Diagnostic, ...]:
+        """All diagnostics, errors first, then by source position."""
+        return tuple(
+            sorted(
+                self._items,
+                key=lambda d: (
+                    d.severity.rank,
+                    d.span.start if d.span is not None else 1 << 30,
+                    d.code,
+                ),
+            )
+        )
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self._items)

@@ -1,0 +1,459 @@
+"""Type inference over the TweeQL expression AST.
+
+Infers a :class:`SqlType` for every expression against the stream schema
+and the typed UDF signatures on :class:`~repro.engine.functions.FunctionSpec`
+(``arg_types`` / ``return_type``), reporting mismatches as ``TQL1xx``
+diagnostics instead of letting them surface as runtime ``TypeError`` deep
+inside a long-running stream query.
+
+Severity policy mirrors what the engine would actually do at runtime:
+
+- arithmetic on definitively non-numeric operands (``TQL101``) is an
+  *error* — the evaluator's ``+``/``-`` do not guard ``TypeError``, so the
+  first matching tuple kills the query mid-stream;
+- comparisons between incompatible types (``TQL102``), argument-type
+  mismatches (``TQL104``), text operators on non-strings (``TQL105``), and
+  truthiness-reliant predicates (``TQL106``) are *warnings* — the engine
+  degrades them to NULL/coercion, so they run but rarely mean what the
+  author intended.
+
+The inferencer never raises: every problem becomes a diagnostic and
+inference continues with ``ANY`` so one query reports all its problems in
+a single pass.
+"""
+
+from __future__ import annotations
+
+import difflib
+import enum
+
+from repro.engine.aggregates import AGGREGATE_NAMES
+from repro.engine.functions import FunctionRegistry, FunctionSpec
+from repro.sql import ast
+from repro.sql.analysis.diagnostics import DiagnosticSink, Severity
+from repro.sql.ast import Span, span_of
+
+
+class SqlType(enum.Enum):
+    """The analyzer's value types (dynamic rows; this is a best-effort
+    static view, with ``ANY`` for fields the schema says nothing about)."""
+
+    BOOLEAN = "boolean"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    POINT = "point"
+    LIST = "list"
+    NULL = "null"
+    ANY = "any"
+
+    @property
+    def known(self) -> bool:
+        """True when the type is definite (not ANY/NULL)."""
+        return self not in (SqlType.ANY, SqlType.NULL)
+
+    @property
+    def numeric(self) -> bool:
+        return self in (SqlType.INTEGER, SqlType.FLOAT)
+
+
+#: Field name → type for the well-known tweet-schema columns. Registered
+#: sources reusing these names get the same types; anything else is ANY.
+KNOWN_FIELD_TYPES: dict[str, SqlType] = {
+    "tweet_id": SqlType.INTEGER,
+    "text": SqlType.STRING,
+    "loc": SqlType.STRING,
+    "created_at": SqlType.FLOAT,
+    "user_id": SqlType.INTEGER,
+    "screen_name": SqlType.STRING,
+    "geo_lat": SqlType.FLOAT,
+    "geo_lon": SqlType.FLOAT,
+    "location": SqlType.POINT,
+    "lang": SqlType.STRING,
+    "followers": SqlType.INTEGER,
+    "window_start": SqlType.FLOAT,
+    "window_end": SqlType.FLOAT,
+    "window_rows": SqlType.INTEGER,
+}
+
+
+def field_types_for(schema: tuple[str, ...]) -> dict[str, SqlType]:
+    """Schema column → inferred type, defaulting to ANY."""
+    return {
+        name.lower(): KNOWN_FIELD_TYPES.get(name.lower(), SqlType.ANY)
+        for name in schema
+    }
+
+
+#: Aggregate → result type; None means "same as the argument".
+_AGGREGATE_RESULT: dict[str, SqlType | None] = {
+    "count": SqlType.INTEGER,
+    "sum": SqlType.FLOAT,
+    "avg": SqlType.FLOAT,
+    "stddev": SqlType.FLOAT,
+    "min": None,
+    "max": None,
+    "first": None,
+    "last": None,
+}
+
+#: Aggregates whose accumulator calls ``float()`` on every input.
+_NUMERIC_AGGREGATES = frozenset({"sum", "avg", "stddev"})
+
+_DECLARED: dict[str, tuple[SqlType, ...]] = {
+    "boolean": (SqlType.BOOLEAN,),
+    "integer": (SqlType.INTEGER,),
+    "float": (SqlType.FLOAT,),
+    "number": (SqlType.INTEGER, SqlType.FLOAT),
+    "string": (SqlType.STRING,),
+    "point": (SqlType.POINT,),
+    "list": (SqlType.LIST,),
+    "any": (),
+}
+
+
+def _accepts(declared: str, actual: SqlType) -> bool:
+    """Whether a declared signature slot accepts an inferred type."""
+    allowed = _DECLARED.get(declared, ())
+    if not allowed:  # "any" or unrecognized declaration
+        return True
+    if not actual.known:
+        return True
+    return actual in allowed
+
+
+def _declared_return(declared: str | None) -> SqlType:
+    if declared is None:
+        return SqlType.ANY
+    if declared == "number":
+        return SqlType.FLOAT
+    try:
+        return SqlType(declared)
+    except ValueError:
+        return SqlType.ANY
+
+
+def suggest(name: str, candidates: tuple[str, ...]) -> str | None:
+    """A did-you-mean hint, or None when nothing is close."""
+    matches = difflib.get_close_matches(name.lower(), candidates, n=1, cutoff=0.6)
+    return f"did you mean {matches[0]!r}?" if matches else None
+
+
+class TypeInferencer:
+    """Infers expression types, reporting problems to a sink.
+
+    Args:
+        registry: function registry whose specs carry typed signatures.
+        field_types: lowercase field name → type (see
+            :func:`field_types_for`).
+        sink: diagnostics collector.
+        aliases: select-alias name → inferred type, for clauses where the
+            engine resolves aliases (GROUP BY / HAVING / ORDER BY).
+        allow_aggregates: whether aggregate calls are legal in the
+            expression being inferred (SELECT/HAVING/ORDER BY of an
+            aggregate query).
+    """
+
+    def __init__(
+        self,
+        registry: FunctionRegistry,
+        field_types: dict[str, SqlType],
+        sink: DiagnosticSink,
+        aliases: dict[str, SqlType] | None = None,
+        allow_aggregates: bool = False,
+    ) -> None:
+        self._registry = registry
+        self._fields = field_types
+        self._sink = sink
+        self._aliases = aliases or {}
+        self._allow_aggregates = allow_aggregates
+
+    # -- public API ----------------------------------------------------------
+
+    def infer(self, expr: ast.Expr) -> SqlType:
+        """The expression's type; problems are reported, never raised."""
+        if isinstance(expr, ast.Literal):
+            return self._literal_type(expr)
+        if isinstance(expr, ast.FieldRef):
+            return self._field_type(expr)
+        if isinstance(expr, ast.Star):
+            self._sink.error(
+                "TQL203",
+                "'*' is only valid in SELECT lists and COUNT(*)",
+                span_of(expr),
+            )
+            return SqlType.ANY
+        if isinstance(expr, ast.FuncCall):
+            return self._call_type(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self._unary_type(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary_type(expr)
+        if isinstance(expr, ast.InList):
+            return self._in_list_type(expr)
+        if isinstance(expr, ast.BBox):
+            return SqlType.ANY  # a box literal; checked by semantic pass
+        return SqlType.ANY
+
+    # -- leaves --------------------------------------------------------------
+
+    @staticmethod
+    def _literal_type(node: ast.Literal) -> SqlType:
+        value = node.value
+        if value is None:
+            return SqlType.NULL
+        if isinstance(value, bool):
+            return SqlType.BOOLEAN
+        if isinstance(value, int):
+            return SqlType.INTEGER
+        if isinstance(value, float):
+            return SqlType.FLOAT
+        return SqlType.STRING
+
+    def _field_type(self, node: ast.FieldRef) -> SqlType:
+        key = node.name.lower()
+        if key in self._fields:
+            return self._fields[key]
+        if node.name in self._aliases:
+            return self._aliases[node.name]
+        lowered = {name.lower(): t for name, t in self._aliases.items()}
+        if key in lowered:
+            return lowered[key]
+        available = tuple(sorted(set(self._fields) | set(self._aliases)))
+        self._sink.add(
+            "TQL201",
+            Severity.ERROR,
+            f"unknown field: {node.name!r} (available: {', '.join(available)})",
+            span_of(node),
+            suggest(node.name, available),
+            payload={"name": node.name, "available": available},
+        )
+        return SqlType.ANY
+
+    # -- calls ---------------------------------------------------------------
+
+    def _call_type(self, node: ast.FuncCall) -> SqlType:
+        span = span_of(node)
+        if node.name in AGGREGATE_NAMES:
+            return self._aggregate_type(node, span)
+        if node.name not in self._registry:
+            candidates = self._registry.names() + tuple(sorted(AGGREGATE_NAMES))
+            hint = suggest(node.name, candidates)
+            self._sink.error(
+                "TQL202",
+                f"unknown function: {node.name!r}",
+                span,
+                hint,
+                payload={"name": node.name, "hint": hint},
+            )
+            for arg in node.args:
+                self.infer(arg)
+            return SqlType.ANY
+        spec = self._registry.lookup(node.name)
+        arg_types = [self.infer(arg) for arg in node.args]
+        self._check_signature(node, spec, arg_types, span)
+        return _declared_return(spec.return_type)
+
+    def _check_signature(
+        self,
+        node: ast.FuncCall,
+        spec: FunctionSpec,
+        arg_types: list[SqlType],
+        span: Span | None,
+    ) -> None:
+        if node.distinct:
+            # The engine silently ignores DISTINCT on scalar calls.
+            self._sink.warning(
+                "TQL211",
+                f"DISTINCT has no effect on scalar function {node.name}()",
+                span,
+            )
+        if spec.arg_types is None:
+            return  # untyped UDF: nothing to check
+        declared = spec.arg_types
+        low = spec.min_args if spec.min_args is not None else len(declared)
+        high = None if spec.variadic else len(declared)
+        n = len(arg_types)
+        if n < low or (high is not None and n > high):
+            if high is None:
+                expected = f"at least {low}"
+            elif low == high:
+                expected = str(low)
+            else:
+                expected = f"{low} to {high}"
+            self._sink.error(
+                "TQL103",
+                f"{node.name}() expects {expected} argument"
+                f"{'s' if expected != '1' else ''}, got {n}",
+                span,
+            )
+        for index, actual in enumerate(arg_types):
+            slot = declared[min(index, len(declared) - 1)] if declared else "any"
+            if not _accepts(slot, actual):
+                arg_span = span_of(node.args[index]) or span
+                self._sink.warning(
+                    "TQL104",
+                    f"{node.name}() argument {index + 1} expects {slot}, "
+                    f"got {actual.value}",
+                    arg_span,
+                )
+
+    def _aggregate_type(self, node: ast.FuncCall, span: Span | None) -> SqlType:
+        if not self._allow_aggregates:
+            self._sink.error(
+                "TQL203",
+                f"aggregate {node.name}() is not allowed here; aggregates "
+                "belong in the SELECT list or HAVING of a windowed query",
+                span,
+            )
+        if len(node.args) != 1:
+            self._sink.error(
+                "TQL211",
+                f"aggregate {node.name}() takes exactly one argument",
+                span,
+            )
+            for arg in node.args:
+                if not isinstance(arg, ast.Star):
+                    self._nested(node).infer(arg)
+            return _declared_return_for_aggregate(node.name, SqlType.ANY)
+        arg = node.args[0]
+        if isinstance(arg, ast.Star):
+            if node.name != "count":
+                self._sink.error(
+                    "TQL211",
+                    f"only COUNT accepts '*', not {node.name}",
+                    span,
+                )
+            arg_type = SqlType.ANY
+        else:
+            arg_type = self._nested(node).infer(arg)
+        if node.distinct and node.name != "count":
+            self._sink.error(
+                "TQL211",
+                f"DISTINCT is only supported with COUNT, not {node.name}",
+                span,
+            )
+        if node.name in _NUMERIC_AGGREGATES and arg_type.known and not arg_type.numeric:
+            self._sink.warning(
+                "TQL104",
+                f"{node.name}() expects a numeric argument, got {arg_type.value}",
+                span_of(arg) or span,
+            )
+        return _declared_return_for_aggregate(node.name, arg_type)
+
+    def _nested(self, _node: ast.FuncCall) -> "TypeInferencer":
+        """Inferencer for aggregate arguments (no nested aggregates)."""
+        return TypeInferencer(
+            self._registry, self._fields, self._sink,
+            aliases=self._aliases, allow_aggregates=False,
+        )
+
+    # -- operators -----------------------------------------------------------
+
+    def _unary_type(self, node: ast.UnaryOp) -> SqlType:
+        inner = self.infer(node.operand)
+        if node.op in ("IS NULL", "IS NOT NULL", "NOT"):
+            return SqlType.BOOLEAN
+        if node.op == "NEG":
+            if inner.known and not inner.numeric:
+                self._sink.error(
+                    "TQL101",
+                    f"cannot negate a {inner.value} value",
+                    span_of(node),
+                )
+                return SqlType.ANY
+            return inner if inner.numeric else SqlType.FLOAT
+        return SqlType.ANY
+
+    def _binary_type(self, node: ast.BinaryOp) -> SqlType:
+        op = node.op
+        span = span_of(node)
+        if op in ("AND", "OR"):
+            for side in (node.left, node.right):
+                side_type = self.infer(side)
+                if side_type.known and side_type is not SqlType.BOOLEAN:
+                    self._sink.warning(
+                        "TQL106",
+                        f"{op} operand has type {side_type.value}; the engine "
+                        "applies SQL truthiness (non-zero / non-empty is true)",
+                        span_of(side) or span,
+                    )
+            return SqlType.BOOLEAN
+
+        if op in ("CONTAINS", "MATCHES", "LIKE"):
+            left = self.infer(node.left)
+            right = self.infer(node.right)
+            for side_type, side in ((left, node.left), (right, node.right)):
+                if side_type.known and side_type is not SqlType.STRING:
+                    self._sink.warning(
+                        "TQL105",
+                        f"{op} operand has type {side_type.value}; it will be "
+                        "coerced to a string",
+                        span_of(side) or span,
+                    )
+            return SqlType.BOOLEAN
+
+        if op == "IN_BBOX":
+            left = self.infer(node.left)
+            if left.known and left is not SqlType.POINT:
+                self._sink.warning(
+                    "TQL107",
+                    f"IN [bounding box …] tests a (lat, lon) point, got "
+                    f"{left.value}; the predicate will always be NULL",
+                    span_of(node.left) or span,
+                )
+            return SqlType.BOOLEAN
+
+        if op in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            left, right = self.infer(node.left), self.infer(node.right)
+            if left.known and right.known and not _comparable(left, right):
+                self._sink.warning(
+                    "TQL102",
+                    f"comparison between {left.value} and {right.value} is "
+                    "always NULL (the row never matches)",
+                    span,
+                )
+            return SqlType.BOOLEAN
+
+        if op in ("+", "-", "*", "/", "%"):
+            left, right = self.infer(node.left), self.infer(node.right)
+            if op == "+" and left is SqlType.STRING and right is SqlType.STRING:
+                return SqlType.STRING  # Python concat; works, if unusual
+            for side_type, side in ((left, node.left), (right, node.right)):
+                if side_type.known and not side_type.numeric:
+                    self._sink.error(
+                        "TQL101",
+                        f"arithmetic {op} on a {side_type.value} value raises "
+                        "at runtime and kills the stream query",
+                        span_of(side) or span,
+                    )
+            if left is SqlType.FLOAT or right is SqlType.FLOAT or op == "/":
+                return SqlType.FLOAT
+            if left is SqlType.INTEGER and right is SqlType.INTEGER:
+                return SqlType.INTEGER
+            return SqlType.FLOAT
+        return SqlType.ANY
+
+    def _in_list_type(self, node: ast.InList) -> SqlType:
+        needle = self.infer(node.operand)
+        for value in node.values:
+            value_type = self.infer(value)
+            if needle.known and value_type.known and not _comparable(needle, value_type):
+                self._sink.warning(
+                    "TQL102",
+                    f"IN list mixes {needle.value} with {value_type.value}; "
+                    "this member can never match",
+                    span_of(value),
+                )
+        return SqlType.BOOLEAN
+
+
+def _comparable(left: SqlType, right: SqlType) -> bool:
+    if left is right:
+        return True
+    return left.numeric and right.numeric
+
+
+def _declared_return_for_aggregate(name: str, arg_type: SqlType) -> SqlType:
+    result = _AGGREGATE_RESULT.get(name, SqlType.ANY)
+    return arg_type if result is None else result

@@ -7,7 +7,7 @@ messages and the REPL's ``EXPLAIN`` stay readable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Union
 
 Expr = Union[
@@ -17,10 +17,48 @@ Expr = Union[
 
 
 @dataclass(frozen=True)
+class Span:
+    """A half-open character range ``[start, end)`` in the query source.
+
+    The parser stamps one on every expression node so diagnostics can
+    point back at the offending text with a caret snippet. Spans never
+    participate in node equality — two ASTs are equal when their shapes
+    are, wherever they were parsed from.
+    """
+
+    start: int
+    end: int
+
+    def union(self, other: "Span | None") -> "Span":
+        if other is None:
+            return self
+        return Span(min(self.start, other.start), max(self.end, other.end))
+
+
+#: Span field shared by every AST node: parser-stamped, equality-neutral.
+def _span_field() -> Any:
+    return field(default=None, compare=False, repr=False, kw_only=True)
+
+
+def span_of(expr: Expr) -> Span | None:
+    """The node's span, or the union of its children's spans as a fallback."""
+    direct = getattr(expr, "span", None)
+    if direct is not None:
+        return direct
+    merged: Span | None = None
+    for child in walk(expr):
+        child_span = getattr(child, "span", None)
+        if child_span is not None:
+            merged = child_span if merged is None else child_span.union(merged)
+    return merged
+
+
+@dataclass(frozen=True)
 class Literal:
     """A constant: number, string, boolean, or NULL."""
 
     value: Any
+    span: Span | None = _span_field()
 
     def to_sql(self) -> str:
         if self.value is None:
@@ -38,6 +76,7 @@ class FieldRef:
     """A reference to a stream field or a select alias."""
 
     name: str
+    span: Span | None = _span_field()
 
     def to_sql(self) -> str:
         return self.name
@@ -46,6 +85,8 @@ class FieldRef:
 @dataclass(frozen=True)
 class Star:
     """``SELECT *``."""
+
+    span: Span | None = _span_field()
 
     def to_sql(self) -> str:
         return "*"
@@ -59,6 +100,7 @@ class FuncCall:
     name: str
     args: tuple[Expr, ...] = ()
     distinct: bool = False
+    span: Span | None = _span_field()
 
     def to_sql(self) -> str:
         inner = ", ".join(a.to_sql() for a in self.args)
@@ -79,6 +121,7 @@ class BinaryOp:
     op: str
     left: Expr
     right: Expr
+    span: Span | None = _span_field()
 
     def to_sql(self) -> str:
         op = "IN" if self.op == "IN_BBOX" else self.op
@@ -91,6 +134,7 @@ class UnaryOp:
 
     op: str  # "NOT", "NEG", "IS NULL", "IS NOT NULL"
     operand: Expr
+    span: Span | None = _span_field()
 
     def to_sql(self) -> str:
         if self.op == "NEG":
@@ -106,6 +150,7 @@ class InList:
 
     operand: Expr
     values: tuple[Expr, ...]
+    span: Span | None = _span_field()
 
     def to_sql(self) -> str:
         inner = ", ".join(v.to_sql() for v in self.values)
@@ -126,6 +171,7 @@ class BBox:
 
     name: str | None = None
     coords: tuple[float, float, float, float] | None = None
+    span: Span | None = _span_field()
 
     def to_sql(self) -> str:
         if self.name is not None:
@@ -140,6 +186,7 @@ class SelectItem:
 
     expr: Expr
     alias: str | None = None
+    span: Span | None = _span_field()
 
     @property
     def output_name(self) -> str:
@@ -171,6 +218,7 @@ class WindowSpec:
     slide_seconds: float | None = None
     size_count: int | None = None
     slide_count: int | None = None
+    span: Span | None = _span_field()
 
     def __post_init__(self) -> None:
         if (self.size_seconds is None) == (self.size_count is None):

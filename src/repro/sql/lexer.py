@@ -10,7 +10,7 @@ square brackets for the geographic literal syntax the paper shows
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import LexError
 
@@ -52,11 +52,24 @@ class Token:
         value: normalized text — keywords uppercased, numbers as written,
             strings with quotes/escapes removed.
         position: character offset of the token's first character.
+        end: character offset one past the token's last *source* character
+            (differs from ``position + len(value)`` for string literals,
+            whose quotes and escapes are stripped from ``value``).
     """
 
     type: TokenType
     value: str
     position: int
+    end: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.end < 0:
+            object.__setattr__(self, "end", self.position + len(self.value))
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """(start, end) source offsets for diagnostics."""
+        return (self.position, self.end)
 
     def is_keyword(self, *names: str) -> bool:
         """True when this token is one of the given keywords."""
@@ -88,8 +101,9 @@ def tokenize(query: str) -> list[Token]:
             i = n if newline < 0 else newline + 1
             continue
         if ch == "'":
+            start = i
             value, i = _read_string(query, i)
-            tokens.append(Token(TokenType.STRING, value, i))
+            tokens.append(Token(TokenType.STRING, value, start, i))
             continue
         if ch.isdigit() or (
             ch == "." and i + 1 < n and query[i + 1].isdigit()

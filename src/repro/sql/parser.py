@@ -32,9 +32,11 @@ from repro.sql.ast import (
     Literal,
     SelectItem,
     SelectStatement,
+    Span,
     Star,
     UnaryOp,
     WindowSpec,
+    span_of,
 )
 from repro.sql.lexer import Token, TokenType, tokenize
 
@@ -71,14 +73,33 @@ class _Parser:
             self._pos += 1
         return token
 
-    def _error(self, message: str) -> ParseError:
-        token = self._current
+    def _error(self, message: str, at: Token | None = None) -> ParseError:
+        """A ParseError pointing at ``at`` (default: the current token).
+
+        Every parser raise goes through here so the error always carries
+        the offending token's text and source position — the analyzer's
+        caret renderer depends on both being populated.
+        """
+        token = at if at is not None else self._current
         shown = token.value or "<end of query>"
         return ParseError(
             f"{message} (got {shown!r} at position {token.position})",
             token=token.value,
             position=token.position,
+            end=token.end,
         )
+
+    @property
+    def _prev_end(self) -> int:
+        """End offset of the most recently consumed token."""
+        return self._tokens[max(0, self._pos - 1)].end
+
+    @staticmethod
+    def _merge(left: Expr, right: Expr) -> Span | None:
+        lspan, rspan = span_of(left), span_of(right)
+        if lspan is None:
+            return rspan
+        return lspan.union(rspan)
 
     def _expect_keyword(self, *names: str) -> Token:
         if self._current.is_keyword(*names):
@@ -206,9 +227,11 @@ class _Parser:
         items: list[SelectItem] = []
         while True:
             if self._current.is_op("*"):
-                self._advance()
-                items.append(SelectItem(Star()))
+                star = self._advance()
+                star_span = Span(star.position, star.end)
+                items.append(SelectItem(Star(span=star_span), span=star_span))
             else:
+                start = self._current.position
                 expr = self._parse_expr()
                 alias: str | None = None
                 if self._accept_keyword("AS"):
@@ -219,7 +242,9 @@ class _Parser:
                         raise self._error("expected alias name after AS")
                 elif self._current.type is TokenType.IDENT:
                     alias = self._advance().value
-                items.append(SelectItem(expr, alias))
+                items.append(
+                    SelectItem(expr, alias, span=Span(start, self._prev_end))
+                )
             if not self._accept_op(","):
                 return items
 
@@ -230,23 +255,27 @@ class _Parser:
         return exprs
 
     def _parse_window(self) -> WindowSpec:
-        self._expect_keyword("WINDOW")
+        start = self._expect_keyword("WINDOW").position
         size, size_is_count = self._parse_duration()
         slide: float | None = None
         slide_is_count = size_is_count
         if self._accept_keyword("EVERY"):
+            slide_at = self._current
             slide, slide_is_count = self._parse_duration()
             if slide_is_count != size_is_count:
                 raise self._error(
                     "window size and EVERY slide must both be time or both "
-                    "be tweet counts"
+                    "be tweet counts",
+                    at=slide_at,
                 )
+        span = Span(start, self._prev_end)
         if size_is_count:
             return WindowSpec(
                 size_count=int(size),
                 slide_count=int(slide) if slide is not None else None,
+                span=span,
             )
-        return WindowSpec(size_seconds=size, slide_seconds=slide)
+        return WindowSpec(size_seconds=size, slide_seconds=slide, span=span)
 
     def _parse_duration(self) -> tuple[float, bool]:
         """Returns (magnitude, is_count): seconds, or a tweet count."""
@@ -262,7 +291,9 @@ class _Parser:
         if unit.is_keyword("TWEET", "TWEETS"):
             self._advance()
             if magnitude != int(magnitude) or magnitude <= 0:
-                raise self._error("tweet-count windows need a positive integer")
+                raise self._error(
+                    "tweet-count windows need a positive integer", at=token
+                )
             return magnitude, True
         raise self._error(
             "expected a time unit (seconds/minutes/hours/days) or TWEETS"
@@ -276,18 +307,24 @@ class _Parser:
     def _parse_or(self) -> Expr:
         left = self._parse_and()
         while self._accept_keyword("OR"):
-            left = BinaryOp("OR", left, self._parse_and())
+            right = self._parse_and()
+            left = BinaryOp("OR", left, right, span=self._merge(left, right))
         return left
 
     def _parse_and(self) -> Expr:
         left = self._parse_not()
         while self._accept_keyword("AND"):
-            left = BinaryOp("AND", left, self._parse_not())
+            right = self._parse_not()
+            left = BinaryOp("AND", left, right, span=self._merge(left, right))
         return left
 
     def _parse_not(self) -> Expr:
-        if self._accept_keyword("NOT"):
-            return UnaryOp("NOT", self._parse_not())
+        if self._current.is_keyword("NOT"):
+            start = self._advance().position
+            operand = self._parse_not()
+            inner = span_of(operand)
+            span = Span(start, inner.end if inner else self._prev_end)
+            return UnaryOp("NOT", operand, span=span)
         return self._parse_comparison()
 
     def _parse_comparison(self) -> Expr:
@@ -296,15 +333,25 @@ class _Parser:
         if token.type is TokenType.OP and token.value in _COMPARISON_OPS:
             self._advance()
             op = "=" if token.value == "==" else token.value
-            return BinaryOp(op, left, self._parse_additive())
+            right = self._parse_additive()
+            return BinaryOp(op, left, right, span=self._merge(left, right))
         if token.is_keyword("CONTAINS", "MATCHES", "LIKE"):
             self._advance()
-            return BinaryOp(token.value, left, self._parse_additive())
+            right = self._parse_additive()
+            return BinaryOp(
+                token.value, left, right, span=self._merge(left, right)
+            )
         if token.is_keyword("IS"):
             self._advance()
             negated = self._accept_keyword("NOT")
             self._expect_keyword("NULL")
-            return UnaryOp("IS NOT NULL" if negated else "IS NULL", left)
+            lspan = span_of(left)
+            span = Span(
+                lspan.start if lspan else token.position, self._prev_end
+            )
+            return UnaryOp(
+                "IS NOT NULL" if negated else "IS NULL", left, span=span
+            )
         if token.is_keyword("BETWEEN"):
             self._advance()
             low = self._parse_additive()
@@ -312,8 +359,9 @@ class _Parser:
             high = self._parse_additive()
             return BinaryOp(
                 "AND",
-                BinaryOp(">=", left, low),
-                BinaryOp("<=", left, high),
+                BinaryOp(">=", left, low, span=self._merge(left, low)),
+                BinaryOp("<=", left, high, span=self._merge(left, high)),
+                span=self._merge(left, high),
             )
         negated_in = False
         if token.is_keyword("NOT"):
@@ -327,21 +375,30 @@ class _Parser:
         else:
             return left
         result = self._parse_in_rhs(left)
-        return UnaryOp("NOT", result) if negated_in else result
+        if negated_in:
+            return UnaryOp("NOT", result, span=span_of(result))
+        return result
 
     def _parse_in_rhs(self, operand: Expr) -> Expr:
         if self._current.is_op("["):
             bbox = self._parse_bbox()
-            return BinaryOp("IN_BBOX", operand, bbox)
+            return BinaryOp(
+                "IN_BBOX", operand, bbox, span=self._merge(operand, bbox)
+            )
         self._expect_op("(")
         values = [self._parse_expr()]
         while self._accept_op(","):
             values.append(self._parse_expr())
         self._expect_op(")")
-        return InList(operand, tuple(values))
+        ospan = span_of(operand)
+        span = Span(
+            ospan.start if ospan else self._prev_end, self._prev_end
+        )
+        return InList(operand, tuple(values), span=span)
 
     def _parse_bbox(self) -> BBox:
-        self._expect_op("[")
+        open_token = self._expect_op("[")
+        start = open_token.position
         if self._accept_keyword("BOUNDING"):
             self._expect_keyword("BOX")
             self._expect_keyword("FOR")
@@ -354,7 +411,9 @@ class _Parser:
             self._expect_op("]")
             if not name_parts:
                 raise self._error("bounding box name missing")
-            return BBox(name=" ".join(name_parts))
+            return BBox(
+                name=" ".join(name_parts), span=Span(start, self._prev_end)
+            )
         # [bbox south, west, north, east]
         head = self._current
         if head.type is TokenType.IDENT and head.value.lower() == "bbox":
@@ -370,48 +429,58 @@ class _Parser:
                 self._advance()
                 coords.append(sign * float(token.value))
             self._expect_op("]")
-            return BBox(coords=(coords[0], coords[1], coords[2], coords[3]))
+            return BBox(
+                coords=(coords[0], coords[1], coords[2], coords[3]),
+                span=Span(start, self._prev_end),
+            )
         raise self._error("expected 'bounding box for <name>' or 'bbox s, w, n, e'")
 
     def _parse_additive(self) -> Expr:
         left = self._parse_multiplicative()
         while self._current.is_op("+", "-"):
             op = self._advance().value
-            left = BinaryOp(op, left, self._parse_multiplicative())
+            right = self._parse_multiplicative()
+            left = BinaryOp(op, left, right, span=self._merge(left, right))
         return left
 
     def _parse_multiplicative(self) -> Expr:
         left = self._parse_unary()
         while self._current.is_op("*", "/", "%"):
             op = self._advance().value
-            left = BinaryOp(op, left, self._parse_unary())
+            right = self._parse_unary()
+            left = BinaryOp(op, left, right, span=self._merge(left, right))
         return left
 
     def _parse_unary(self) -> Expr:
-        if self._accept_op("-"):
-            return UnaryOp("NEG", self._parse_unary())
+        if self._current.is_op("-"):
+            start = self._advance().position
+            operand = self._parse_unary()
+            return UnaryOp("NEG", operand, span=Span(start, self._prev_end))
         if self._accept_op("+"):
             return self._parse_unary()
         return self._parse_primary()
 
     def _parse_primary(self) -> Expr:
         token = self._current
+        tspan = Span(token.position, token.end)
         if token.type is TokenType.NUMBER:
             self._advance()
             text = token.value
-            return Literal(float(text) if "." in text else int(text))
+            return Literal(
+                float(text) if "." in text else int(text), span=tspan
+            )
         if token.type is TokenType.STRING:
             self._advance()
-            return Literal(token.value)
+            return Literal(token.value, span=tspan)
         if token.is_keyword("NULL"):
             self._advance()
-            return Literal(None)
+            return Literal(None, span=tspan)
         if token.is_keyword("TRUE"):
             self._advance()
-            return Literal(True)
+            return Literal(True, span=tspan)
         if token.is_keyword("FALSE"):
             self._advance()
-            return Literal(False)
+            return Literal(False, span=tspan)
         if token.is_op("("):
             self._advance()
             inner = self._parse_expr()
@@ -422,8 +491,8 @@ class _Parser:
         if token.type is TokenType.IDENT:
             self._advance()
             if self._accept_op("("):
-                return self._finish_call(token.value)
-            return FieldRef(token.value)
+                return self._finish_call(token.value, token.position)
+            return FieldRef(token.value, span=tspan)
         # Soft keywords: time units double as builtin function names
         # (``hour(created_at)``) when directly followed by '('.
         if (
@@ -433,23 +502,28 @@ class _Parser:
         ):
             self._advance()  # the keyword
             self._advance()  # '('
-            return self._finish_call(token.value)
+            return self._finish_call(token.value, token.position)
         raise self._error("expected an expression")
 
-    def _finish_call(self, name: str) -> FuncCall:
+    def _finish_call(self, name: str, start: int) -> FuncCall:
         distinct = self._accept_keyword("DISTINCT")
         args: list[Expr] = []
         if not self._current.is_op(")"):
             while True:
                 if self._current.is_op("*"):
-                    self._advance()
-                    args.append(Star())
+                    star = self._advance()
+                    args.append(Star(span=Span(star.position, star.end)))
                 else:
                     args.append(self._parse_expr())
                 if not self._accept_op(","):
                     break
         self._expect_op(")")
-        return FuncCall(name=name.lower(), args=tuple(args), distinct=distinct)
+        return FuncCall(
+            name=name.lower(),
+            args=tuple(args),
+            distinct=distinct,
+            span=Span(start, self._prev_end),
+        )
 
 
 def parse(query: str) -> SelectStatement:

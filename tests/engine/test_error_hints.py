@@ -1,0 +1,98 @@
+"""Unknown-name errors must always carry actionable hints.
+
+Every raise site for :class:`UnknownFieldError` /
+:class:`UnknownSourceError` passes the candidate names, and
+:class:`UnknownFunctionError` carries a did-you-mean suggestion, so a
+user who typos a name is told what the valid options were — whether the
+error arrives via ``session.query`` or the function registry directly.
+"""
+
+import pytest
+
+from repro import TweeQL
+from repro.engine.functions import default_registry
+from repro.errors import (
+    UnknownFieldError,
+    UnknownFunctionError,
+    UnknownSourceError,
+)
+from repro.twitter.models import TWITTER_SCHEMA
+
+
+@pytest.fixture
+def session(soccer_session):
+    return soccer_session
+
+
+def test_field_typo_in_select_lists_available(session):
+    with pytest.raises(UnknownFieldError) as excinfo:
+        session.query("SELECT txet FROM twitter WHERE text CONTAINS 'a';")
+    err = excinfo.value
+    assert err.name == "txet"
+    assert err.available == tuple(sorted(TWITTER_SCHEMA))
+    assert "available:" in str(err)
+    assert "text" in str(err)
+    assert err.code == "TQL201"
+
+
+def test_field_typo_in_where_lists_available(session):
+    with pytest.raises(UnknownFieldError) as excinfo:
+        session.query("SELECT text FROM twitter WHERE folowers > 1;")
+    assert excinfo.value.available == tuple(sorted(TWITTER_SCHEMA))
+
+
+def test_field_typo_in_group_by_lists_available(session):
+    with pytest.raises(UnknownFieldError) as excinfo:
+        session.query(
+            "SELECT count(*) AS n FROM twitter WHERE text CONTAINS 'a' "
+            "GROUP BY lagn WINDOW 1 minutes;"
+        )
+    err = excinfo.value
+    assert err.name == "lagn"
+    assert err.available
+
+
+def test_custom_source_schema_drives_available():
+    session = TweeQL()
+    session.register_source("s", lambda: iter(()), ("alpha", "beta"))
+    with pytest.raises(UnknownFieldError) as excinfo:
+        session.query("SELECT gamma FROM s;")
+    assert excinfo.value.available == ("alpha", "beta")
+
+
+def test_unknown_source_lists_registered_sources(session):
+    with pytest.raises(UnknownSourceError) as excinfo:
+        session.query("SELECT text FROM twimmer WHERE text CONTAINS 'a';")
+    err = excinfo.value
+    assert err.name == "twimmer"
+    assert "twitter" in err.available
+    assert "available:" in str(err)
+    assert err.code == "TQL212"
+
+
+def test_unknown_function_offers_did_you_mean(session):
+    with pytest.raises(UnknownFunctionError) as excinfo:
+        session.query(
+            "SELECT sentimant(text) FROM twitter WHERE text CONTAINS 'a';"
+        )
+    err = excinfo.value
+    assert err.name == "sentimant"
+    assert "sentiment" in (err.hint or "")
+    assert err.code == "TQL202"
+
+
+def test_registry_lookup_hint_direct():
+    registry = default_registry()
+    with pytest.raises(UnknownFunctionError) as excinfo:
+        registry.lookup("lenght")
+    assert "length" in (excinfo.value.hint or "")
+
+
+def test_error_carries_diagnostic_with_span(session):
+    sql = "SELECT txet FROM twitter WHERE text CONTAINS 'a';"
+    with pytest.raises(UnknownFieldError) as excinfo:
+        session.query(sql)
+    diag = excinfo.value.diagnostic
+    assert diag is not None
+    assert diag.code == "TQL201"
+    assert sql[diag.span.start : diag.span.end] == "txet"

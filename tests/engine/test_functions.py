@@ -118,8 +118,20 @@ def test_registry_register_and_replace():
     registry = default_registry()
     registry.register("twice", lambda _ctx, x: x * 2)
     assert registry.lookup("twice").impl(None, 4) == 8
-    registry.register("twice", lambda _ctx, x: x * 3)
+    # Intentional override requires the explicit flag.
+    registry.register("twice", lambda _ctx, x: x * 3, replace=True)
     assert registry.lookup("twice").impl(None, 4) == 12
+
+
+def test_registry_register_guards_accidental_shadowing():
+    registry = default_registry()
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register("sentiment", lambda _ctx, s: 0)
+    # Name matching is case-insensitive, so this shadows too.
+    registry.register("twice", lambda _ctx, x: x * 2)
+    with pytest.raises(ValueError, match="replace=True"):
+        registry.register("TWICE", lambda _ctx, x: x * 3)
+    assert registry.lookup("twice").impl(None, 4) == 8
 
 
 def test_registry_names_sorted():

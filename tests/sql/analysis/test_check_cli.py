@@ -1,0 +1,97 @@
+"""The ``tweeql check`` subcommand: exit codes, formats, file splitting."""
+
+import json
+
+import pytest
+
+from repro.cli import main, split_statements
+
+CLEAN = "SELECT text FROM twitter WHERE text CONTAINS 'obama';"
+WARN_ONLY = "SELECT text FROM twitter;"  # TQL304 firehose warning
+BROKEN = "SELECT bogs FROM twitter WHERE text CONTAINS 'a';"  # TQL201
+
+
+def test_clean_query_exits_zero(capsys):
+    assert main(["check", "--sql", CLEAN]) == 0
+    out = capsys.readouterr().out
+    assert "no issues found" in out
+    assert "checked 1 query: ok" in out
+
+
+def test_error_query_exits_one(capsys):
+    assert main(["check", "--sql", BROKEN]) == 1
+    out = capsys.readouterr().out
+    assert "TQL201" in out
+    assert "checked 1 query: FAILED" in out
+
+
+def test_warnings_pass_without_strict(capsys):
+    assert main(["check", "--sql", WARN_ONLY]) == 0
+    assert "TQL304" in capsys.readouterr().out
+
+
+def test_strict_turns_warnings_into_failure(capsys):
+    assert main(["check", "--strict", "--sql", WARN_ONLY]) == 1
+    assert "FAILED" in capsys.readouterr().out
+
+
+def test_nothing_to_check_exits_two(capsys):
+    assert main(["check"]) == 2
+    assert "nothing to check" in capsys.readouterr().err
+
+
+def test_json_format_shape(capsys):
+    code = main(
+        ["check", "--format=json", "--sql", CLEAN, "--sql", BROKEN]
+    )
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is False
+    assert [q["ok"] for q in report["queries"]] == [True, False]
+    diag = report["queries"][1]["diagnostics"][0]
+    assert diag["code"] == "TQL201"
+    assert diag["severity"] == "error"
+    assert set(diag["span"]) == {"start", "end"}
+
+
+def test_checks_tql_files(tmp_path, capsys):
+    path = tmp_path / "queries.tql"
+    path.write_text(
+        "-- a comment line\n"
+        f"{CLEAN}\n\n"
+        f"{BROKEN}\n",
+        encoding="utf-8",
+    )
+    assert main(["check", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert f"{path}:1" in out
+    assert f"{path}:2" in out
+    assert "checked 2 queries: FAILED" in out
+
+
+def test_repo_example_files_are_strict_clean():
+    import pathlib
+
+    examples = sorted(
+        str(p)
+        for p in (
+            pathlib.Path(__file__).parents[3] / "examples" / "queries"
+        ).glob("*.tql")
+    )
+    assert examples, "examples/queries/*.tql missing"
+    assert main(["check", "--strict", *examples]) == 0
+
+
+@pytest.mark.parametrize(
+    ("text", "expected"),
+    [
+        ("SELECT 1;", ["SELECT 1;"]),
+        ("a;\nb;", ["a;", "b;"]),
+        ("-- comment\na;", ["a;"]),
+        ("a\n -- full-line comment\n;b;", ["a;", "b;"]),
+        ("   \n\n", []),
+        ("no trailing semicolon", ["no trailing semicolon;"]),
+    ],
+)
+def test_split_statements(text, expected):
+    assert split_statements(text) == expected

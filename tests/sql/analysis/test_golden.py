@@ -1,0 +1,109 @@
+"""Golden-file tests: rendered diagnostics for known-bad queries.
+
+Each case pairs a query with ``golden/<name>.txt`` holding the exact
+``AnalysisResult.render()`` output (caret snippets, hints, and all).
+Regenerate after an intentional change with::
+
+    UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/sql/analysis/test_golden.py
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.sql.analysis import analyze_sql
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+CASES = [
+    (
+        "lex_bad_char",
+        "SELECT text FROM twitter WHERE text ? 'x';",
+    ),
+    (
+        "syntax_missing_from",
+        "SELECT text WHERE text CONTAINS 'a';",
+    ),
+    (
+        "unknown_source",
+        "SELECT text FROM twimmer WHERE text CONTAINS 'a';",
+    ),
+    (
+        "unknown_field_typo",
+        "SELECT txet FROM twitter WHERE text CONTAINS 'a';",
+    ),
+    (
+        "unknown_function_typo",
+        "SELECT sentimant(text) FROM twitter WHERE text CONTAINS 'a';",
+    ),
+    (
+        "aggregate_without_window",
+        "SELECT count(*) FROM twitter WHERE text CONTAINS 'a';",
+    ),
+    (
+        "aggregate_in_where",
+        "SELECT text FROM twitter WHERE count(*) > 3;",
+    ),
+    (
+        "having_without_aggregates",
+        "SELECT text FROM twitter WHERE text CONTAINS 'a' HAVING count(*) > 1;",
+    ),
+    (
+        "star_mixed_with_aggregates",
+        "SELECT *, count(*) FROM twitter WHERE text CONTAINS 'a' WINDOW 1 minutes;",
+    ),
+    (
+        "bad_named_bbox",
+        "SELECT text FROM twitter WHERE location IN [bounding box for Atlantis];",
+    ),
+    (
+        "bad_regex",
+        "SELECT text FROM twitter WHERE text MATCHES '(unclosed';",
+    ),
+    (
+        "arity_mismatch",
+        "SELECT floor(followers, 2) FROM twitter WHERE text CONTAINS 'a';",
+    ),
+    (
+        "arithmetic_on_string",
+        "SELECT text - 1 FROM twitter WHERE text CONTAINS 'a';",
+    ),
+    (
+        "catastrophic_regex",
+        "SELECT text FROM twitter WHERE text CONTAINS 'a' AND text MATCHES '(x+)+y';",
+    ),
+    (
+        "latency_ordering",
+        "SELECT text FROM twitter WHERE latitude(loc) > 0 AND text CONTAINS 'a';",
+    ),
+    (
+        "firehose_no_filter",
+        "SELECT text FROM twitter;",
+    ),
+    (
+        "constant_predicate",
+        "SELECT text FROM twitter WHERE text CONTAINS 'a' AND 1 = 1;",
+    ),
+    (
+        "many_errors_one_pass",
+        "SELECT bogs, sentimant(text) FROM twitter "
+        "WHERE text MATCHES '(unclosed' ORDER BY text;",
+    ),
+]
+
+
+@pytest.mark.parametrize(("name", "sql"), CASES, ids=[c[0] for c in CASES])
+def test_golden(name, sql):
+    rendered = analyze_sql(sql).render() + "\n"
+    path = GOLDEN_DIR / f"{name}.txt"
+    if os.environ.get("UPDATE_GOLDEN"):
+        path.write_text(rendered, encoding="utf-8")
+    expected = path.read_text(encoding="utf-8")
+    assert rendered == expected
+
+
+def test_every_golden_file_has_a_case():
+    expected = {f"{name}.txt" for name, _sql in CASES}
+    on_disk = {p.name for p in GOLDEN_DIR.glob("*.txt")}
+    assert on_disk == expected

@@ -1,0 +1,155 @@
+"""Type inference over expressions and typed UDF signatures."""
+
+import pytest
+
+from repro.engine.functions import default_registry
+from repro.sql.analysis.diagnostics import DiagnosticSink
+from repro.sql.analysis.typeinfer import (
+    SqlType,
+    TypeInferencer,
+    field_types_for,
+)
+from repro.sql.parser import parse
+from repro.twitter.models import TWITTER_SCHEMA
+
+FIELD_TYPES = field_types_for(TWITTER_SCHEMA)
+
+
+def infer(sql_expr: str, allow_aggregates: bool = False):
+    """Infer the type of the WHERE expression of a probe query."""
+    statement = parse(f"SELECT text FROM t WHERE {sql_expr};")
+    sink = DiagnosticSink()
+    inferencer = TypeInferencer(
+        default_registry(), FIELD_TYPES, sink,
+        allow_aggregates=allow_aggregates,
+    )
+    result = inferencer.infer(statement.where)
+    return result, sink.collect()
+
+
+@pytest.mark.parametrize(
+    ("expr", "expected"),
+    [
+        ("text = 'x'", SqlType.BOOLEAN),
+        ("followers + 1 > 2", SqlType.BOOLEAN),
+        ("length(text) = 1", SqlType.BOOLEAN),
+    ],
+)
+def test_boolean_predicates(expr, expected):
+    inferred, diags = infer(expr)
+    assert inferred is expected
+    assert diags == ()
+
+
+def test_field_types():
+    sink = DiagnosticSink()
+    inferencer = TypeInferencer(default_registry(), FIELD_TYPES, sink)
+    statement = parse("SELECT text FROM t WHERE followers > 1;")
+    assert inferencer.infer(statement.where.left) is SqlType.INTEGER
+    assert FIELD_TYPES["location"] is SqlType.POINT
+    assert FIELD_TYPES["created_at"] is SqlType.FLOAT
+
+
+def test_unknown_field_reports_tql201_with_hint():
+    _inferred, diags = infer("folowers > 1")
+    assert [d.code for d in diags] == ["TQL201"]
+    assert "followers" in (diags[0].hint or "")
+    assert diags[0].payload["name"] == "folowers"
+
+
+def test_unknown_function_reports_tql202_with_hint():
+    _inferred, diags = infer("sentimant(text) = 1")
+    assert [d.code for d in diags] == ["TQL202"]
+    assert "sentiment" in (diags[0].hint or "")
+
+
+def test_arity_mismatch_is_tql103_error():
+    _inferred, diags = infer("floor(1, 2) = 1")
+    assert [d.code for d in diags] == ["TQL103"]
+    assert diags[0].severity.value == "error"
+
+
+def test_optional_arguments_respect_min_args():
+    _inferred, diags = infer("substr(text, 2) = 'x'")
+    assert diags == ()
+    _inferred, diags = infer("substr(text) = 'x'")
+    assert [d.code for d in diags] == ["TQL103"]
+
+
+def test_variadic_accepts_any_arity():
+    _inferred, diags = infer("concat(text, loc, lang, '!') = 'x'")
+    assert diags == ()
+
+
+def test_argument_type_mismatch_is_tql104_warning():
+    _inferred, diags = infer("lower(followers) = 'x'")
+    assert [d.code for d in diags] == ["TQL104"]
+    assert diags[0].severity.value == "warning"
+
+
+def test_arithmetic_on_string_is_tql101_error():
+    _inferred, diags = infer("text - 1 > 0")
+    assert "TQL101" in [d.code for d in diags]
+
+
+def test_string_concat_plus_is_allowed():
+    statement = parse("SELECT text FROM t WHERE (text + lang) = 'x';")
+    sink = DiagnosticSink()
+    inferred = TypeInferencer(default_registry(), FIELD_TYPES, sink).infer(
+        statement.where.left
+    )
+    assert inferred is SqlType.STRING
+    assert sink.collect() == ()
+
+
+def test_incompatible_comparison_is_tql102_warning():
+    _inferred, diags = infer("text > 5")
+    assert [d.code for d in diags] == ["TQL102"]
+
+
+def test_aggregate_outside_aggregate_context_is_tql203():
+    _inferred, diags = infer("count(text) > 1")
+    assert "TQL203" in [d.code for d in diags]
+
+
+def test_aggregate_allowed_in_aggregate_context():
+    inferred, diags = infer("count(text) > 1", allow_aggregates=True)
+    assert inferred is SqlType.BOOLEAN
+    assert diags == ()
+
+
+def test_nested_aggregate_is_tql203_even_in_aggregate_context():
+    _inferred, diags = infer("sum(count(text)) > 1", allow_aggregates=True)
+    assert "TQL203" in [d.code for d in diags]
+
+
+def test_sum_of_string_warns_tql104():
+    _inferred, diags = infer("sum(text) > 1", allow_aggregates=True)
+    assert "TQL104" in [d.code for d in diags]
+
+
+def test_min_returns_argument_type():
+    statement = parse("SELECT min(followers) FROM t;")
+    sink = DiagnosticSink()
+    inferencer = TypeInferencer(
+        default_registry(), FIELD_TYPES, sink, allow_aggregates=True
+    )
+    assert inferencer.infer(statement.select[0].expr) is SqlType.INTEGER
+
+
+def test_function_return_types_feed_outer_expressions():
+    # sentiment returns integer → arithmetic on it is clean.
+    _inferred, diags = infer("sentiment(text) + 1 > 0")
+    assert diags == ()
+
+
+def test_udf_without_declared_types_is_unchecked():
+    registry = default_registry()
+    registry.register("mystery", lambda _ctx, *a: a)
+    statement = parse("SELECT text FROM t WHERE mystery(1, 'x', loc) = 1;")
+    sink = DiagnosticSink()
+    inferred = TypeInferencer(registry, FIELD_TYPES, sink).infer(
+        statement.where
+    )
+    assert inferred is SqlType.BOOLEAN
+    assert sink.collect() == ()
