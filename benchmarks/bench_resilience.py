@@ -1,0 +1,150 @@
+"""F2 — the resilience layer: fault-free overhead and recovery throughput.
+
+Two claims to measure:
+
+1. **Overhead**: with no faults injected, wrapping the services in
+   ``ResilientService`` (retries enabled but never used) costs < 5 % in
+   wall-clock execution time and changes nothing — same rows, same
+   request counts, same virtual service time.
+2. **Recovery**: at ``failure_rate = 0.3`` (per-key bursts) with a retry
+   budget covering the worst burst, the engine emits the full baseline
+   output; the price is the retried requests and their virtual backoff,
+   which the bench reports.
+"""
+
+import statistics
+import time
+
+from repro import EngineConfig, TweeQL
+from repro.engine.resilience import FaultPlan, ServiceFaultModel, StreamDrop
+from repro.geo.service import LatencyModel
+
+from benchmarks.conftest import SEED, print_table
+
+SQL = (
+    "SELECT sentiment(text) AS s, latitude(loc) AS lat FROM twitter "
+    "WHERE text contains 'soccer' LIMIT 600;"
+)
+
+FAULT_PLAN = FaultPlan(
+    seed=SEED,
+    services={
+        "*": ServiceFaultModel(
+            failure_rate=0.3, max_burst=2, retry_after_seconds=0.2
+        )
+    },
+    stream_drops=(StreamDrop(after_delivered=100, gap=30),),
+)
+
+
+def run_once(soccer, retries=0, fault_plan=None):
+    config = EngineConfig(
+        retries=retries,
+        fault_plan=fault_plan,
+        geocode_latency=LatencyModel(0.2, sigma=0.0),
+    )
+    session = TweeQL.for_scenarios(soccer, config=config, seed=SEED)
+    started = time.perf_counter()
+    rows = session.query(SQL).all()
+    elapsed = time.perf_counter() - started
+    resilient = session.geocode_resilient
+    return {
+        "rows": rows,
+        "elapsed": elapsed,
+        "requests": session.geocode_service.stats.requests,
+        "service_failures": session.geocode_service.stats.failures,
+        "retries": resilient.resilience.retries if resilient else 0,
+        "recovered": resilient.resilience.recovered if resilient else 0,
+        "giveups": resilient.resilience.giveups if resilient else 0,
+        "backoff": resilient.resilience.backoff_seconds if resilient else 0.0,
+    }
+
+
+def median_elapsed(soccer, rounds=5, **kwargs):
+    return statistics.median(
+        run_once(soccer, **kwargs)["elapsed"] for _ in range(rounds)
+    )
+
+
+def test_fault_free_overhead(benchmark, soccer):
+    """The retry wrapper is free when nothing fails."""
+    results = {}
+
+    def run():
+        results["bare"] = run_once(soccer, retries=0)
+        results["wrapped"] = run_once(soccer, retries=3)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    bare, wrapped = results["bare"], results["wrapped"]
+    # Identical output and identical service interaction.
+    assert wrapped["rows"] == bare["rows"]
+    assert wrapped["requests"] == bare["requests"]
+    assert wrapped["retries"] == 0
+
+    # Wall-clock overhead, median of 5 to damp scheduler noise.
+    base = median_elapsed(soccer, retries=0)
+    layered = median_elapsed(soccer, retries=3)
+    overhead = (layered - base) / base
+    print_table(
+        "F2 fault-free retry-layer overhead (600 rows, median of 5)",
+        ["variant", "median wall s", "overhead"],
+        [
+            ("bare", f"{base:.3f}", "—"),
+            ("wrapped (retries=3)", f"{layered:.3f}", f"{overhead:+.1%}"),
+        ],
+    )
+    assert overhead < 0.05, f"retry layer costs {overhead:.1%} fault-free"
+
+
+def test_recovery_throughput_at_failure_rate_03(benchmark, soccer):
+    """failure_rate=0.3: every fault is ridden out, output is unchanged."""
+    results = {}
+
+    def run():
+        results["baseline"] = run_once(soccer, retries=0)
+        results["faulted"] = run_once(
+            soccer, retries=3, fault_plan=FAULT_PLAN
+        )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    baseline, faulted = results["baseline"], results["faulted"]
+    assert faulted["rows"] == baseline["rows"]
+    assert faulted["service_failures"] > 0
+    assert faulted["recovered"] > 0
+    assert faulted["giveups"] == 0
+
+    throughput = len(faulted["rows"]) / faulted["elapsed"]
+    print_table(
+        "F2 recovery under failure_rate=0.3 (per-key bursts ≤ 2, "
+        "one 30-tweet stream gap)",
+        ["variant", "rows", "requests", "failures", "retries", "recovered",
+         "backoff (virtual s)", "rows/wall-s"],
+        [
+            (
+                "baseline",
+                len(baseline["rows"]),
+                baseline["requests"],
+                baseline["service_failures"],
+                0, 0, "0.0",
+                f"{len(baseline['rows']) / baseline['elapsed']:.0f}",
+            ),
+            (
+                "faulted+retries",
+                len(faulted["rows"]),
+                faulted["requests"],
+                faulted["service_failures"],
+                faulted["retries"],
+                faulted["recovered"],
+                f"{faulted['backoff']:.1f}",
+                f"{throughput:.0f}",
+            ),
+        ],
+    )
+    # Recovery costs wall time but not completeness: throughput stays
+    # within the same order of magnitude as the clean run.
+    clean_throughput = len(baseline["rows"]) / baseline["elapsed"]
+    assert throughput > clean_throughput * 0.3

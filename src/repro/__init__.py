@@ -27,6 +27,7 @@ Quickstart::
 from repro.clock import VirtualClock
 from repro.engine import EngineConfig, QueryHandle, TweeQL
 from repro.engine.confidence import ConfidencePolicy
+from repro.engine.resilience import FaultPlan, ServiceFaultModel, StreamDrop
 from repro.errors import TweeQLError
 from repro.sql import parse
 
@@ -36,6 +37,9 @@ __all__ = [
     "TweeQL",
     "EngineConfig",
     "ConfidencePolicy",
+    "FaultPlan",
+    "ServiceFaultModel",
+    "StreamDrop",
     "QueryHandle",
     "VirtualClock",
     "TweeQLError",

@@ -97,6 +97,23 @@ def build_scenarios(name: str, seed: int, population_size: int) -> list[Scenario
     return scenarios
 
 
+def _resilience_config_kwargs(args: argparse.Namespace) -> dict:
+    """EngineConfig kwargs for the fault-tolerance flags."""
+    kwargs: dict = {
+        "retries": getattr(args, "retries", 0),
+        "stream_reconnect": not getattr(args, "no_stream_reconnect", False),
+    }
+    deadline_ms = getattr(args, "deadline_ms", None)
+    if deadline_ms is not None:
+        kwargs["retry_deadline_seconds"] = deadline_ms / 1000.0
+    plan_path = getattr(args, "fault_plan", None)
+    if plan_path is not None:
+        from repro.engine.resilience import FaultPlan
+
+        kwargs["fault_plan"] = FaultPlan.from_file(plan_path)
+    return kwargs
+
+
 def build_session(args: argparse.Namespace) -> tuple[TweeQL, list[Scenario]]:
     from repro import EngineConfig
 
@@ -107,6 +124,7 @@ def build_session(args: argparse.Namespace) -> tuple[TweeQL, list[Scenario]]:
         partial_results=getattr(args, "partial_results", False),
         workers=getattr(args, "workers", 1),
         batch_size=getattr(args, "batch_size", 256),
+        **_resilience_config_kwargs(args),
     )
     return TweeQL.for_scenarios(*scenarios, config=config), scenarios
 
@@ -357,6 +375,35 @@ def make_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --latency-mode async: emit NULL instead of blocking on "
         "in-flight service calls",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry failed service calls up to N times with exponential "
+        "backoff (0 = fail fast, the pre-resilience behavior)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-call deadline across all retry attempts, in virtual "
+        "milliseconds",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="inject the deterministic failure schedule from this JSON "
+        "fault-plan file (see docs/RESILIENCE.md)",
+    )
+    parser.add_argument(
+        "--no-stream-reconnect",
+        action="store_true",
+        help="do not auto-reconnect dropped stream connections (gap "
+        "tweets are lost instead of recovered)",
     )
     sub = parser.add_subparsers(dest="command")
 

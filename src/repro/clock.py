@@ -84,6 +84,16 @@ class VirtualClock:
         """Number of callbacks not yet fired."""
         return len(self._pending)
 
+    def next_deadline(self) -> float | None:
+        """Earliest pending callback deadline, or None when none is queued.
+
+        Lets a waiter that promised completion at time T make progress when
+        the completion was *rescheduled* past T (an async retry chain): if
+        advancing to T resolved nothing, advancing to the next deadline
+        will.
+        """
+        return self._pending[0][0] if self._pending else None
+
     def datetime(self) -> _dt.datetime:
         """Current virtual time as an aware UTC datetime."""
         return _dt.datetime.fromtimestamp(self._now, tz=_dt.timezone.utc)

@@ -18,11 +18,31 @@ Layering (bottom to top):
 - :mod:`repro.engine.eddies` — adaptive predicate reordering.
 - :mod:`repro.engine.latency` — caching/batching/async machinery for
   high-latency web-service UDFs.
+- :mod:`repro.engine.resilience` — retries, circuit breaking, and
+  deterministic fault plans for the services and the stream.
 - :mod:`repro.engine.planner` / :mod:`repro.engine.executor` — AST to
   physical pipeline, and the pull-based run loop.
 - :mod:`repro.engine.session` — the public ``TweeQL`` façade.
 """
 
+from repro.engine.resilience import (
+    CircuitBreaker,
+    FaultPlan,
+    ResilientService,
+    RetryPolicy,
+    ServiceFaultModel,
+    StreamDrop,
+)
 from repro.engine.session import EngineConfig, QueryHandle, TweeQL
 
-__all__ = ["EngineConfig", "QueryHandle", "TweeQL"]
+__all__ = [
+    "CircuitBreaker",
+    "EngineConfig",
+    "FaultPlan",
+    "QueryHandle",
+    "ResilientService",
+    "RetryPolicy",
+    "ServiceFaultModel",
+    "StreamDrop",
+    "TweeQL",
+]

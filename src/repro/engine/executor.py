@@ -70,8 +70,12 @@ class QueryHandle:
 
         ``{service: {…ManagedCallStats…, "cache": {…CacheStats…}}}`` — the
         ``cache`` entry (hits, misses, hit_rate, …) is present only when
-        the latency mode put an LRU in front of the service. Sharded plans
-        expose the per-stage equivalent via :attr:`shard_service_stats`.
+        the latency mode put an LRU in front of the service. When the
+        session enabled retries, ``resilience`` (retries, recoveries,
+        giveups, backoff time) and — with a breaker configured —
+        ``breaker`` (state plus transition counters) appear too. Sharded
+        plans expose the per-stage equivalent via
+        :attr:`shard_service_stats`.
         """
         out: dict[str, dict] = {}
         for name, managed in self._plan.ctx.services.items():
@@ -81,6 +85,16 @@ class QueryHandle:
             cache = getattr(managed, "cache", None)
             if cache is not None:
                 stats["cache"] = cache.stats.as_dict()
+            service = getattr(managed, "service", None)
+            resilience = getattr(service, "resilience", None)
+            if resilience is not None:
+                stats["resilience"] = resilience.as_dict()
+            breaker = getattr(service, "breaker", None)
+            if breaker is not None:
+                stats["breaker"] = {
+                    "state": breaker.state,
+                    **breaker.stats.as_dict(),
+                }
             out[name.removesuffix("_managed")] = stats
         return out
 

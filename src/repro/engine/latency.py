@@ -32,6 +32,7 @@ from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
 from typing import Any
 
+from repro.engine.resilience import ResilientService
 from repro.engine.types import EvalContext, Row, RowBatch
 from repro.errors import ServiceError
 from repro.geo.service import SimulatedWebService
@@ -75,7 +76,9 @@ class ManagedCall:
     """A service call wrapped with caching, batching, and async prefetch.
 
     Args:
-        service: the simulated remote service.
+        service: the simulated remote service — raw, or wrapped in a
+            :class:`~repro.engine.resilience.ResilientService` when the
+            session enabled retries (the two expose the same surface).
         mode: one of :data:`MODES`.
         cache_capacity: LRU size for the non-blocking modes.
         cache_ttl: optional TTL in virtual seconds.
@@ -96,7 +99,7 @@ class ManagedCall:
 
     def __init__(
         self,
-        service: SimulatedWebService,
+        service: SimulatedWebService | ResilientService,
         mode: str = "cached",
         cache_capacity: int = 10_000,
         cache_ttl: float | None = None,
@@ -136,7 +139,7 @@ class ManagedCall:
         return self._cache
 
     @property
-    def service(self) -> SimulatedWebService:
+    def service(self) -> SimulatedWebService | ResilientService:
         return self._service
 
     # -- resolution ----------------------------------------------------------
@@ -229,7 +232,13 @@ class ManagedCall:
             # consumer stall — account it separately.
             self.stats.prefetch_seconds += self._clock.now - before
             for key, value in zip(chunk, results):
-                self._store(key, None if isinstance(value, Exception) else value)
+                if isinstance(value, Exception):
+                    # A transiently failed item stays uncached: the
+                    # consumer's blocking fallback (retried, when the
+                    # session enabled retries) gets a fresh shot instead
+                    # of reading a pinned NULL.
+                    continue
+                self._store(key, value)
                 self.stats.prefetched += 1
 
     def _prefetch_async(self, keys: list[Any]) -> None:
@@ -239,12 +248,11 @@ class ManagedCall:
                     # Never block: drop the hint; the key is either
                     # prefetched by a later refill or answered as partial.
                     return
-                # Pool full: wait for the earliest in-flight request.
-                earliest = min(self._in_flight.values())
-                stall = max(0.0, earliest - self._clock.now)
+                # Pool full: wait for an in-flight request to land.
+                before = self._clock.now
                 self.stats.stalls += 1
-                self.stats.stall_seconds += stall
-                self._clock.advance_to(max(earliest, self._clock.now))
+                self._await_in_flight()
+                self.stats.stall_seconds += self._clock.now - before
             self._launch_async(key)
             self.stats.prefetched += 1
 
@@ -253,16 +261,43 @@ class ManagedCall:
 
         def on_done(value: Any, error: Exception | None, key=key) -> None:
             self._in_flight.pop(key, None)
-            self._store(key, None if error is not None else value)
+            if error is not None:
+                # A late final failure (the retried async chain gave up
+                # after a consumer already resolved the key via the
+                # blocking fallback) must not clobber the landed value.
+                if self._cache is not None and self._cache.contains(key):
+                    return
+                self._store(key, None)
+                return
+            # Success always lands — including over a prior negative entry.
+            self._store(key, value)
 
         done_at = self._service.request_async(key, on_done)
         self._in_flight[key] = done_at
 
+    def _await_in_flight(self) -> None:
+        """Advance the clock until in-flight requests can make progress.
+
+        An entry can outlive its promised completion time when the service
+        rescheduled it (an async retry chain); advancing to the clock's
+        next pending deadline then makes progress where re-advancing to
+        the stale promise would spin.
+        """
+        earliest = min(self._in_flight.values())
+        if earliest > self._clock.now:
+            self._clock.advance_to(earliest)
+            return
+        deadline = self._clock.next_deadline()
+        if deadline is None:
+            # Nothing scheduled can resolve these; don't spin forever.
+            self._in_flight.clear()
+            return
+        self._clock.advance_to(max(deadline, self._clock.now))
+
     def drain(self) -> None:
         """Wait for every in-flight async request (end-of-stream cleanup)."""
         while self._in_flight:
-            earliest = min(self._in_flight.values())
-            self._clock.advance_to(max(earliest, self._clock.now))
+            self._await_in_flight()
 
 
 class PrefetchOperator:

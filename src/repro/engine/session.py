@@ -33,6 +33,12 @@ from repro.engine.executor import QueryHandle
 from repro.engine.functions import FunctionRegistry, default_registry
 from repro.engine.latency import ManagedCall
 from repro.engine.planner import Planner, PhysicalPlan, SourceBinding
+from repro.engine.resilience import (
+    CircuitBreaker,
+    FaultPlan,
+    ResilientService,
+    RetryPolicy,
+)
 from repro.engine.types import Row, iter_rows
 from repro.errors import GeocodeError, PlanError
 from repro.geo.geocode import Geocoder
@@ -98,6 +104,22 @@ class EngineConfig:
         geocode_latency: latency model of the geocoding service.
         entities_latency: latency model of the entity-extraction service.
         service_failure_rate: transient failure probability per request.
+        retries: max retry attempts per service call (0 disables the
+            resilience layer entirely — calls behave exactly as before).
+        retry_deadline_seconds: optional per-call wall budget (virtual
+            seconds) across all attempts of one logical request.
+        backoff_base_seconds / backoff_cap_seconds: exponential backoff
+            parameters (full jitter; a server-provided ``retry_after``
+            floors the wait).
+        breaker_threshold: consecutive failures before a service's
+            circuit breaker opens; 0 disables the breaker.
+        breaker_reset_seconds: open-state cooldown before a half-open
+            probe is allowed.
+        fault_plan: optional deterministic
+            :class:`~repro.engine.resilience.FaultPlan` injected into the
+            services and the streaming API.
+        stream_reconnect: auto-reconnect dropped stream connections from
+            their cursor (gap tweets recovered); False loses the gap.
     """
 
     latency_mode: str = "cached"
@@ -118,6 +140,14 @@ class EngineConfig:
         default_factory=lambda: LatencyModel(mean_seconds=0.45, sigma=0.35)
     )
     service_failure_rate: float = 0.0
+    retries: int = 0
+    retry_deadline_seconds: float | None = None
+    backoff_base_seconds: float = 0.1
+    backoff_cap_seconds: float = 5.0
+    breaker_threshold: int = 8
+    breaker_reset_seconds: float = 30.0
+    fault_plan: "FaultPlan | None" = None
+    stream_reconnect: bool = True
 
 
 class TweeQL:
@@ -147,8 +177,9 @@ class TweeQL:
         self.tables: dict[str, TableSink] = {}
         self._classifier = classifier or train_default_classifier()
 
-        # Web services behind the latency machinery.
+        # Web services behind the resilience + latency machinery.
         geocoder = Geocoder()
+        fault_plan = self.config.fault_plan
 
         def geocode_resolver(location: str):
             try:
@@ -163,9 +194,15 @@ class TweeQL:
             latency=self.config.geocode_latency,
             failure_rate=self.config.service_failure_rate,
             seed=seed,
+            fault_injector=(
+                fault_plan.injector_for("geocoder") if fault_plan else None
+            ),
+        )
+        self.geocode_resilient = self._wrap_resilient(
+            self.geocode_service, seed=seed
         )
         self.geocode_managed = ManagedCall(
-            self.geocode_service,
+            self.geocode_resilient or self.geocode_service,
             mode=self.config.latency_mode,
             cache_capacity=self.config.cache_capacity,
             cache_ttl=self.config.cache_ttl,
@@ -181,9 +218,15 @@ class TweeQL:
             latency=self.config.entities_latency,
             failure_rate=self.config.service_failure_rate,
             seed=seed + 1,
+            fault_injector=(
+                fault_plan.injector_for("opencalais") if fault_plan else None
+            ),
+        )
+        self.entities_resilient = self._wrap_resilient(
+            self.entities_service, seed=seed + 1
         )
         self.entities_managed = ManagedCall(
-            self.entities_service,
+            self.entities_resilient or self.entities_service,
             mode=self.config.latency_mode,
             cache_capacity=self.config.cache_capacity,
             cache_ttl=self.config.cache_ttl,
@@ -206,6 +249,28 @@ class TweeQL:
                 name="twitter", schema=TWITTER_SCHEMA, api=api
             )
 
+    def _wrap_resilient(
+        self, service: SimulatedWebService, seed: int
+    ) -> ResilientService | None:
+        """Retry/breaker wrapper per config; None when retries are off."""
+        if self.config.retries <= 0:
+            return None
+        policy = RetryPolicy(
+            max_retries=self.config.retries,
+            deadline_seconds=self.config.retry_deadline_seconds,
+            backoff_base_seconds=self.config.backoff_base_seconds,
+            backoff_cap_seconds=self.config.backoff_cap_seconds,
+        )
+        breaker = None
+        if self.config.breaker_threshold > 0:
+            breaker = CircuitBreaker(
+                self.clock,
+                failure_threshold=self.config.breaker_threshold,
+                reset_timeout_seconds=self.config.breaker_reset_seconds,
+                name=service.name,
+            )
+        return ResilientService(service, policy, breaker=breaker, seed=seed)
+
     # -- construction helpers --------------------------------------------------
 
     @classmethod
@@ -224,10 +289,16 @@ class TweeQL:
             start=min(s.start for s in scenarios)
         )
         firehose = Firehose.from_scenarios(*scenarios)
+        resolved = config or EngineConfig()
         api = StreamingAPI(
-            firehose, clock=clock, delivery_ratio=delivery_ratio, seed=seed
+            firehose,
+            clock=clock,
+            delivery_ratio=delivery_ratio,
+            seed=seed,
+            fault_plan=resolved.fault_plan,
+            auto_reconnect=resolved.stream_reconnect,
         )
-        return cls(api=api, clock=clock, config=config, seed=seed)
+        return cls(api=api, clock=clock, config=resolved, seed=seed)
 
     # -- catalog ---------------------------------------------------------------
 

@@ -148,7 +148,33 @@ class RateLimitError(StreamError):
 
 
 class ServiceError(TweeQLError):
-    """Raised by a simulated remote web service (transient failure, etc.)."""
+    """Raised by a simulated remote web service (transient failure, etc.).
+
+    Attributes:
+        retry_after: server-suggested wait in (virtual) seconds before the
+            next attempt, when the failure carried one (HTTP Retry-After).
+            The retry layer's backoff treats it as a floor on the wait; see
+            :class:`repro.engine.resilience.RetryPolicy`.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(ServiceError):
+    """Raised when a circuit breaker short-circuits a call without trying.
+
+    ``retry_after`` carries the time until the breaker's half-open probe is
+    permitted, so a retry loop that honors it naturally waits out the open
+    window instead of hammering a service that is known to be down.
+    """
+
+    def __init__(self, service: str, retry_after: float | None = None) -> None:
+        super().__init__(
+            f"{service}: circuit breaker is open", retry_after=retry_after
+        )
+        self.service = service
 
 
 class GeocodeError(ServiceError):

@@ -104,6 +104,13 @@ class SimulatedWebService:
             been paid, like a real timeout).
         seed: RNG seed for latency and failure draws.
         max_batch_size: server-imposed limit on batch endpoint size.
+        fault_injector: optional
+            :class:`~repro.engine.resilience.ServiceFaultInjector` applying
+            a deterministic :class:`~repro.engine.resilience.FaultPlan` —
+            per-key failure bursts (after latency is paid, like a timeout)
+            and latency spikes. Independent of the rate-based
+            ``failure_rate`` machinery; injected failures also count in
+            ``stats.failures``.
     """
 
     def __init__(
@@ -115,6 +122,7 @@ class SimulatedWebService:
         failure_rate: float = 0.0,
         seed: int = rng_mod.DEFAULT_SEED,
         max_batch_size: int = 25,
+        fault_injector: Any = None,
     ) -> None:
         if not 0.0 <= failure_rate < 1.0:
             raise ValueError("failure_rate must be in [0, 1)")
@@ -125,6 +133,7 @@ class SimulatedWebService:
         self._failure_rate = failure_rate
         self._rng = rng_mod.derive(seed, f"service:{name}")
         self._max_batch_size = max_batch_size
+        self.fault_injector = fault_injector
         self.stats = ServiceStats()
 
     @property
@@ -142,17 +151,29 @@ class SimulatedWebService:
             self.stats.failures += 1
             raise ServiceError(f"{self.name}: transient service failure")
 
+    def _draw_fault(self, item: Any) -> Any:
+        """One injector verdict for ``item`` (None without an injector)."""
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.draw(item)
+
     def request(self, item: Any) -> Any:
         """Blocking single-item request.
 
         Advances the virtual clock by one latency sample, then resolves.
         """
+        fault = self._draw_fault(item)
         latency = self._latency.sample(self._rng)
+        if fault is not None:
+            latency *= fault.latency_multiplier
         self.stats.note_begin()
         self._clock.advance(latency)
         self.stats.note_end()
         self.stats.note_request(1, latency, batch=False)
         self._maybe_fail()
+        if fault is not None and fault.error is not None:
+            self.stats.failures += 1
+            raise fault.error
         return self._resolver(item)
 
     def request_batch(self, items: Sequence[Any]) -> list[Any]:
@@ -168,14 +189,26 @@ class SimulatedWebService:
                 f"{self.name}: batch of {len(items)} exceeds limit "
                 f"{self._max_batch_size}"
             )
+        faults = [self._draw_fault(item) for item in items]
         latency = self._latency.sample_batch(self._rng, len(items))
+        # The round trip pays the worst spike among its items (the server
+        # answers the batch as one response).
+        spike = max(
+            (f.latency_multiplier for f in faults if f is not None),
+            default=1.0,
+        )
+        latency *= spike
         self.stats.note_begin()
         self._clock.advance(latency)
         self.stats.note_end()
         self.stats.note_request(len(items), latency, batch=True)
         self._maybe_fail()
         results: list[Any] = []
-        for item in items:
+        for item, fault in zip(items, faults):
+            if fault is not None and fault.error is not None:
+                self.stats.failures += 1
+                results.append(fault.error)
+                continue
             try:
                 results.append(self._resolver(item))
             except ServiceError as exc:
@@ -192,7 +225,10 @@ class SimulatedWebService:
         asynchronous iteration design of Goldman & Widom the paper points to.
         Returns the virtual completion time.
         """
+        fault = self._draw_fault(item)
         latency = self._latency.sample(self._rng)
+        if fault is not None:
+            latency *= fault.latency_multiplier
         done_at = self._clock.now + latency
         self.stats.note_begin()
         self.stats.note_request(1, latency, batch=False)
@@ -201,6 +237,9 @@ class SimulatedWebService:
             self.stats.note_end()
             try:
                 self._maybe_fail()
+                if fault is not None and fault.error is not None:
+                    self.stats.failures += 1
+                    raise fault.error
                 result = self._resolver(item)
             except Exception as exc:  # noqa: BLE001 - forwarded to callback
                 callback(None, exc)

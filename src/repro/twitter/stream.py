@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, replace
+from typing import Any
 
 from repro import rng as rng_mod
 from repro.clock import VirtualClock
@@ -76,12 +77,21 @@ class Firehose:
 
 @dataclass
 class ConnectionStats:
-    """Delivery accounting for one streaming connection."""
+    """Delivery accounting for one streaming connection.
+
+    ``reconnects`` counts automatic reconnections after an injected
+    disconnect; ``gap_tweets`` counts deliverable tweets that fell inside
+    disconnect windows — recovered via cursor resume when the connection
+    auto-reconnects, lost (and also counted in ``dropped``) when it does
+    not.
+    """
 
     scanned: int = 0
     matched: int = 0
     delivered: int = 0
     dropped: int = 0
+    reconnects: int = 0
+    gap_tweets: int = 0
 
     @property
     def selectivity(self) -> float:
@@ -95,6 +105,16 @@ class StreamConnection:
     Iterating yields matching tweets in timestamp order; if the connection
     was opened with a clock, the clock advances to each tweet's creation
     time as it is delivered (stream time drives query time).
+
+    ``drops`` is a fault schedule (see
+    :class:`~repro.engine.resilience.StreamDrop`): the connection
+    disconnects after delivering ``after_delivered`` tweets, and the next
+    ``gap`` deliverable tweets fall inside the disconnect window. With
+    ``auto_reconnect`` the connection resumes from its firehose cursor, so
+    the gap tweets are still delivered — counted in
+    ``stats.gap_tweets`` as recovered. Without it, they are lost
+    (``stats.dropped`` too), the way a client that blindly reopened the
+    2011 stream lost whatever passed while it was down.
     """
 
     def __init__(
@@ -105,6 +125,8 @@ class StreamConnection:
         seed: int,
         clock: VirtualClock | None,
         description: str,
+        drops: tuple = (),
+        auto_reconnect: bool = True,
     ) -> None:
         self._tweets = tweets
         self._predicate = predicate
@@ -112,10 +134,16 @@ class StreamConnection:
         self._rng = rng_mod.derive(seed, f"connection:{description}")
         self._clock = clock
         self.description = description
+        self._drops = sorted(drops, key=lambda d: d.after_delivered)
+        self._auto_reconnect = auto_reconnect
         self.stats = ConnectionStats()
         self._closed = False
 
     def __iter__(self) -> Iterator[Tweet]:
+        # Fault-schedule cursor: index of the next pending drop, plus how
+        # many deliverable tweets of the current gap remain.
+        next_drop = 0
+        gap_remaining = 0
         try:
             for tweet in self._tweets:
                 if self._closed:
@@ -130,6 +158,24 @@ class StreamConnection:
                 ):
                     self.stats.dropped += 1
                     continue
+                while (
+                    next_drop < len(self._drops)
+                    and self.stats.delivered
+                    >= self._drops[next_drop].after_delivered
+                ):
+                    gap_remaining += self._drops[next_drop].gap
+                    next_drop += 1
+                    if self._auto_reconnect:
+                        self.stats.reconnects += 1
+                if gap_remaining > 0:
+                    gap_remaining -= 1
+                    self.stats.gap_tweets += 1
+                    if not self._auto_reconnect:
+                        # Disconnected and no backfill: the tweet is gone.
+                        self.stats.dropped += 1
+                        continue
+                    # Reconnected from the cursor: the tweet is recovered
+                    # and delivered below like any other.
                 self.stats.delivered += 1
                 if self._clock is not None and tweet.created_at > self._clock.now:
                     self._clock.advance_to(tweet.created_at)
@@ -157,6 +203,13 @@ class StreamingAPI:
         max_connections: concurrent connection budget (the real API allowed
             very few per account).
         seed: RNG seed for loss and sampling draws.
+        fault_plan: optional
+            :class:`~repro.engine.resilience.FaultPlan` whose
+            ``stream_drops`` schedule disconnects on every connection this
+            API opens.
+        auto_reconnect: resume dropped connections from their firehose
+            cursor (gap tweets recovered and counted); False loses the gap
+            tweets instead.
     """
 
     def __init__(
@@ -167,6 +220,8 @@ class StreamingAPI:
         max_connections: int = 4,
         seed: int = rng_mod.DEFAULT_SEED,
         sample_budget: int | None = None,
+        fault_plan: Any = None,
+        auto_reconnect: bool = True,
     ) -> None:
         if not 0.0 < delivery_ratio <= 1.0:
             raise ValueError("delivery_ratio must be in (0, 1]")
@@ -181,6 +236,8 @@ class StreamingAPI:
         self._connection_serial = 0
         self._sample_budget = sample_budget
         self._samples_used = 0
+        self._drops = tuple(fault_plan.stream_drops) if fault_plan else ()
+        self._auto_reconnect = auto_reconnect
 
     @property
     def firehose(self) -> Firehose:
@@ -207,6 +264,8 @@ class StreamingAPI:
             seed=self._seed + self._connection_serial,
             clock=self._clock,
             description=description,
+            drops=self._drops,
+            auto_reconnect=self._auto_reconnect,
         )
 
         original_close = connection.close

@@ -1,0 +1,153 @@
+"""Fixtures for the chaos harness.
+
+The suite drives the engine through deterministic
+:class:`~repro.engine.resilience.FaultPlan` schedules and asserts that a
+retry-enabled run is *indistinguishable by output* from a fault-free one.
+Everything runs on the virtual clock — no sleeping, no flakiness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig, TweeQL
+from repro.clock import VirtualClock
+from repro.engine.resilience import FaultPlan, ServiceFaultModel, StreamDrop
+from repro.errors import ServiceError
+from repro.twitter.workloads import background_chatter
+
+SEED = 11
+
+#: The query every equivalence check runs: a local UDF plus a
+#: high-latency geocode per row, over the whole (small) stream.
+CHAOS_SQL = (
+    "SELECT sentiment(text) AS s, latitude(loc) AS lat, text "
+    "FROM twitter;"
+)
+
+
+@pytest.fixture(scope="session")
+def small_chatter(population):
+    """A few hundred chatter tweets — small enough for a test grid."""
+    return background_chatter(
+        seed=SEED, population=population, duration=240.0, rate=2.0
+    )
+
+
+@pytest.fixture()
+def fault_plan():
+    """The suite's canonical deterministic fault schedule.
+
+    Wildcard service faults (every service misbehaves the same way) plus
+    two stream disconnects, one with a recoverable gap.
+    """
+    return FaultPlan(
+        seed=101,
+        services={
+            "*": ServiceFaultModel(
+                failure_rate=0.25,
+                max_burst=2,
+                retry_after_seconds=0.4,
+                latency_spike_rate=0.1,
+                latency_multiplier=4.0,
+            )
+        },
+        stream_drops=(StreamDrop(after_delivered=40, gap=15), StreamDrop(after_delivered=200, gap=5)),
+    )
+
+
+@pytest.fixture()
+def run_rows(small_chatter):
+    """Run ``CHAOS_SQL`` under a config; return (clean rows, session)."""
+
+    def run(config: EngineConfig | None = None, sql: str = CHAOS_SQL):
+        session = TweeQL.for_scenarios(small_chatter, config=config, seed=SEED)
+        handle = session.query(sql)
+        rows = [
+            {k: v for k, v in row.items() if not k.startswith("__")}
+            for row in handle
+        ]
+        handle.close()
+        return rows, session
+
+    return run
+
+
+class FlakyService:
+    """A minimal scripted service for pinning retry/breaker behavior.
+
+    ``script`` is a list of entries consumed one per attempt: an Exception
+    instance to raise, or any other value to return. When the script runs
+    out, further attempts return ``fallback``. Records the virtual time of
+    every attempt in ``attempt_times`` so tests can pin exact backoff
+    schedules.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        script: list | None = None,
+        fallback: str = "ok",
+        name: str = "flaky",
+        latency: float = 0.0,
+    ) -> None:
+        self.name = name
+        self._clock = clock
+        self.script = list(script or [])
+        self.fallback = fallback
+        self.latency = latency
+        self.attempt_times: list[float] = []
+        self.max_batch_size = 25
+        self.stats = None
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self._clock
+
+    def _next(self, item):
+        self.attempt_times.append(self._clock.now)
+        if self.latency:
+            self._clock.advance(self.latency)
+        if self.script:
+            outcome = self.script.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+        return self.fallback
+
+    def request(self, item):
+        return self._next(item)
+
+    def request_batch(self, items):
+        results = []
+        for item in items:
+            try:
+                results.append(self._next(item))
+            except ServiceError as exc:
+                results.append(exc)
+        return results
+
+    def request_async(self, item, callback):
+        done_at = self._clock.now + max(self.latency, 1e-9)
+
+        def fire() -> None:
+            self.attempt_times.append(self._clock.now)
+            if self.script:
+                outcome = self.script.pop(0)
+                if isinstance(outcome, Exception):
+                    callback(None, outcome)
+                    return
+                callback(outcome, None)
+                return
+            callback(self.fallback, None)
+
+        self._clock.call_at(done_at, fire)
+        return done_at
+
+
+@pytest.fixture()
+def flaky_factory():
+    def build(clock: VirtualClock, script=None, **kwargs) -> FlakyService:
+        return FlakyService(clock, script=script, **kwargs)
+
+    return build

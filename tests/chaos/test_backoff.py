@@ -1,0 +1,199 @@
+"""Retry backoff timing, pinned against the virtual clock.
+
+These tests disable jitter so the exact wait sequence is asserted, and
+use a scripted :class:`FlakyService` so every attempt's timestamp is
+recorded — the regression pin for ``ServiceError.retry_after`` handling.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.engine.resilience import (
+    ResilientService,
+    RetryPolicy,
+    ServiceFaultModel,
+)
+from repro.errors import ServiceError
+
+pytestmark = pytest.mark.chaos
+
+
+def test_backoff_doubles_and_caps():
+    policy = RetryPolicy(
+        max_retries=6,
+        backoff_base_seconds=0.1,
+        backoff_cap_seconds=1.0,
+        jitter=False,
+    )
+    rng = random.Random(0)
+    waits = [policy.backoff_seconds(a, rng) for a in range(1, 7)]
+    assert waits == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+
+
+def test_full_jitter_stays_within_cap():
+    policy = RetryPolicy(backoff_base_seconds=0.1, backoff_cap_seconds=5.0)
+    rng = random.Random(7)
+    for attempt in range(1, 5):
+        cap = min(5.0, 0.1 * 2 ** (attempt - 1))
+        for _ in range(50):
+            wait = policy.backoff_seconds(attempt, rng)
+            assert 0.0 <= wait <= cap
+
+
+def test_retry_after_floors_the_wait():
+    policy = RetryPolicy(backoff_base_seconds=0.1, jitter=False)
+    rng = random.Random(0)
+    # Computed backoff for attempt 1 is 0.1; the server said 1.5.
+    assert policy.backoff_seconds(1, rng, retry_after=1.5) == 1.5
+    # When the computed backoff exceeds retry_after, backoff wins.
+    assert policy.backoff_seconds(5, rng, retry_after=0.2) == 1.6
+
+
+def test_attempt_is_one_based():
+    policy = RetryPolicy()
+    with pytest.raises(ValueError):
+        policy.backoff_seconds(0, random.Random(0))
+
+
+def test_pinned_wait_sequence_without_retry_after(flaky_factory):
+    """Regression pin: attempt timestamps follow base·2^k exactly."""
+    clock = VirtualClock(start=0.0)
+    service = flaky_factory(
+        clock,
+        script=[ServiceError("boom"), ServiceError("boom"), ServiceError("boom")],
+    )
+    resilient = ResilientService(
+        service,
+        RetryPolicy(
+            max_retries=3,
+            backoff_base_seconds=0.1,
+            backoff_cap_seconds=5.0,
+            jitter=False,
+        ),
+    )
+    assert resilient.request("k") == "ok"
+    # Attempts at t=0, then after waits 0.1, 0.2, 0.4.
+    assert service.attempt_times == pytest.approx([0.0, 0.1, 0.3, 0.7])
+    assert resilient.resilience.retries == 3
+    assert resilient.resilience.recovered == 1
+    assert resilient.resilience.backoff_seconds == pytest.approx(0.7)
+
+
+def test_pinned_wait_sequence_honors_retry_after(flaky_factory):
+    """Regression pin for the satellite: ``retry_after`` floors each wait."""
+    clock = VirtualClock(start=0.0)
+    service = flaky_factory(
+        clock,
+        script=[
+            ServiceError("busy", retry_after=1.5),
+            ServiceError("busy", retry_after=0.05),
+        ],
+    )
+    resilient = ResilientService(
+        service,
+        RetryPolicy(
+            max_retries=3,
+            backoff_base_seconds=0.1,
+            backoff_cap_seconds=5.0,
+            jitter=False,
+        ),
+    )
+    assert resilient.request("k") == "ok"
+    # First wait: max(0.1, retry_after=1.5) = 1.5.
+    # Second wait: max(0.2, retry_after=0.05) = 0.2.
+    assert service.attempt_times == pytest.approx([0.0, 1.5, 1.7])
+    assert resilient.resilience.backoff_seconds == pytest.approx(1.7)
+
+
+def test_retry_budget_exhaustion_raises_last_error(flaky_factory):
+    clock = VirtualClock(start=0.0)
+    errors = [ServiceError(f"fail {i}") for i in range(4)]
+    service = flaky_factory(clock, script=list(errors))
+    resilient = ResilientService(
+        service, RetryPolicy(max_retries=2, jitter=False)
+    )
+    with pytest.raises(ServiceError, match="fail 2"):
+        resilient.request("k")
+    # 1 initial + 2 retries = 3 attempts; the 4th scripted error unused.
+    assert len(service.attempt_times) == 3
+    assert resilient.resilience.giveups == 1
+    assert resilient.resilience.recovered == 0
+
+
+def test_deadline_stops_retrying_before_budget(flaky_factory):
+    clock = VirtualClock(start=0.0)
+    service = flaky_factory(
+        clock, script=[ServiceError("slow")] * 10, latency=1.0
+    )
+    resilient = ResilientService(
+        service,
+        RetryPolicy(
+            max_retries=10,
+            deadline_seconds=2.5,
+            backoff_base_seconds=0.5,
+            jitter=False,
+        ),
+    )
+    with pytest.raises(ServiceError):
+        resilient.request("k")
+    # t=0 attempt (1s latency), wait 0.5 → t=1.5 attempt (1s latency) →
+    # t=2.5; next wait 1.0 would end at 3.5 > deadline 2.5: give up.
+    assert len(service.attempt_times) == 2
+    assert resilient.resilience.deadline_giveups == 1
+
+
+def test_zero_retries_fails_fast(flaky_factory):
+    clock = VirtualClock(start=0.0)
+    service = flaky_factory(clock, script=[ServiceError("once")])
+    resilient = ResilientService(service, RetryPolicy(max_retries=0))
+    with pytest.raises(ServiceError):
+        resilient.request("k")
+    assert len(service.attempt_times) == 1
+    assert clock.now == 0.0  # no backoff was paid
+
+
+def test_injected_retry_after_reaches_the_backoff():
+    """A FaultPlan model's retry_after rides the injected ServiceError."""
+    from repro.engine.resilience import FaultPlan
+
+    plan = FaultPlan(
+        seed=3,
+        services={"svc": ServiceFaultModel(failure_rate=1.0, max_burst=1,
+                                           retry_after_seconds=2.0)},
+    )
+    injector = plan.injector_for("svc")
+    decision = injector.draw("key")
+    assert decision.error is not None
+    assert decision.error.retry_after == 2.0
+
+
+def test_batch_retry_heals_failed_items(flaky_factory):
+    clock = VirtualClock(start=0.0)
+    service = flaky_factory(
+        clock,
+        script=["a-ok", ServiceError("b transient"), "b-ok"],
+    )
+    resilient = ResilientService(
+        service, RetryPolicy(max_retries=2, jitter=False)
+    )
+    assert resilient.request_batch(["a", "b"]) == ["a-ok", "b-ok"]
+    assert resilient.resilience.retries == 1
+    assert resilient.resilience.recovered == 1
+
+
+def test_batch_budget_exhaustion_keeps_error_entries(flaky_factory):
+    clock = VirtualClock(start=0.0)
+    service = flaky_factory(
+        clock, script=["a-ok"] + [ServiceError("b down")] * 5
+    )
+    resilient = ResilientService(
+        service, RetryPolicy(max_retries=1, jitter=False)
+    )
+    results = resilient.request_batch(["a", "b"])
+    assert results[0] == "a-ok"
+    assert isinstance(results[1], ServiceError)
+    assert resilient.resilience.giveups == 1

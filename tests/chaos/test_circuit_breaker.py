@@ -1,0 +1,175 @@
+"""Circuit breaker state machine, on the virtual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.engine.resilience import (
+    CircuitBreaker,
+    ResilientService,
+    RetryPolicy,
+)
+from repro.errors import CircuitOpenError, ServiceError
+
+pytestmark = pytest.mark.chaos
+
+
+def make_breaker(clock, threshold=3, reset=10.0):
+    return CircuitBreaker(
+        clock,
+        failure_threshold=threshold,
+        reset_timeout_seconds=reset,
+        name="svc",
+    )
+
+
+def test_opens_after_consecutive_failures():
+    clock = VirtualClock(start=0.0)
+    breaker = make_breaker(clock, threshold=3)
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.stats.opens == 1
+
+
+def test_success_resets_the_consecutive_count():
+    clock = VirtualClock(start=0.0)
+    breaker = make_breaker(clock, threshold=3)
+    for _ in range(2):
+        breaker.record_failure()
+    breaker.record_success()
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == "closed"
+
+
+def test_open_short_circuits_with_retry_after():
+    clock = VirtualClock(start=0.0)
+    breaker = make_breaker(clock, threshold=1, reset=10.0)
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock.advance(4.0)
+    with pytest.raises(CircuitOpenError) as info:
+        breaker.allow()
+    # retry_after points at the half-open probe window.
+    assert info.value.retry_after == pytest.approx(6.0)
+    assert breaker.stats.short_circuits == 1
+
+
+def test_half_open_probe_success_closes():
+    clock = VirtualClock(start=0.0)
+    breaker = make_breaker(clock, threshold=1, reset=10.0)
+    breaker.record_failure()
+    clock.advance(10.0)
+    breaker.allow()  # transitions to half-open, lets the probe through
+    assert breaker.state == "half_open"
+    assert breaker.stats.probes == 1
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.stats.closes == 1
+
+
+def test_half_open_probe_failure_reopens():
+    clock = VirtualClock(start=0.0)
+    breaker = make_breaker(clock, threshold=3, reset=10.0)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(10.0)
+    breaker.allow()
+    assert breaker.state == "half_open"
+    breaker.record_failure()  # one failure in half-open is enough
+    assert breaker.state == "open"
+    assert breaker.stats.opens == 2
+    # The fresh open period starts now: still short-circuiting at +5s.
+    clock.advance(5.0)
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()
+
+
+def test_resilient_service_waits_out_the_open_circuit(flaky_factory):
+    """The retry loop treats a short-circuit's retry_after as backoff, so
+    a call arriving while the circuit is open sleeps to the probe window
+    and recovers — no user-visible failure."""
+    clock = VirtualClock(start=0.0)
+    service = flaky_factory(clock, script=[ServiceError("down")] * 2)
+    breaker = make_breaker(clock, threshold=2, reset=5.0)
+    resilient = ResilientService(
+        service,
+        RetryPolicy(max_retries=3, backoff_base_seconds=0.1, jitter=False),
+        breaker=breaker,
+    )
+    # Two failures open the circuit; the third attempt short-circuits and
+    # waits reset-time; the probe then succeeds and closes it.
+    assert resilient.request("k") == "ok"
+    assert breaker.stats.opens == 1
+    assert breaker.stats.short_circuits >= 1
+    assert breaker.stats.closes == 1
+    assert breaker.state == "closed"
+    # The service itself saw only 3 attempts (none while open).
+    assert len(service.attempt_times) == 3
+
+
+def test_open_circuit_fails_fast_without_budget(flaky_factory):
+    clock = VirtualClock(start=0.0)
+    service = flaky_factory(clock, script=[ServiceError("down")] * 10)
+    breaker = make_breaker(clock, threshold=1, reset=30.0)
+    resilient = ResilientService(
+        service, RetryPolicy(max_retries=0), breaker=breaker
+    )
+    with pytest.raises(ServiceError):
+        resilient.request("a")
+    assert breaker.state == "open"
+    before = len(service.attempt_times)
+    with pytest.raises(CircuitOpenError):
+        resilient.request("b")
+    # The open circuit never touched the service and paid no latency.
+    assert len(service.attempt_times) == before
+    assert breaker.stats.short_circuits == 1
+
+
+def test_failed_probe_reopens_through_the_retry_loop(flaky_factory):
+    clock = VirtualClock(start=0.0)
+    service = flaky_factory(clock, script=[ServiceError("down")] * 5)
+    breaker = make_breaker(clock, threshold=1, reset=5.0)
+    resilient = ResilientService(
+        service,
+        RetryPolicy(max_retries=3, backoff_base_seconds=0.1, jitter=False),
+        breaker=breaker,
+    )
+    with pytest.raises(CircuitOpenError):
+        resilient.request("k")
+    # Attempt 1 fails and opens; the short-circuit's retry_after carries
+    # the loop to the probe window; the probe fails and re-opens; the
+    # remaining budget short-circuits without touching the service.
+    assert breaker.stats.opens == 2
+    assert breaker.stats.probes == 1
+    assert len(service.attempt_times) == 2
+    assert breaker.state == "open"
+
+
+def test_async_retry_chain_respects_the_breaker(flaky_factory):
+    clock = VirtualClock(start=0.0)
+    service = flaky_factory(clock, script=[ServiceError("down")] * 2)
+    breaker = make_breaker(clock, threshold=2, reset=5.0)
+    resilient = ResilientService(
+        service,
+        RetryPolicy(max_retries=3, backoff_base_seconds=0.1, jitter=False),
+        breaker=breaker,
+    )
+    outcomes: list[tuple] = []
+    resilient.request_async("k", lambda v, e: outcomes.append((v, e)))
+    clock.flush()
+    assert outcomes == [("ok", None)]
+    assert breaker.stats.opens == 1
+    assert breaker.state == "closed"
+
+
+def test_validation():
+    clock = VirtualClock(start=0.0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(clock, failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(clock, reset_timeout_seconds=0.0)

@@ -1,0 +1,127 @@
+"""FaultPlan determinism, serialization, and the injected-failure trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig
+from repro.engine.resilience import (
+    FaultPlan,
+    ServiceFaultModel,
+    StreamDrop,
+)
+
+pytestmark = pytest.mark.chaos
+
+PLAN = FaultPlan(
+    seed=42,
+    services={
+        "geocoder": ServiceFaultModel(failure_rate=0.5, max_burst=2),
+        "*": ServiceFaultModel(failure_rate=0.1, max_burst=1,
+                               latency_spike_rate=0.2),
+    },
+    stream_drops=(StreamDrop(after_delivered=10, gap=4),),
+)
+
+
+def test_faults_are_keyed_on_content_not_order():
+    keys = [f"loc-{i}" for i in range(200)]
+    forward = [PLAN.failing_attempts("geocoder", k) for k in keys]
+    backward = [PLAN.failing_attempts("geocoder", k) for k in reversed(keys)]
+    assert forward == list(reversed(backward))
+    # A reasonable share of keys actually fail, and bursts stay bounded.
+    failing = [n for n in forward if n > 0]
+    assert 0.3 * len(keys) < len(failing) < 0.7 * len(keys)
+    assert all(1 <= n <= 2 for n in failing)
+
+
+def test_same_seed_same_schedule_different_seed_differs():
+    a = FaultPlan(seed=1, services={"*": ServiceFaultModel(failure_rate=0.3)})
+    b = FaultPlan(seed=1, services={"*": ServiceFaultModel(failure_rate=0.3)})
+    c = FaultPlan(seed=2, services={"*": ServiceFaultModel(failure_rate=0.3)})
+    keys = [f"k{i}" for i in range(100)]
+    sched_a = [a.failing_attempts("svc", k) for k in keys]
+    sched_b = [b.failing_attempts("svc", k) for k in keys]
+    sched_c = [c.failing_attempts("svc", k) for k in keys]
+    assert sched_a == sched_b
+    assert sched_a != sched_c
+
+
+def test_wildcard_applies_only_without_specific_entry():
+    assert PLAN.model_for("geocoder").failure_rate == 0.5
+    assert PLAN.model_for("opencalais").failure_rate == 0.1
+    empty = FaultPlan(seed=1)
+    assert empty.model_for("geocoder") is None
+    assert empty.injector_for("geocoder") is None
+
+
+def test_latency_spikes_are_deterministic_per_key():
+    keys = [f"k{i}" for i in range(300)]
+    mults = [PLAN.latency_multiplier("opencalais", k) for k in keys]
+    assert set(mults) <= {1.0, 5.0}
+    spiked = [m for m in mults if m != 1.0]
+    assert 0.1 * len(keys) < len(spiked) < 0.35 * len(keys)
+    assert mults == [PLAN.latency_multiplier("opencalais", k) for k in keys]
+
+
+def test_serialization_round_trips(tmp_path):
+    path = tmp_path / "plan.json"
+    PLAN.to_file(str(path))
+    loaded = FaultPlan.from_file(str(path))
+    assert loaded == PLAN
+    assert loaded.as_dict() == PLAN.as_dict()
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        ServiceFaultModel(failure_rate=1.5)
+    with pytest.raises(ValueError):
+        ServiceFaultModel(max_burst=0)
+    with pytest.raises(ValueError):
+        ServiceFaultModel(latency_spike_rate=-0.1)
+
+
+def test_injector_bursts_heal_after_failing_attempts():
+    plan = FaultPlan(
+        seed=9,
+        services={"svc": ServiceFaultModel(failure_rate=1.0, max_burst=3)},
+    )
+    injector = plan.injector_for("svc")
+    expected_failures = plan.failing_attempts("svc", "key")
+    assert expected_failures >= 1
+    outcomes = [injector.draw("key").error is not None for _ in range(6)]
+    assert outcomes == [True] * expected_failures + [False] * (
+        6 - expected_failures
+    )
+
+
+def test_same_plan_reproduces_the_same_failure_trace(run_rows, fault_plan):
+    """Running an identical config twice injects identical anomalies, in
+    the same order — the acceptance criterion for replayable chaos."""
+    config = EngineConfig(retries=3, fault_plan=fault_plan)
+    traces = []
+    for _ in range(2):
+        _rows, session = run_rows(config=config)
+        injector = session.geocode_service.fault_injector
+        assert injector is not None
+        traces.append(list(injector.trace))
+    assert traces[0], "the plan injected no faults — nothing was tested"
+    assert traces[0] == traces[1]
+
+
+def test_service_stats_surface_resilience_and_breaker(run_rows, fault_plan):
+    config = EngineConfig(retries=3, fault_plan=fault_plan)
+    session = None
+    session_rows, session = run_rows(config=config)
+    handle = session.query("SELECT latitude(loc) AS lat FROM twitter;")
+    handle.fetch(50)
+    stats = handle.service_stats
+    handle.close()
+    assert "resilience" in stats["geocode"]
+    assert "breaker" in stats["geocode"]
+    assert stats["geocode"]["breaker"]["state"] == "closed"
+    resilience = stats["geocode"]["resilience"]
+    assert resilience["calls"] > 0
+    # Faults were injected and ridden out.
+    assert resilience["retries"] > 0
+    assert resilience["giveups"] == 0

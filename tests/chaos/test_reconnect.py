@@ -1,0 +1,125 @@
+"""Stream disconnects, reconnection, and gap accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.resilience import FaultPlan, StreamDrop
+from repro.twitter.stream import Firehose, StreamConnection, StreamingAPI
+
+pytestmark = pytest.mark.chaos
+
+
+def connect(tweets, drops=(), auto_reconnect=True, delivery_ratio=1.0):
+    return StreamConnection(
+        tweets,
+        predicate=lambda _t: True,
+        delivery_ratio=delivery_ratio,
+        seed=5,
+        clock=None,
+        description="test",
+        drops=drops,
+        auto_reconnect=auto_reconnect,
+    )
+
+
+@pytest.fixture(scope="module")
+def tweets(small_chatter):
+    return small_chatter.tweets
+
+
+def test_no_drops_accounts_nothing(tweets):
+    conn = connect(tweets)
+    delivered = [t.tweet_id for t in conn]
+    assert len(delivered) == len(tweets)
+    assert conn.stats.reconnects == 0
+    assert conn.stats.gap_tweets == 0
+
+
+def test_reconnect_recovers_the_gap(tweets):
+    baseline = [t.tweet_id for t in connect(tweets)]
+    conn = connect(tweets, drops=(StreamDrop(after_delivered=20, gap=7),))
+    delivered = [t.tweet_id for t in conn]
+    # Cursor resume: the gap tweets are re-fetched, output is identical.
+    assert delivered == baseline
+    assert conn.stats.reconnects == 1
+    assert conn.stats.gap_tweets == 7
+
+
+def test_no_reconnect_loses_the_gap(tweets):
+    baseline = [t.tweet_id for t in connect(tweets)]
+    conn = connect(
+        tweets,
+        drops=(StreamDrop(after_delivered=20, gap=7),),
+        auto_reconnect=False,
+    )
+    delivered = [t.tweet_id for t in conn]
+    # Exactly the 7 tweets after the 20th are missing.
+    assert delivered == baseline[:20] + baseline[27:]
+    assert conn.stats.reconnects == 0
+    assert conn.stats.gap_tweets == 7
+    assert conn.stats.dropped == 7
+
+
+def test_multiple_drops_accumulate(tweets):
+    baseline = [t.tweet_id for t in connect(tweets)]
+    drops = (
+        StreamDrop(after_delivered=10, gap=3),
+        StreamDrop(after_delivered=50, gap=5),
+    )
+    conn = connect(tweets, drops=drops)
+    assert [t.tweet_id for t in conn] == baseline
+    assert conn.stats.reconnects == 2
+    assert conn.stats.gap_tweets == 8
+
+
+def test_lossy_stream_draws_are_unchanged_by_drops(tweets):
+    """The delivery-ratio RNG consumes one draw per match regardless of
+    drops, so loss decisions are identical with and without a fault plan —
+    the property the chaos-equivalence suite relies on."""
+    baseline = [t.tweet_id for t in connect(tweets, delivery_ratio=0.9)]
+    conn = connect(
+        tweets,
+        drops=(StreamDrop(after_delivered=15, gap=10),),
+        delivery_ratio=0.9,
+    )
+    assert [t.tweet_id for t in conn] == baseline
+
+
+def test_streaming_api_applies_the_plan_to_every_connection(tweets):
+    plan = FaultPlan(
+        seed=1, stream_drops=(StreamDrop(after_delivered=5, gap=2),)
+    )
+    api = StreamingAPI(
+        Firehose(list(tweets)), delivery_ratio=1.0, fault_plan=plan
+    )
+    conn = api.unfiltered()
+    assert len(list(conn)) == len(tweets)
+    assert conn.stats.reconnects == 1
+    assert conn.stats.gap_tweets == 2
+    second = api.unfiltered()
+    list(second)
+    assert second.stats.reconnects == 1
+
+
+def test_streaming_api_without_reconnect_drops_the_gap(tweets):
+    plan = FaultPlan(
+        seed=1, stream_drops=(StreamDrop(after_delivered=5, gap=2),)
+    )
+    api = StreamingAPI(
+        Firehose(list(tweets)),
+        delivery_ratio=1.0,
+        fault_plan=plan,
+        auto_reconnect=False,
+    )
+    conn = api.unfiltered()
+    assert len(list(conn)) == len(tweets) - 2
+    assert conn.stats.reconnects == 0
+    assert conn.stats.dropped == 2
+
+
+def test_stream_drop_validation():
+    with pytest.raises(ValueError):
+        StreamDrop(after_delivered=-1)
+    with pytest.raises(ValueError):
+        StreamDrop(after_delivered=0, gap=-2)

@@ -85,3 +85,86 @@ def test_async_mode_with_failures(session_factory):
     ).all()
     assert len(rows) == 120
     assert any(r["lat"] is not None for r in rows)
+
+
+def test_retried_success_overwrites_negative_cache_entry():
+    """A key negative-cached by an earlier failure must serve the real
+    value once a retried call lands it — the success wins over the stale
+    NULL, whatever the TTL says."""
+    from repro.clock import VirtualClock
+    from repro.engine.latency import ManagedCall
+    from repro.engine.resilience import (
+        FaultPlan,
+        ResilientService,
+        RetryPolicy,
+        ServiceFaultModel,
+    )
+    from repro.geo.service import SimulatedWebService
+
+    clock = VirtualClock(start=0.0)
+    plan = FaultPlan(
+        seed=7,
+        services={"svc": ServiceFaultModel(failure_rate=1.0, max_burst=2)},
+    )
+    service = SimulatedWebService(
+        "svc",
+        lambda key: (1.0, 2.0),
+        clock=clock,
+        latency=LatencyModel(0.1, sigma=0.0),
+        fault_injector=plan.injector_for("svc"),
+    )
+    burst = plan.failing_attempts("svc", "x")
+    assert burst >= 1
+
+    # Without retries the burst exhausts the call: NULL is negative-cached
+    # (long TTL — nowhere near expiring).
+    no_retry = ManagedCall(
+        ResilientService(service, RetryPolicy(max_retries=0)),
+        mode="cached",
+        cache_ttl=3600.0,
+    )
+    assert no_retry("x") is None
+    assert no_retry.cache.contains("x")
+
+    # A retried async launch on the same cache rides out the rest of the
+    # burst and must overwrite the stale negative entry.
+    retried = ManagedCall(
+        ResilientService(
+            service, RetryPolicy(max_retries=3, jitter=False)
+        ),
+        mode="async",
+        cache_ttl=3600.0,
+    )
+    retried.prefetch(["x"])
+    retried.cache.put("x", None)  # the stale NULL, as the first call left it
+    retried.drain()
+    assert retried("x") == (1.0, 2.0)
+
+
+def test_late_async_failure_does_not_clobber_landed_value():
+    """The mirror case: an async retry chain that finally gives up must
+    not overwrite a real value the consumer already resolved."""
+    from repro.clock import VirtualClock
+    from repro.engine.latency import ManagedCall
+    from repro.engine.resilience import ResilientService, RetryPolicy
+    from repro.errors import ServiceError
+    from repro.geo.service import SimulatedWebService
+
+    clock = VirtualClock(start=0.0)
+    calls = {"n": 0}
+
+    def always_fails(key):
+        calls["n"] += 1
+        raise ServiceError("down")
+
+    service = SimulatedWebService(
+        "svc", always_fails, clock=clock, latency=LatencyModel(0.1, sigma=0.0)
+    )
+    managed = ManagedCall(
+        ResilientService(service, RetryPolicy(max_retries=2, jitter=False)),
+        mode="async",
+    )
+    managed.prefetch(["x"])
+    managed.cache.put("x", (9.0, 9.0))  # consumer resolved it meanwhile
+    managed.drain()  # the chain exhausts its budget and fails
+    assert managed("x") == (9.0, 9.0)

@@ -34,6 +34,40 @@ def test_query_subcommand_prints_rows(capsys):
     assert "stats" in out
 
 
+def test_query_with_fault_plan_and_retries(tmp_path, capsys):
+    from repro.engine.resilience import FaultPlan, ServiceFaultModel, StreamDrop
+
+    plan = FaultPlan(
+        seed=7,
+        services={"*": ServiceFaultModel(failure_rate=0.3, max_burst=2)},
+        stream_drops=(StreamDrop(after_delivered=10, gap=5),),
+    )
+    path = tmp_path / "plan.json"
+    plan.to_file(str(path))
+    code = main(
+        [
+            "--scenario", "soccer", "--population", "400", "--seed", "3",
+            "--retries", "3", "--deadline-ms", "4000",
+            "--fault-plan", str(path),
+            "query", "--sql",
+            "SELECT latitude(loc) AS lat FROM twitter "
+            "WHERE text contains 'tevez';",
+            "--rows", "5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("lat=") == 5
+
+
+def test_resilience_parser_defaults():
+    args = make_parser().parse_args(["repl"])
+    assert args.retries == 0
+    assert args.deadline_ms is None
+    assert args.fault_plan is None
+    assert args.no_stream_reconnect is False
+
+
 def test_query_subcommand_reports_errors(capsys):
     code = main(
         [
