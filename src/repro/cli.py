@@ -11,6 +11,8 @@ Usage::
     tweeql query --scenario soccer --sql "SELECT …" [--rows 20]
     tweeql check queries/*.tql --strict       # static analysis, no execution
     tweeql check --sql "SELECT …" --format=json
+    tweeql explain queries/*.tql              # plans, nothing executes
+    tweeql explain --sql "SELECT …" --analyze --trace out.json
     tweeql twitinfo --scenario earthquakes    # print a dashboard
     tweeql twitinfo --scenario soccer --html dashboard.html
 
@@ -286,6 +288,65 @@ def run_check(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def run_explain(args: argparse.Namespace) -> int:
+    """``tweeql explain``: show query plans, optionally executed + profiled.
+
+    Without ``--analyze`` this prints each plan without running anything.
+    With ``--analyze`` every query is planned with tracing on, executed to
+    completion (cap with ``--limit`` on unbounded streams), and rendered
+    with per-operator rows/batches/timing, service accounting, and a span
+    census. ``--trace FILE`` additionally writes a Chrome trace JSON
+    (load it in ``chrome://tracing`` or Perfetto) covering every analyzed
+    query, one process per query.
+    """
+    queries: list[tuple[str, str]] = []
+    for sql in args.sql or ():
+        queries.append(("<--sql>", sql))
+    for path in args.files:
+        with open(path, encoding="utf-8") as f:
+            for index, statement in enumerate(split_statements(f.read()), 1):
+                queries.append((f"{path}:{index}", statement))
+    if not queries:
+        print("nothing to explain: pass --sql or .tql files", file=sys.stderr)
+        return 2
+    if args.trace and not args.analyze:
+        print("--trace requires --analyze (spans only exist once the "
+              "query runs)", file=sys.stderr)
+        return 2
+
+    failed = False
+    traces: list[tuple[str, object]] = []
+    for label, sql in queries:
+        # A fresh session per statement keeps the virtual clock (and so
+        # every reported timing) independent of statement order.
+        session, _ = build_session(args)
+        print(f"== {label}")
+        try:
+            if not args.analyze:
+                print(session.explain(sql))
+            else:
+                session.config.tracing = True
+                handle = session.query(sql)
+                try:
+                    print(handle.explain(analyze=True, limit=args.limit))
+                finally:
+                    handle.close()
+                if args.trace:
+                    traces.append((label, handle.tracer))
+        except TweeQLError as exc:
+            print(f"error: {exc}")
+            failed = True
+        print()
+    if args.trace and traces:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(traces, args.trace)
+        count = len(traces)
+        print(f"-- wrote Chrome trace for {count} "
+              f"quer{'y' if count == 1 else 'ies'} to {args.trace}")
+    return 1 if failed else 0
+
+
 def run_twitinfo(args: argparse.Namespace) -> None:
     """Track the scenario's canonical event and print its dashboard."""
     session, scenarios = build_session(args)
@@ -433,6 +494,32 @@ def make_parser() -> argparse.ArgumentParser:
         help="diagnostic output format",
     )
 
+    explain = sub.add_parser(
+        "explain", help="show query plans; --analyze runs and profiles them"
+    )
+    explain.add_argument(
+        "files", nargs="*", metavar="FILE.tql",
+        help="query files ('--' comments, ';'-terminated statements)",
+    )
+    explain.add_argument(
+        "--sql", action="append", metavar="SQL",
+        help="explain this query text (repeatable)",
+    )
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="execute each query with tracing on and annotate the plan "
+        "with rows, batches, and virtual-clock timings",
+    )
+    explain.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="with --analyze: write a Chrome trace JSON covering every "
+        "analyzed query (open in chrome://tracing or Perfetto)",
+    )
+    explain.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="with --analyze: cap rows drained per query",
+    )
+
     twitinfo = sub.add_parser("twitinfo", help="print a TwitInfo dashboard")
     twitinfo.add_argument("--peak", default=None, help="drill into one peak")
     twitinfo.add_argument("--html", default=None, help="write an HTML page")
@@ -455,6 +542,8 @@ def main(argv: list[str] | None = None) -> int:
             run_twitinfo(args)
         elif command == "check":
             return run_check(args)
+        elif command == "explain":
+            return run_explain(args)
         elif command == "query":
             session, _ = build_session(args)
             run_query(session, args.sql, args.rows)

@@ -103,9 +103,46 @@ class QueryHandle:
         """The API filter decision, when the query ran against twitter."""
         return self._plan.filter_choice
 
-    def explain(self) -> str:
-        """The plan description, one operator per line."""
-        return self._plan.explain()
+    @property
+    def tracer(self):
+        """The span recorder, when the session planned with tracing on."""
+        return self._plan.tracer
+
+    @property
+    def connections(self) -> list:
+        """Streaming connections this query has opened (so far)."""
+        return list(self._plan.connections)
+
+    def explain(self, analyze: bool = False, limit: int | None = None) -> str:
+        """The plan description, one operator per line.
+
+        With ``analyze=True`` the rendering is annotated with per-operator
+        rows/batches/wall/self time, query totals, service accounting, and
+        a span census — which requires the plan to have been built with
+        ``EngineConfig.tracing`` on. Any rows not yet consumed are drained
+        first (pass ``limit`` to cap that on unbounded streams).
+        """
+        if not analyze:
+            return self._plan.explain()
+        from repro.obs.analyze import render_analyze
+
+        if not self._closed and not self._released:
+            self.all(limit=limit)
+        return render_analyze(self)
+
+    def chrome_trace(self, process_name: str = "tweeql") -> dict:
+        """The recorded trace as a Chrome trace document (dict)."""
+        from repro.obs.analyze import _require_tracer
+        from repro.obs.export import chrome_trace
+
+        return chrome_trace(_require_tracer(self), process_name=process_name)
+
+    def metrics(self):
+        """This query's stats as one
+        :class:`~repro.obs.metrics.MetricsRegistry` tree."""
+        from repro.obs.metrics import query_metrics
+
+        return query_metrics(self)
 
     def __iter__(self) -> Iterator[Row]:
         if self._closed:
@@ -117,16 +154,36 @@ class QueryHandle:
     def _iterate(self) -> Iterator[Row]:
         # The pipeline speaks RowBatch; the handle flattens back to rows at
         # the API boundary so callers never see batch framing.
+        pipeline = iter(self._plan.pipeline)
         try:
-            for batch in self._plan.pipeline:
+            for batch in pipeline:
+                if batch.last:
+                    # Release *before* yielding the final rows: a caller
+                    # that fetches exactly the available row count leaves
+                    # this generator suspended in the yield below, so the
+                    # finally would never run and in-flight async service
+                    # calls would never drain into the stats.
+                    self._finish(pipeline)
                 yield from batch.rows
                 if batch.last:
                     break
         finally:
-            # Natural exhaustion, a pipeline error, or the generator being
-            # closed (GC of an abandoned handle): release everything now
-            # rather than waiting on cycle GC.
-            self._release()
+            # Pipeline error or the generator being closed (GC of an
+            # abandoned handle): release everything now rather than
+            # waiting on cycle GC. Idempotent after the in-loop release.
+            self._finish(pipeline)
+
+    def _finish(self, pipeline: Iterator) -> None:
+        """Close the operator chain, then release plan resources.
+
+        Closing the outermost generator runs the finally blocks of any
+        trace wrappers (finalizing operator spans) before the query span
+        is recorded.
+        """
+        close = getattr(pipeline, "close", None)
+        if close is not None:
+            close()
+        self._release()
 
     def _release(self) -> None:
         """Tear down plan-owned resources exactly once.
@@ -143,6 +200,12 @@ class QueryHandle:
         for connection in self._plan.connections:
             connection.close()
         self._drain_managed()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.add(
+                "query", "query", tracer.started_at, tracer.clock.now,
+                lane="main", rows_emitted=self.stats.rows_emitted,
+            )
 
     def _drain_managed(self) -> None:
         """Wait out in-flight async service requests (stats visibility)."""

@@ -129,6 +129,9 @@ class ManagedCall:
         #: key → virtual completion time of the in-flight async request.
         self._in_flight: dict[Any, float] = {}
         self.stats = ManagedCallStats()
+        #: Span recorder (set by the planner when tracing is on). Checked
+        #: once per service interaction, never per row.
+        self.tracer: Any = None
 
     @property
     def mode(self) -> str:
@@ -165,7 +168,13 @@ class ManagedCall:
             stall = max(0.0, done_at - self._clock.now)
             self.stats.stalls += 1
             self.stats.stall_seconds += stall
+            before = self._clock.now
             self._clock.advance_to(max(done_at, self._clock.now))
+            if self.tracer is not None:
+                self.tracer.add(
+                    self._service.name, "stall", before, self._clock.now,
+                    lane="services", key=str(key), path="in_flight",
+                )
             # The completion callback has now run and populated the cache.
             if self._cache is not None and self._cache.contains(key):
                 self.stats.cache_hits += 1
@@ -180,6 +189,12 @@ class ManagedCall:
             value = None
         self.stats.stall_seconds += self._clock.now - before
         self.stats.stalls += 1
+        if self.tracer is not None:
+            self.tracer.add(
+                self._service.name, "service", before, self._clock.now,
+                lane="services", key=str(key), path="blocking",
+                failed=value is None,
+            )
         self._store(key, value)
         return value
 
@@ -231,6 +246,11 @@ class ManagedCall:
             # A prefetch round trip is work done ahead of need, not a
             # consumer stall — account it separately.
             self.stats.prefetch_seconds += self._clock.now - before
+            if self.tracer is not None:
+                self.tracer.add(
+                    self._service.name, "service", before, self._clock.now,
+                    lane="services", path="batch", keys=len(chunk),
+                )
             for key, value in zip(chunk, results):
                 if isinstance(value, Exception):
                     # A transiently failed item stays uncached: the
@@ -253,6 +273,11 @@ class ManagedCall:
                 self.stats.stalls += 1
                 self._await_in_flight()
                 self.stats.stall_seconds += self._clock.now - before
+                if self.tracer is not None:
+                    self.tracer.add(
+                        self._service.name, "stall", before, self._clock.now,
+                        lane="services", path="pool_full",
+                    )
             self._launch_async(key)
             self.stats.prefetched += 1
 
@@ -274,6 +299,12 @@ class ManagedCall:
 
         done_at = self._service.request_async(key, on_done)
         self._in_flight[key] = done_at
+        if self.tracer is not None:
+            # Span covers launch → promised completion; retries land later.
+            self.tracer.add(
+                self._service.name, "service", self._clock.now, done_at,
+                lane="services", key=str(key), path="async",
+            )
 
     def _await_in_flight(self) -> None:
         """Advance the clock until in-flight requests can make progress.

@@ -392,6 +392,9 @@ class ShardedExecution:
         self._pool: ThreadPoolExecutor | None = None
         self._started = False
         self._closed = False
+        #: Span recorder (set by the planner when tracing is on); the
+        #: exchange thread emits one ``route`` marker per source batch.
+        self.tracer: Any = None
         # Filled by configure():
         self._source: Iterable[RowBatch] | None = None
         self._partition: Callable[[Row, int], int] | None = None
@@ -460,6 +463,11 @@ class ShardedExecution:
                     batch = next(iterator, _END)
                 if batch is _END:
                     break
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "route", "exchange", lane="exchange",
+                        seq=batch.seq, rows=len(batch.rows), last=batch.last,
+                    )
                 for row in batch.rows:
                     shard = partition(row, seq)
                     tagged = dict(row)  # never mutate caller-owned row dicts

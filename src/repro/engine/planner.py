@@ -91,6 +91,10 @@ class PhysicalPlan:
     merge_stats: Any = None
     #: Callbacks that tear down plan-owned resources (worker threads).
     closers: list[Callable[[], None]] = field(default_factory=list)
+    #: Span recorder (:class:`repro.obs.trace.Tracer`) when
+    #: ``EngineConfig.tracing`` was on at plan time; None otherwise, in
+    #: which case the pipeline carries no instrumentation at all.
+    tracer: Any = None
 
     def explain(self) -> str:
         """Human-readable plan description."""
@@ -108,6 +112,7 @@ def _lazy_connection_rows(open_connection: Callable[[], Any], plan: "PhysicalPla
 
     def rows():
         connection = open_connection()
+        connection.tracer = plan.tracer
         plan.connections.append(connection)
         for tweet in connection:
             yield tweet.to_row()
@@ -368,6 +373,52 @@ class Planner:
             return plan
         return self._plan_serial(statement, binding)
 
+    # -- tracing ---------------------------------------------------------------
+
+    def _make_tracer(self) -> Any:
+        """A fresh Tracer when the config asks for one, else None.
+
+        Disabled tracing means *no* wrapper objects anywhere in the
+        pipeline — the plan is structurally identical to a pre-tracing
+        build, so the hot path pays nothing.
+        """
+        if not getattr(self._config, "tracing", False):
+            return None
+        from repro.obs.trace import Tracer
+
+        return Tracer(
+            self._clock,
+            batch_spans=getattr(self._config, "trace_batch_spans", True),
+        )
+
+    def _trace(
+        self, pipeline: ops.Batches, name: str, plan: PhysicalPlan,
+        lane: str = "main",
+    ) -> ops.Batches:
+        """Wrap one stage in a TraceOperator (no-op when not tracing)."""
+        if plan.tracer is None:
+            return pipeline
+        from repro.obs.trace import TraceOperator
+
+        probe = plan.tracer.probe(name, lane)
+        return TraceOperator(pipeline, probe, plan.tracer)
+
+    def _attach_service_tracers(self, tracer: Any) -> None:
+        """Point the session's service wrappers at this plan's tracer.
+
+        Service objects are session-owned and shared across plans, so the
+        most recently planned query owns their spans; planning with
+        tracing off resets them (``tracer=None``) so a later untraced run
+        records nothing.
+        """
+        for name, managed in self._services.items():
+            if not name.endswith("_managed"):
+                continue
+            managed.tracer = tracer
+            service = getattr(managed, "service", None)
+            if service is not None and hasattr(service, "resilience"):
+                service.tracer = tracer
+
     # -- batch sizing ----------------------------------------------------------
 
     def _batch_blocker(self, statement: ast.SelectStatement) -> str | None:
@@ -419,6 +470,9 @@ class Planner:
         plan = PhysicalPlan(
             pipeline=iter(()), output_schema=(), ctx=ctx
         )
+        plan.tracer = self._make_tracer()
+        ctx.tracer = plan.tracer
+        self._attach_service_tracers(plan.tracer)
         explain = plan.explain_lines
 
         conjuncts = split_conjuncts(statement.where)
@@ -428,14 +482,19 @@ class Planner:
         batch_size = self._batch_size_for(statement, plan)
         schema = binding.schema
         pipeline: ops.Batches = ops.ScanOperator(source_rows, ctx, batch_size)
+        pipeline = self._trace(pipeline, f"Scan({binding.name})", plan)
 
         if statement.join is not None:
             pipeline, schema = self._build_join(
                 statement, pipeline, schema, ctx, plan, batch_size
             )
+            pipeline = self._trace(pipeline, "Join", plan)
 
         # ---- local predicates ----
+        before = pipeline
         pipeline = self._build_filters(conjuncts, pipeline, schema, ctx, plan)
+        if pipeline is not before:
+            pipeline = self._trace(pipeline, "Filter", plan)
 
         has_aggregates = bool(statement.group_by) or any(
             not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
@@ -450,15 +509,20 @@ class Planner:
         if not has_aggregates and statement.limit is not None:
             pipeline = ops.LimitOperator(pipeline, statement.limit)
             explain.append(f"Limit: {statement.limit}")
+            pipeline = self._trace(pipeline, "Limit", plan)
 
         # ---- high-latency prefetch ----
+        before = pipeline
         pipeline = self._maybe_prefetch(statement, pipeline, schema, ctx, plan)
+        if pipeline is not before:
+            pipeline = self._trace(pipeline, "Prefetch", plan)
 
         # ---- projection / aggregation ----
         if has_aggregates:
             pipeline, output_schema = self._build_aggregation(
                 statement, pipeline, schema, ctx, plan
             )
+            pipeline = self._trace(pipeline, "Aggregate", plan)
         else:
             if statement.having is not None:
                 raise PlanError("HAVING requires aggregation")
@@ -470,11 +534,13 @@ class Planner:
             pipeline, output_schema = self._build_projection(
                 statement, pipeline, schema, ctx
             )
+            pipeline = self._trace(pipeline, "Project", plan)
 
         if statement.into is not None:
             sink = self._table_factory(statement.into)
             pipeline = ops.IntoOperator(pipeline, sink)
             explain.append(f"Into: table {statement.into!r}")
+            pipeline = self._trace(pipeline, "Into", plan)
 
         plan.pipeline = pipeline
         plan.output_schema = output_schema
@@ -1020,9 +1086,14 @@ class Planner:
         reassembles shard outputs into the exact serial emission order (see
         :mod:`repro.engine.parallel`).
         """
-        merge_ctx = EvalContext(clock=self._clock, services=dict(self._services))
+        merge_ctx = EvalContext(
+            clock=self._clock, services=dict(self._services), lane="merge"
+        )
         plan = PhysicalPlan(pipeline=iter(()), output_schema=(), ctx=merge_ctx)
         plan.merge_stats = merge_ctx.stats
+        plan.tracer = self._make_tracer()
+        merge_ctx.tracer = plan.tracer
+        self._attach_service_tracers(plan.tracer)
         explain = plan.explain_lines
 
         conjuncts = split_conjuncts(statement.where)
@@ -1047,10 +1118,14 @@ class Planner:
 
         batch_size = self._batch_size_for(statement, plan)
         exchange = parallel.ShardedExecution(workers, batch_size=batch_size)
+        exchange.tracer = plan.tracer
         exchange_services, exchange_service_stats = parallel.locked_services(
             self._services, exchange.lock
         )
-        exchange_ctx = EvalContext(clock=self._clock, services=exchange_services)
+        exchange_ctx = EvalContext(
+            clock=self._clock, services=exchange_services,
+            tracer=plan.tracer, lane="exchange",
+        )
         plan.shard_ctxs.append(exchange_ctx)
         plan.shard_service_stats.append(exchange_service_stats)
 
@@ -1101,13 +1176,21 @@ class Planner:
         exchange_source: ops.Batches = ops.ScanOperator(
             source_rows, exchange_ctx, batch_size
         )
+        exchange_source = self._trace(
+            exchange_source, f"Scan({binding.name})", plan, lane="exchange"
+        )
         if confidence_mode:
             # Age-out punctuation must reflect *post-filter* rows (the
             # serial operator only sees triggers that passed WHERE), so the
             # WHERE stage runs on the exchange in this mode.
+            before = exchange_source
             exchange_source = self._build_filters(
                 conjuncts, exchange_source, schema, exchange_ctx, plan
             )
+            if exchange_source is not before:
+                exchange_source = self._trace(
+                    exchange_source, "Filter", plan, lane="exchange"
+                )
         explain.append(
             f"Exchange: {partition_desc} over {workers} shards"
             + (" (post-filter, punctuated)" if confidence_mode else "")
@@ -1122,23 +1205,33 @@ class Planner:
             worker_services, worker_service_stats = parallel.locked_services(
                 self._services, exchange.lock
             )
-            ctx_w = EvalContext(clock=self._clock, services=worker_services)
+            lane = f"worker-{index}"
+            ctx_w = EvalContext(
+                clock=self._clock, services=worker_services,
+                tracer=plan.tracer, lane=lane,
+            )
             plan.shard_ctxs.append(ctx_w)
             plan.shard_service_stats.append(worker_service_stats)
             # Worker 0 contributes the EXPLAIN lines; the others build
             # against throwaway plans so stages aren't listed N times.
+            # The tracer is shared either way — every worker lane probes.
             wplan = (
                 plan
                 if index == 0
                 else PhysicalPlan(pipeline=iter(()), output_schema=(), ctx=ctx_w)
             )
+            wplan.tracer = plan.tracer
             pipeline: ops.Batches = parallel.ShardScan(
                 exchange.shard_input(index), ctx_w
             )
+            pipeline = self._trace(pipeline, "ShardScan", wplan, lane=lane)
             if not confidence_mode:
+                before = pipeline
                 pipeline = self._build_filters(
                     conjuncts, pipeline, schema, ctx_w, wplan
                 )
+                if pipeline is not before:
+                    pipeline = self._trace(pipeline, "Filter", wplan, lane=lane)
             # Per-shard scalar LIMIT below projection, as in the serial
             # plan: a shard never emits more than LIMIT rows, and the
             # merge-side LimitOperator enforces the global cap.
@@ -1150,13 +1243,18 @@ class Planner:
                         "(per shard, re-applied after merge)"
                     )
                     limit_noted = True
+                pipeline = self._trace(pipeline, "Limit", wplan, lane=lane)
+            before = pipeline
             pipeline = self._maybe_prefetch(
                 statement, pipeline, schema, ctx_w, wplan
             )
+            if pipeline is not before:
+                pipeline = self._trace(pipeline, "Prefetch", wplan, lane=lane)
             if has_aggregates:
                 pipeline, output_schema = self._build_aggregation(
                     statement, pipeline, schema, ctx_w, wplan, defer=defer
                 )
+                pipeline = self._trace(pipeline, "Aggregate", wplan, lane=lane)
             else:
                 if statement.having is not None:
                     raise PlanError("HAVING requires aggregation")
@@ -1168,6 +1266,7 @@ class Planner:
                 pipeline, output_schema = self._build_projection(
                     statement, pipeline, schema, ctx_w
                 )
+                pipeline = self._trace(pipeline, "Project", wplan, lane=lane)
             if index > 0:
                 plan.managed_calls.extend(wplan.managed_calls)
             pipelines.append(pipeline)
@@ -1190,19 +1289,25 @@ class Planner:
             broadcast_punctuation=confidence_mode,
         )
         merged: ops.Batches = exchange.merged()
+        merged = self._trace(merged, "Merge", plan, lane="merge")
         explain.append(f"Merge: {workers}-way ordered merge on {merge_desc}")
         if defer is not None and (defer.order_evals or defer.limit is not None):
             merged = parallel.WindowFinalizeOperator(
                 merged, defer.order_evals, defer.limit, merge_ctx
             )
             explain.append("Finalize: per-window ORDER BY / LIMIT after merge")
+            merged = self._trace(merged, "Finalize", plan, lane="merge")
         if not has_aggregates and statement.limit is not None:
             merged = ops.LimitOperator(merged, statement.limit)
+            merged = self._trace(merged, "Limit", plan, lane="merge")
         merged = parallel.CountingOperator(merged, merge_ctx)
         if statement.into is not None:
             sink = self._table_factory(statement.into)
             merged = ops.IntoOperator(merged, sink)
             explain.append(f"Into: table {statement.into!r}")
+        # The Output probe wraps the counting stage, so its row total is
+        # the authoritative post-merge emission count reconcile() checks.
+        merged = self._trace(merged, "Output", plan, lane="merge")
 
         plan.pipeline = merged
         plan.output_schema = output_schema

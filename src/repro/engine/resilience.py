@@ -457,6 +457,9 @@ class ResilientService:
         self.breaker = breaker
         self._rng = rng_mod.derive(seed, f"resilience:{service.name}")
         self.resilience = ResilienceStats()
+        #: Span recorder (set by the planner when tracing is on); each
+        #: backoff wait becomes one ``retry`` span.
+        self.tracer: Any = None
 
     # -- service surface -------------------------------------------------------
 
@@ -539,7 +542,13 @@ class ResilientService:
                 raise error
             self.resilience.retries += 1
             self.resilience.backoff_seconds += wait
+            before = self.clock.now
             self.clock.advance(wait)
+            if self.tracer is not None:
+                self.tracer.add(
+                    self.name, "retry", before, self.clock.now,
+                    lane="services", attempt=attempt, key=str(item),
+                )
 
     def request_batch(self, items: Sequence[Any]) -> list[Any]:
         """Blocking batch request; failed items retried in sub-batches."""
@@ -587,7 +596,13 @@ class ResilientService:
                 break
             self.resilience.retries += 1
             self.resilience.backoff_seconds += wait
+            before = self.clock.now
             self.clock.advance(wait)
+            if self.tracer is not None:
+                self.tracer.add(
+                    self.name, "retry", before, self.clock.now,
+                    lane="services", attempt=attempt, pending=len(pending),
+                )
         return [results[index] for index in range(len(items))]
 
     # -- asynchronous ----------------------------------------------------------
@@ -624,6 +639,14 @@ class ResilientService:
                 return
             self.resilience.retries += 1
             self.resilience.backoff_seconds += wait
+            if self.tracer is not None:
+                # Async retries reschedule rather than block: the span
+                # covers the scheduled backoff window.
+                self.tracer.add(
+                    self.name, "retry", self.clock.now, self.clock.now + wait,
+                    lane="services", attempt=attempt, key=str(item),
+                    path="async",
+                )
             self.clock.call_at(self.clock.now + wait, relaunch)
 
         def relaunch() -> None:

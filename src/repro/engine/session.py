@@ -120,6 +120,14 @@ class EngineConfig:
             services and the streaming API.
         stream_reconnect: auto-reconnect dropped stream connections from
             their cursor (gap tweets recovered); False loses the gap.
+        tracing: record structured spans (per operator, batch, service
+            call, retry, reconnect) on the virtual clock while queries
+            run, enabling ``handle.explain(analyze=True)`` and Chrome
+            trace export (see docs/OBSERVABILITY.md). Off by default;
+            when off, the planner builds the exact pre-tracing pipeline
+            (no wrappers, no per-row cost).
+        trace_batch_spans: with ``tracing``, also record one span per
+            batch pull (turn off to bound trace size on long streams).
     """
 
     latency_mode: str = "cached"
@@ -148,6 +156,8 @@ class EngineConfig:
     breaker_reset_seconds: float = 30.0
     fault_plan: "FaultPlan | None" = None
     stream_reconnect: bool = True
+    tracing: bool = False
+    trace_batch_spans: bool = True
 
 
 class TweeQL:
@@ -362,13 +372,13 @@ class TweeQL:
 
     # -- queries ----------------------------------------------------------------
 
-    def _planner(self) -> Planner:
+    def _planner(self, config: EngineConfig | None = None) -> Planner:
         return Planner(
             sources=self._sources,
             registry=self.registry,
             services=self._services,
             clock=self.clock,
-            config=self.config,
+            config=config or self.config,
             table_factory=self.table,
         )
 
@@ -428,6 +438,28 @@ class TweeQL:
             rows_factory=rows_factory,
         )
 
-    def explain(self, sql: str) -> str:
-        """The plan description for a query, without running it."""
-        return self.plan(sql).explain()
+    def explain(
+        self, sql: str, analyze: bool = False, limit: int | None = None
+    ) -> str:
+        """The plan description for a query.
+
+        ``analyze=True`` is EXPLAIN ANALYZE: the query is planned with
+        tracing forced on, run to exhaustion (cap unbounded streams with
+        ``limit``), and rendered with per-operator rows/batches/timing,
+        query totals, service accounting, and a span census.
+        """
+        if not analyze:
+            return self.plan(sql).explain()
+        import dataclasses
+
+        config = (
+            self.config
+            if self.config.tracing
+            else dataclasses.replace(self.config, tracing=True)
+        )
+        plan = self._planner(config).plan(parse(sql))
+        handle = QueryHandle(sql, plan)
+        try:
+            return handle.explain(analyze=True, limit=limit)
+        finally:
+            handle.close()

@@ -145,6 +145,12 @@ class EvalContext:
     stream_time: float = 0.0
     #: Arbitrary services injected by the session (geocoder, classifier…).
     services: dict[str, Any] = field(default_factory=dict)
+    #: Span recorder (:class:`repro.obs.trace.Tracer`) when the session
+    #: enabled tracing; None keeps the hot path entirely untouched.
+    tracer: Any = None
+    #: The lane label this context's spans carry ("main" for serial plans,
+    #: "exchange" / "worker-N" / "merge" for sharded stages).
+    lane: str = "main"
 
     def service(self, name: str) -> Any:
         """Fetch a named service; raises KeyError with a clear message."""

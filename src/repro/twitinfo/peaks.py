@@ -134,6 +134,7 @@ class PeakDetector:
         """Consume one time bin; returns a newly *opened* peak, or None."""
         params = self.params
         opened: Peak | None = None
+        closed_now = False
 
         if self._mean is None or self._meandev is None:
             # Bootstrap from the first bin, like the CHI'11 algorithm.
@@ -175,11 +176,20 @@ class PeakDetector:
                 peak.end = bin_start + self.bin_seconds
                 peak.closed = True
                 self._open = None
+                closed_now = True
             else:
                 peak.end = bin_start + self.bin_seconds
 
-        # Update the running estimates; faster inside a peak window.
-        alpha = params.peak_alpha if self._open is not None else params.alpha
+        # Update the running estimates; faster inside a peak window. The
+        # bin that *closes* a peak is still part of the burst (its count
+        # triggered the close), so it too is absorbed at peak_alpha —
+        # otherwise the slow alpha leaves the baseline inflated and a
+        # quick second burst scores against the wrong mean.
+        alpha = (
+            params.peak_alpha
+            if (self._open is not None or closed_now)
+            else params.alpha
+        )
         deviation = abs(count - self._mean)
         self._meandev = alpha * deviation + (1 - alpha) * self._meandev
         # Floor at one tweet of deviation: a perfectly flat synthetic stream

@@ -11,6 +11,8 @@ event." This module serves exactly that — a dependency-free
 - ``GET /event/<name>.json``        — the dashboard as JSON (the API a
   richer front end would poll),
 - ``GET /event/<name>/peaks?q=term``— peak search by key term (JSON),
+- ``GET /metrics``                  — Prometheus-style text exposition of
+  every tracked event's counters plus the engine's service stats,
 - ``POST /track`` — create and run a new event from form fields ``name``,
   ``keywords`` (comma-separated), optional ``bin_seconds`` — §4's "track
   new terms of interest".
@@ -55,6 +57,8 @@ def _make_handler(app: TwitInfoApp):
             try:
                 if not parts:
                     self._index()
+                elif parts[0] == "metrics" and len(parts) == 1:
+                    self._metrics()
                 elif parts[0] == "event" and len(parts) >= 2:
                     name = urllib.parse.unquote(parts[1])
                     if len(parts) == 3 and parts[2] == "peaks":
@@ -120,9 +124,23 @@ def _make_handler(app: TwitInfoApp):
                 200,
                 "<!DOCTYPE html><html><head><title>TwitInfo</title></head>"
                 f"<body><h1>TwitInfo events</h1><ul>{items}</ul>{form}"
+                '<p><a href="/metrics">metrics</a></p>'
                 "</body></html>",
                 "text/html",
             )
+
+        def _metrics(self) -> None:
+            from repro.obs import app_metrics, render_prometheus
+
+            body = render_prometheus(app_metrics(app))
+            payload = body.encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
 
         def _resolve(self, name: str):
             tracked = app.events.get(name)

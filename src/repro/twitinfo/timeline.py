@@ -12,7 +12,14 @@ detector and renderers.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 from dataclasses import dataclass, field
+
+#: Longest run of gap bins materialized per lull. A week-long quiet spell
+#: at 1-second bins would otherwise expand to ~600k zero tuples; real
+#: gaps in the demo scenarios are orders of magnitude shorter, so capped
+#: runs never change what the peak detector sees in practice.
+MAX_GAP_RUN = 10_000
 
 
 @dataclass
@@ -53,28 +60,51 @@ class Timeline:
     def __len__(self) -> int:
         return len(self._counts)
 
-    def bins(self, fill_gaps: bool = True) -> list[tuple[float, int]]:
-        """(bin_start, count) in time order.
+    def iter_bins(
+        self, fill_gaps: bool = True, max_gap_run: int | None = MAX_GAP_RUN
+    ) -> Iterator[tuple[float, int]]:
+        """Lazily yield (bin_start, count) in time order.
 
         With ``fill_gaps``, empty bins between the first and last
         populated bin are included with count 0 — the peak detector must
-        see quiet minutes, or a lull looks like a time warp.
+        see quiet minutes, or a lull looks like a time warp. Gap runs are
+        generated lazily and truncated to ``max_gap_run`` zero bins per
+        lull (pass ``None`` for unbounded), so a week of silence at
+        1-second bins cannot materialize hundreds of thousands of tuples.
         """
         if not self._counts:
-            return []
+            return
         indices = sorted(self._counts)
         if not fill_gaps:
-            return [(self.bin_start(i), self._counts[i]) for i in indices]
-        lo, hi = indices[0], indices[-1]
-        return [
-            (self.bin_start(i), self._counts.get(i, 0))
-            for i in range(lo, hi + 1)
-        ]
+            for i in indices:
+                yield self.bin_start(i), self._counts[i]
+            return
+        previous = indices[0] - 1
+        for i in indices:
+            gap = i - previous - 1
+            if max_gap_run is not None:
+                gap = min(gap, max_gap_run)
+            for k in range(i - gap, i):
+                yield self.bin_start(k), 0
+            yield self.bin_start(i), self._counts[i]
+            previous = i
+
+    def bins(
+        self, fill_gaps: bool = True, max_gap_run: int | None = MAX_GAP_RUN
+    ) -> list[tuple[float, int]]:
+        """(bin_start, count) in time order (see :meth:`iter_bins`)."""
+        return list(self.iter_bins(fill_gaps, max_gap_run=max_gap_run))
 
     def count_between(self, start: float, end: float) -> int:
         """Total count across bins intersecting [start, end)."""
         lo = self._bin_index(start)
         hi = self._bin_index(end - 1e-9)
+        if hi - lo + 1 > len(self._counts):
+            # Sparse path: a wide range over few populated bins sums the
+            # dict instead of walking every index in the range.
+            return sum(
+                count for i, count in self._counts.items() if lo <= i <= hi
+            )
         return sum(self._counts.get(i, 0) for i in range(lo, hi + 1))
 
     def max_count(self) -> int:

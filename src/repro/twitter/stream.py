@@ -138,6 +138,9 @@ class StreamConnection:
         self._auto_reconnect = auto_reconnect
         self.stats = ConnectionStats()
         self._closed = False
+        #: Span recorder (set by the planner at open time when tracing is
+        #: on); each auto-reconnect becomes one instant ``reconnect`` span.
+        self.tracer = None
 
     def __iter__(self) -> Iterator[Tweet]:
         # Fault-schedule cursor: index of the next pending drop, plus how
@@ -167,6 +170,14 @@ class StreamConnection:
                     next_drop += 1
                     if self._auto_reconnect:
                         self.stats.reconnects += 1
+                        if self.tracer is not None:
+                            self.tracer.instant(
+                                f"reconnect({self.description})",
+                                "reconnect",
+                                lane="stream",
+                                delivered=self.stats.delivered,
+                                gap=self._drops[next_drop - 1].gap,
+                            )
                 if gap_remaining > 0:
                     gap_remaining -= 1
                     self.stats.gap_tweets += 1

@@ -1,0 +1,60 @@
+"""Regression: ``fetch(n)`` with n == the exact row count must still drain.
+
+The row iterator used to release plan resources only in its ``finally``;
+a caller fetching exactly the available row count left the generator
+suspended on the last yield, so in-flight async service calls never
+drained and their effects never reached the stats.
+"""
+
+from __future__ import annotations
+
+from repro import EngineConfig
+
+SQL = (
+    "SELECT latitude(loc) AS lat FROM twitter "
+    "WHERE text contains 'goal';"
+)
+
+
+def _async_session(session_factory):
+    return session_factory(
+        "soccer",
+        config=EngineConfig(latency_mode="async", partial_results=False),
+    )
+
+
+def test_fetch_exact_row_count_drains_async_services(session_factory):
+    baseline = _async_session(session_factory).query(SQL)
+    try:
+        total = len(baseline.all())
+        expected = baseline.service_stats
+    finally:
+        baseline.close()
+    assert total > 0
+
+    handle = _async_session(session_factory).query(SQL)
+    try:
+        rows = handle.fetch(total)
+        assert len(rows) == total
+        # Without pulling past the end or closing: stats must already
+        # reflect every in-flight request having completed.
+        assert handle.service_stats == expected
+    finally:
+        handle.close()
+
+
+def test_fetch_exact_row_count_releases_resources(session_factory):
+    handle = _async_session(session_factory).query(SQL)
+    try:
+        total = len(handle.all())
+    finally:
+        handle.close()
+
+    handle = _async_session(session_factory).query(SQL)
+    try:
+        handle.fetch(total)
+        assert handle._released
+        for connection in handle.connections:
+            assert connection._closed
+    finally:
+        handle.close()

@@ -1,0 +1,43 @@
+"""Shared observability-test helpers.
+
+Sharded traces are only byte-deterministic when the source never advances
+the virtual clock (worker timestamps otherwise race), so the golden and
+determinism tests run against ``fixed``: a registered static source of
+1000 pre-stamped rows, all at t=0.
+"""
+
+from __future__ import annotations
+
+from repro import EngineConfig, TweeQL
+
+N_ROWS = 1000
+SCHEMA = ("text", "user_id", "created_at")
+ROWS = [
+    {"text": f"tweet {i}", "user_id": i % 7, "created_at": 0.0}
+    for i in range(N_ROWS)
+]
+
+#: Exercises scan, filter, grouped windowed aggregation, and (sharded)
+#: the exchange/merge machinery — 5 output groups at every config.
+GROUPED_SQL = (
+    "SELECT count(*) AS n FROM fixed WHERE user_id > 1 "
+    "GROUP BY user_id WINDOW 60 seconds;"
+)
+
+
+def static_session(
+    workers: int = 1,
+    batch_size: int = 256,
+    tracing: bool = True,
+    **config_kwargs,
+) -> TweeQL:
+    """A session over the static ``fixed`` source (no twitter stream)."""
+    config = EngineConfig(
+        workers=workers,
+        batch_size=batch_size,
+        tracing=tracing,
+        **config_kwargs,
+    )
+    session = TweeQL(config=config)
+    session.register_source("fixed", lambda: iter(ROWS), SCHEMA)
+    return session

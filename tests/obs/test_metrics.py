@@ -1,0 +1,86 @@
+"""Unit tests for the metrics registry and the Prometheus exporter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+
+
+def test_counter_only_goes_up():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.as_value() == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge()
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(12)
+    assert gauge.as_value() == 3
+
+
+def test_histogram_buckets_are_cumulative():
+    histogram = Histogram(buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.7, 5.0):
+        histogram.observe(value)
+    snapshot = histogram.as_value()
+    assert snapshot["count"] == 4
+    assert snapshot["sum"] == pytest.approx(6.25)
+    assert snapshot["buckets"] == {"le_0.1": 1, "le_1": 3, "le_inf": 4}
+
+
+def test_registry_get_or_create_returns_same_metric():
+    registry = MetricsRegistry()
+    assert registry.counter("a.b") is registry.counter("a.b")
+    with pytest.raises(TypeError):
+        registry.gauge("a.b")
+
+
+def test_absorb_nests_and_snapshot_rebuilds_the_tree():
+    registry = MetricsRegistry()
+    registry.absorb(
+        "service.geocoder",
+        {"calls": 10, "cache": {"hits": 7, "hit_rate": 0.7}, "name": "x"},
+    )
+    tree = registry.snapshot()
+    assert tree == {
+        "service": {
+            "geocoder": {"calls": 10, "cache": {"hits": 7, "hit_rate": 0.7}}
+        }
+    }
+    assert registry.flat()["service.geocoder.cache.hits"] == 7
+
+
+def test_absorb_overwrites_instead_of_double_counting():
+    registry = MetricsRegistry()
+    registry.absorb("query", {"rows": 5})
+    registry.absorb("query", {"rows": 8})
+    assert registry.flat()["query.rows"] == 8
+
+
+def test_render_prometheus_gauges_and_histograms():
+    registry = MetricsRegistry()
+    registry.gauge("query.rows-scanned").set(41.0)
+    histogram = registry.histogram("service.latency", buckets=(0.5,))
+    histogram.observe(0.25)
+    histogram.observe(2.0)
+    text = render_prometheus(registry)
+    assert "# TYPE tweeql_query_rows_scanned gauge" in text
+    assert "tweeql_query_rows_scanned 41" in text
+    assert "# TYPE tweeql_service_latency histogram" in text
+    assert 'tweeql_service_latency_bucket{le="0.5"} 1' in text
+    assert 'tweeql_service_latency_bucket{le="+Inf"} 2' in text
+    assert "tweeql_service_latency_sum 2.25" in text
+    assert "tweeql_service_latency_count 2" in text
+    assert text.endswith("\n")

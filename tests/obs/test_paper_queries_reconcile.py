@@ -1,0 +1,48 @@
+"""Acceptance: EXPLAIN ANALYZE reconciles on the paper's §2 demo queries.
+
+Real scenario, real service calls, every latency mode's default — the
+probe recount must equal the engine's counters, and the rendered service
+lines must match ``handle.service_stats`` (same objects, but this pins
+that draining happened before rendering).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig
+from repro.obs import reconcile
+
+PAPER_QUERIES = {
+    "sentiment-geocode": (
+        "SELECT sentiment(text), latitude(loc), longitude(loc) "
+        "FROM twitter WHERE text contains 'goal';"
+    ),
+    "keyword-location": (
+        "SELECT text FROM twitter WHERE text contains 'goal' "
+        "AND location in [bounding box for NYC];"
+    ),
+    "regional-sentiment": (
+        "SELECT AVG(sentiment(text)), floor(latitude(loc)) AS lat, "
+        "floor(longitude(loc)) AS long FROM twitter "
+        "WHERE text contains 'goal' GROUP BY lat, long WINDOW 3 hours;"
+    ),
+}
+
+
+@pytest.mark.parametrize("name", list(PAPER_QUERIES))
+def test_paper_query_reconciles(session_factory, name):
+    session = session_factory(
+        "soccer", config=EngineConfig(tracing=True)
+    )
+    handle = session.query(PAPER_QUERIES[name])
+    try:
+        rendered = handle.explain(analyze=True)
+        report = reconcile(handle)
+        service_stats = handle.service_stats
+    finally:
+        handle.close()
+    assert report["ok"], report
+    for service, block in service_stats.items():
+        if block.get("calls"):
+            assert f"{service}: calls={block['calls']}" in rendered

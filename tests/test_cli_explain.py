@@ -1,0 +1,78 @@
+"""The ``tweeql explain`` subcommand."""
+
+import json
+
+from repro.cli import main
+
+ARGS = ["--scenario", "soccer", "--population", "400", "--seed", "3"]
+SQL = "SELECT text FROM twitter WHERE text contains 'goal' LIMIT 5;"
+
+
+def test_plan_only_runs_nothing(capsys):
+    code = main([*ARGS, "explain", "--sql", SQL])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "== <--sql>" in out
+    assert "Scan: twitter" in out
+    assert "EXPLAIN ANALYZE" not in out
+
+
+def test_analyze_annotates_the_plan(capsys):
+    code = main([*ARGS, "explain", "--sql", SQL, "--analyze"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "-- EXPLAIN ANALYZE" in out
+    assert "query totals:" in out
+    assert "trace:" in out
+
+
+def test_analyze_writes_chrome_trace(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    code = main(
+        [*ARGS, "explain", "--sql", SQL, "--analyze",
+         "--trace", str(trace_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"wrote Chrome trace for 1 query to {trace_path}" in out
+    document = json.loads(trace_path.read_text(encoding="utf-8"))
+    assert document["displayTimeUnit"] == "ms"
+    assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+
+def test_tql_files_split_into_statements(tmp_path, capsys):
+    queries = tmp_path / "queries.tql"
+    queries.write_text(
+        "-- two statements\n"
+        "SELECT text FROM twitter WHERE text contains 'goal' LIMIT 2;\n"
+        "SELECT text FROM twitter WHERE text contains 'city' LIMIT 2;\n",
+        encoding="utf-8",
+    )
+    code = main([*ARGS, "explain", str(queries)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"== {queries}:1" in out
+    assert f"== {queries}:2" in out
+
+
+def test_trace_without_analyze_is_an_error(tmp_path, capsys):
+    code = main(
+        [*ARGS, "explain", "--sql", SQL, "--trace", str(tmp_path / "t.json")]
+    )
+    assert code == 2
+    assert "--trace requires --analyze" in capsys.readouterr().err
+
+
+def test_no_queries_is_an_error(capsys):
+    code = main([*ARGS, "explain"])
+    assert code == 2
+    assert "nothing to explain" in capsys.readouterr().err
+
+
+def test_bad_sql_fails_but_keeps_going(capsys):
+    code = main([*ARGS, "explain", "--sql", "SELECT bogus FROM nowhere;",
+                 "--sql", SQL])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "error:" in out
+    assert "Scan: twitter" in out

@@ -1,0 +1,57 @@
+"""Regression: the bin that *closes* a peak is absorbed at peak_alpha.
+
+The EWMA update factor used to be chosen after the close was processed,
+so the closing bin — still part of the burst — fell back to the slow
+alpha, leaving the baseline inflated and suppressing a quick second
+burst.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.twitinfo.peaks import PeakDetector, PeakDetectorParams
+
+
+def _warmed_detector() -> PeakDetector:
+    """Baseline of quiet bins so the estimates have settled."""
+    detector = PeakDetector(bin_seconds=60.0)
+    for index in range(20):
+        detector.update(index * 60.0, 10.0)
+    return detector
+
+
+def test_closing_bin_uses_peak_alpha():
+    detector = _warmed_detector()
+    params: PeakDetectorParams = detector.params
+
+    opened = detector.update(20 * 60.0, 100.0)
+    assert opened is not None
+
+    mean_before = detector.mean
+    meandev_before = detector.meandev
+    detector.update(21 * 60.0, 10.0)  # recedes to baseline: closes the peak
+    assert detector.peaks[0].closed
+    assert detector._open is None
+
+    # The closing bin must blend at peak_alpha, not the slow alpha.
+    alpha = params.peak_alpha
+    assert detector.mean == pytest.approx(
+        alpha * 10.0 + (1 - alpha) * mean_before
+    )
+    assert detector.meandev == pytest.approx(
+        max(1.0, alpha * abs(10.0 - mean_before) + (1 - alpha) * meandev_before)
+    )
+
+
+def test_two_quick_bursts_both_register():
+    detector = _warmed_detector()
+    bins = [100.0, 10.0]        # burst A: opens, then closes
+    bins += [10.0] * 3          # short lull
+    bins += [100.0, 10.0]       # burst B, shortly after
+    for offset, count in enumerate(bins):
+        detector.update((20 + offset) * 60.0, count)
+    detector.finish()
+    assert [p.label for p in detector.peaks] == ["A", "B"]
+    assert all(p.closed for p in detector.peaks)
+    assert detector.peaks[1].apex_count == 100.0

@@ -1,0 +1,56 @@
+"""The server's Prometheus ``/metrics`` endpoint."""
+
+import urllib.request
+
+import pytest
+
+from repro import TweeQL
+from repro.twitinfo import TwitInfoApp
+from repro.twitinfo.server import TwitInfoServer
+
+
+@pytest.fixture(scope="module")
+def server(soccer):
+    session = TweeQL.for_scenarios(soccer, seed=11)
+    app = TwitInfoApp(session)
+    app.track("Soccer", soccer.keywords, start=soccer.start, end=soccer.end)
+    with TwitInfoServer(app) as running:
+        yield running
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers, response.read().decode("utf-8")
+
+
+def test_metrics_exposition(server):
+    status, headers, body = fetch(server.url + "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+    assert "# TYPE tweeql_event_Soccer_peaks gauge" in body
+    assert "tweeql_event_Soccer_timeline_total" in body
+    assert "tweeql_service_geocode_calls" in body
+    assert body.endswith("\n")
+    # Every sample line parses as "<name> <number>".
+    for line in body.splitlines():
+        if line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        assert name.startswith("tweeql_")
+        float(value)
+
+
+def test_metrics_values_track_the_event(server):
+    _status, _headers, body = fetch(server.url + "/metrics")
+    samples = {
+        line.rsplit(" ", 1)[0]: float(line.rsplit(" ", 1)[1])
+        for line in body.splitlines()
+        if not line.startswith("#")
+    }
+    assert samples["tweeql_event_Soccer_timeline_total"] > 0
+    assert samples["tweeql_event_Soccer_peaks"] >= 1
+
+
+def test_index_links_to_metrics(server):
+    _status, _headers, body = fetch(server.url + "/")
+    assert '<a href="/metrics">' in body

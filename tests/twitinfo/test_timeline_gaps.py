@@ -1,0 +1,87 @@
+"""Lazy, capped gap filling in Timeline.bins / iter_bins.
+
+A week-long lull at 1-second bins used to materialize ~600k zero tuples
+eagerly; gap runs are now generated lazily and truncated to MAX_GAP_RUN
+zeros per lull, without changing what the peak detector sees for the
+normal gaps the demo scenarios produce.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.twitinfo.peaks import PeakDetector
+from repro.twitinfo.timeline import MAX_GAP_RUN, Timeline
+
+
+def _naive_bins(timeline: Timeline) -> list[tuple[float, int]]:
+    """The original eager, uncapped gap-filling semantics."""
+    counts = timeline._counts
+    indices = sorted(counts)
+    return [
+        (timeline.bin_start(i), counts.get(i, 0))
+        for i in range(indices[0], indices[-1] + 1)
+    ]
+
+
+def test_iter_bins_is_lazy():
+    timeline = Timeline(bin_seconds=1.0)
+    timeline.add(0.0)
+    timeline.add(1e9)  # a billion-bin gap: materializing would explode
+    iterator = timeline.iter_bins()
+    assert isinstance(iterator, Iterator)
+    assert next(iterator) == (0.0, 1)
+    assert next(iterator) == (1e9 - MAX_GAP_RUN, 0)
+
+
+def test_huge_gap_is_capped_to_max_gap_run():
+    timeline = Timeline(bin_seconds=1.0)
+    timeline.add(0.0)
+    timeline.add(7 * 24 * 3600.0)  # a week later
+    bins = timeline.bins()
+    assert len(bins) == 1 + MAX_GAP_RUN + 1
+    # The retained zeros are the trailing run: contiguous into the burst,
+    # so the detector's EWMA still ramps down before the next spike.
+    assert bins[-1] == (7 * 24 * 3600.0, 1)
+    assert bins[-2] == (7 * 24 * 3600.0 - 1.0, 0)
+    assert all(count == 0 for _start, count in bins[1:-1])
+
+
+def test_normal_gaps_match_the_eager_semantics():
+    timeline = Timeline(bin_seconds=60.0)
+    for timestamp in (0.0, 60.0, 600.0, 620.0, 3000.0, 3000.0):
+        timeline.add(timestamp)
+    assert timeline.bins() == _naive_bins(timeline)
+    assert timeline.bins(max_gap_run=None) == _naive_bins(timeline)
+
+
+def test_fill_gaps_false_skips_zeros():
+    timeline = Timeline(bin_seconds=60.0)
+    timeline.add(0.0)
+    timeline.add(600.0)
+    assert timeline.bins(fill_gaps=False) == [(0.0, 1), (600.0, 1)]
+
+
+def test_peak_detection_unchanged_for_normal_gaps():
+    timeline = Timeline(bin_seconds=60.0)
+    for index in range(40):
+        timeline.add(index * 60.0, count=10)
+    for index in range(40, 43):  # a burst after a short lull
+        timeline.add(300.0 + index * 60.0, count=120)
+    capped = PeakDetector(bin_seconds=60.0).run(timeline.bins())
+    eager = PeakDetector(bin_seconds=60.0).run(_naive_bins(timeline))
+    assert [(p.label, p.start, p.apex_count) for p in capped] == [
+        (p.label, p.start, p.apex_count) for p in eager
+    ]
+
+
+def test_count_between_sparse_path_matches_dense():
+    timeline = Timeline(bin_seconds=1.0)
+    timeline.add(0.0, count=3)
+    timeline.add(5.0, count=4)
+    timeline.add(1e6, count=5)
+    # Wide range: hi - lo + 1 >> populated bins, so the sparse path runs.
+    assert timeline.count_between(0.0, 2e6) == 12
+    assert timeline.count_between(1.0, 6.0) == 4
+    assert timeline.count_between(0.0, 1.0) == 3
+    assert timeline.count_between(10.0, 20.0) == 0
