@@ -126,6 +126,7 @@ def build_session(args: argparse.Namespace) -> tuple[TweeQL, list[Scenario]]:
         partial_results=getattr(args, "partial_results", False),
         workers=getattr(args, "workers", 1),
         batch_size=getattr(args, "batch_size", 256),
+        shared_scan=getattr(args, "shared", False),
         **_resilience_config_kwargs(args),
     )
     return TweeQL.for_scenarios(*scenarios, config=config), scenarios
@@ -157,6 +158,32 @@ def run_query(session: TweeQL, sql: str, rows: int) -> int:
         handle.close()
     print(f"-- {printed} row(s); stats: {handle.stats.as_dict()}")
     return printed
+
+
+def run_shared_queries(session: TweeQL, sqls: list[str], rows: int) -> None:
+    """Run several queries as tenants of one shared scan (``--shared``).
+
+    One Firehose connection and one scan serve every query; results print
+    per query, followed by the group's admission/routing/sharing counters.
+    """
+    group = session.shared()
+    handles = [group.query(sql) for sql in sqls]
+    try:
+        for sql, handle in zip(sqls, handles):
+            print(f"== {sql}")
+            printed = 0
+            try:
+                for row in handle:
+                    print(_format_row(row))
+                    printed += 1
+                    if printed >= rows:
+                        break
+            finally:
+                handle.close()
+            print(f"-- {printed} row(s); stats: {handle.stats.as_dict()}")
+    finally:
+        group.close()
+    print(f"-- shared scan: {group.stats.as_dict()}")
 
 
 def repl(session: TweeQL, rows: int) -> None:
@@ -461,6 +488,13 @@ def make_parser() -> argparse.ArgumentParser:
         "fault-plan file (see docs/RESILIENCE.md)",
     )
     parser.add_argument(
+        "--shared",
+        action="store_true",
+        help="multi-tenant shared-scan mode: queries given via repeated "
+        "--sql (and TwitInfo's event queries) share one stream connection "
+        "and one scan instead of opening one each",
+    )
+    parser.add_argument(
         "--no-stream-reconnect",
         action="store_true",
         help="do not auto-reconnect dropped stream connections (gap "
@@ -470,8 +504,12 @@ def make_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("repl", help="interactive query shell")
 
-    query = sub.add_parser("query", help="run one query and exit")
-    query.add_argument("--sql", required=True)
+    query = sub.add_parser("query", help="run one or more queries and exit")
+    query.add_argument(
+        "--sql", action="append", required=True, metavar="SQL",
+        help="query to run (repeatable; with --shared every query rides "
+        "one shared scan)",
+    )
     query.add_argument("--rows", type=int, default=20)
 
     check = sub.add_parser(
@@ -546,7 +584,11 @@ def main(argv: list[str] | None = None) -> int:
             return run_explain(args)
         elif command == "query":
             session, _ = build_session(args)
-            run_query(session, args.sql, args.rows)
+            if getattr(args, "shared", False):
+                run_shared_queries(session, args.sql, args.rows)
+            else:
+                for sql in args.sql:
+                    run_query(session, sql, args.rows)
         else:
             session, _ = build_session(args)
             repl(session, rows=20)

@@ -22,9 +22,12 @@ Layering (bottom to top):
   deterministic fault plans for the services and the stream.
 - :mod:`repro.engine.planner` / :mod:`repro.engine.executor` — AST to
   physical pipeline, and the pull-based run loop.
+- :mod:`repro.engine.multitenant` — multi-tenant shared-scan groups
+  (one connection/scan fanned out to N queries; ``Session.shared()``).
 - :mod:`repro.engine.session` — the public ``TweeQL`` façade.
 """
 
+from repro.engine.multitenant import SharedScanGroup
 from repro.engine.resilience import (
     CircuitBreaker,
     FaultPlan,
@@ -43,6 +46,7 @@ __all__ = [
     "ResilientService",
     "RetryPolicy",
     "ServiceFaultModel",
+    "SharedScanGroup",
     "StreamDrop",
     "TweeQL",
 ]

@@ -91,6 +91,17 @@ class ExecutionError(TweeQLError):
     """Raised when a planned query fails at runtime."""
 
 
+class AdmissionError(PlanError):
+    """Raised when a shared-scan group refuses to admit a query.
+
+    Carries a stable ``TQL4xx`` code: ``TQL401`` when the group is at its
+    ``max_tenants`` capacity, ``TQL402`` when the statement's shape cannot
+    ride a shared scan (joins, ``INTO STREAM``, ``now()``, or a different
+    source), ``TQL403`` when the group already started streaming or is
+    closed. See :mod:`repro.engine.multitenant`.
+    """
+
+
 class UnknownFunctionError(PlanError):
     """Raised when a query references a function not in the registry."""
 

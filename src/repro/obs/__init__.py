@@ -29,6 +29,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     app_metrics,
     query_metrics,
+    shared_metrics,
 )
 from repro.obs.trace import OperatorProbe, Span, TraceOperator, Tracer
 
@@ -47,5 +48,6 @@ __all__ = [
     "reconcile",
     "render_analyze",
     "render_prometheus",
+    "shared_metrics",
     "write_chrome_trace",
 ]

@@ -204,12 +204,31 @@ def query_metrics(handle: Any) -> MetricsRegistry:
     return registry
 
 
+def shared_metrics(
+    group: Any, registry: MetricsRegistry | None = None, prefix: str = "shared"
+) -> MetricsRegistry:
+    """One registry view of a shared-scan group's counters.
+
+    ``shared.group.*`` carries admission/routing/sharing totals,
+    ``shared.fanout.*`` the shared scan's QueryStats, ``shared.tenant.<i>.*``
+    per-tenant routing plus live ``buffer_depth`` (the fanout-lag signal)
+    and ``buffer_highwater``, ``shared.cache.<service>.*`` cross-tenant
+    hit-rate attribution, and ``shared.connection.*`` the single stream
+    connection's delivery accounting.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    registry.absorb(prefix, group.stats_dict())
+    return registry
+
+
 def app_metrics(app: Any) -> MetricsRegistry:
     """Registry for the TwitInfo server's ``/metrics`` endpoint.
 
     Per tracked event: tweets logged, peaks, sentiment counts, distinct
     links, geotagged markers, timeline bins. Session-wide: each managed
-    service's call/cache accounting.
+    service's call/cache accounting, plus one ``shared.<i>.*`` tree per
+    shared-scan group the app has opened (``shared_scan`` mode).
     """
     registry = MetricsRegistry()
     for name, tracked in app.events.items():
@@ -236,6 +255,8 @@ def app_metrics(app: Any) -> MetricsRegistry:
             registry.absorb(
                 f"service.{service_name}.resilience", resilience.as_dict()
             )
+    for index, group in enumerate(getattr(app, "shared_groups", ())):
+        shared_metrics(group, registry, prefix=f"shared.{index}")
     return registry
 
 

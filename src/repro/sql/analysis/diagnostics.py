@@ -5,7 +5,11 @@ Code ranges (catalogued with examples in ``docs/ANALYSIS.md``):
 - ``TQL0xx`` — lexical/syntactic (``TQL001`` lex, ``TQL002`` syntax);
 - ``TQL1xx`` — type diagnostics from the inferencer;
 - ``TQL2xx`` — semantic errors (everything the planner would reject);
-- ``TQL3xx`` — streamability / performance / safety lints.
+- ``TQL3xx`` — streamability / performance / safety lints;
+- ``TQL4xx`` — shared-scan admission control (``TQL401`` capacity,
+  ``TQL402`` unshareable statement, ``TQL403`` group already streaming
+  or closed) — raised as :class:`repro.errors.AdmissionError` by
+  :mod:`repro.engine.multitenant`, not emitted by the static analyzer.
 
 A :class:`Diagnostic` is an immutable record; a :class:`DiagnosticSink`
 collects every problem found in one pass over a statement so a user fixing

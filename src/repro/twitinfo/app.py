@@ -227,6 +227,9 @@ class TwitInfoApp:
     def __init__(self, session: TweeQL) -> None:
         self.session = session
         self.events: dict[str, TrackedEvent] = {}
+        #: Shared-scan groups this app has opened (``shared_scan`` mode /
+        #: :meth:`track_many`); ``/metrics`` absorbs each as ``shared.<i>``.
+        self.shared_groups: list = []
 
     def create_event(
         self,
@@ -255,20 +258,61 @@ class TwitInfoApp:
         The query is exactly ``definition.to_tweeql()`` — keyword filters
         OR-ed for the API's ``track`` endpoint, window bounds applied
         locally. Sentiment uses the session's classifier (the same one the
-        ``sentiment()`` UDF calls).
+        ``sentiment()`` UDF calls). With ``EngineConfig.shared_scan`` the
+        query runs as the sole tenant of a shared-scan group instead of
+        opening its own filtered connection.
         """
+        return self.run_events([tracked], limit=limit)[0]
+
+    def run_events(
+        self,
+        tracked_list: list[TrackedEvent],
+        limit: int | None = None,
+        shared: bool | None = None,
+    ) -> list[EventReport]:
+        """Run several events' queries; one shared scan when ``shared``.
+
+        ``shared=None`` follows ``EngineConfig.shared_scan``. In shared
+        mode every event's query is admitted as a tenant of one
+        :class:`~repro.engine.multitenant.SharedScanGroup` — one Firehose
+        connection and one scan for the whole batch of events, rather than
+        one filtered connection each (the 2011 API would have run out of
+        connections at 4 events). Panels are row-for-row identical either
+        way under lossless delivery.
+        """
+        if shared is None:
+            shared = getattr(self.session.config, "shared_scan", False)
         classify = self.session.classifier.classify
-        handle = self.session.query(tracked.definition.to_tweeql())
-        count = 0
-        for row in handle:
-            tweet: Tweet = row["__tweet__"]
-            tracked.ingest(tweet, classify(tweet.text))
-            count += 1
-            if limit is not None and count >= limit:
-                break
-        handle.close()
-        tracked.detect_peaks()
-        return tracked.report()
+
+        def ingest(tracked: TrackedEvent, handle) -> None:
+            count = 0
+            for row in handle:
+                tweet: Tweet = row["__tweet__"]
+                tracked.ingest(tweet, classify(tweet.text))
+                count += 1
+                if limit is not None and count >= limit:
+                    break
+            handle.close()
+
+        if shared and tracked_list:
+            group = self.session.shared()
+            self.shared_groups.append(group)
+            handles = [
+                group.query(t.definition.to_tweeql()) for t in tracked_list
+            ]
+            try:
+                for tracked, handle in zip(tracked_list, handles):
+                    ingest(tracked, handle)
+            finally:
+                group.close()
+        else:
+            for tracked in tracked_list:
+                ingest(tracked, self.session.query(tracked.definition.to_tweeql()))
+        reports = []
+        for tracked in tracked_list:
+            tracked.detect_peaks()
+            reports.append(tracked.report())
+        return reports
 
     def track(
         self,
@@ -286,6 +330,31 @@ class TwitInfoApp:
         )
         self.run_event(tracked)
         return tracked
+
+    def track_many(
+        self,
+        events: dict[str, tuple[str, ...] | list[str]],
+        start: float | None = None,
+        end: float | None = None,
+        bin_seconds: float = 60.0,
+        detector_params: PeakDetectorParams | None = None,
+    ) -> list[TrackedEvent]:
+        """Track N events on **one** shared scan (name → keywords).
+
+        The multi-tenant counterpart of :meth:`track`: every event is
+        admitted onto a single shared-scan group, so the whole dashboard
+        costs one stream connection and one pass over the firehose no
+        matter how many events it tracks.
+        """
+        tracked_list = [
+            self.create_event(
+                name, keywords, start=start, end=end,
+                bin_seconds=bin_seconds, detector_params=detector_params,
+            )
+            for name, keywords in events.items()
+        ]
+        self.run_events(tracked_list, shared=True)
+        return tracked_list
 
     def monitor(
         self,

@@ -1,0 +1,97 @@
+"""Fixtures and helpers for the multi-tenant shared-scan suite.
+
+The suite's backbone is the tenant-equivalence harness: run a set of
+queries once as tenants of one :class:`SharedScanGroup` and once each on
+its own session, and require row-for-row identical output. Equivalence
+holds only under lossless delivery (``delivery_ratio=1.0``) — the
+per-connection delivery-loss RNG draws differently for a shared firehose
+connection than for N per-query filtered connections, exactly as two real
+connections would drop different tweets — so every run here pins it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig, TweeQL
+from repro.twitter.workloads import soccer_match_scenario
+
+SEED = 11
+
+#: Shareable statements the equivalence tests sample from: plain filters,
+#: shared filter prefixes, UDF projections, regex matching, LIMIT early
+#: exit, and windowed/grouped aggregation.
+QUERY_POOL = [
+    "SELECT text FROM twitter;",
+    "SELECT text FROM twitter WHERE text contains 'goal';",
+    "SELECT lower(text) AS t, length(text) AS n FROM twitter "
+    "WHERE text contains 'goal';",
+    "SELECT sentiment(text) AS s, text FROM twitter WHERE text contains 'ref';",
+    "SELECT text FROM twitter WHERE text contains 'goal' LIMIT 25;",
+    "SELECT COUNT(*) AS n FROM twitter WHERE text contains 'goal' "
+    "WINDOW 5 minutes;",
+    "SELECT AVG(followers) AS f, lang FROM twitter GROUP BY lang "
+    "WINDOW 10 minutes;",
+    "SELECT text FROM twitter WHERE text matches 'g[oa]+l';",
+    "SELECT screen_name, followers FROM twitter "
+    "WHERE followers >= 0 AND length(text) > 10 AND lang = 'en';",
+    "SELECT text FROM twitter WHERE text contains 'goal' AND length(text) > 20;",
+]
+
+
+@pytest.fixture(scope="session")
+def mini_soccer(population):
+    """A small soccer match (~2k tweets) — shared-scan runs stay quick."""
+    return soccer_match_scenario(
+        seed=SEED, population=population, intensity=0.15
+    )
+
+
+def clean(rows):
+    """Strip engine-internal ``__``-prefixed passthrough columns."""
+    return [
+        {k: v for k, v in row.items() if not k.startswith("__")}
+        for row in rows
+    ]
+
+
+def run_independent(scenario, sql, config=None):
+    """One query on its own fresh session: the equivalence baseline."""
+    session = TweeQL.for_scenarios(
+        scenario, config=config, delivery_ratio=1.0, seed=SEED
+    )
+    handle = session.query(sql)
+    try:
+        return clean(handle.all())
+    finally:
+        handle.close()
+
+
+def run_shared(scenario, sqls, config=None, **group_kwargs):
+    """All queries as tenants of one group; returns (rows per query, group)."""
+    session = TweeQL.for_scenarios(
+        scenario, config=config, delivery_ratio=1.0, seed=SEED
+    )
+    group = session.shared(**group_kwargs)
+    try:
+        handles = [group.query(sql) for sql in sqls]
+        rows = [clean(handle.all()) for handle in handles]
+    finally:
+        group.close()
+    return rows, group
+
+
+@pytest.fixture()
+def shared_session(mini_soccer):
+    """A fresh lossless session over the small match."""
+    return TweeQL.for_scenarios(mini_soccer, delivery_ratio=1.0, seed=SEED)
+
+
+__all__ = [
+    "EngineConfig",
+    "QUERY_POOL",
+    "SEED",
+    "clean",
+    "run_independent",
+    "run_shared",
+]

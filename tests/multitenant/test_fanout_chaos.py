@@ -1,0 +1,190 @@
+"""Fanout chaos: slow tenants, dead tenants, eviction, and reconnects.
+
+The backpressure contract under test: a misbehaving tenant may cost its
+siblings at most ``stall_seconds`` of wall time, its input buffer never
+grows past ``buffer_batches``, and whatever happens to it — eviction,
+detach, early LIMIT exit — every *other* tenant's rows stay identical to
+an independent run.
+
+These tests use real ``time.sleep`` inside UDFs to make tenant pipelines
+genuinely slow (the backpressure budget is wall time, not virtual time),
+so the sleeps are kept in the sub-millisecond range.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import EngineConfig, TweeQL
+from repro.engine.resilience import FaultPlan, StreamDrop
+from repro.errors import ExecutionError
+from repro.twitter.workloads import background_chatter
+
+from tests.multitenant.conftest import SEED, clean, run_independent
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def tiny_chatter(population):
+    """~250 tweets: small enough that sleepy UDF pipelines stay fast."""
+    return background_chatter(
+        seed=SEED, population=population, duration=120.0, rate=2.0
+    )
+
+
+def _session(scenario, config=None, udfs=()):
+    session = TweeQL.for_scenarios(
+        scenario, config=config, delivery_ratio=1.0, seed=SEED
+    )
+    for name, impl in udfs:
+        session.register_udf(name, impl)
+    return session
+
+
+def test_slow_tenant_does_not_stall_siblings(tiny_chatter):
+    """A tenant 1000x slower than the stream: its sibling still gets every
+    row, the slow tenant's buffer stays bounded, and nobody is evicted
+    (the fanout waits within the stall budget, it does not kill laggards)."""
+
+    def snail(_ctx, text):
+        time.sleep(0.0004)
+        return text
+
+    config = EngineConfig(batch_size=16)
+    session = _session(tiny_chatter, config=config, udfs=[("snail", snail)])
+    group = session.shared(buffer_batches=2, stall_seconds=30.0)
+    slow = group.query("SELECT snail(text) AS t FROM twitter;")
+    fast = group.query("SELECT text FROM twitter;")
+    try:
+        fast_rows = clean(fast.all())
+        slow_rows = clean(slow.all())
+    finally:
+        group.close()
+
+    assert fast_rows == run_independent(
+        tiny_chatter, "SELECT text FROM twitter;", config=config
+    )
+    slow_session = _session(tiny_chatter, config=config, udfs=[("snail", snail)])
+    expected_slow = clean(
+        slow_session.query("SELECT snail(text) AS t FROM twitter;").all()
+    )
+    assert slow_rows == expected_slow
+
+    tree = group.stats_dict()
+    assert group.stats.evicted == 0
+    assert group.stats.detached == 0
+    for tenant in tree["tenant"].values():
+        assert tenant["buffer_highwater"] <= 2
+
+
+def test_dead_tenant_is_evicted_and_siblings_complete(tiny_chatter):
+    """A pipeline that stops draining blows the stall budget: the tenant
+    is evicted (its handle raises), the healthy sibling's rows are
+    untouched, and the eviction shows up in stats and metrics."""
+
+    def wedge(_ctx, text):
+        time.sleep(0.25)
+        return text
+
+    config = EngineConfig(batch_size=1)
+    session = _session(tiny_chatter, config=config, udfs=[("wedge", wedge)])
+    group = session.shared(buffer_batches=1, stall_seconds=0.15)
+    dead = group.query("SELECT wedge(text) AS t FROM twitter;")
+    healthy = group.query("SELECT text FROM twitter;")
+    try:
+        healthy_rows = clean(healthy.all())
+        with pytest.raises(ExecutionError, match="evicted"):
+            dead.all()
+    finally:
+        group.close()
+
+    assert healthy_rows == run_independent(
+        tiny_chatter, "SELECT text FROM twitter;", config=config
+    )
+    assert group.stats.evicted == 1
+    tree = group.stats_dict()
+    assert tree["tenant"]["0"]["evicted"] is True
+    assert tree["tenant"]["0"]["buffer_highwater"] <= 1
+    assert tree["tenant"]["1"]["evicted"] is False
+    snapshot = group.metrics().snapshot()
+    assert snapshot["shared"]["group"]["evicted"] == 1
+    assert snapshot["shared"]["tenant"]["0"]["evicted"] == 1
+
+
+def test_early_limits_stop_the_shared_scan(tiny_chatter):
+    """When every tenant finishes (LIMIT), the fanout stops pulling: the
+    connection's scanned count stays well short of the full firehose."""
+    config = EngineConfig(batch_size=1)
+    session = _session(tiny_chatter, config=config)
+    group = session.shared(buffer_batches=1)
+    h1 = group.query("SELECT text FROM twitter LIMIT 5;")
+    h2 = group.query("SELECT screen_name FROM twitter LIMIT 5;")
+    try:
+        rows1 = clean(h1.all())
+        rows2 = clean(h2.all())
+    finally:
+        group.close()
+    assert rows1 == run_independent(
+        tiny_chatter, "SELECT text FROM twitter LIMIT 5;", config=config
+    )
+    assert len(rows2) == 5
+    tree = group.stats_dict()
+    assert tree["connection"]["scanned"] < len(tiny_chatter)
+    # Natural completion is not a detach.
+    assert group.stats.detached == 0
+
+
+def test_closed_handle_detaches_without_touching_siblings(tiny_chatter):
+    """Closing a handle before pulling = a dead consumer: its feed is
+    dropped (detached), the sibling drains the whole stream unchanged."""
+    session = _session(tiny_chatter)
+    group = session.shared()
+    abandoned = group.query("SELECT text FROM twitter;")
+    survivor = group.query("SELECT screen_name, followers FROM twitter;")
+    abandoned.close()
+    try:
+        rows = clean(survivor.all())
+    finally:
+        group.close()
+    assert rows == run_independent(
+        tiny_chatter, "SELECT screen_name, followers FROM twitter;"
+    )
+    assert group.stats.detached == 1
+    tree = group.stats_dict()
+    assert tree["tenant"]["0"]["detached"] is True
+    assert tree["tenant"]["1"]["detached"] is False
+    # Closing the group again is a no-op; closing the survivor's handle
+    # after completion does not count as a detach either.
+    survivor.close()
+    group.close()
+    assert group.stats.detached == 1
+
+
+def test_stream_drops_reconnect_and_rows_still_match(tiny_chatter):
+    """A mid-stream disconnect with auto-reconnect: the shared connection
+    reconnects and the surviving rows equal an independent run under the
+    same fault plan (unfiltered queries, so both sides ride an identical
+    firehose connection)."""
+    plan = FaultPlan(
+        seed=7, stream_drops=(StreamDrop(after_delivered=60, gap=10),)
+    )
+    config = EngineConfig(fault_plan=plan)
+    sqls = [
+        "SELECT text FROM twitter;",
+        "SELECT length(text) AS n FROM twitter;",
+    ]
+    session = _session(tiny_chatter, config=config)
+    group = session.shared()
+    handles = [group.query(sql) for sql in sqls]
+    try:
+        shared_rows = [clean(h.all()) for h in handles]
+    finally:
+        group.close()
+    for sql, rows in zip(sqls, shared_rows):
+        assert rows == run_independent(tiny_chatter, sql, config=config), sql
+    tree = group.stats_dict()
+    assert tree["connection"]["reconnects"] >= 1
+    assert tree["connection"]["gap_tweets"] >= 0
