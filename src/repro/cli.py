@@ -126,6 +126,8 @@ def build_session(args: argparse.Namespace) -> tuple[TweeQL, list[Scenario]]:
         partial_results=getattr(args, "partial_results", False),
         workers=getattr(args, "workers", 1),
         batch_size=getattr(args, "batch_size", 256),
+        shard_backend=getattr(args, "shard_backend", "thread"),
+        columnar=not getattr(args, "no_columnar", False),
         shared_scan=getattr(args, "shared", False),
         **_resilience_config_kwargs(args),
     )
@@ -282,6 +284,8 @@ def run_check(args: argparse.Namespace) -> int:
         partial_results=getattr(args, "partial_results", False),
         workers=getattr(args, "workers", 1),
         batch_size=getattr(args, "batch_size", 256),
+        shard_backend=getattr(args, "shard_backend", "thread"),
+        columnar=not getattr(args, "no_columnar", False),
     )
     queries: list[tuple[str, str]] = []
     for sql in args.sql or ():
@@ -452,6 +456,21 @@ def make_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="rows per batch between operators (1 = row-at-a-time; "
         "results are identical at any size)",
+    )
+    parser.add_argument(
+        "--shard-backend",
+        default="thread",
+        choices=("thread", "process"),
+        help="with --workers N: run worker pipelines in threads (share "
+        "the GIL) or forked processes (true CPU parallelism for "
+        "Python-bound predicates; plans that must share the session "
+        "clock fall back to threads with an EXPLAIN note)",
+    )
+    parser.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="keep the legacy row-wise batch layout instead of columnar "
+        "batches with vectorized predicates (results are identical)",
     )
     parser.add_argument(
         "--use-eddy",

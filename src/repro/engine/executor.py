@@ -66,22 +66,54 @@ class QueryHandle:
 
     @property
     def service_stats(self) -> dict[str, dict]:
-        """Per-service call and cache accounting for serial plans.
+        """Per-service call and cache accounting.
 
         ``{service: {…ManagedCallStats…, "cache": {…CacheStats…}}}`` — the
         ``cache`` entry (hits, misses, hit_rate, …) is present only when
         the latency mode put an LRU in front of the service. When the
         session enabled retries, ``resilience`` (retries, recoveries,
         giveups, backoff time) and — with a breaker configured —
-        ``breaker`` (state plus transition counters) appear too. Sharded
-        plans expose the per-stage equivalent via
-        :attr:`shard_service_stats`.
+        ``breaker`` (state plus transition counters) appear too.
+
+        Sharded plans sum the per-stage ManagedCall mirrors (see
+        :attr:`shard_service_stats`) rather than reading the session's
+        global counters: each call lands in exactly one stage mirror, so
+        the sum neither double-counts nor — with the process backend,
+        where a child's calls never touch the parent's globals — loses
+        anything. Cache/resilience/breaker state lives on the shared
+        parent-side service objects either way.
         """
+        import dataclasses as _dc
+
+        plan = self._plan
+        shard_mirrors = plan.shard_service_stats
         out: dict[str, dict] = {}
-        for name, managed in self._plan.ctx.services.items():
+        for name, managed in plan.ctx.services.items():
             if not name.endswith("_managed"):
                 continue
-            stats = dict(managed.stats.as_dict())
+            service_name = name.removesuffix("_managed")
+            source = managed.stats
+            if shard_mirrors:
+                # Mirrors are keyed by the underlying service's own name
+                # (e.g. "geocoder"), not the session alias ("geocode").
+                mirror_key = getattr(
+                    getattr(managed, "service", None), "name", service_name
+                )
+                total = None
+                for stage in shard_mirrors:
+                    mirror = stage.get(mirror_key)
+                    if mirror is None:
+                        continue
+                    if total is None:
+                        total = type(mirror)()
+                    for f in _dc.fields(mirror):
+                        setattr(
+                            total, f.name,
+                            getattr(total, f.name) + getattr(mirror, f.name),
+                        )
+                if total is not None:
+                    source = total
+            stats = dict(source.as_dict())
             cache = getattr(managed, "cache", None)
             if cache is not None:
                 stats["cache"] = cache.stats.as_dict()
@@ -95,7 +127,7 @@ class QueryHandle:
                     "state": breaker.state,
                     **breaker.stats.as_dict(),
                 }
-            out[name.removesuffix("_managed")] = stats
+            out[service_name] = stats
         return out
 
     @property

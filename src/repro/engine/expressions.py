@@ -30,14 +30,34 @@ from typing import Any
 
 from repro.engine.aggregates import AGGREGATE_NAMES
 from repro.engine.functions import FunctionRegistry
-from repro.engine.types import EvalContext, Row
+from repro.engine.types import ColumnBatch, EvalContext, Row
 from repro.errors import PlanError, UnknownFieldError
 from repro.geo.bbox import BoundingBox, named_box
 from repro.sql import ast
 
 Evaluator = Callable[[Row, EvalContext], Any]
 
+#: A vectorized evaluator: batch in, one value per row out (or a
+#: :class:`Broadcast` when every row shares the value).
+VectorEvaluator = Callable[[ColumnBatch, EvalContext], Any]
+
 _call_site_counter = itertools.count(1)
+
+
+class Broadcast:
+    """A whole-batch constant, avoiding ``[value] * n`` materialization."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+def expand_column(result: Any, length: int) -> list[Any]:
+    """Normalize a vector result to a plain per-row list."""
+    if isinstance(result, Broadcast):
+        return [result.value] * length
+    return result
 
 
 def resolve_bbox(node: ast.BBox) -> BoundingBox:
@@ -365,6 +385,429 @@ def compile_expr(
         raise PlanError(f"unknown binary operator {op!r}")
 
     return compile_node(expr)
+
+
+class _VectorNode:
+    """A compiled vector sub-expression.
+
+    ``total`` marks evaluators that cannot raise on any row of the
+    engine's value domain. Scalar AND/OR short-circuit (a False left arm
+    skips the right arm entirely), so the vector form — which evaluates
+    both arms over the whole column — is only allowed to combine *total*
+    arms; otherwise a row the scalar path would never touch could raise.
+    """
+
+    __slots__ = ("fn", "total")
+
+    def __init__(self, fn: VectorEvaluator, total: bool) -> None:
+        self.fn = fn
+        self.total = total
+
+
+def _vec_unary(child: _VectorNode, cell: Callable[[Any], Any]) -> VectorEvaluator:
+    def fn(batch: ColumnBatch, ctx: EvalContext) -> Any:
+        result = child.fn(batch, ctx)
+        if isinstance(result, Broadcast):
+            return Broadcast(cell(result.value))
+        return [cell(value) for value in result]
+
+    return fn
+
+
+def _vec_binary(
+    left: _VectorNode, right: _VectorNode, cell: Callable[[Any, Any], Any]
+) -> VectorEvaluator:
+    def fn(batch: ColumnBatch, ctx: EvalContext) -> Any:
+        lhs = left.fn(batch, ctx)
+        rhs = right.fn(batch, ctx)
+        if isinstance(lhs, Broadcast):
+            if isinstance(rhs, Broadcast):
+                return Broadcast(cell(lhs.value, rhs.value))
+            a = lhs.value
+            return [cell(a, b) for b in rhs]
+        if isinstance(rhs, Broadcast):
+            b = rhs.value
+            return [cell(a, b) for a in lhs]
+        return [cell(a, b) for a, b in zip(lhs, rhs)]
+
+    return fn
+
+
+def build_fused_projector(
+    pairs: list[tuple[str, str]],
+) -> Callable[[list], list]:
+    """Synthesize ``rows -> [{out: r.get(src), …} for r in rows]``.
+
+    For select lists made purely of field references the fastest row
+    constructor CPython offers is a literal dict display inside a list
+    comprehension (one BUILD_MAP per row, keys interned at compile time)
+    — measurably quicker than per-item evaluator closures or
+    ``dict(zip(...))``. The display can't be written generically, so it
+    is generated: names come from the parsed statement and are embedded
+    via ``repr``, which yields a quoted string literal — there is no
+    injection surface.
+    """
+    body = "[{" + ", ".join(
+        f"{out!r}: r.get({src!r})" for out, src in pairs
+    ) + "} for r in rows]"
+    return eval(  # noqa: S307 - operands are repr'd string literals
+        compile(f"lambda rows: {body}", "<fused-projection>", "eval")
+    )
+
+
+def compile_vector_expr(
+    expr: ast.Expr,
+    registry: FunctionRegistry,
+    schema: tuple[str, ...],
+    ctx: EvalContext,
+    aliases: dict[str, Evaluator] | None = None,
+) -> VectorEvaluator | None:
+    """Compile an expression to a whole-column evaluator, or None.
+
+    The vector form computes ``(batch, ctx) -> list-of-values`` (or a
+    :class:`Broadcast` constant) with semantics identical to the scalar
+    closure applied row by row: NULL propagation, three-valued AND/OR,
+    TypeError-absorbing comparisons, NULL on division by zero. Anything
+    that needs a row dict or per-row state — UDF calls, select aliases —
+    returns None here; the planner then keeps the scalar path for that
+    expression. Call this only *after* ``compile_expr`` succeeded on the
+    same expression: plan-time validation (unknown fields, bad patterns)
+    is the scalar compiler's job and is not repeated here.
+    """
+    schema_set = {name.lower() for name in schema}
+    alias_names = set(aliases or ())
+    alias_names |= {name.lower() for name in alias_names}
+
+    def compile_node(node: ast.Expr) -> _VectorNode | None:
+        if isinstance(node, ast.Literal):
+            value = node.value
+            return _VectorNode(lambda _batch, _ctx: Broadcast(value), total=True)
+
+        if isinstance(node, ast.FieldRef):
+            key = node.name.lower()
+            if key in schema_set:
+                return _VectorNode(
+                    lambda batch, _ctx, key=key: batch.values(key), total=True
+                )
+            # Aliases are scalar closures over the projected row; stay scalar.
+            return None
+
+        if isinstance(node, ast.BBox):
+            box = resolve_bbox(node)
+            return _VectorNode(lambda _batch, _ctx: Broadcast(box), total=True)
+
+        if isinstance(node, ast.UnaryOp):
+            inner = compile_node(node.operand)
+            if inner is None:
+                return None
+            if node.op == "NOT":
+                return _VectorNode(
+                    _vec_unary(
+                        inner,
+                        lambda v: None if v is None else not _truthy(v),
+                    ),
+                    total=inner.total,
+                )
+            if node.op == "NEG":
+                # -value can raise TypeError on non-numerics, exactly as
+                # the scalar path would whenever it actually evaluates.
+                return _VectorNode(
+                    _vec_unary(inner, lambda v: None if v is None else -v),
+                    total=False,
+                )
+            if node.op == "IS NULL":
+                return _VectorNode(
+                    _vec_unary(inner, lambda v: v is None), total=inner.total
+                )
+            if node.op == "IS NOT NULL":
+                return _VectorNode(
+                    _vec_unary(inner, lambda v: v is not None),
+                    total=inner.total,
+                )
+            return None
+
+        if isinstance(node, ast.InList):
+            operand = compile_node(node.operand)
+            if operand is None:
+                return None
+            if all(isinstance(v, ast.Literal) for v in node.values):
+                values = [v.value for v in node.values]  # type: ignore[union-attr]
+                return _VectorNode(
+                    _vec_unary(
+                        operand,
+                        lambda v, values=values: (
+                            None if v is None else v in values
+                        ),
+                    ),
+                    total=operand.total,
+                )
+            value_nodes = [compile_node(v) for v in node.values]
+            if any(v is None for v in value_nodes):
+                return None
+
+            def eval_in(
+                batch: ColumnBatch,
+                context: EvalContext,
+                operand=operand,
+                value_nodes=value_nodes,
+            ) -> Any:
+                n = batch.length
+                needles = expand_column(operand.fn(batch, context), n)
+                cols = [
+                    expand_column(v.fn(batch, context), n)  # type: ignore[union-attr]
+                    for v in value_nodes
+                ]
+                return [
+                    None
+                    if needles[i] is None
+                    else needles[i] in [col[i] for col in cols]
+                    for i in range(n)
+                ]
+
+            return _VectorNode(
+                eval_in,
+                total=operand.total
+                and all(v.total for v in value_nodes),  # type: ignore[union-attr]
+            )
+
+        if isinstance(node, ast.BinaryOp):
+            return compile_binary(node)
+
+        # FuncCall (UDFs, stateful or not), Star, anything new: scalar only.
+        return None
+
+    def compile_binary(node: ast.BinaryOp) -> _VectorNode | None:
+        op = node.op
+        if op in ("AND", "OR"):
+            left = compile_node(node.left)
+            right = compile_node(node.right)
+            if left is None or right is None:
+                return None
+            # Both arms run over the whole column, so both must be total
+            # (scalar short-circuit might have skipped the right arm).
+            if not (left.total and right.total):
+                return None
+            if op == "AND":
+
+                def and_cell(a: Any, b: Any) -> Any:
+                    if a is not None and not _truthy(a):
+                        return False
+                    if b is not None and not _truthy(b):
+                        return False
+                    if a is None or b is None:
+                        return None
+                    return True
+
+                return _VectorNode(_vec_binary(left, right, and_cell), total=True)
+
+            def or_cell(a: Any, b: Any) -> Any:
+                if a is not None and _truthy(a):
+                    return True
+                if b is not None and _truthy(b):
+                    return True
+                if a is None or b is None:
+                    return None
+                return False
+
+            return _VectorNode(_vec_binary(left, right, or_cell), total=True)
+
+        if op == "CONTAINS":
+            left = compile_node(node.left)
+            right = compile_node(node.right)
+            if left is None or right is None:
+                return None
+            if isinstance(node.right, ast.Literal) and node.right.value is not None:
+                needle_cf = str(node.right.value).casefold()
+
+                def eval_contains_lit(
+                    batch: ColumnBatch,
+                    context: EvalContext,
+                    left=left,
+                    needle_cf=needle_cf,
+                ) -> Any:
+                    texts = left.fn(batch, context)
+                    if isinstance(texts, Broadcast):
+                        t = texts.value
+                        return Broadcast(
+                            None if t is None else needle_cf in str(t).casefold()
+                        )
+                    return [
+                        None if t is None else needle_cf in str(t).casefold()
+                        for t in texts
+                    ]
+
+                return _VectorNode(eval_contains_lit, total=left.total)
+
+            def contains_cell(a: Any, b: Any) -> Any:
+                if a is None or b is None:
+                    return None
+                return str(b).casefold() in str(a).casefold()
+
+            return _VectorNode(
+                _vec_binary(left, right, contains_cell),
+                total=left.total and right.total,
+            )
+
+        if op == "MATCHES":
+            left = compile_node(node.left)
+            if left is None:
+                return None
+            if isinstance(node.right, ast.Literal) and isinstance(
+                node.right.value, str
+            ):
+                # Scalar compilation already validated the pattern.
+                pattern = re.compile(node.right.value, re.IGNORECASE)
+                search = pattern.search
+                return _VectorNode(
+                    _vec_unary(
+                        left,
+                        lambda t, search=search: (
+                            None if t is None else search(str(t)) is not None
+                        ),
+                    ),
+                    total=left.total,
+                )
+            right = compile_node(node.right)
+            if right is None:
+                return None
+
+            def matches_cell(a: Any, b: Any) -> Any:
+                if a is None or b is None:
+                    return None
+                return re.search(str(b), str(a), re.IGNORECASE) is not None
+
+            # Dynamic patterns can raise re.error, like the scalar path.
+            return _VectorNode(_vec_binary(left, right, matches_cell), total=False)
+
+        if op == "LIKE":
+            left = compile_node(node.left)
+            if left is None:
+                return None
+            # Non-literal patterns were rejected at scalar compile time.
+            assert isinstance(node.right, ast.Literal)
+            assert isinstance(node.right.value, str)
+            match = _like_to_regex(node.right.value).match
+            return _VectorNode(
+                _vec_unary(
+                    left,
+                    lambda t, match=match: (
+                        None if t is None else match(str(t)) is not None
+                    ),
+                ),
+                total=left.total,
+            )
+
+        if op == "IN_BBOX":
+            left = compile_node(node.left)
+            if left is None:
+                return None
+            assert isinstance(node.right, ast.BBox)
+            box = resolve_bbox(node.right)
+
+            def bbox_cell(point: Any, box: BoundingBox = box) -> Any:
+                if point is None:
+                    return None
+                try:
+                    lat, lon = point
+                except (TypeError, ValueError):
+                    return None
+                if lat is None or lon is None:
+                    return None
+                return box.contains(float(lat), float(lon))
+
+            # float() can raise ValueError on dirty data, as in scalar.
+            return _VectorNode(_vec_unary(left, bbox_cell), total=False)
+
+        if op in _COMPARE:
+            left = compile_node(node.left)
+            right = compile_node(node.right)
+            if left is None or right is None:
+                return None
+            compare = _COMPARE[op]
+
+            def compare_cell(a: Any, b: Any, compare=compare) -> Any:
+                if a is None or b is None:
+                    return None
+                try:
+                    return compare(a, b)
+                except TypeError:
+                    return None
+
+            def eval_compare_vec(
+                batch: ColumnBatch,
+                context: EvalContext,
+                left=left,
+                right=right,
+                compare=compare,
+                compare_cell=compare_cell,
+            ) -> Any:
+                lhs = left.fn(batch, context)
+                rhs = right.fn(batch, context)
+                if isinstance(rhs, Broadcast) and not isinstance(lhs, Broadcast):
+                    b = rhs.value
+                    if b is None:
+                        return Broadcast(None)
+                    try:
+                        # Fast lane: no per-cell try/except. A mixed-type
+                        # column retries with the absorbing cell below.
+                        return [
+                            None if a is None else compare(a, b) for a in lhs
+                        ]
+                    except TypeError:
+                        return [compare_cell(a, b) for a in lhs]
+                if isinstance(lhs, Broadcast):
+                    if isinstance(rhs, Broadcast):
+                        return Broadcast(compare_cell(lhs.value, rhs.value))
+                    a = lhs.value
+                    if a is None:
+                        return Broadcast(None)
+                    try:
+                        return [
+                            None if b is None else compare(a, b) for b in rhs
+                        ]
+                    except TypeError:
+                        return [compare_cell(a, b) for b in rhs]
+                return [compare_cell(a, b) for a, b in zip(lhs, rhs)]
+
+            return _VectorNode(
+                eval_compare_vec, total=left.total and right.total
+            )
+
+        if op in _ARITH:
+            left = compile_node(node.left)
+            right = compile_node(node.right)
+            if left is None or right is None:
+                return None
+            arith = _ARITH[op]
+
+            def arith_cell(a: Any, b: Any, arith=arith) -> Any:
+                if a is None or b is None:
+                    return None
+                try:
+                    return arith(a, b)
+                except ZeroDivisionError:
+                    return None
+
+            # TypeError propagates, exactly like the scalar path.
+            return _VectorNode(_vec_binary(left, right, arith_cell), total=False)
+
+        if op == "/":
+            left = compile_node(node.left)
+            right = compile_node(node.right)
+            if left is None or right is None:
+                return None
+
+            def div_cell(a: Any, b: Any) -> Any:
+                if a is None or b is None or b == 0:
+                    return None
+                return a / b
+
+            return _VectorNode(_vec_binary(left, right, div_cell), total=False)
+
+        return None
+
+    node = compile_node(expr)
+    return None if node is None else node.fn
 
 
 def _truthy(value: Any) -> bool:

@@ -23,13 +23,21 @@ end-of-stream punctuation downstream operators flush on.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from itertools import islice
 from typing import Any
 
-from repro.engine.expressions import Evaluator
+from repro.engine.expressions import (
+    Broadcast,
+    Evaluator,
+    VectorEvaluator,
+    expand_column,
+)
 from repro.engine.types import (
     DEFAULT_BATCH_SIZE,
+    MISSING,
+    Batch,
+    ColumnBatch,
     EvalContext,
     Row,
     RowBatch,
@@ -38,8 +46,11 @@ from repro.engine.types import (
 from repro.sql.ast import WindowSpec
 from repro.engine.windows import windows_containing
 
-#: What operators consume and produce.
-Batches = Iterable[RowBatch]
+#: What operators consume and produce. Either batch flavor flows through
+#: every operator: columnar stages test ``isinstance(batch, ColumnBatch)``
+#: and row-oriented stages read the ``rows`` bridge, so mixed pipelines
+#: (e.g. a RowBatch-producing join feeding a columnar filter) stay correct.
+Batches = Iterable[Batch]
 
 
 def rebatch(rows: Iterable[Row], batch_size: int) -> Iterator[RowBatch]:
@@ -70,17 +81,20 @@ class ScanOperator:
         source: Iterable[Row],
         ctx: EvalContext,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        columnar: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         self._source = source
         self._ctx = ctx
         self._batch_size = batch_size
+        self._columnar = columnar
 
-    def __iter__(self) -> Iterator[RowBatch]:
+    def __iter__(self) -> Iterator[Batch]:
         ctx = self._ctx
         stats = ctx.stats
         size = self._batch_size
+        columnar = self._columnar
         source = iter(self._source)
         seq = 0
         while True:
@@ -95,7 +109,10 @@ class ScanOperator:
                     if timestamp is not None and timestamp > stream_time:
                         stream_time = timestamp
                 ctx.stream_time = stream_time
-            yield RowBatch(rows, seq=seq, last=last)
+            if columnar:
+                yield ColumnBatch.from_rows(rows, seq=seq, last=last)
+            else:
+                yield RowBatch(rows, seq=seq, last=last)
             if last:
                 return
             seq += 1
@@ -103,20 +120,68 @@ class ScanOperator:
 
 class FilterOperator:
     """Applies one compiled predicate; keeps rows where it is exactly TRUE
-    (NULL, like FALSE, drops the row — SQL WHERE semantics)."""
+    (NULL, like FALSE, drops the row — SQL WHERE semantics).
+
+    When the planner could vectorize the predicate and the input batch is
+    columnar, the whole verdict column is computed in one call and the
+    batch compressed with ``take``; otherwise the scalar closure runs per
+    row. Both paths keep identical counters and emit identical rows.
+    """
 
     def __init__(
-        self, child: Batches, predicate: Evaluator, ctx: EvalContext
+        self,
+        child: Batches,
+        predicate: Evaluator,
+        ctx: EvalContext,
+        vector_predicate: VectorEvaluator | None = None,
     ) -> None:
         self._child = child
         self._predicate = predicate
         self._ctx = ctx
+        self._vector_predicate = vector_predicate
 
-    def __iter__(self) -> Iterator[RowBatch]:
+    def __iter__(self) -> Iterator[Batch]:
         ctx = self._ctx
         stats = ctx.stats
         predicate = self._predicate
+        vector = self._vector_predicate
         for batch in self._child:
+            if isinstance(batch, ColumnBatch):
+                has_punct = batch.has_field("__punct__")
+                if vector is not None and not has_punct:
+                    n = batch.length
+                    verdicts = vector(batch, ctx)
+                    if isinstance(verdicts, Broadcast):
+                        value = verdicts.value
+                        out = (
+                            batch
+                            if value is not None and value
+                            else batch.take([])
+                        )
+                    else:
+                        out = batch.compress(verdicts)
+                    stats.predicate_evaluations += n
+                    stats.rows_after_filter += out.length
+                else:
+                    keep = []
+                    evaluated = passed = 0
+                    for i, row in enumerate(batch.rows):
+                        if has_punct and "__punct__" in row:
+                            keep.append(i)
+                            continue
+                        evaluated += 1
+                        verdict = predicate(row, ctx)
+                        if verdict is not None and verdict:
+                            passed += 1
+                            keep.append(i)
+                    stats.predicate_evaluations += evaluated
+                    stats.rows_after_filter += passed
+                    out = batch.take(keep)
+                if out.length or batch.last:
+                    yield out
+                if batch.last:
+                    return
+                continue
             kept: list[Row] = []
             append = kept.append
             evaluated = passed = 0
@@ -153,18 +218,75 @@ class ProjectOperator:
         items: list[tuple[str, Evaluator]],
         ctx: EvalContext,
         passthrough_time: bool = True,
+        vector_items: list[VectorEvaluator | None] | None = None,
+        fused: Callable[[list[Row]], list[Row]] | None = None,
     ) -> None:
         self._child = child
         self._items = items
         self._ctx = ctx
         self._passthrough_time = passthrough_time
+        self._vector_items = vector_items
+        self._fused = fused
 
-    def __iter__(self) -> Iterator[RowBatch]:
+    def __iter__(self) -> Iterator[Batch]:
         ctx = self._ctx
         stats = ctx.stats
         items = self._items
         passthrough_time = self._passthrough_time
+        vector_items = self._vector_items
+        fused = self._fused
         for batch in self._child:
+            if isinstance(batch, ColumnBatch):
+                n = batch.length
+                if fused is not None:
+                    # All-field select list: one generated dict display per
+                    # row, then re-attach homogeneous special columns.
+                    specials: list[tuple[str, list]] = []
+                    dense = True
+                    for special in ("__tweet__", "__seq__"):
+                        col = batch.field(special)
+                        if col is not None:
+                            if MISSING in col:
+                                dense = False  # ragged specials: general path
+                                break
+                            specials.append((special, col))
+                    if dense:
+                        projected = fused(batch.rows)
+                        for special, col in specials:
+                            for out, value in zip(projected, col):
+                                out[special] = value
+                        stats.rows_emitted += n
+                        if n or batch.last:
+                            yield ColumnBatch.from_rows(
+                                projected, seq=batch.seq, last=batch.last
+                            )
+                        if batch.last:
+                            return
+                        continue
+                out_cols: dict[str, list[Any]] = {}
+                rows: list[Row] | None = None
+                for index, (name, evaluate) in enumerate(items):
+                    vec = vector_items[index] if vector_items else None
+                    if vec is not None:
+                        out_cols[name] = expand_column(vec(batch, ctx), n)
+                    else:
+                        if rows is None:
+                            rows = batch.rows
+                        out_cols[name] = [evaluate(row, ctx) for row in rows]
+                if passthrough_time and "created_at" not in out_cols:
+                    out_cols["created_at"] = batch.values("created_at")
+                for special in ("__tweet__", "__seq__"):
+                    col = batch.field(special)
+                    if col is not None:
+                        out_cols[special] = col
+                stats.rows_emitted += n
+                if n or batch.last:
+                    yield ColumnBatch(
+                        out_cols, n, seq=batch.seq, last=batch.last
+                    )
+                if batch.last:
+                    return
+                continue
             projected: list[Row] = []
             append = projected.append
             for row in batch.rows:
@@ -231,6 +353,8 @@ class WindowedAggregateOperator:
         having: Evaluator | None = None,
         order_by: list[tuple[Evaluator, bool]] | None = None,
         limit: int | None = None,
+        vector_group_evals: list[VectorEvaluator | None] | None = None,
+        vector_agg_args: list[VectorEvaluator | None] | None = None,
     ) -> None:
         self._child = child
         self._window = window
@@ -241,26 +365,68 @@ class WindowedAggregateOperator:
         self._having = having
         self._order_by = order_by or []
         self._limit = limit
+        # Whole-column precompute is sound only when *every* grouping key
+        # is vectorizable (pure — a stateful key must be re-evaluated per
+        # (row, window) exactly as the scalar loop does).
+        self._vector_group_evals = (
+            vector_group_evals
+            if vector_group_evals is not None
+            and all(v is not None for v in vector_group_evals)
+            else None
+        )
+        self._vector_agg_args = vector_agg_args
         # (window_start, window_end) → {group_key: _GroupState}
         self._open: dict[tuple[float, float], dict[tuple, _GroupState]] = {}
 
-    def __iter__(self) -> Iterator[RowBatch]:
+    def __iter__(self) -> Iterator[Batch]:
         ctx = self._ctx
         window = self._window
         group_evals = self._group_evals
         agg_factories = self._agg_factories
         open_windows = self._open
+        vector_groups = self._vector_group_evals
+        vector_args = self._vector_agg_args
         for batch in self._child:
             emitted: list[Row] = []
-            for row in batch.rows:
+            rows = batch.rows
+            key_col: list[tuple] | None = None
+            arg_cols: list[list[Any] | None] | None = None
+            if (
+                isinstance(batch, ColumnBatch)
+                and not batch.has_field("__punct__")
+            ):
+                n = batch.length
+                if vector_groups is not None:
+                    if vector_groups:
+                        key_col = list(
+                            zip(
+                                *(
+                                    expand_column(vec(batch, ctx), n)
+                                    for vec in vector_groups
+                                )
+                            )
+                        )
+                    else:
+                        key_col = [()] * n
+                if vector_args is not None:
+                    arg_cols = [
+                        expand_column(vec(batch, ctx), n)
+                        if vec is not None
+                        else None
+                        for vec in vector_args
+                    ]
+            for i, row in enumerate(rows):
                 timestamp = row.get("created_at", ctx.stream_time)
                 # Close every window that ended at or before this row's time.
                 self._close_due(timestamp, emitted)
                 for bounds in windows_containing(timestamp, window):
                     groups = open_windows.setdefault(bounds, {})
-                    key = tuple(
-                        evaluate(row, ctx) for evaluate in group_evals
-                    )
+                    if key_col is not None:
+                        key = key_col[i]
+                    else:
+                        key = tuple(
+                            evaluate(row, ctx) for evaluate in group_evals
+                        )
                     state = groups.get(key)
                     if state is None:
                         state = _GroupState(
@@ -269,13 +435,16 @@ class WindowedAggregateOperator:
                         )
                         groups[key] = state
                     state.count += 1
-                    for accumulator, (_factory, arg_eval, skip_nulls) in zip(
-                        state.accumulators, agg_factories
+                    for site, (accumulator, (_factory, arg_eval, skip_nulls)) in enumerate(
+                        zip(state.accumulators, agg_factories)
                     ):
                         if arg_eval is None:
                             accumulator.add(1)
                             continue
-                        value = arg_eval(row, ctx)
+                        if arg_cols is not None and arg_cols[site] is not None:
+                            value = arg_cols[site][i]
+                        else:
+                            value = arg_eval(row, ctx)
                         if value is None and skip_nulls:
                             continue
                         accumulator.add(value)
@@ -649,18 +818,19 @@ class LimitOperator:
         self._child = child
         self._limit = limit
 
-    def __iter__(self) -> Iterator[RowBatch]:
+    def __iter__(self) -> Iterator[Batch]:
         remaining = self._limit
         if remaining <= 0:
             yield RowBatch([], last=True)
             return
         for batch in self._child:
-            rows = batch.rows
-            if len(rows) >= remaining:
-                yield RowBatch(rows[:remaining], seq=batch.seq, last=True)
+            size = len(batch)
+            if size >= remaining:
+                # head() truncates either batch flavor and re-punctuates.
+                yield batch.head(remaining)
                 return
-            remaining -= len(rows)
-            yield RowBatch(rows, seq=batch.seq, last=batch.last)
+            remaining -= size
+            yield batch
             if batch.last:
                 return
         # Child ended without a last batch (defensive): punctuate anyway.

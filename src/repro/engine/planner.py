@@ -35,8 +35,12 @@ from repro.engine.confidence import ConfidenceAggregateOperator, ConfidencePolic
 from repro.engine.eddies import AdaptivePredicate, EddyOperator
 from repro.engine.expressions import (
     Evaluator,
+    VectorEvaluator,
+    build_fused_projector,
     compile_expr,
+    compile_vector_expr,
     contains_aggregate,
+    contains_high_latency,
     resolve_bbox,
 )
 from repro.engine.functions import FunctionRegistry
@@ -367,11 +371,128 @@ class Planner:
         if workers > 1:
             reason = self._shard_blocker(statement)
             if reason is None:
-                return self._plan_sharded(statement, binding, workers)
+                backend, workers, notes = self._resolve_backend(
+                    statement, workers
+                )
+                return self._plan_sharded(
+                    statement, binding, workers,
+                    backend=backend, backend_notes=notes,
+                )
             plan = self._plan_serial(statement, binding)
             plan.explain_lines.append(f"Parallel: serial fallback ({reason})")
+            if getattr(self._config, "shard_backend", "thread") == "process":
+                plan.explain_lines.append(
+                    "Parallel: process backend requested but the plan runs "
+                    "serially (see fallback reason above)"
+                )
             return plan
         return self._plan_serial(statement, binding)
+
+    # -- shard backend ---------------------------------------------------------
+
+    def _process_blocker(self, statement: ast.SelectStatement) -> str | None:
+        """Why this statement cannot use process workers, or None.
+
+        A forked child's virtual clock is a frozen copy, so any worker
+        stage that *advances* the session clock — high-latency (simulated
+        web-service) calls, and the punctuation-coupled confidence
+        emission path — must stay on threads, where
+        :class:`~repro.engine.parallel.LockedManagedCall` serializes clock
+        access. Fork itself must be available: worker pipelines are
+        unpicklable closures that only fork can transplant.
+        """
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return "fork start method unavailable on this platform"
+        has_aggregates = bool(statement.group_by) or any(
+            not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
+            for item in statement.select
+        )
+        if (
+            has_aggregates
+            and statement.window is None
+            and self._config.confidence_policy is not None
+        ):
+            return "confidence-triggered emission is clock/punctuation-coupled"
+        exprs: list[ast.Expr] = [
+            item.expr
+            for item in statement.select
+            if not isinstance(item.expr, ast.Star)
+        ]
+        exprs.extend(split_conjuncts(statement.where))
+        exprs.extend(statement.group_by)
+        if statement.having is not None:
+            exprs.append(statement.having)
+        exprs.extend(expr for expr, _desc in statement.order_by)
+        for expr in exprs:
+            if contains_high_latency(expr, self._registry):
+                return "web-service calls must run on the session clock"
+        return None
+
+    def _resolve_backend(
+        self, statement: ast.SelectStatement, workers: int
+    ) -> tuple[str, int, list[str]]:
+        """Pick thread vs process workers; clamp process fan-out to cores.
+
+        Thread shards are *logical* partitions — the determinism contract
+        makes results identical at any worker count, and N threads on one
+        core cost little — so thread worker counts are never clamped (the
+        TQL309 lint warns instead). Process workers each cost a fork and
+        real memory, so asking for more than ``os.cpu_count()`` is clamped
+        unless ``EngineConfig.clamp_workers`` is off (tests use that to
+        exercise the process fabric on small hosts).
+        """
+        import os
+
+        backend = getattr(self._config, "shard_backend", "thread")
+        if backend not in ("thread", "process"):
+            raise PlanError(
+                f"unknown shard_backend {backend!r}; use 'thread' or 'process'"
+            )
+        notes: list[str] = []
+        if backend != "process":
+            return backend, workers, notes
+        reason = self._process_blocker(statement)
+        if reason is None and getattr(self._config, "clamp_workers", True):
+            cores = os.cpu_count() or 1
+            if workers > cores:
+                if cores >= 2:
+                    notes.append(
+                        f"Parallel: workers clamped {workers} -> {cores} "
+                        "(os.cpu_count(); process workers cost real cores)"
+                    )
+                    workers = cores
+                else:
+                    reason = (
+                        f"host has {cores} CPU core(s); process sharding "
+                        "cannot beat serial"
+                    )
+        if reason is not None:
+            notes.append(
+                f"Parallel: process backend unavailable ({reason}); "
+                "using thread workers"
+            )
+            backend = "thread"
+        return backend, workers, notes
+
+    # -- columnar layout -------------------------------------------------------
+
+    def _columnar_for(
+        self, statement: ast.SelectStatement, batch_size: int
+    ) -> bool:
+        """Whether this plan's scans should emit ColumnBatches.
+
+        Row-at-a-time plans (batch 1) gain nothing from a transpose, and
+        join pipelines are row-oriented end to end, so both keep the
+        legacy RowBatch layout; everything else defaults to columnar
+        (``EngineConfig.columnar`` turns it off for A/B comparison).
+        """
+        return (
+            bool(getattr(self._config, "columnar", True))
+            and batch_size > 1
+            and statement.join is None
+        )
 
     # -- tracing ---------------------------------------------------------------
 
@@ -458,8 +579,14 @@ class Planner:
                     f"Batch: 1 row/batch (row-at-a-time fallback: {reason})"
                 )
                 return 1
+        layout = (
+            ", columnar"
+            if self._columnar_for(statement, configured)
+            else ""
+        )
         plan.explain_lines.append(
             f"Batch: {configured} row{'s' if configured != 1 else ''}/batch"
+            + layout
         )
         return configured
 
@@ -480,8 +607,11 @@ class Planner:
         # ---- source access + API filter choice ----
         source_rows = self._build_source(binding, conjuncts, plan)
         batch_size = self._batch_size_for(statement, plan)
+        columnar = self._columnar_for(statement, batch_size)
         schema = binding.schema
-        pipeline: ops.Batches = ops.ScanOperator(source_rows, ctx, batch_size)
+        pipeline: ops.Batches = ops.ScanOperator(
+            source_rows, ctx, batch_size, columnar=columnar
+        )
         pipeline = self._trace(pipeline, f"Scan({binding.name})", plan)
 
         if statement.join is not None:
@@ -492,7 +622,9 @@ class Planner:
 
         # ---- local predicates ----
         before = pipeline
-        pipeline = self._build_filters(conjuncts, pipeline, schema, ctx, plan)
+        pipeline = self._build_filters(
+            conjuncts, pipeline, schema, ctx, plan, columnar=columnar
+        )
         if pipeline is not before:
             pipeline = self._trace(pipeline, "Filter", plan)
 
@@ -520,7 +652,7 @@ class Planner:
         # ---- projection / aggregation ----
         if has_aggregates:
             pipeline, output_schema = self._build_aggregation(
-                statement, pipeline, schema, ctx, plan
+                statement, pipeline, schema, ctx, plan, columnar=columnar
             )
             pipeline = self._trace(pipeline, "Aggregate", plan)
         else:
@@ -532,7 +664,7 @@ class Planner:
                     "have no global order to sort)"
                 )
             pipeline, output_schema = self._build_projection(
-                statement, pipeline, schema, ctx
+                statement, pipeline, schema, ctx, columnar=columnar
             )
             pipeline = self._trace(pipeline, "Project", plan)
 
@@ -620,8 +752,17 @@ class Planner:
         schema: tuple[str, ...],
         ctx: EvalContext,
         plan: PhysicalPlan,
+        columnar: bool = False,
     ) -> ops.Batches:
-        """The local predicate stage: an eddy or a fixed conjunction."""
+        """The local predicate stage: an eddy or a fixed conjunction.
+
+        With a columnar layout, each conjunct additionally gets a
+        vectorized form when its expression supports one (pure
+        comparisons / boolean logic / regex — no UDF calls); the
+        FilterOperator uses it per ColumnBatch and falls back to the
+        scalar closure otherwise. Conjunct order — and therefore
+        ``predicate_evaluations`` accounting — is identical either way.
+        """
         if not conjuncts:
             return pipeline
         predicate_evals = [
@@ -632,6 +773,7 @@ class Planner:
             for conjunct in conjuncts
         ]
         if self._config.use_eddy and len(predicate_evals) > 1:
+            # The eddy reorders predicates per row; it stays row-wise.
             adaptive = [
                 AdaptivePredicate(name, evaluate)
                 for name, evaluate in predicate_evals
@@ -645,11 +787,22 @@ class Planner:
                 + ", ".join(name for name, _ in predicate_evals)
             )
         else:
-            for _name, evaluate in predicate_evals:
-                pipeline = ops.FilterOperator(pipeline, evaluate, ctx)
-            plan.explain_lines.append(
-                "Filter: " + " AND ".join(n for n, _ in predicate_evals)
-            )
+            vectorized = 0
+            for conjunct, (_name, evaluate) in zip(conjuncts, predicate_evals):
+                vector = (
+                    compile_vector_expr(conjunct, self._registry, schema, ctx)
+                    if columnar
+                    else None
+                )
+                if vector is not None:
+                    vectorized += 1
+                pipeline = ops.FilterOperator(
+                    pipeline, evaluate, ctx, vector_predicate=vector
+                )
+            note = "Filter: " + " AND ".join(n for n, _ in predicate_evals)
+            if vectorized:
+                note += f" [vectorized {vectorized}/{len(predicate_evals)}]"
+            plan.explain_lines.append(note)
         return pipeline
 
     # -- join ----------------------------------------------------------------
@@ -822,9 +975,13 @@ class Planner:
         pipeline: ops.Batches,
         schema: tuple[str, ...],
         ctx: EvalContext,
+        columnar: bool = False,
     ) -> tuple[ops.Batches, tuple[str, ...]]:
         items: list[tuple[str, Evaluator]] = []
+        vector_items: list[VectorEvaluator | None] = []
         output_names: list[str] = []
+        schema_set = {name.lower() for name in schema}
+        fused_pairs: list[tuple[str, str]] | None = []
         for item in statement.select:
             if isinstance(item.expr, ast.Star):
                 for name in schema:
@@ -833,13 +990,43 @@ class Planner:
                     items.append(
                         (name, lambda row, _ctx, name=name: row.get(name))
                     )
+                    # Star fields project as whole columns: no per-cell work.
+                    vector_items.append(
+                        lambda batch, _ctx, name=name: batch.values(name)
+                    )
+                    if fused_pairs is not None:
+                        fused_pairs.append((name, name))
                     output_names.append(name)
                 continue
             evaluate = compile_expr(item.expr, self._registry, schema, ctx)
             name = item.output_name
             items.append((name, evaluate))
+            vector_items.append(
+                compile_vector_expr(item.expr, self._registry, schema, ctx)
+                if columnar
+                else None
+            )
+            if (
+                fused_pairs is not None
+                and isinstance(item.expr, ast.FieldRef)
+                and item.expr.name.lower() in schema_set
+            ):
+                fused_pairs.append((name, item.expr.name.lower()))
+            else:
+                # A computed item: the fused all-field constructor no
+                # longer applies; per-item vector/scalar evaluation runs.
+                fused_pairs = None
             output_names.append(name)
-        pipeline = ops.ProjectOperator(pipeline, items, ctx)
+        fused = None
+        if columnar and fused_pairs:
+            if "created_at" not in output_names:
+                fused_pairs.append(("created_at", "created_at"))
+            fused = build_fused_projector(fused_pairs)
+        pipeline = ops.ProjectOperator(
+            pipeline, items, ctx,
+            vector_items=vector_items if columnar else None,
+            fused=fused,
+        )
         if "created_at" not in output_names:
             output_names.append("created_at")
         return pipeline, tuple(output_names)
@@ -854,6 +1041,7 @@ class Planner:
         ctx: EvalContext,
         plan: PhysicalPlan,
         defer: parallel.DeferredOrderLimit | None = None,
+        columnar: bool = False,
     ) -> tuple[ops.Batches, tuple[str, ...]]:
         sites: list[AggSite] = []
         by_sql: dict[str, AggSite] = {}
@@ -886,8 +1074,17 @@ class Planner:
             compile_expr(expr, self._registry, schema, ctx, aliases=alias_evals)
             for expr in statement.group_by
         ]
+        vector_group_evals = [
+            compile_vector_expr(
+                expr, self._registry, schema, ctx, aliases=alias_evals
+            )
+            if columnar
+            else None
+            for expr in statement.group_by
+        ]
 
         agg_factories = []
+        vector_agg_args: list[VectorEvaluator | None] = []
         for site in sites:
             call = site.call
             if len(call.args) != 1:
@@ -902,6 +1099,12 @@ class Planner:
                 if count_rows
                 else compile_expr(call.args[0], self._registry, schema, ctx,
                                   aliases=alias_evals)
+            )
+            vector_agg_args.append(
+                compile_vector_expr(call.args[0], self._registry, schema, ctx,
+                                    aliases=alias_evals)
+                if columnar and not count_rows
+                else None
             )
             probe = make_aggregate(call.name, call.distinct, count_rows)
             agg_factories.append(
@@ -982,6 +1185,8 @@ class Planner:
                 having=having_eval,
                 order_by=[] if defer is not None else order_evals,
                 limit=None if defer is not None else statement.limit,
+                vector_group_evals=vector_group_evals if columnar else None,
+                vector_agg_args=vector_agg_args if columnar else None,
             )
             return pipeline, output_schema + ("window_start", "window_end")
 
@@ -1075,6 +1280,8 @@ class Planner:
         statement: ast.SelectStatement,
         binding: SourceBinding,
         workers: int,
+        backend: str = "thread",
+        backend_notes: tuple[str, ...] = (),
     ) -> PhysicalPlan:
         """Exchange → N worker pipelines → ordered merge.
 
@@ -1085,6 +1292,11 @@ class Planner:
         EvalContext whose services are lock-guarded proxies. The merge
         reassembles shard outputs into the exact serial emission order (see
         :mod:`repro.engine.parallel`).
+
+        With ``backend="process"`` the worker pipelines run in forked
+        child processes instead of threads; the exchange/merge topology,
+        ordering contract, and stats surface are unchanged (per-shard
+        stats ship back in each child's final result payload).
         """
         merge_ctx = EvalContext(
             clock=self._clock, services=dict(self._services), lane="merge"
@@ -1117,7 +1329,11 @@ class Planner:
             )
 
         batch_size = self._batch_size_for(statement, plan)
-        exchange = parallel.ShardedExecution(workers, batch_size=batch_size)
+        columnar = self._columnar_for(statement, batch_size)
+        explain.extend(backend_notes)
+        exchange = parallel.ShardedExecution(
+            workers, batch_size=batch_size, backend=backend
+        )
         exchange.tracer = plan.tracer
         exchange_services, exchange_service_stats = parallel.locked_services(
             self._services, exchange.lock
@@ -1194,6 +1410,7 @@ class Planner:
         explain.append(
             f"Exchange: {partition_desc} over {workers} shards"
             + (" (post-filter, punctuated)" if confidence_mode else "")
+            + f" [{backend} backend]"
         )
 
         # ---- worker pipelines ----
@@ -1222,13 +1439,14 @@ class Planner:
             )
             wplan.tracer = plan.tracer
             pipeline: ops.Batches = parallel.ShardScan(
-                exchange.shard_input(index), ctx_w
+                exchange.shard_input(index), ctx_w, columnar=columnar
             )
             pipeline = self._trace(pipeline, "ShardScan", wplan, lane=lane)
             if not confidence_mode:
                 before = pipeline
                 pipeline = self._build_filters(
-                    conjuncts, pipeline, schema, ctx_w, wplan
+                    conjuncts, pipeline, schema, ctx_w, wplan,
+                    columnar=columnar,
                 )
                 if pipeline is not before:
                     pipeline = self._trace(pipeline, "Filter", wplan, lane=lane)
@@ -1252,7 +1470,8 @@ class Planner:
                 pipeline = self._trace(pipeline, "Prefetch", wplan, lane=lane)
             if has_aggregates:
                 pipeline, output_schema = self._build_aggregation(
-                    statement, pipeline, schema, ctx_w, wplan, defer=defer
+                    statement, pipeline, schema, ctx_w, wplan, defer=defer,
+                    columnar=columnar,
                 )
                 pipeline = self._trace(pipeline, "Aggregate", wplan, lane=lane)
             else:
@@ -1264,7 +1483,7 @@ class Planner:
                         "(streams have no global order to sort)"
                     )
                 pipeline, output_schema = self._build_projection(
-                    statement, pipeline, schema, ctx_w
+                    statement, pipeline, schema, ctx_w, columnar=columnar
                 )
                 pipeline = self._trace(pipeline, "Project", wplan, lane=lane)
             if index > 0:
@@ -1287,6 +1506,11 @@ class Planner:
             pipelines,
             [tagger] * workers,
             broadcast_punctuation=confidence_mode,
+            # shard_ctxs[0] / shard_service_stats[0] belong to the exchange
+            # stage, which always runs in the parent; only worker stats
+            # need to travel back across a process boundary.
+            worker_ctxs=plan.shard_ctxs[1:],
+            worker_service_stats=plan.shard_service_stats[1:],
         )
         merged: ops.Batches = exchange.merged()
         merged = self._trace(merged, "Merge", plan, lane="merge")

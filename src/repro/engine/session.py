@@ -141,6 +141,23 @@ class EngineConfig:
         shared_stall_seconds: wall-clock budget a slow tenant may stall
             the fanout on its full buffer before being evicted (its
             handle then raises; siblings are unaffected).
+        columnar: store batch payloads column-wise
+            (:class:`~repro.engine.types.ColumnBatch`) and vectorize
+            eligible filter/project/group-key expressions. Row-at-a-time
+            plans (``batch_size=1``) and joins always keep the legacy
+            row layout; results are row-for-row identical either way.
+            Turn off to A/B against the row pipeline.
+        shard_backend: where sharded worker pipelines run — ``thread``
+            (default; in-process pool, shares the GIL) or ``process``
+            (forked workers, true CPU parallelism for Python-bound
+            predicates/UDFs). Process workers fall back to threads, with
+            an EXPLAIN note, for plans that must share the session clock
+            (web-service calls, confidence emission) or when fork is
+            unavailable; results are identical across backends.
+        clamp_workers: clamp *process* workers to ``os.cpu_count()``
+            (extra forks cost real memory for no speedup). Thread workers
+            are logical shards and are never clamped. Turn off to
+            exercise the process fabric on small hosts (tests do).
     """
 
     latency_mode: str = "cached"
@@ -175,6 +192,9 @@ class EngineConfig:
     shared_max_tenants: int = 16
     shared_buffer_batches: int = 16
     shared_stall_seconds: float = 5.0
+    columnar: bool = True
+    shard_backend: str = "thread"
+    clamp_workers: bool = True
 
 
 class TweeQL:

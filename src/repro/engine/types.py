@@ -55,6 +55,297 @@ class RowBatch:
     def __iter__(self) -> Iterator[Row]:
         return iter(self.rows)
 
+    def head(self, n: int) -> "RowBatch":
+        """The first ``n`` rows as a terminal batch (LIMIT truncation)."""
+        return RowBatch(self.rows[:n], seq=self.seq, last=True)
+
+
+class _Missing:
+    """Sentinel for a field absent from a row (distinct from SQL NULL)."""
+
+    __slots__ = ()
+    _instance: "_Missing | None" = None
+
+    def __new__(cls) -> "_Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MISSING"
+
+    def __reduce__(self) -> tuple[Any, tuple[Any, ...]]:
+        # Pickling (process-backend transport) must preserve identity.
+        return (_Missing, ())
+
+
+#: Column cell marking "this row has no such key". ``None`` cells are SQL
+#: NULL; ``MISSING`` cells disappear again in :meth:`ColumnBatch.to_rows`.
+MISSING = _Missing()
+
+
+class ColumnBatch:
+    """Columnar unit of batch-at-a-time data flow.
+
+    The payload is one value array per field (``columns``) instead of a
+    list of per-row dicts. Cells are either real values, ``None`` (SQL
+    NULL), or :data:`MISSING` (the row had no such key — rows in one batch
+    need not share a schema). ``seq``/``last`` punctuation matches
+    :class:`RowBatch` exactly, and :meth:`to_rows`/:meth:`from_rows` are
+    cheap bridges so row-oriented consumers (INTO sinks, CSV, TwitInfo,
+    the exchange partitioner) keep working unchanged via the ``rows``
+    property.
+
+    Columns materialize *lazily*: a batch built with :meth:`from_rows`
+    keeps the row list as its source of truth and transposes one column
+    the first time an accessor asks for it. A scan therefore pays no
+    transpose at all for fields the query never touches, and a selective
+    filter compresses row references (one pointer copy per survivor)
+    instead of re-gathering every column — which is what makes the
+    vectorized path cheaper than the row pipeline rather than merely
+    prettier. Fully-columnar batches (``_lazy`` False, e.g. projection
+    output) behave identically through the same accessors.
+    """
+
+    __slots__ = ("columns", "length", "seq", "last", "_rows", "_lazy", "_absent")
+
+    def __init__(
+        self,
+        columns: dict[str, list[Any]],
+        length: int,
+        seq: int = 0,
+        last: bool = False,
+    ) -> None:
+        self.columns = columns
+        self.length = length
+        self.seq = seq
+        self.last = last
+        self._rows: list[Row] | None = None
+        self._lazy = False
+        # Fields a probe found on no row. A filter stack asks every batch
+        # "any __punct__?"; caching the negative — and handing it down to
+        # compress/take children, whose rows are a subset — turns O(rows)
+        # probes per operator into one probe per source batch. Row dicts
+        # are never mutated in place once batched, so the cache cannot go
+        # stale.
+        self._absent: set[str] | None = None
+
+    # -- bridges --------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, rows: list[Row], seq: int = 0, last: bool = False
+    ) -> "ColumnBatch":
+        """Wrap a row list; columns transpose lazily on first access."""
+        batch = cls({}, len(rows), seq=seq, last=last)
+        batch._rows = rows
+        batch._lazy = True
+        return batch
+
+    def _materialize(self, name: str) -> list[Any]:
+        """Transpose one column out of the backing rows (cached)."""
+        assert self._rows is not None
+        col = [row.get(name, MISSING) for row in self._rows]
+        self.columns[name] = col
+        return col
+
+    def _materialize_all(self) -> None:
+        """Complete the transpose (equality and repr need every column)."""
+        if not self._lazy:
+            return
+        assert self._rows is not None
+        keys: dict[str, None] = {}
+        for row in self._rows:
+            for key in row:
+                keys[key] = None
+        for key in keys:
+            if key not in self.columns:
+                self._materialize(key)
+        self._lazy = False
+
+    def to_rows(self) -> list[Row]:
+        """Materialize per-row dicts (MISSING cells are omitted)."""
+        if self._lazy:
+            assert self._rows is not None
+            return self._rows
+        n = self.length
+        columns = self.columns
+        if not columns:
+            return [{} for _ in range(n)]
+        if not any(MISSING in col for col in columns.values()):
+            # Dense batch (the usual case): one C-level zip per row beats
+            # a Python cell-by-cell loop by a wide margin.
+            names = tuple(columns)
+            return [dict(zip(names, vals)) for vals in zip(*columns.values())]
+        rows: list[Row] = [{} for _ in range(n)]
+        for key, col in columns.items():
+            for i in range(n):
+                value = col[i]
+                if value is not MISSING:
+                    rows[i][key] = value
+        return rows
+
+    @property
+    def rows(self) -> list[Row]:
+        """Row-dict view, materialized lazily and cached.
+
+        This is the compatibility bridge: any operator or sink written
+        against ``batch.rows`` works on a ColumnBatch unmodified.
+        """
+        if self._rows is None:
+            self._rows = self.to_rows()
+        return self._rows
+
+    # -- columnar accessors ----------------------------------------------------
+
+    def field(self, name: str) -> list[Any] | None:
+        """The raw column (MISSING cells intact); None when no row has it."""
+        col = self.columns.get(name)
+        if col is None:
+            if not self._lazy:
+                return None
+            absent = self._absent
+            if absent is not None and name in absent:
+                return None
+            assert self._rows is not None
+            # Probe before transposing: on homogeneous batches this exits
+            # at the first row, and absent fields cost one pass, not two.
+            if not any(name in row for row in self._rows):
+                if absent is None:
+                    absent = self._absent = set()
+                absent.add(name)
+                return None
+            col = self._materialize(name)
+            return col
+        if all(v is MISSING for v in col):
+            return None
+        return col
+
+    def has_field(self, name: str) -> bool:
+        """True when any row in the batch carries this field."""
+        return self.field(name) is not None
+
+    def values(self, name: str) -> list[Any]:
+        """The column as ``row.get(name)`` would see it (MISSING → None)."""
+        col = self.columns.get(name)
+        if col is None and self._lazy:
+            absent = self._absent
+            if absent is not None and name in absent:
+                return [None] * self.length
+            col = self._materialize(name)
+        if col is None:
+            return [None] * self.length
+        # `in` runs the C identity-first scan — far cheaper than a genexpr.
+        if MISSING in col:
+            return [None if v is MISSING else v for v in col]
+        return col
+
+    def null_mask(self, name: str) -> list[bool]:
+        """True where the field is NULL or absent."""
+        col = self.columns.get(name)
+        if col is None and self._lazy:
+            col = self._materialize(name)
+        if col is None:
+            return [True] * self.length
+        return [v is None or v is MISSING for v in col]
+
+    # -- structural ops --------------------------------------------------------
+
+    def compress(self, verdicts: list[Any]) -> "ColumnBatch":
+        """Surviving-rows batch from a verdict column (truthy keeps).
+
+        The filter hot path: rows-backed batches copy one row reference
+        per survivor — already-transposed columns are dropped and
+        re-materialize from the survivors on demand, which is cheaper
+        than gathering every cached column through an index list.
+        """
+        if self._lazy:
+            assert self._rows is not None
+            kept = [
+                row
+                for row, v in zip(self._rows, verdicts)
+                if v is not None and v
+            ]
+            if len(kept) == self.length:
+                return self
+            out = ColumnBatch.from_rows(kept, seq=self.seq, last=self.last)
+            if self._absent:
+                out._absent = set(self._absent)
+            return out
+        keep = [i for i, v in enumerate(verdicts) if v is not None and v]
+        return self.take(keep)
+
+    def take(self, indexes: list[int]) -> "ColumnBatch":
+        """A new batch keeping only the given row positions, in order."""
+        if len(indexes) == self.length:
+            return self
+        if self._lazy:
+            assert self._rows is not None
+            rows = self._rows
+            out = ColumnBatch.from_rows(
+                [rows[i] for i in indexes], seq=self.seq, last=self.last
+            )
+            if self._absent:
+                out._absent = set(self._absent)
+            return out
+        columns = {
+            key: [col[i] for i in indexes]
+            for key, col in self.columns.items()
+        }
+        return ColumnBatch(columns, len(indexes), seq=self.seq, last=self.last)
+
+    def head(self, n: int) -> "ColumnBatch":
+        """The first ``n`` rows as a terminal batch (LIMIT truncation)."""
+        if self._lazy:
+            assert self._rows is not None
+            batch = ColumnBatch.from_rows(self._rows[:n], seq=self.seq)
+            batch.last = True
+            if self._absent:
+                batch._absent = set(self._absent)
+            return batch
+        columns = {key: col[:n] for key, col in self.columns.items()}
+        return ColumnBatch(columns, min(n, self.length), seq=self.seq, last=True)
+
+    # -- protocol --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def _normalized(self) -> dict[str, list[Any]]:
+        # A column of all-MISSING cells is indistinguishable from an
+        # absent column once bridged through rows; equality ignores it.
+        self._materialize_all()
+        return {
+            key: col
+            for key, col in self.columns.items()
+            if any(v is not MISSING for v in col)
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnBatch):
+            return NotImplemented
+        return (
+            self.seq == other.seq
+            and self.last == other.last
+            and self.length == other.length
+            and self._normalized() == other._normalized()
+        )
+
+    def __repr__(self) -> str:
+        self._materialize_all()
+        return (
+            f"ColumnBatch(length={self.length}, "
+            f"fields={list(self.columns)}, seq={self.seq}, last={self.last})"
+        )
+
+
+#: Either batch flavor — operators accept both and the punctuation
+#: contract (seq / last / rows) is identical.
+Batch = RowBatch | ColumnBatch
+
 
 def batch_rows(
     rows: Iterable[Row], batch_size: int = DEFAULT_BATCH_SIZE
@@ -77,7 +368,7 @@ def batch_rows(
     yield RowBatch(pending, seq=seq, last=True)
 
 
-def iter_rows(batches: Iterable[RowBatch]) -> Iterator[Row]:
+def iter_rows(batches: Iterable["Batch"]) -> Iterator[Row]:
     """Flatten a batch stream back into rows (executor / test boundary)."""
     for batch in batches:
         yield from batch.rows

@@ -22,10 +22,16 @@ def chrome_trace_events(
     tracer: Any, pid: int = 1, process_name: str = "tweeql"
 ) -> list[dict[str, Any]]:
     """The trace as a list of Chrome trace events (one process)."""
+    spans = tracer.sorted_spans()
     lanes: list[str] = []
-    for span in tracer.sorted_spans():
+    for span in spans:
         if span.lane not in lanes:
             lanes.append(span.lane)
+    # Span ids are allocated under a lock shared by every lane, so their
+    # values depend on thread interleaving even when the spans themselves
+    # are deterministic. Renumber by deterministic (lane, lane_seq)
+    # position so parent links survive byte-for-byte comparison.
+    renumber = {span.span_id: index for index, span in enumerate(spans)}
     events: list[dict[str, Any]] = [
         {
             "name": "process_name",
@@ -46,7 +52,7 @@ def chrome_trace_events(
                 "args": {"name": lane},
             }
         )
-    for span in tracer.sorted_spans():
+    for span in spans:
         events.append(
             {
                 "name": span.name,
@@ -59,8 +65,8 @@ def chrome_trace_events(
                 "args": {
                     **span.attrs,
                     **(
-                        {"parent": span.parent_id}
-                        if span.parent_id is not None
+                        {"parent": renumber[span.parent_id]}
+                        if span.parent_id in renumber
                         else {}
                     ),
                 },

@@ -12,7 +12,11 @@ than the author probably expects on an unbounded stream:
 - ``TQL306`` redundant or field-shadowing select aliases;
 - ``TQL307`` ``now()`` pins execution to one row per batch;
 - ``TQL308`` statement shape forces the serial fallback despite
-  ``workers > 1``.
+  ``workers > 1``;
+- ``TQL309`` more process workers requested than the host has CPU
+  cores (the planner clamps them);
+- ``TQL310`` ``shard_backend="process"`` requested but this statement
+  runs on threads (or serially) instead, with the reason.
 
 The API-eligibility matchers are deliberately *reimplemented* here (same
 shapes as :mod:`repro.engine.planner`'s ``_track_keywords`` /
@@ -58,6 +62,8 @@ def run_lints(
     _lint_aliases(statement, schema, sink)
     _lint_now_pinning(statement, sink, config)
     _lint_serial_fallback(statement, registry, sink, config)
+    _lint_worker_oversubscription(sink, config)
+    _lint_process_fallback(statement, registry, sink, config)
 
 
 # ---------------------------------------------------------------------------
@@ -482,6 +488,44 @@ def _lint_now_pinning(
 # ---------------------------------------------------------------------------
 
 
+def _serial_fallback_reason(
+    statement: ast.SelectStatement,
+    registry: FunctionRegistry,
+    config: Any,
+) -> tuple[str | None, Any]:
+    """Why this statement cannot shard, or (None, None) — mirrors the
+    planner's ``_shard_blocker`` (reimplemented; see module docstring)."""
+    if statement.join is not None:
+        return "stream joins need co-partitioned inputs", None
+    if statement.window is not None and statement.window.count_based:
+        return (
+            "count-based windows depend on global row ordinals",
+            span_of(statement.window),
+        )
+    if statement_has_aggregates(statement) and not statement.group_by:
+        return "global aggregates form a single group", None
+    if (
+        getattr(config, "latency_mode", "sync") == "async"
+        and getattr(config, "partial_results", False)
+    ):
+        return "partial results depend on in-flight call timing", None
+    call = _calls_function(statement, lambda node: node.name == "now")
+    if call is not None:
+        return "now() reads the global stream time", span_of(call)
+    call = _calls_function(
+        statement,
+        lambda node: node.name not in AGGREGATE_NAMES
+        and node.name in registry
+        and registry.lookup(node.name).stateful,
+    )
+    if call is not None:
+        return (
+            f"stateful UDF {call.name}() folds over global row order",
+            span_of(call),
+        )
+    return None, None
+
+
 def _lint_serial_fallback(
     statement: ast.SelectStatement,
     registry: FunctionRegistry,
@@ -491,39 +535,99 @@ def _lint_serial_fallback(
     workers = getattr(config, "workers", 1)
     if workers <= 1:
         return
-    reason: str | None = None
-    span = None
-    if statement.join is not None:
-        reason = "stream joins need co-partitioned inputs"
-    elif statement.window is not None and statement.window.count_based:
-        reason = "count-based windows depend on global row ordinals"
-        span = span_of(statement.window)
-    elif statement_has_aggregates(statement) and not statement.group_by:
-        reason = "global aggregates form a single group"
-    elif (
-        getattr(config, "latency_mode", "sync") == "async"
-        and getattr(config, "partial_results", False)
-    ):
-        reason = "partial results depend on in-flight call timing"
-    else:
-        call = _calls_function(statement, lambda node: node.name == "now")
-        if call is not None:
-            reason = "now() reads the global stream time"
-            span = span_of(call)
-        else:
-            call = _calls_function(
-                statement,
-                lambda node: node.name not in AGGREGATE_NAMES
-                and node.name in registry
-                and registry.lookup(node.name).stateful,
-            )
-            if call is not None:
-                reason = f"stateful UDF {call.name}() folds over global row order"
-                span = span_of(call)
+    reason, span = _serial_fallback_reason(statement, registry, config)
     if reason is not None:
         sink.info(
             "TQL308",
             f"workers={workers} has no effect: this statement shape forces "
             f"the serial fallback ({reason})",
+            span,
+        )
+
+
+# ---------------------------------------------------------------------------
+# TQL309 — more workers than CPU cores
+# ---------------------------------------------------------------------------
+
+
+def _lint_worker_oversubscription(sink: DiagnosticSink, config: Any) -> None:
+    import os
+
+    workers = getattr(config, "workers", 1)
+    if workers <= 1:
+        return
+    cores = os.cpu_count() or 1
+    if workers <= cores:
+        return
+    backend = getattr(config, "shard_backend", "thread")
+    if backend == "process":
+        hint = (
+            "the planner clamps process workers to the core count — "
+            "extra forks cost memory without adding parallelism"
+        )
+    else:
+        hint = (
+            "thread workers beyond the core count add no CPU parallelism "
+            "under the GIL (they remain useful only as logical shards)"
+        )
+    sink.info(
+        "TQL309",
+        f"workers={workers} exceeds this host's {cores} CPU core(s); {hint}",
+        None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# TQL310 — process backend requested but not used
+# ---------------------------------------------------------------------------
+
+
+def _lint_process_fallback(
+    statement: ast.SelectStatement,
+    registry: FunctionRegistry,
+    sink: DiagnosticSink,
+    config: Any,
+) -> None:
+    """Mirrors the planner's ``_process_blocker`` (plus the serial
+    fallback, which trumps backend choice entirely)."""
+    import multiprocessing
+
+    workers = getattr(config, "workers", 1)
+    backend = getattr(config, "shard_backend", "thread")
+    if workers <= 1 or backend != "process":
+        return
+    reason, span = _serial_fallback_reason(statement, registry, config)
+    if reason is not None:
+        sink.info(
+            "TQL310",
+            'shard_backend="process" has no effect: this statement runs '
+            f"serially ({reason})",
+            span,
+        )
+        return
+    if "fork" not in multiprocessing.get_all_start_methods():
+        reason = "this platform cannot fork worker processes"
+    elif getattr(config, "confidence_policy", None) is not None and (
+        statement_has_aggregates(statement) and statement.window is None
+    ):
+        reason = "confidence-triggered emission is clock/punctuation-coupled"
+    else:
+        call = _calls_function(
+            statement,
+            lambda node: node.name not in AGGREGATE_NAMES
+            and node.name in registry
+            and registry.lookup(node.name).high_latency,
+        )
+        if call is not None:
+            reason = (
+                f"web-service UDF {call.name}() must run on the session "
+                "clock"
+            )
+            span = span_of(call)
+    if reason is not None:
+        sink.info(
+            "TQL310",
+            'shard_backend="process" falls back to thread workers for this '
+            f"statement ({reason})",
             span,
         )
