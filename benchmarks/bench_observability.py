@@ -16,6 +16,7 @@ import time
 import pytest
 
 from repro import EngineConfig, TweeQL
+from repro.engine.sanitizer import SanitizeOperator
 from repro.obs import TraceOperator
 
 from benchmarks.conftest import SEED
@@ -26,12 +27,12 @@ SQL = (
 )
 
 
-def _wrapper_count(pipeline) -> int:
-    """TraceOperators in the operator chain (walking child links)."""
+def _wrapper_count(pipeline, kind=TraceOperator) -> int:
+    """Wrappers of ``kind`` in the operator chain (walking child links)."""
     count = 0
     node = pipeline
     while node is not None:
-        if isinstance(node, TraceOperator):
+        if isinstance(node, kind):
             count += 1
         # Operators hold their upstream as _child (ScanOperator: _source).
         node = getattr(node, "_child", None) or getattr(node, "_source", None)
@@ -97,3 +98,37 @@ def test_traced_run_overhead_reported(soccer):
     print(f"\nE10 traced overhead: off {off:.3f}s, on {on:.3f}s "
           f"→ {on / off - 1:+.1%}")
     assert on < off * 3, "tracing on must stay within 3x of untraced"
+
+
+def test_sanitize_off_adds_no_wrappers(soccer):
+    """TQLSAN mirrors the tracing contract: off means structurally off —
+    no SanitizeOperator in the chain, no sanitizer on the plan."""
+    session = TweeQL.for_scenarios(
+        soccer, config=EngineConfig(sanitize=False), seed=SEED
+    )
+    plan = session.plan(SQL)
+    assert plan.sanitizer is None
+    assert _wrapper_count(plan.pipeline, SanitizeOperator) == 0
+
+
+def test_sanitized_run_overhead_reported(soccer):
+    """Sanitized-vs-plain cost, printed for the bench trajectory. The
+    acceptance bound is structural (off = zero wrappers, above); the
+    enabled path checks every batch boundary and must merely stay
+    non-pathological."""
+
+    def timed(sanitize: bool) -> float:
+        session = TweeQL.for_scenarios(
+            soccer, config=EngineConfig(sanitize=sanitize), seed=SEED
+        )
+        start = time.perf_counter()
+        session.query(SQL).all()
+        return time.perf_counter() - start
+
+    off = on = float("inf")
+    for _ in range(3):
+        off = min(off, timed(False))
+        on = min(on, timed(True))
+    print(f"\nE10 sanitizer overhead: off {off:.3f}s, on {on:.3f}s "
+          f"→ {on / off - 1:+.1%}")
+    assert on < off * 3, "sanitize on must stay within 3x of plain"

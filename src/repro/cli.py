@@ -129,6 +129,7 @@ def build_session(args: argparse.Namespace) -> tuple[TweeQL, list[Scenario]]:
         shard_backend=getattr(args, "shard_backend", "thread"),
         columnar=not getattr(args, "no_columnar", False),
         shared_scan=getattr(args, "shared", False),
+        sanitize=getattr(args, "sanitize", False),
         **_resilience_config_kwargs(args),
     )
     return TweeQL.for_scenarios(*scenarios, config=config), scenarios
@@ -286,6 +287,7 @@ def run_check(args: argparse.Namespace) -> int:
         batch_size=getattr(args, "batch_size", 256),
         shard_backend=getattr(args, "shard_backend", "thread"),
         columnar=not getattr(args, "no_columnar", False),
+        sanitize=getattr(args, "sanitize", False),
     )
     queries: list[tuple[str, str]] = []
     for sql in args.sql or ():
@@ -471,6 +473,14 @@ def make_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="keep the legacy row-wise batch layout instead of columnar "
         "batches with vectorized predicates (results are identical)",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run queries under the TQLSAN invariant sanitizer: check "
+        "seq monotonicity, punctuation, ColumnBatch coherence, handoff "
+        "immutability, and lock ordering at every operator boundary "
+        "(TQL9xx violations; also via TWEEQL_SAN=1; see docs/SANITIZER.md)",
     )
     parser.add_argument(
         "--use-eddy",

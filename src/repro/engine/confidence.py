@@ -102,7 +102,9 @@ class ConfidenceAggregateOperator:
 
     def __iter__(self) -> Iterator[RowBatch]:
         policy = self._policy
+        tail_seq = 0
         for batch in self._child:
+            tail_seq = batch.seq + 1
             emitted: list[Row] = []
             for row in batch.rows:
                 now = row.get("created_at", self._ctx.stream_time)
@@ -154,7 +156,8 @@ class ConfidenceAggregateOperator:
             )
             tail.append(self._emit(key, group, "eos", pop=False, order=order))
         self._groups.clear()
-        yield RowBatch(tail, last=True)
+        # Tail seq stays strictly above the last input batch's.
+        yield RowBatch(tail, seq=tail_seq, last=True)
 
     def _order_tag(
         self, trigger: int | None, phase: int, group: _ConfidenceGroup

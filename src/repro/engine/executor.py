@@ -29,6 +29,11 @@ class QueryHandle:
         self._iterator: Iterator[Row] | None = None
         self._closed = False
         self._released = False
+        #: True once the pipeline delivered its last=True punctuation —
+        #: the sanitizer's close-time reconcile() only applies to fully
+        #: drained queries (an abandoned stream legitimately leaves the
+        #: probes ahead of the counters).
+        self._exhausted = False
 
     @property
     def schema(self) -> tuple[str, ...]:
@@ -190,6 +195,7 @@ class QueryHandle:
         try:
             for batch in pipeline:
                 if batch.last:
+                    self._exhausted = True
                     # Release *before* yielding the final rows: a caller
                     # that fetches exactly the available row count leaves
                     # this generator suspended in the yield below, so the
@@ -238,6 +244,11 @@ class QueryHandle:
                 "query", "query", tracer.started_at, tracer.clock.now,
                 lane="main", rows_emitted=self.stats.rows_emitted,
             )
+        sanitizer = self._plan.sanitizer
+        if sanitizer is not None:
+            # Mandatory close-time checks: lock-order cycles always;
+            # probe/stats reconciliation when the stream fully drained.
+            sanitizer.at_close(self, exhausted=self._exhausted)
 
     def _drain_managed(self) -> None:
         """Wait out in-flight async service requests (stats visibility)."""

@@ -74,6 +74,7 @@ from repro.engine import operators as ops
 from repro.engine import parallel
 from repro.engine.executor import QueryHandle
 from repro.engine.expressions import compile_expr, contains_aggregate
+from repro.engine.sanitizer import registered_lock
 from repro.engine.planner import (
     Planner,
     PhysicalPlan,
@@ -383,6 +384,7 @@ class _TenantOutput:
         group = self._group
         tenant = self._tenant
         group.start()
+        tail_seq = 0
         while True:
             group._raise_if_error()
             if tenant.error is not None:
@@ -395,8 +397,10 @@ class _TenantOutput:
                 group._raise_if_error()
                 if tenant.error is not None:
                     raise tenant.error
-                yield RowBatch([], last=True)
+                # Punctuate with seq strictly above everything yielded.
+                yield RowBatch([], seq=tail_seq, last=True)
                 return
+            tail_seq = item.seq + 1
             yield item
             if item.last:
                 return
@@ -449,14 +453,14 @@ class SharedScanGroup:
         self.stall_seconds = stall_seconds
         self.label = label or f"shared:{binding.name}"
 
-        self._lock = threading.RLock()
+        self._lock = registered_lock("shared.services", rlock=True)
         self._stop = threading.Event()
-        self._state_lock = threading.Lock()
+        self._state_lock = registered_lock("shared.state")
         self._started = False
         self._closed = False
         self._pool: ThreadPoolExecutor | None = None
         self._error: BaseException | None = None
-        self._error_lock = threading.Lock()
+        self._error_lock = registered_lock("shared.error")
 
         self.stats = GroupStats()
         self.shared_cache = SharedServiceCache()
@@ -482,6 +486,7 @@ class SharedScanGroup:
             pipeline=iter(()), output_schema=(), ctx=self._fanout_ctx
         )
         self._fanout_plan.tracer = planner._make_tracer()
+        self._fanout_plan.sanitizer = planner._make_sanitizer()
         self._fanout_ctx.tracer = self._fanout_plan.tracer
         # Service spans belong to whichever single query planned last;
         # a shared group has no single owner, so it records none.
@@ -615,6 +620,7 @@ class SharedScanGroup:
         tenant.ctx = ctx
         plan = PhysicalPlan(pipeline=iter(()), output_schema=(), ctx=ctx)
         plan.tracer = planner._make_tracer()
+        plan.sanitizer = planner._make_sanitizer()
         ctx.tracer = plan.tracer
         explain = plan.explain_lines
         explain.append(

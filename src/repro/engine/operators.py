@@ -386,7 +386,9 @@ class WindowedAggregateOperator:
         open_windows = self._open
         vector_groups = self._vector_group_evals
         vector_args = self._vector_agg_args
+        tail_seq = 0
         for batch in self._child:
+            tail_seq = batch.seq + 1
             emitted: list[Row] = []
             rows = batch.rows
             key_col: list[tuple] | None = None
@@ -452,10 +454,11 @@ class WindowedAggregateOperator:
                 yield RowBatch(emitted, seq=batch.seq)
             if batch.last:
                 break
-        # End of stream: flush everything still open.
+        # End of stream: flush everything still open. The tail batch must
+        # keep seq strictly increasing past the last input batch.
         tail: list[Row] = []
         self._close_due(float("inf"), tail)
-        yield RowBatch(tail, last=True)
+        yield RowBatch(tail, seq=tail_seq, last=True)
 
     def _close_due(self, timestamp: float, emitted: list[Row]) -> None:
         due = sorted(
@@ -555,7 +558,9 @@ class CountWindowedAggregateOperator:
         # start_ordinal → (groups, first_ts, last_ts, rows_in_window)
         open_windows: dict[int, list] = {}
         index = -1
+        tail_seq = 0
         for batch in self._child:
+            tail_seq = batch.seq + 1
             emitted: list[Row] = []
             for row in batch.rows:
                 index += 1
@@ -581,10 +586,11 @@ class CountWindowedAggregateOperator:
                 yield RowBatch(emitted, seq=batch.seq)
             if batch.last:
                 break
+        # Tail seq stays strictly above the last input batch's.
         tail: list[Row] = []
         for start in sorted(open_windows):
             self._emit(open_windows[start], tail)
-        yield RowBatch(tail, last=True)
+        yield RowBatch(tail, seq=tail_seq, last=True)
 
     def _accumulate(self, state: list, row: Row, timestamp: float) -> None:
         groups, _first, _last, _n = state
@@ -823,7 +829,9 @@ class LimitOperator:
         if remaining <= 0:
             yield RowBatch([], last=True)
             return
+        tail_seq = 0
         for batch in self._child:
+            tail_seq = batch.seq + 1
             size = len(batch)
             if size >= remaining:
                 # head() truncates either batch flavor and re-punctuates.
@@ -833,8 +841,9 @@ class LimitOperator:
             yield batch
             if batch.last:
                 return
-        # Child ended without a last batch (defensive): punctuate anyway.
-        yield RowBatch([], last=True)
+        # Child ended without a last batch (defensive): punctuate anyway,
+        # with seq strictly above everything already yielded.
+        yield RowBatch([], seq=tail_seq, last=True)
 
 
 class IntoOperator:

@@ -84,6 +84,7 @@ from typing import Any
 
 from repro.engine.latency import ManagedCall, ManagedCallStats
 from repro.engine.operators import _sort_key
+from repro.engine.sanitizer import registered_lock
 from repro.engine.types import (
     DEFAULT_BATCH_SIZE,
     Batch,
@@ -374,11 +375,20 @@ class _ShardInput:
     exchange. Each item is one whole exchange batch — queue traffic is per
     batch, not per row."""
 
-    def __init__(self, q: queue.Queue, stop: threading.Event) -> None:
+    def __init__(
+        self,
+        q: queue.Queue,
+        stop: threading.Event,
+        sanitizer: Any = None,
+        shard: int = 0,
+    ) -> None:
         self._q = q
         self._stop = stop
+        self._sanitizer = sanitizer
+        self._shard = shard
 
     def __iter__(self) -> Iterator[list[Row]]:
+        sanitizer = self._sanitizer
         while True:
             try:
                 batch = self._q.get(timeout=_POLL_SECONDS)
@@ -388,6 +398,8 @@ class _ShardInput:
                 continue
             if batch is None:  # sentinel: source exhausted
                 return
+            if sanitizer is not None:
+                sanitizer.handoff.verify(self._shard, batch)
             yield batch
 
 
@@ -424,7 +436,7 @@ class ShardedExecution:
             raise ValueError(f"unknown shard backend {backend!r}")
         self.n = n_workers
         self.backend = backend
-        self.lock = threading.RLock()
+        self.lock = registered_lock("sharded.services", rlock=True)
         self._mp: Any = None
         if backend == "process":
             import multiprocessing
@@ -450,7 +462,7 @@ class ShardedExecution:
         ]
         self._pending_pos = [0] * n_workers
         self._error: BaseException | None = None
-        self._error_lock = threading.Lock()
+        self._error_lock = registered_lock("sharded.error")
         self._pool: ThreadPoolExecutor | None = None
         self._procs: list[Any] = []
         self._started = False
@@ -458,6 +470,12 @@ class ShardedExecution:
         #: Span recorder (set by the planner when tracing is on); the
         #: exchange thread emits one ``route`` marker per source batch.
         self.tracer: Any = None
+        #: Invariant checker (set by the planner when sanitize mode is
+        #: on); the exchange fingerprints each routed row-list at enqueue
+        #: and the worker-side ShardScan input verifies it at dequeue
+        #: (TQL905). Thread backend only — the process backend pickles
+        #: payloads across the fork, so copies cannot alias.
+        self.sanitizer: Any = None
         # Filled by configure():
         self._source: Iterable[Batch] | None = None
         self._partition: Callable[[Row, int], int] | None = None
@@ -472,7 +490,8 @@ class ShardedExecution:
 
     def shard_input(self, worker: int) -> _ShardInput:
         """The row iterable worker ``worker``'s pipeline scans."""
-        return _ShardInput(self._in[worker], self.stop)
+        sanitizer = self.sanitizer if self.backend == "thread" else None
+        return _ShardInput(self._in[worker], self.stop, sanitizer, worker)
 
     def configure(
         self,
@@ -578,6 +597,15 @@ class ShardedExecution:
                     self._put_batch(shard_id, None)
 
     def _put_batch(self, shard: int, batch: list[Row] | None) -> None:
+        if (
+            batch is not None
+            and self.sanitizer is not None
+            and self.backend == "thread"
+        ):
+            # Freeze-on-handoff: fingerprint the routed payload before it
+            # becomes visible to the worker; the worker-side _ShardInput
+            # re-fingerprints at dequeue and raises TQL905 on mismatch.
+            self.sanitizer.handoff.seal(shard, batch)
         while not self.stop.is_set():
             if batch is not None and self._done[shard].is_set():
                 return  # worker finished early (LIMIT); drop its feed

@@ -99,6 +99,10 @@ class PhysicalPlan:
     #: ``EngineConfig.tracing`` was on at plan time; None otherwise, in
     #: which case the pipeline carries no instrumentation at all.
     tracer: Any = None
+    #: Invariant checker (:class:`repro.engine.sanitizer.Sanitizer`) when
+    #: ``EngineConfig.sanitize`` / ``TWEEQL_SAN=1`` was on at plan time;
+    #: None otherwise (zero sanitize wrappers, like tracing).
+    sanitizer: Any = None
 
     def explain(self) -> str:
         """Human-readable plan description."""
@@ -494,16 +498,28 @@ class Planner:
             and statement.join is None
         )
 
-    # -- tracing ---------------------------------------------------------------
+    # -- tracing / sanitizing --------------------------------------------------
+
+    def _sanitize_enabled(self) -> bool:
+        """True when this plan should run under the invariant sanitizer."""
+        if getattr(self._config, "sanitize", False):
+            return True
+        from repro.engine.sanitizer import sanitize_env_enabled
+
+        return sanitize_env_enabled()
 
     def _make_tracer(self) -> Any:
         """A fresh Tracer when the config asks for one, else None.
 
         Disabled tracing means *no* wrapper objects anywhere in the
         pipeline — the plan is structurally identical to a pre-tracing
-        build, so the hot path pays nothing.
+        build, so the hot path pays nothing. Sanitized runs always carry
+        a tracer: SanitizerError reports ride on trace spans, and the
+        close-time ``reconcile()`` cross-check needs operator probes.
         """
-        if not getattr(self._config, "tracing", False):
+        if not (
+            getattr(self._config, "tracing", False) or self._sanitize_enabled()
+        ):
             return None
         from repro.obs.trace import Tracer
 
@@ -512,11 +528,49 @@ class Planner:
             batch_spans=getattr(self._config, "trace_batch_spans", True),
         )
 
+    def _make_sanitizer(self) -> Any:
+        """A fresh Sanitizer when sanitize mode is on, else None."""
+        if not self._sanitize_enabled():
+            return None
+        from repro.engine.sanitizer import Sanitizer
+
+        return Sanitizer(self._clock)
+
+    def _sanitize_stats(self, plan: PhysicalPlan, lane: str) -> Any:
+        """The QueryStats the sanitizer monitors for this lane.
+
+        ``plan.ctx`` is the merge context on sharded plans (and worker 0
+        aliases the top-level plan object), so stats must be resolved by
+        lane, falling back to the plan's own context for the serial case.
+        """
+        if plan.ctx.lane == lane:
+            return plan.ctx.stats
+        for ctx in plan.shard_ctxs:
+            if ctx.lane == lane:
+                return ctx.stats
+        return plan.ctx.stats
+
     def _trace(
         self, pipeline: ops.Batches, name: str, plan: PhysicalPlan,
         lane: str = "main",
     ) -> ops.Batches:
-        """Wrap one stage in a TraceOperator (no-op when not tracing)."""
+        """Wrap one stage in the enabled instrumentation (no-op when off).
+
+        The sanitize wrapper goes innermost so it observes exactly what
+        the wrapped stage produced; the trace wrapper goes outermost so
+        its batch spans also cover the sanitizer's checks.
+        """
+        if plan.sanitizer is not None:
+            from repro.engine.sanitizer import SanitizeOperator
+
+            pipeline = SanitizeOperator(
+                pipeline,
+                plan.sanitizer,
+                name=name,
+                lane=lane,
+                stats=self._sanitize_stats(plan, lane),
+                tracer=plan.tracer,
+            )
         if plan.tracer is None:
             return pipeline
         from repro.obs.trace import TraceOperator
@@ -598,6 +652,7 @@ class Planner:
             pipeline=iter(()), output_schema=(), ctx=ctx
         )
         plan.tracer = self._make_tracer()
+        plan.sanitizer = self._make_sanitizer()
         ctx.tracer = plan.tracer
         self._attach_service_tracers(plan.tracer)
         explain = plan.explain_lines
@@ -1304,6 +1359,7 @@ class Planner:
         plan = PhysicalPlan(pipeline=iter(()), output_schema=(), ctx=merge_ctx)
         plan.merge_stats = merge_ctx.stats
         plan.tracer = self._make_tracer()
+        plan.sanitizer = self._make_sanitizer()
         merge_ctx.tracer = plan.tracer
         self._attach_service_tracers(plan.tracer)
         explain = plan.explain_lines
@@ -1335,6 +1391,7 @@ class Planner:
             workers, batch_size=batch_size, backend=backend
         )
         exchange.tracer = plan.tracer
+        exchange.sanitizer = plan.sanitizer
         exchange_services, exchange_service_stats = parallel.locked_services(
             self._services, exchange.lock
         )
@@ -1438,6 +1495,7 @@ class Planner:
                 else PhysicalPlan(pipeline=iter(()), output_schema=(), ctx=ctx_w)
             )
             wplan.tracer = plan.tracer
+            wplan.sanitizer = plan.sanitizer
             pipeline: ops.Batches = parallel.ShardScan(
                 exchange.shard_input(index), ctx_w, columnar=columnar
             )

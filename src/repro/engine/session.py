@@ -158,6 +158,17 @@ class EngineConfig:
             (extra forks cost real memory for no speedup). Thread workers
             are logical shards and are never clamped. Turn off to
             exercise the process fabric on small hosts (tests do).
+        sanitize: run queries under the TQLSAN invariant sanitizer —
+            every operator boundary checks seq monotonicity, punctuation
+            exactly-once, ColumnBatch coherence, post-handoff
+            immutability, and stats monotonicity; lock acquisitions feed
+            the lock-order detector; ``reconcile()`` is enforced at
+            close. Violations raise
+            :class:`~repro.errors.SanitizerError` with a stable
+            ``TQL9xx`` code (see docs/SANITIZER.md). Off by default and
+            zero-wrapper when off, exactly like ``tracing``; the
+            ``TWEEQL_SAN=1`` environment variable turns it on without
+            touching config.
     """
 
     latency_mode: str = "cached"
@@ -195,6 +206,7 @@ class EngineConfig:
     columnar: bool = True
     shard_backend: str = "thread"
     clamp_workers: bool = True
+    sanitize: bool = False
 
 
 class TweeQL:

@@ -66,7 +66,7 @@ def render_analyze(handle: Any) -> str:
         + " ".join(f"{key}={value}" for key, value in stats.items())
     )
 
-    service_lines = []
+    service_lines: list[str] = []
     for name, block in sorted(handle.service_stats.items()):
         if not block.get("calls"):
             continue

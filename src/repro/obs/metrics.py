@@ -15,8 +15,9 @@ the session's services) for the server's ``/metrics`` endpoint.
 
 from __future__ import annotations
 
-import threading
 from typing import Any
+
+from repro.engine.sanitizer import registered_lock
 
 #: Histogram bucket upper bounds (virtual seconds) — tuned for service
 #: latencies in the hundreds-of-ms range the paper describes.
@@ -82,7 +83,7 @@ class Histogram:
         self.counts[-1] += 1
 
     def as_value(self) -> dict[str, Any]:
-        cumulative = []
+        cumulative: list[int] = []
         running = 0
         for count in self.counts:
             running += count
@@ -113,9 +114,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
-        self._lock = threading.Lock()
+        self._lock = registered_lock("metrics.registry")
 
-    def _get_or_create(self, name: str, factory: Any, kind: type) -> Any:
+    def _get_or_create(self, name: str, factory: Any, kind: type[Any]) -> Any:
         metric = self._metrics.get(name)
         if metric is None:
             with self._lock:

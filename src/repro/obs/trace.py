@@ -26,15 +26,17 @@ span over the stage's lifetime.
 
 from __future__ import annotations
 
-import threading
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import Any
 
-#: Span kinds, for filtering and for exporter categories.
+from repro.engine.sanitizer import registered_lock
+
+#: Span kinds, for filtering and for exporter categories. ``sanitizer``
+#: marks TQLSAN violation instants (see repro.engine.sanitizer).
 KINDS = (
     "query", "operator", "batch", "service", "stall",
-    "retry", "reconnect", "exchange",
+    "retry", "reconnect", "exchange", "sanitizer",
 )
 
 
@@ -112,7 +114,7 @@ class Tracer:
         self.batch_spans = batch_spans
         self.spans: list[Span] = []
         self.probes: list[OperatorProbe] = []
-        self._lock = threading.Lock()
+        self._lock = registered_lock("trace.spans")
         self._next_id = 0
         self._lane_seq: dict[str, int] = {}
 

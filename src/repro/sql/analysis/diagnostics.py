@@ -9,7 +9,14 @@ Code ranges (catalogued with examples in ``docs/ANALYSIS.md``):
 - ``TQL4xx`` — shared-scan admission control (``TQL401`` capacity,
   ``TQL402`` unshareable statement, ``TQL403`` group already streaming
   or closed) — raised as :class:`repro.errors.AdmissionError` by
-  :mod:`repro.engine.multitenant`, not emitted by the static analyzer.
+  :mod:`repro.engine.multitenant`, not emitted by the static analyzer;
+- ``TQL9xx`` — TQLSAN engine-correctness checks: ``TQL901``–``TQL911``
+  runtime invariant violations raised as
+  :class:`repro.errors.SanitizerError` by
+  :mod:`repro.engine.sanitizer`, and ``TQL920``–``TQL923``
+  engine-*source* determinism findings emitted by
+  :mod:`repro.sql.analysis.engine_lint` (which lints the engine's own
+  Python, not TweeQL queries).
 
 A :class:`Diagnostic` is an immutable record; a :class:`DiagnosticSink`
 collects every problem found in one pass over a statement so a user fixing

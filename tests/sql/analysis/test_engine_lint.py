@@ -1,0 +1,137 @@
+"""The engine-source determinism lint (TQL920–TQL923).
+
+Covers each rule firing on a minimal offending module, the path scoping
+(engine/obs only; sanitizer.py exempt from the lock rule), the JSON
+output shape (uniform with ``tweeql check --format=json``), and — the
+satellite that matters in CI — an empty baseline over the real tree.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sql.analysis.engine_lint import lint_paths, lint_source, main
+
+ENGINE = "src/repro/engine/fake.py"
+OBS = "src/repro/obs/fake.py"
+
+
+def codes(source: str, path: str = ENGINE) -> list[str]:
+    return [f.diagnostic.code for f in lint_source(source, path)]
+
+
+def test_wall_clock_reads_flagged():
+    assert codes("import time\nt = time.time()\n") == ["TQL920"]
+    assert codes("import time\nt = time.time_ns()\n") == ["TQL920"]
+    assert codes(
+        "from datetime import datetime\nd = datetime.now()\n"
+    ) == ["TQL920"]
+    assert codes(
+        "import datetime\nd = datetime.datetime.utcnow()\n"
+    ) == ["TQL920"]
+
+
+def test_virtual_clock_not_flagged():
+    assert codes("now = clock.now\nlater = ctx.clock.now\n") == []
+    # perf_counter is a duration source, not wall-clock time-of-day.
+    assert codes("import time\nt = time.perf_counter()\n") == []
+
+
+def test_unseeded_random_flagged_seeded_allowed():
+    assert codes("import random\nx = random.random()\n") == ["TQL921"]
+    assert codes("import random\nr = random.Random()\n") == ["TQL921"]
+    assert codes("import random\nr = random.Random(42)\n") == []
+    assert codes("import random\nr = random.Random(seed)\n") == []
+
+
+def test_bare_locks_flagged_registered_allowed():
+    assert codes("import threading\nlock = threading.Lock()\n") == ["TQL922"]
+    assert codes("import threading\nlock = threading.RLock()\n") == ["TQL922"]
+    assert codes(
+        "import threading\ncond = threading.Condition()\n"
+    ) == ["TQL922"]
+    clean = (
+        "from repro.engine.sanitizer import registered_lock\n"
+        "lock = registered_lock('mine')\n"
+    )
+    assert codes(clean) == []
+    # Events/threads are not locks; the rule targets mutual exclusion.
+    assert codes("import threading\nstop = threading.Event()\n") == []
+
+
+def test_swallowed_exceptions_flagged_only_in_engine():
+    swallow = "try:\n    work()\nexcept Exception:\n    pass\n"
+    assert codes(swallow, ENGINE) == ["TQL923"]
+    assert codes("try:\n    work()\nexcept:\n    pass\n", ENGINE) == ["TQL923"]
+    # A handler that *does* something is fine.
+    handled = "try:\n    work()\nexcept Exception as e:\n    log(e)\n"
+    assert codes(handled, ENGINE) == []
+    # Narrow types may be deliberately dropped.
+    narrow = "try:\n    work()\nexcept KeyError:\n    pass\n"
+    assert codes(narrow, ENGINE) == []
+    # obs/ gets the determinism rules but not the except-pass rule.
+    assert codes(swallow, OBS) == []
+
+
+def test_scoping_outside_engine_and_obs():
+    noisy = "import time, threading\nt = time.time()\nk = threading.Lock()\n"
+    assert codes(noisy, "src/repro/twitter/workloads.py") == []
+    assert codes(noisy, "tests/engine/test_x.py") == []
+    assert codes(noisy, OBS) == ["TQL920", "TQL922"]
+
+
+def test_sanitizer_module_exempt_from_lock_rule_only():
+    noisy = "import time, threading\nt = time.time()\nk = threading.Lock()\n"
+    found = codes(noisy, "src/repro/engine/sanitizer.py")
+    assert found == ["TQL920"]  # the raw registry mutex is sanctioned
+
+
+def test_findings_carry_spans_and_render_carets():
+    source = "import time\nstamp = time.time()\n"
+    (finding,) = lint_source(source, ENGINE)
+    assert finding.line == 2
+    rendered = finding.render(source)
+    assert "TQL920" in rendered and "^" in rendered
+    assert rendered.startswith(f"{ENGINE}:2:")
+
+
+def test_json_format_uniform_with_check(tmp_path, capsys):
+    bad = tmp_path / "engine" / "busted.py"
+    bad.parent.mkdir()
+    bad.write_text("import time\nt = time.time()\n", encoding="utf-8")
+    exit_code = main([str(tmp_path), "--format", "json"])
+    assert exit_code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["code"] == "TQL920"
+    assert payload[0]["severity"] == "error"
+    assert payload[0]["line"] == 2
+    assert payload[0]["span"]["start"] > 0
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    good = tmp_path / "engine" / "fine.py"
+    good.parent.mkdir()
+    good.write_text("x = 1\n", encoding="utf-8")
+    assert main([str(tmp_path)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_real_engine_tree_baseline_is_empty():
+    findings = lint_paths(["src/repro/engine", "src/repro/obs"])
+    rendered = [f.render() for f in findings]
+    assert findings == [], "\n".join(rendered)
+
+
+def test_findings_deterministically_ordered(tmp_path):
+    module = tmp_path / "engine" / "multi.py"
+    module.parent.mkdir()
+    module.write_text(
+        "import time, threading\n"
+        "b = threading.Lock()\n"
+        "a = time.time()\n",
+        encoding="utf-8",
+    )
+    first = [f.as_dict() for f in lint_paths([str(tmp_path)])]
+    second = [f.as_dict() for f in lint_paths([str(tmp_path)])]
+    assert first == second
+    assert [f["line"] for f in first] == [2, 3]
