@@ -1,0 +1,102 @@
+"""Fidelity harness overhead: two passes must cost less than two runs.
+
+:class:`FidelityRun` replays a scenario twice (firehose + sample) and
+scores the digests against each other. The sample pass only pushes
+``rate`` of the tweets through TwitInfo, so the whole harness should
+cost well under **2x** a plain single-stream run of the same event —
+the gate this bench asserts. If digesting or scoring ever starts to
+dominate, this is the bench that catches it.
+"""
+
+import time
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.engine.session import EngineConfig, TweeQL
+from repro.fidelity.harness import FidelityRun, build_scenario
+from repro.twitinfo.app import TwitInfoApp
+from repro.twitinfo.peaks import PeakDetectorParams
+from repro.twitter.stream import Firehose, StreamingAPI
+
+from benchmarks.conftest import SEED
+
+RATE = 0.05
+
+
+@pytest.fixture(scope="module")
+def botflood():
+    """The bursty bot-flood scenario at a bench-friendly size (~20k tweets)."""
+    return build_scenario("botflood", seed=SEED, population_size=1000,
+                          intensity=0.5)
+
+
+def _plain_run(scenario):
+    """One lossless single-stream TwitInfo pass — the 1x baseline."""
+    clock = VirtualClock(start=scenario.start)
+    api = StreamingAPI(
+        Firehose(list(scenario.tweets)), clock=clock, delivery_ratio=1.0,
+        seed=SEED,
+    )
+    session = TweeQL(api=api, clock=clock, config=EngineConfig(), seed=SEED)
+    app = TwitInfoApp(session)
+    tracked = app.create_event(
+        name=scenario.name,
+        keywords=scenario.keywords,
+        detector_params=PeakDetectorParams.for_sampled_stream(1.0),
+    )
+    app.run_event(tracked)
+    return tracked
+
+
+def _harness_run(scenario):
+    return FidelityRun(scenario, rate=RATE, seed=SEED).execute()
+
+
+def test_fidelity_harness_throughput(benchmark, botflood):
+    """Trajectory entry: full fidelity runs per second."""
+    report = benchmark.pedantic(
+        lambda: _harness_run(botflood), rounds=2, iterations=1
+    )
+    assert 0 < report.firehose.tweets <= len(botflood.tweets)
+    benchmark.extra_info["tweets"] = len(botflood.tweets)
+    benchmark.extra_info["rate"] = RATE
+    print(f"\nfidelity harness: {len(botflood.tweets)} tweets @ rate {RATE} → "
+          f"{benchmark.stats.stats.mean:.2f}s/run "
+          f"(overall score {report.scores.overall:.3f})")
+
+
+def test_harness_overhead_below_2x(botflood):
+    """The acceptance gate: harness wall time < 2x one plain stream pass.
+
+    Interleaved best-of-3 min timing, same rationale as the multitenant
+    bench: noise only ever slows a run down, so the min converges on the
+    true cost, and alternating sides keeps a load spike from biasing one
+    of them.
+    """
+    # Warm both paths (tokenizer tables, sentiment lexicon, etc.) before
+    # any timing is trusted.
+    tracked = _plain_run(botflood)
+    report = _harness_run(botflood)
+    assert len(tracked.log) == report.firehose.tweets  # same event, same log
+
+    plain = harness = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        _plain_run(botflood)
+        plain = min(plain, time.perf_counter() - start)
+        start = time.perf_counter()
+        _harness_run(botflood)
+        harness = min(harness, time.perf_counter() - start)
+
+    overhead = harness / plain if plain else float("inf")
+    print(f"\nfidelity overhead: plain {plain:.2f}s, harness {harness:.2f}s "
+          f"→ {overhead:.2f}x")
+    assert overhead < 2.0, (
+        f"fidelity harness should cost < 2x a plain single-stream run, "
+        f"measured {overhead:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q", "-s"])

@@ -15,6 +15,8 @@ Usage::
     tweeql explain --sql "SELECT …" --analyze --trace out.json
     tweeql twitinfo --scenario earthquakes    # print a dashboard
     tweeql twitinfo --scenario soccer --html dashboard.html
+    tweeql fidelity --scenario election --rate 0.01 --seed 42
+    tweeql fidelity --scenario botflood --rate 0.1 --out report.json
 
 Inside the REPL: end a query with ``;`` to run it, or use the dot
 commands ``.help``, ``.examples``, ``.explain <sql>``, ``.check <sql>``,
@@ -422,6 +424,44 @@ def run_twitinfo(args: argparse.Namespace) -> None:
         print(dashboard.render_text())
 
 
+def run_fidelity(args: argparse.Namespace) -> int:
+    """``tweeql fidelity``: firehose-vs-sample bias measurement.
+
+    Builds the named scenario, replays it through the fidelity harness
+    (one lossless firehose pass, one ``statuses/sample`` pass at
+    ``--rate``), prints the score summary, and emits the deterministic
+    JSON report — to ``--out`` when given, stdout otherwise. Output is
+    byte-identical across runs for the same (scenario, seed, rate).
+    """
+    from repro.fidelity import FidelityRun, build_scenario
+
+    scenario = build_scenario(
+        args.scenario,
+        seed=args.seed,
+        population_size=args.population,
+        intensity=args.intensity,
+    )
+    run = FidelityRun(
+        scenario,
+        rate=args.rate,
+        seed=args.seed,
+        bin_seconds=args.bin_seconds,
+        topk=args.topk,
+        tolerance_bins=args.tolerance_bins,
+    )
+    report = run.execute()
+    for line in report.summary_lines():
+        print(line)
+    text = report.to_json_text()
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tweeql",
@@ -596,6 +636,53 @@ def make_parser() -> argparse.ArgumentParser:
         help="start the TwitInfo web server on PORT instead of printing",
     )
 
+    fidelity = sub.add_parser(
+        "fidelity",
+        help="measure firehose-vs-sample bias for a scenario",
+        description="Replay one scenario through a lossless firehose pass "
+        "and a rate-limited statuses/sample pass, run the same TwitInfo "
+        "event on each, and report fidelity scores, coverage confidence, "
+        "and ground-truth recall as deterministic JSON.",
+    )
+    # --scenario/--seed/--population shadow main-parser dests; SUPPRESS
+    # keeps a pre-subcommand value (e.g. ``tweeql --seed 7 fidelity``)
+    # from being clobbered by a subparser default.
+    from repro.fidelity.harness import SCENARIO_BUILDERS
+
+    fidelity.add_argument(
+        "--scenario",
+        default=argparse.SUPPRESS,
+        choices=sorted(SCENARIO_BUILDERS),
+        help="which workload to measure (default: soccer)",
+    )
+    fidelity.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="workload seed"
+    )
+    fidelity.add_argument(
+        "--population", type=int, default=argparse.SUPPRESS,
+        help="synthetic user count",
+    )
+    fidelity.add_argument(
+        "--rate", type=float, default=0.01, metavar="P",
+        help="statuses/sample probability for the sample pass",
+    )
+    fidelity.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="scenario traffic multiplier",
+    )
+    fidelity.add_argument("--bin-seconds", type=float, default=60.0)
+    fidelity.add_argument(
+        "--topk", type=int, default=10, help="top terms per digest"
+    )
+    fidelity.add_argument(
+        "--tolerance-bins", type=int, default=3,
+        help="peak-matching tolerance, in bins",
+    )
+    fidelity.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON report here instead of stdout",
+    )
+
     return parser
 
 
@@ -605,7 +692,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     command = args.command or "repl"
     try:
-        if command == "twitinfo":
+        if command == "fidelity":
+            return run_fidelity(args)
+        elif command == "twitinfo":
             run_twitinfo(args)
         elif command == "check":
             return run_check(args)

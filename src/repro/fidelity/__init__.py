@@ -1,0 +1,50 @@
+"""Sampled-stream fidelity measurement.
+
+TweeQL and TwitInfo consume Twitter's *sampled* streaming API, so every
+timeline, peak, and aggregate the paper demos is computed on a thinned
+stream. Morstatter et al. ("Is the Sample Good Enough?") showed that the
+streaming sample systematically distorts top-k terms, peak shapes, and
+geographic distributions relative to the firehose. This package
+quantifies that bias for the simulator's scenario workloads:
+
+- :class:`~repro.fidelity.harness.FidelityRun` replays one scenario
+  through a lossless firehose pass and a rate-limited ``sample()`` pass,
+  runs the same TwitInfo event on each, and scores the sampled side
+  against the firehose side (and both against ground truth);
+- :class:`~repro.fidelity.report.FidelityReport` is the deterministic,
+  JSON-serializable result;
+- :class:`~repro.fidelity.coverage.CoverageEstimate` is the
+  coverage-confidence number TwitInfo surfaces per event.
+
+Everything is driven by the virtual clock and seed-derived RNGs, so a
+report is byte-identical across runs for a given (scenario, seed, rate).
+"""
+
+from typing import Any
+
+from repro.fidelity.coverage import CoverageEstimate
+from repro.fidelity.report import FidelityReport, FidelityScores, StreamDigest
+
+#: Harness symbols resolved lazily (PEP 562): the harness imports the
+#: TwitInfo app, and the app imports :mod:`repro.fidelity.coverage` to
+#: annotate events — eager re-export here would close that cycle.
+_HARNESS_EXPORTS = ("SCENARIO_BUILDERS", "FidelityRun", "build_scenario")
+
+
+def __getattr__(name: str) -> Any:
+    if name in _HARNESS_EXPORTS:
+        from repro.fidelity import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "SCENARIO_BUILDERS",
+    "CoverageEstimate",
+    "FidelityReport",
+    "FidelityRun",
+    "FidelityScores",
+    "StreamDigest",
+    "build_scenario",
+]

@@ -1,0 +1,99 @@
+"""Coverage-confidence estimation for thinned streams.
+
+A TwitInfo event fed by a lossy or sampled connection sees only a
+fraction of the tweets it would have seen on the firehose. The
+*coverage* is that fraction; the *confidence* says how tightly the data
+pins it down. Coverage is estimated as a binomial proportion
+(delivered out of eligible) with a Wilson 95% interval — the standard
+choice for proportions near 0 or 1, which is exactly where delivery
+ratios (~0.98) and sample rates (~0.01) live. Confidence is one minus
+the interval's width: 0 when the data says nothing, →1 as the interval
+collapses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: z for a 95% two-sided interval.
+_Z95 = 1.959963984540054
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = _Z95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns (low, high) in [0, 1]; the vacuous (0, 1) when ``trials`` is
+    zero.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("need 0 <= successes <= trials")
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denominator
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+@dataclass(frozen=True)
+class CoverageEstimate:
+    """What fraction of the eligible tweets this stream actually saw.
+
+    Attributes:
+        observed: tweets delivered/logged.
+        eligible: tweets that *would* have been delivered on a lossless
+            firehose connection (matched count).
+        coverage: the point estimate ``observed / eligible``.
+        ci_low/ci_high: Wilson 95% interval on the coverage.
+    """
+
+    observed: int
+    eligible: int
+    coverage: float
+    ci_low: float
+    ci_high: float
+
+    @classmethod
+    def from_counts(cls, observed: int, eligible: int) -> "CoverageEstimate":
+        """Estimate coverage from delivered-vs-eligible counts."""
+        low, high = wilson_interval(min(observed, eligible), eligible)
+        coverage = observed / eligible if eligible else 0.0
+        return cls(
+            observed=observed,
+            eligible=eligible,
+            coverage=min(1.0, coverage),
+            ci_low=low,
+            ci_high=high,
+        )
+
+    @property
+    def confidence(self) -> float:
+        """1 − interval width: 0 = know nothing, →1 = pinned down."""
+        return max(0.0, 1.0 - (self.ci_high - self.ci_low))
+
+    @property
+    def estimated_total(self) -> float:
+        """Horvitz–Thompson scale-up: how many tweets really happened."""
+        if self.coverage <= 0.0:
+            return float(self.observed)
+        return self.observed / self.coverage
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "observed": self.observed,
+            "eligible": self.eligible,
+            "coverage": self.coverage,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "confidence": self.confidence,
+            "estimated_total": self.estimated_total,
+        }

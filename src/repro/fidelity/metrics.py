@@ -1,0 +1,263 @@
+"""Bias metrics: how faithfully does a sampled stream mirror the firehose?
+
+Every metric here is a *fidelity score* in [0, 1] where 1.0 means the
+sampled side is indistinguishable from the reference. The dimensions are
+the ones Morstatter et al. found the streaming sample distorts:
+
+- **top-k terms** — Jaccard overlap of the top-k term sets plus a
+  Kendall-style rank agreement over the shared terms;
+- **peaks** — count agreement, apex-timing error, and (rate-corrected)
+  apex-height ratio of matched peak pairs;
+- **geo** — 1 − Jensen–Shannon divergence (base 2) between the two
+  geotag distributions over 1°×1° cells;
+- **sentiment** — 1 − total variation distance between the two
+  positive/negative/neutral mixes.
+
+All functions are pure and deterministic: no clocks, no RNGs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+# ---------------------------------------------------------------------------
+# Top-k term agreement
+# ---------------------------------------------------------------------------
+
+
+def topk_jaccard(a: Sequence[str], b: Sequence[str]) -> float:
+    """Jaccard overlap of two top-k term lists (order-insensitive)."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    return len(set_a & set_b) / len(union)
+
+
+def topk_rank_correlation(a: Sequence[str], b: Sequence[str]) -> float:
+    """Rank agreement of the terms both lists share, mapped to [0, 1].
+
+    Kendall's tau over the common terms' relative orders, rescaled via
+    (tau + 1) / 2. With fewer than two common terms the ordering carries
+    no signal: identical lists score 1.0, disjoint non-empty lists 0.0,
+    anything else the indifferent 0.5.
+    """
+    if list(a) == list(b):
+        return 1.0
+    in_b = set(b)
+    common = [term for term in a if term in in_b]
+    if len(common) < 2:
+        if not common:
+            return 0.0 if (a or b) else 1.0
+        return 0.5
+    order_b = {term: index for index, term in enumerate(b)}
+    ranks = [order_b[term] for term in common]  # b-ranks in a-order
+    concordant = discordant = 0
+    for i in range(len(ranks)):
+        for j in range(i + 1, len(ranks)):
+            if ranks[i] < ranks[j]:
+                concordant += 1
+            elif ranks[i] > ranks[j]:
+                discordant += 1
+    total = concordant + discordant
+    if total == 0:
+        return 1.0
+    tau = (concordant - discordant) / total
+    return (tau + 1.0) / 2.0
+
+
+# ---------------------------------------------------------------------------
+# Peak agreement
+# ---------------------------------------------------------------------------
+
+#: A peak as the metrics see it: (apex_time, apex_count).
+PeakPoint = tuple[float, float]
+
+
+def match_peaks(
+    reference: Sequence[PeakPoint],
+    other: Sequence[PeakPoint],
+    tolerance: float,
+) -> list[tuple[int, int]]:
+    """Greedy one-to-one matching of peaks by apex-time proximity.
+
+    Pairs are taken closest-first; each peak matches at most once, and
+    only within ``tolerance`` seconds. Returns (reference_index,
+    other_index) pairs.
+    """
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    candidates = sorted(
+        (
+            (abs(ref[0] - oth[0]), i, j)
+            for i, ref in enumerate(reference)
+            for j, oth in enumerate(other)
+            if abs(ref[0] - oth[0]) <= tolerance
+        ),
+    )
+    used_ref: set[int] = set()
+    used_other: set[int] = set()
+    matches: list[tuple[int, int]] = []
+    for _gap, i, j in candidates:
+        if i in used_ref or j in used_other:
+            continue
+        used_ref.add(i)
+        used_other.add(j)
+        matches.append((i, j))
+    return sorted(matches)
+
+
+def peak_count_score(n_reference: int, n_other: int) -> float:
+    """1 − relative difference in the number of detected peaks."""
+    if n_reference == 0 and n_other == 0:
+        return 1.0
+    biggest = max(n_reference, n_other)
+    return 1.0 - abs(n_reference - n_other) / biggest
+
+
+def peak_timing_score(
+    reference: Sequence[PeakPoint],
+    other: Sequence[PeakPoint],
+    tolerance: float,
+) -> float:
+    """Mean apex-timing agreement; unmatched peaks score zero.
+
+    Each matched pair contributes ``1 − |Δapex| / tolerance``; the sum is
+    normalized by the larger peak count so missing and phantom peaks both
+    drag the score down. 1.0 when both sides have no peaks at all.
+    """
+    if not reference and not other:
+        return 1.0
+    if not reference or not other:
+        return 0.0
+    matches = match_peaks(reference, other, tolerance)
+    total = sum(
+        1.0 - abs(reference[i][0] - other[j][0]) / tolerance
+        for i, j in matches
+    )
+    return total / max(len(reference), len(other))
+
+
+def peak_height_score(
+    reference: Sequence[PeakPoint],
+    other: Sequence[PeakPoint],
+    tolerance: float,
+    scale_other: float = 1.0,
+) -> float:
+    """Rate-corrected apex-height agreement of matched peaks.
+
+    ``scale_other`` undoes the thinning (1/rate for a sampled stream) so
+    a faithful 1% sample's 10-tweet apex scores well against the
+    firehose's 1000. Matched pairs contribute min/max of the corrected
+    heights; normalization mirrors :func:`peak_timing_score`.
+    """
+    if not reference and not other:
+        return 1.0
+    if not reference or not other:
+        return 0.0
+    matches = match_peaks(reference, other, tolerance)
+    total = 0.0
+    for i, j in matches:
+        height_ref = reference[i][1]
+        height_other = other[j][1] * scale_other
+        if height_ref <= 0 or height_other <= 0:
+            continue
+        total += min(height_ref, height_other) / max(height_ref, height_other)
+    return total / max(len(reference), len(other))
+
+
+def truth_recall(
+    event_times: Sequence[float],
+    peak_windows: Sequence[tuple[float, float]],
+    tolerance: float,
+) -> float:
+    """Fraction of ground-truth events covered by a detected peak window.
+
+    An event counts as recalled when its instant falls inside (or within
+    ``tolerance`` of) some peak's [start, end) window — a plateau's apex
+    can legitimately sit far from its onset, so windows, not apexes, are
+    what recall is judged on.
+    """
+    if not event_times:
+        return 1.0
+    hit = sum(
+        1
+        for time in event_times
+        if any(
+            start - tolerance <= time <= end + tolerance
+            for start, end in peak_windows
+        )
+    )
+    return hit / len(event_times)
+
+
+# ---------------------------------------------------------------------------
+# Distribution agreement
+# ---------------------------------------------------------------------------
+
+
+def _normalize(counts: Mapping[object, float]) -> dict[object, float]:
+    total = float(sum(counts.values()))
+    if total <= 0:
+        return {}
+    return {key: value / total for key, value in counts.items() if value > 0}
+
+
+def jensen_shannon_divergence(
+    p_counts: Mapping[object, float], q_counts: Mapping[object, float]
+) -> float:
+    """JSD in bits between two count distributions; bounded [0, 1].
+
+    Symmetric and finite even on disjoint supports (unlike KL). Empty vs
+    empty is 0; empty vs anything is maximal (1.0).
+    """
+    p = _normalize(p_counts)
+    q = _normalize(q_counts)
+    if not p and not q:
+        return 0.0
+    if not p or not q:
+        return 1.0
+    divergence = 0.0
+    for key in set(p) | set(q):
+        p_i = p.get(key, 0.0)
+        q_i = q.get(key, 0.0)
+        m_i = (p_i + q_i) / 2.0
+        if p_i > 0:
+            divergence += 0.5 * p_i * math.log2(p_i / m_i)
+        if q_i > 0:
+            divergence += 0.5 * q_i * math.log2(q_i / m_i)
+    return min(1.0, max(0.0, divergence))
+
+
+def distribution_score(
+    p_counts: Mapping[object, float], q_counts: Mapping[object, float]
+) -> float:
+    """1 − Jensen–Shannon divergence: 1.0 = identical distributions."""
+    return 1.0 - jensen_shannon_divergence(p_counts, q_counts)
+
+
+def geo_cells(
+    coordinates: Sequence[tuple[float, float]],
+) -> dict[tuple[int, int], int]:
+    """Histogram of (lat, lon) points over 1°×1° integer-degree cells."""
+    cells: dict[tuple[int, int], int] = {}
+    for lat, lon in coordinates:
+        key = (math.floor(lat), math.floor(lon))
+        cells[key] = cells.get(key, 0) + 1
+    return cells
+
+
+def sentiment_score(
+    a: tuple[int, int, int], b: tuple[int, int, int]
+) -> float:
+    """1 − total variation distance between two (pos, neg, neu) mixes."""
+    total_a, total_b = sum(a), sum(b)
+    if total_a == 0 and total_b == 0:
+        return 1.0
+    if total_a == 0 or total_b == 0:
+        return 0.0
+    tvd = 0.5 * sum(
+        abs(x / total_a - y / total_b) for x, y in zip(a, b)
+    )
+    return 1.0 - tvd

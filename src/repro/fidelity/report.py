@@ -1,0 +1,190 @@
+"""The fidelity report: one deterministic, JSON-serializable verdict.
+
+A :class:`FidelityReport` packages the two per-pass digests (firehose
+and sample), the bias scores between them, ground-truth recall for both
+sides, and the sampled side's coverage estimate. ``to_json_text()`` is
+byte-identical across runs for the same (scenario, seed, rate): keys are
+sorted and floats rounded to six decimals before serialization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.fidelity.coverage import CoverageEstimate
+
+
+def _rounded(value: Any) -> Any:
+    """Recursively round floats so serialization is stable and readable."""
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, dict):
+        return {key: _rounded(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_rounded(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class StreamDigest:
+    """What one pass (firehose or sample) saw of the scenario.
+
+    Attributes:
+        tweets: tweets the event logged.
+        positive/negative/neutral: classified sentiment counts.
+        geotagged: tweets carrying an exact geotag.
+        top_terms: the top-k (term, frequency) pairs by frequency.
+        peaks: detected peaks as (start, apex_time, apex_count, end).
+        truth_recall: fraction of ground-truth events covered by a
+            detected peak window (within the matching tolerance).
+    """
+
+    tweets: int
+    positive: int
+    negative: int
+    neutral: int
+    geotagged: int
+    top_terms: tuple[tuple[str, int], ...]
+    peaks: tuple[tuple[float, float, float, float], ...]
+    truth_recall: float
+
+    @property
+    def sentiment_counts(self) -> tuple[int, int, int]:
+        return (self.positive, self.negative, self.neutral)
+
+    @property
+    def apex_points(self) -> tuple[tuple[float, float], ...]:
+        """Peaks as the (apex_time, apex_count) pairs the metrics score."""
+        return tuple((apex, count) for _s, apex, count, _e in self.peaks)
+
+    @property
+    def peak_windows(self) -> tuple[tuple[float, float], ...]:
+        """Peaks as [start, end) windows."""
+        return tuple((start, end) for start, _a, _c, end in self.peaks)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "tweets": self.tweets,
+            "positive": self.positive,
+            "negative": self.negative,
+            "neutral": self.neutral,
+            "geotagged": self.geotagged,
+            "top_terms": [
+                {"term": term, "count": count} for term, count in self.top_terms
+            ],
+            "peaks": [
+                {
+                    "start": start,
+                    "apex_time": apex_time,
+                    "apex_count": apex_count,
+                    "end": end,
+                }
+                for start, apex_time, apex_count, end in self.peaks
+            ],
+            "truth_recall": self.truth_recall,
+        }
+
+
+@dataclass(frozen=True)
+class FidelityScores:
+    """The bias scores, each in [0, 1] with 1.0 = perfect fidelity."""
+
+    topk_jaccard: float
+    topk_rank_correlation: float
+    peak_count: float
+    peak_timing: float
+    peak_height: float
+    geo: float
+    sentiment: float
+
+    def as_tuple(self) -> tuple[float, ...]:
+        return (
+            self.topk_jaccard,
+            self.topk_rank_correlation,
+            self.peak_count,
+            self.peak_timing,
+            self.peak_height,
+            self.geo,
+            self.sentiment,
+        )
+
+    @property
+    def overall(self) -> float:
+        """Unweighted mean of every dimension."""
+        values = self.as_tuple()
+        return sum(values) / len(values)
+
+    @property
+    def perfect(self) -> bool:
+        """True when every dimension reports exact fidelity."""
+        return all(value == 1.0 for value in self.as_tuple())
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "topk_jaccard": self.topk_jaccard,
+            "topk_rank_correlation": self.topk_rank_correlation,
+            "peak_count": self.peak_count,
+            "peak_timing": self.peak_timing,
+            "peak_height": self.peak_height,
+            "geo": self.geo,
+            "sentiment": self.sentiment,
+            "overall": self.overall,
+        }
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """Everything one :class:`~repro.fidelity.harness.FidelityRun` found."""
+
+    scenario: str
+    seed: int
+    rate: float
+    bin_seconds: float
+    topk: int
+    tolerance_seconds: float
+    firehose: StreamDigest
+    sample: StreamDigest
+    coverage: CoverageEstimate
+    scores: FidelityScores
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "rate": self.rate,
+            "bin_seconds": self.bin_seconds,
+            "topk": self.topk,
+            "tolerance_seconds": self.tolerance_seconds,
+            "firehose": self.firehose.as_dict(),
+            "sample": self.sample.as_dict(),
+            "coverage": self.coverage.as_dict(),
+            "scores": self.scores.as_dict(),
+        }
+
+    def to_json_text(self) -> str:
+        """Deterministic JSON: sorted keys, floats rounded to 6 places."""
+        return json.dumps(
+            _rounded(self.as_dict()), indent=2, sort_keys=True
+        ) + "\n"
+
+    def summary_lines(self) -> list[str]:
+        """A terminal-friendly digest of the verdict."""
+        scores = self.scores
+        return [
+            f"fidelity: {self.scenario} @ rate {self.rate:g} (seed {self.seed})",
+            f"  firehose: {self.firehose.tweets} tweets, "
+            f"{len(self.firehose.peaks)} peaks",
+            f"  sample:   {self.sample.tweets} tweets, "
+            f"{len(self.sample.peaks)} peaks",
+            f"  coverage: {self.coverage.coverage:.4f} "
+            f"[{self.coverage.ci_low:.4f}, {self.coverage.ci_high:.4f}] "
+            f"confidence {self.coverage.confidence:.4f}",
+            f"  top-k terms: jaccard {scores.topk_jaccard:.3f}, "
+            f"rank corr {scores.topk_rank_correlation:.3f}",
+            f"  peaks: count {scores.peak_count:.3f}, "
+            f"timing {scores.peak_timing:.3f}, height {scores.peak_height:.3f}",
+            f"  geo {scores.geo:.3f}, sentiment {scores.sentiment:.3f}",
+            f"  overall {scores.overall:.3f}",
+        ]

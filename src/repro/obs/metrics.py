@@ -237,6 +237,12 @@ def app_metrics(app: Any) -> MetricsRegistry:
         registry.absorb(prefix, tracked.report().as_dict())
         registry.gauge(f"{prefix}.timeline_bins").set(len(tracked.timeline))
         registry.gauge(f"{prefix}.timeline_total").set(tracked.timeline.total)
+        coverage = getattr(tracked, "coverage", None)
+        if coverage is not None:
+            registry.gauge(f"{prefix}.coverage").set(coverage.coverage)
+            registry.gauge(f"{prefix}.coverage_confidence").set(
+                coverage.confidence
+            )
     session = app.session
     for key, managed in session._services.items():
         if not key.endswith("_managed"):

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.engine.session import TweeQL
+from repro.fidelity.coverage import CoverageEstimate
 from repro.storage.tweetlog import MemoryTweetLog
 from repro.twitinfo.dashboard import Dashboard
 from repro.twitinfo.event import EventDefinition, PeakAnnotation
@@ -24,6 +25,22 @@ from repro.twitinfo.relevance import RelevantTweet, relevant_tweets
 from repro.twitinfo.sentiment_view import SentimentSummary
 from repro.twitinfo.timeline import Timeline
 from repro.twitter.models import Tweet
+
+
+def _connection_coverage(connections: object) -> CoverageEstimate | None:
+    """Coverage estimate from a run's stream connections, if it had any.
+
+    ``delivered / matched`` over every connection the query opened: the
+    fraction of filter-matching tweets the (possibly lossy, possibly
+    disconnect-ridden) stream actually handed the application.
+    """
+    stats = [connection.stats for connection in connections]  # type: ignore[attr-defined]
+    if not stats:
+        return None
+    return CoverageEstimate.from_counts(
+        observed=sum(s.delivered for s in stats),
+        eligible=sum(s.matched for s in stats),
+    )
 
 
 @dataclass
@@ -83,6 +100,10 @@ class TrackedEvent:
             bin_seconds=definition.bin_seconds,
         )
         self.peaks: list[PeakAnnotation] = []
+        #: Stream-coverage estimate for this event's query, set after the
+        #: query drains (delivered vs. matched on its stream connection).
+        #: None while running, or when the run path exposes no connection.
+        self.coverage: CoverageEstimate | None = None
         self._raw_peaks: list[Peak] = []
         self._fed_to_index: int | None = None
         self._annotated_labels: set[str] = set()
@@ -305,9 +326,18 @@ class TwitInfoApp:
                     ingest(tracked, handle)
             finally:
                 group.close()
+            # All tenants ride the one shared connection, so they share its
+            # delivery accounting (and therefore its coverage estimate).
+            shared_coverage = _connection_coverage(group.connections)
+            for tracked in tracked_list:
+                tracked.coverage = shared_coverage
         else:
             for tracked in tracked_list:
-                ingest(tracked, self.session.query(tracked.definition.to_tweeql()))
+                handle = self.session.query(tracked.definition.to_tweeql())
+                ingest(tracked, handle)
+                tracked.coverage = _connection_coverage(
+                    getattr(handle, "connections", ())
+                )
         reports = []
         for tracked in tracked_list:
             tracked.detect_peaks()
@@ -391,6 +421,9 @@ class TwitInfoApp:
                     break
         finally:
             handle.close()
+        tracked.coverage = _connection_coverage(
+            getattr(handle, "connections", ())
+        )
         final_peaks = tracked.finish_live()
         yield LiveSnapshot(
             stream_time=self.session.clock.now,
@@ -502,4 +535,5 @@ class TwitInfoApp:
             sentiment=summary,
             links=tracked.links.top(3, start, end),
             markers=tracked.map.markers(start, end),
+            coverage=tracked.coverage,
         )

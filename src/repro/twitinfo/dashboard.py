@@ -17,6 +17,7 @@ import json
 from dataclasses import dataclass
 
 from repro.clock import format_timestamp
+from repro.fidelity.coverage import CoverageEstimate
 from repro.twitinfo.event import PeakAnnotation
 from repro.twitinfo.links import PopularLink
 from repro.twitinfo.mapview import MapMarker
@@ -39,6 +40,9 @@ class Dashboard:
     sentiment: SentimentSummary
     links: list[PopularLink]
     markers: list[MapMarker]
+    #: Stream-coverage estimate for the event's query, when the run path
+    #: recorded one (None for loaded events or still-running queries).
+    coverage: CoverageEstimate | None = None
 
     # -- structured -----------------------------------------------------------
 
@@ -93,6 +97,9 @@ class Dashboard:
                 }
                 for marker in self.markers[:200]
             ],
+            "coverage": (
+                self.coverage.as_dict() if self.coverage is not None else None
+            ),
         }
 
     def to_json_text(self, indent: int = 2) -> str:
@@ -154,6 +161,12 @@ class Dashboard:
                 lines.append(f"  {mark} ({entry.similarity:.2f}) {text}")
             lines.append("")
         lines.append(f"Map: {len(self.markers)} geotagged tweets")
+        if self.coverage is not None:
+            lines.append(
+                f"Coverage: {self.coverage.coverage:.1%} of matching tweets "
+                f"delivered (95% CI {self.coverage.ci_low:.1%}–"
+                f"{self.coverage.ci_high:.1%})"
+            )
         return "\n".join(lines)
 
     # -- html -----------------------------------------------------------------

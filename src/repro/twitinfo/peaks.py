@@ -23,7 +23,7 @@ in Figure 1 of the demo paper.
 from __future__ import annotations
 
 import string
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 
 @dataclass
@@ -82,6 +82,21 @@ class PeakDetectorParams:
         min_count: bins below this count never open a peak (suppresses
             flapping on near-zero traffic).
         max_duration_bins: hard cap on a peak window's length.
+        min_support: number of *consecutive* qualifying bins required
+            before a peak opens. 1 (the default) opens on the first
+            qualifying bin, exactly the CHI'11 behaviour; 2+ makes the
+            detector ignore single-bin spikes — the phantom peaks a
+            thinned (sampled) stream's shot noise produces.
+        close_grace_bins: number of extra consecutive "should close" bins
+            tolerated before the window actually closes. 0 (the default)
+            closes immediately; 1+ rides out single-bin dips — the split
+            peaks sampling jitter carves out of one real burst. The
+            ``max_duration_bins`` cap always closes immediately.
+        min_lift: candidate bins must also exceed ``min_lift`` × the
+            onset mean. 1.0 (the default) is implied by the tau test and
+            changes nothing; 1.5 rejects the upper-tail Poisson bins a
+            busy-but-flat stream throws (on a mean of 50, a 3-sigma bin
+            is only ~1.4× the mean — noise, not an event).
     """
 
     alpha: float = 0.125
@@ -89,6 +104,9 @@ class PeakDetectorParams:
     tau: float = 2.0
     min_count: float = 10.0
     max_duration_bins: int = 30
+    min_support: int = 1
+    close_grace_bins: int = 0
+    min_lift: float = 1.0
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha <= 1 or not 0 < self.peak_alpha <= 1:
@@ -97,6 +115,36 @@ class PeakDetectorParams:
             raise ValueError("tau must be positive")
         if self.max_duration_bins <= 0:
             raise ValueError("max_duration_bins must be positive")
+        if self.min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        if self.close_grace_bins < 0:
+            raise ValueError("close_grace_bins must be non-negative")
+        if self.min_lift < 1.0:
+            raise ValueError("min_lift must be at least 1.0")
+
+    @classmethod
+    def for_sampled_stream(
+        cls, rate: float, base: "PeakDetectorParams | None" = None
+    ) -> "PeakDetectorParams":
+        """Parameters hardened for a stream thinned to ``rate``.
+
+        Scales ``min_count`` by the sampling rate (a 1% sample of a
+        1000-tweet burst is ~10 tweets) with a floor of 3, and turns on
+        minimum support + close hysteresis so shot noise neither phantoms
+        nor splits peaks. At ``rate=1.0`` the hysteresis knobs are still
+        applied (so a firehose pass and a sampled pass run the *same*
+        detector, differing only in ``min_count``).
+        """
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+        base = base if base is not None else cls()
+        return replace(
+            base,
+            min_count=max(3.0, base.min_count * rate),
+            min_support=2,
+            close_grace_bins=2,
+            min_lift=1.5,
+        )
 
 
 @dataclass
@@ -119,6 +167,15 @@ class PeakDetector:
         self._open_bins = 0
         self._last_count: float | None = None
         self.peaks: list[Peak] = []
+        # min_support > 1 state: candidate bins seen so far, plus the
+        # baseline frozen at the first candidate (qualification must not
+        # chase a mean that the burst itself is dragging upward).
+        self._pending: list[tuple[float, float]] = []
+        self._pending_mean = 0.0
+        self._pending_meandev = 1.0
+        self._pending_score = 0.0
+        # Consecutive "should close" bins currently being forgiven.
+        self._close_run = 0
 
     @property
     def mean(self) -> float | None:
@@ -145,20 +202,69 @@ class PeakDetector:
 
         deviation_score = (count - self._mean) / self._meandev if self._meandev else 0.0
 
-        if self._open is None:
-            if deviation_score > params.tau and count >= params.min_count:
-                opened = Peak(
-                    label=_peak_label(len(self.peaks)),
-                    start=bin_start,
-                    apex_time=bin_start,
-                    apex_count=count,
-                    end=bin_start + self.bin_seconds,
-                    onset_mean=self._mean,
-                    score=deviation_score,
-                )
-                self._open = opened
-                self._open_bins = 1
-                self.peaks.append(opened)
+        if self._open is None and self._pending:
+            # A candidate burst is accumulating support. Qualify against
+            # the baseline frozen at the first candidate bin.
+            # Schmitt-trigger thresholds: entering took a full tau; staying
+            # a candidate only takes tau/2. A decaying burst's second bin
+            # rarely re-clears the entry bar on a heavily thinned stream,
+            # but genuinely sustained bursts comfortably clear half of it.
+            sustained = (
+                count >= params.min_count
+                and count >= self._pending_mean * params.min_lift
+                and self._pending_meandev > 0
+                and (count - self._pending_mean) / self._pending_meandev
+                > params.tau / 2.0
+            )
+            if sustained:
+                self._pending.append((bin_start, count))
+                if len(self._pending) >= params.min_support:
+                    first_start, _ = self._pending[0]
+                    apex_time, apex_count = max(
+                        self._pending, key=lambda item: (item[1], -item[0])
+                    )
+                    opened = Peak(
+                        label=_peak_label(len(self.peaks)),
+                        start=first_start,
+                        apex_time=apex_time,
+                        apex_count=apex_count,
+                        end=bin_start + self.bin_seconds,
+                        onset_mean=self._pending_mean,
+                        score=self._pending_score,
+                    )
+                    self._open = opened
+                    self._open_bins = len(self._pending)
+                    self._close_run = 0
+                    self._pending = []
+                    self.peaks.append(opened)
+            else:
+                # The spike did not sustain: shot noise, not a peak.
+                self._pending = []
+        elif self._open is None:
+            if (
+                deviation_score > params.tau
+                and count >= params.min_count
+                and count >= self._mean * params.min_lift
+            ):
+                if params.min_support <= 1:
+                    opened = Peak(
+                        label=_peak_label(len(self.peaks)),
+                        start=bin_start,
+                        apex_time=bin_start,
+                        apex_count=count,
+                        end=bin_start + self.bin_seconds,
+                        onset_mean=self._mean,
+                        score=deviation_score,
+                    )
+                    self._open = opened
+                    self._open_bins = 1
+                    self._close_run = 0
+                    self.peaks.append(opened)
+                else:
+                    self._pending = [(bin_start, count)]
+                    self._pending_mean = self._mean
+                    self._pending_meandev = self._meandev
+                    self._pending_score = deviation_score
         else:
             peak = self._open
             self._open_bins += 1
@@ -172,22 +278,34 @@ class PeakDetector:
                 and count < self._last_count
                 and count <= peak.onset_mean + (peak.apex_count - peak.onset_mean) * 0.15
             )
-            if receded or declining or over_cap:
-                peak.end = bin_start + self.bin_seconds
+            peak.end = bin_start + self.bin_seconds
+            if over_cap:
                 peak.closed = True
                 self._open = None
                 closed_now = True
+            elif receded or declining:
+                # Hysteresis: forgive up to close_grace_bins consecutive
+                # dips before really closing (a thinned stream's noise
+                # must not split one burst into several windows).
+                self._close_run += 1
+                if self._close_run > params.close_grace_bins:
+                    peak.closed = True
+                    self._open = None
+                    closed_now = True
             else:
-                peak.end = bin_start + self.bin_seconds
+                self._close_run = 0
 
         # Update the running estimates; faster inside a peak window. The
         # bin that *closes* a peak is still part of the burst (its count
         # triggered the close), so it too is absorbed at peak_alpha —
         # otherwise the slow alpha leaves the baseline inflated and a
         # quick second burst scores against the wrong mean.
+        # Pending candidate bins are treated as burst bins too: whether
+        # they graduate into a peak or dissolve as noise, their counts
+        # should not drag the slow baseline.
         alpha = (
             params.peak_alpha
-            if (self._open is not None or closed_now)
+            if (self._open is not None or closed_now or self._pending)
             else params.alpha
         )
         deviation = abs(count - self._mean)
@@ -204,6 +322,8 @@ class PeakDetector:
         if self._open is not None:
             self._open.closed = True
             self._open = None
+        # A candidate run that never reached min_support is not a peak.
+        self._pending = []
 
     def run(self, bins: list[tuple[float, float]]) -> list[Peak]:
         """Convenience: run over (bin_start, count) pairs and finish."""

@@ -247,6 +247,7 @@ class StreamingAPI:
         self._connection_serial = 0
         self._sample_budget = sample_budget
         self._samples_used = 0
+        self._sample_serial = 0
         self._drops = tuple(fault_plan.stream_drops) if fault_plan else ()
         self._auto_reconnect = auto_reconnect
 
@@ -259,6 +260,18 @@ class StreamingAPI:
     def open_connections(self) -> int:
         """Number of currently open connections."""
         return self._open_connections
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of matching tweets filtered connections deliver."""
+        return self._delivery_ratio
+
+    @property
+    def samples_remaining(self) -> int | None:
+        """Unused ``statuses/sample`` requests; None when unmetered."""
+        if self._sample_budget is None:
+            return None
+        return max(0, self._sample_budget - self._samples_used)
 
     def _connect(self, predicate, description: str) -> StreamConnection:
         if self._open_connections >= self._max_connections:
@@ -340,12 +353,23 @@ class StreamingAPI:
         """
         return self._connect(lambda _tweet: True, description="firehose")
 
-    def sample(self, rate: float = 0.01, limit: int | None = None) -> list[Tweet]:
+    def sample(
+        self,
+        rate: float = 0.01,
+        limit: int | None = None,
+        salt: str | None = None,
+    ) -> list[Tweet]:
         """The ``statuses/sample`` endpoint: a uniform firehose sample.
 
         Args:
             rate: sampling probability per tweet (Twitter's was ~1%).
             limit: stop after this many sampled tweets.
+            salt: optional label mixed into the RNG derivation. Calls with
+                the same salt replay the same per-tweet coin flips, so
+                ``sample(r1, salt=s)`` is a subset of ``sample(r2, salt=s)``
+                whenever ``r1 <= r2`` (nested samples — the fidelity
+                harness relies on this monotonicity). When omitted, each
+                call derives a fresh, per-call stream.
 
         Returns the sampled tweets eagerly (selectivity estimation wants a
         snapshot, not a long-running connection). Does not count against
@@ -362,11 +386,18 @@ class StreamingAPI:
 
                 raise RateLimitError(
                     f"statuses/sample budget of {self._sample_budget} "
-                    "requests exhausted"
+                    f"requests exhausted ({self._samples_used} used, "
+                    "0 remaining)"
                 )
             self._samples_used += 1
-        self._connection_serial += 1
-        rng = rng_mod.derive(self._seed + self._connection_serial, "sample")
+        # Each call gets its own derivation label (distinct from the
+        # connection RNG family, which stays keyed to connection serials):
+        # repeated unsalted calls draw independent streams instead of
+        # reusing the seed + serial arithmetic that could collide with a
+        # later connection's seed.
+        self._sample_serial += 1
+        label = salt if salt is not None else f"call-{self._sample_serial}"
+        rng = rng_mod.derive(self._seed, f"sample:{label}")
         sampled: list[Tweet] = []
         for tweet in self._firehose:
             if rng.random() < rate:

@@ -192,6 +192,107 @@ def compose_earthquake(
     return _truncate(text), sentiment
 
 
+def compose_election_call(
+    rng: random.Random, state: str, winner: str, positive_share: float
+) -> tuple[str, int]:
+    """A state-call reaction; the winner's supporters celebrate."""
+    sentiment = POSITIVE if rng.random() < positive_share else NEGATIVE
+    template = rng.choice(V.ELECTION_CALL_TEMPLATES)
+    text = template.format(
+        state=state,
+        winner=winner,
+        hashtag=rng.choice(V.ELECTION_HASHTAGS),
+        emotion=_emotion(rng, sentiment),
+        reaction=_opinion_suffix(rng, sentiment) or "what a night",
+        url=_maybe_url(rng, 0.4) or "just now",
+    )
+    return _truncate(text), sentiment
+
+
+def compose_election_projection(
+    rng: random.Random, winner: str, positive_share: float
+) -> tuple[str, int]:
+    """The night's climax: the race itself is called."""
+    sentiment = POSITIVE if rng.random() < positive_share else NEGATIVE
+    template = rng.choice(V.ELECTION_PROJECTION_TEMPLATES)
+    text = template.format(
+        winner=winner,
+        hashtag=rng.choice(V.ELECTION_HASHTAGS),
+        emotion=_emotion(rng, sentiment),
+        reaction=_opinion_suffix(rng, sentiment) or "unreal",
+        url=_maybe_url(rng, 0.5) or "tonight",
+    )
+    return _truncate(text), sentiment
+
+
+def compose_election_chatter(rng: random.Random) -> tuple[str, int]:
+    """Anticipatory election-night talk between state calls."""
+    sentiment = sample_sentiment(rng, positive=0.2, negative=0.2)
+    template = rng.choice(V.ELECTION_CHATTER_TEMPLATES)
+    text = template.format(
+        state=rng.choice(V.ELECTION_STATES),
+        hashtag=rng.choice(V.ELECTION_HASHTAGS),
+        emotion=_emotion(rng, sentiment),
+        url=_maybe_url(rng, 0.3) or "again",
+    )
+    return _truncate(text), sentiment
+
+
+def compose_breaking_news(
+    rng: random.Random, update: str, positive: float = 0.05,
+    negative: float = 0.5,
+) -> tuple[str, int]:
+    """A cascade update tweet; disaster coverage skews negative."""
+    sentiment = sample_sentiment(rng, positive, negative)
+    template = rng.choice(V.CASCADE_UPDATE_TEMPLATES)
+    text = template.format(
+        update=update,
+        hashtag=rng.choice(V.CASCADE_HASHTAGS),
+        emotion=_emotion(rng, sentiment),
+        url=_maybe_url(rng, 0.6) or "now",
+    )
+    return _truncate(text), sentiment
+
+
+def compose_cascade_ambient(rng: random.Random) -> tuple[str, int]:
+    """Pre/post-wave wildfire talk keeping the topic alive."""
+    sentiment = sample_sentiment(rng, positive=0.05, negative=0.35)
+    template = rng.choice(V.CASCADE_AMBIENT_TEMPLATES)
+    text = template.format(
+        hashtag=rng.choice(V.CASCADE_HASHTAGS),
+        emotion=_emotion(rng, sentiment),
+        url=_maybe_url(rng, 0.4) or "tonight",
+    )
+    return _truncate(text), sentiment
+
+
+def compose_launch_reaction(
+    rng: random.Random, positive_share: float = 0.65
+) -> tuple[str, int]:
+    """A genuine product-launch reaction (the bot-flood scenario's signal)."""
+    sentiment = sample_sentiment(
+        rng, positive=positive_share, negative=(1.0 - positive_share) * 0.5
+    )
+    template = rng.choice(V.BOTFLOOD_LAUNCH_TEMPLATES)
+    text = template.format(
+        hashtag=rng.choice(V.BOTFLOOD_HASHTAGS),
+        emotion=_emotion(rng, sentiment),
+        reaction=_opinion_suffix(rng, sentiment) or "looks sharp",
+        url=_maybe_url(rng, 0.4) or "now",
+    )
+    return _truncate(text), sentiment
+
+
+def compose_bot_spam(rng: random.Random) -> tuple[str, int]:
+    """Near-duplicate giveaway spam; sentiment-free, always linking out."""
+    template = rng.choice(V.BOTFLOOD_SPAM_TEMPLATES)
+    text = template.format(
+        url=rng.choice(V.URL_POOL),
+        hashtag=rng.choice(V.BOTFLOOD_HASHTAGS),
+    )
+    return _truncate(text), NEUTRAL
+
+
 def compose_news(
     rng: random.Random,
     story_verb: str,

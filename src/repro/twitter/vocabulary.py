@@ -187,6 +187,94 @@ NEWS_VERDICTS: tuple[str, ...] = (
     "was long overdue", "missed the point", "hit the mark",
 )
 
+# --- Election-night scenario (high-stress: rising baseline + late climax) ---
+
+ELECTION_KEYWORDS: tuple[str, ...] = ("election", "ballot", "precinct")
+
+#: Fictional candidates — the scenario is about load shape, not politics.
+ELECTION_CANDIDATES: tuple[str, ...] = ("harmon", "delgado")
+
+ELECTION_STATES: tuple[str, ...] = (
+    "ohio", "florida", "colorado", "virginia", "nevada", "iowa",
+)
+
+ELECTION_HASHTAGS: tuple[str, ...] = (
+    "electionnight", "election2012", "ballotwatch",
+)
+
+ELECTION_CALL_TEMPLATES: tuple[str, ...] = (
+    "BREAKING: networks call {state} for {winner} #{hashtag}",
+    "{state} goes to {winner}! {reaction} #{hashtag}",
+    "it's official, {winner} takes {state} {emotion} #{hashtag}",
+    "{winner} wins {state} as the late ballot count lands {url}",
+    "election desk: {state} called for {winner} {url}",
+    "can't believe {state} went {winner} {emotion} #{hashtag}",
+)
+
+ELECTION_PROJECTION_TEMPLATES: tuple[str, ...] = (
+    "PROJECTION: {winner} wins the election #{hashtag}",
+    "{winner} WINS. election night is over {emotion} #{hashtag}",
+    "networks project {winner} wins the election {url}",
+    "four more years of {winner}... {reaction} #{hashtag}",
+    "history made: {winner} projected winner of the election {url}",
+)
+
+ELECTION_CHATTER_TEMPLATES: tuple[str, ...] = (
+    "election night! waiting on {state} returns #{hashtag}",
+    "long lines at my precinct but my ballot is in {emotion}",
+    "refreshing the {state} election map again {url}",
+    "exit polls mean nothing, count the ballots #{hashtag}",
+    "{state} too close to call, this election is wild",
+    "glued to election coverage all night {emotion}",
+)
+
+# --- Breaking-news cascade scenario (amplifying retweet waves) ---
+
+CASCADE_KEYWORDS: tuple[str, ...] = ("wildfire", "cedarridge", "evacuation")
+
+CASCADE_HASHTAGS: tuple[str, ...] = ("cedarridge", "wildfire", "cawx")
+
+CASCADE_UPDATE_TEMPLATES: tuple[str, ...] = (
+    "BREAKING: {update} #{hashtag}",
+    "update: {update} {url}",
+    "{update} — live coverage {url}",
+    "just in: {update} {emotion}",
+    "{update}. stay safe out there {emotion}",
+    "sharing for visibility: {update} #{hashtag} {url}",
+)
+
+CASCADE_AMBIENT_TEMPLATES: tuple[str, ...] = (
+    "smoke on the horizon near cedar ridge #{hashtag}",
+    "is that a wildfire out past cedar ridge? {emotion}",
+    "air smells like smoke tonight, cedar ridge folks check in",
+    "fire crews heading up the canyon road toward cedar ridge {url}",
+    "wildfire season is no joke {emotion} #{hashtag}",
+)
+
+# --- Bot-flood scenario (coordinated spam swamping a product launch) ---
+
+BOTFLOOD_KEYWORDS: tuple[str, ...] = ("solaris", "smartphone")
+
+BOTFLOOD_HASHTAGS: tuple[str, ...] = ("solaris", "solarislaunch", "smartphone")
+
+BOTFLOOD_LAUNCH_TEMPLATES: tuple[str, ...] = (
+    "the solaris is real and it's gorgeous {emotion} #{hashtag}",
+    "solaris launch keynote happening NOW {url}",
+    "hands on with the new solaris smartphone — {reaction} #{hashtag}",
+    "that solaris screen though {emotion}",
+    "solaris preorders open friday {url} #{hashtag}",
+    "keynote verdict: the solaris {reaction} #{hashtag}",
+)
+
+#: Deliberately near-duplicate: a tiny template pool, every text with a
+#: link — the fingerprint of a 2011 giveaway-spam botnet.
+BOTFLOOD_SPAM_TEMPLATES: tuple[str, ...] = (
+    "WIN a FREE solaris!! follow + RT to enter {url} #{hashtag}",
+    "FREE solaris smartphone giveaway!! click here {url} #{hashtag}",
+    "i just won a solaris from this site {url} RT to get yours",
+    "GIVEAWAY: 100 solaris smartphones up for grabs, enter now {url} #{hashtag}",
+)
+
 #: Pool of shortened URLs circulating during events (2011-era shorteners).
 URL_POOL: tuple[str, ...] = tuple(
     f"http://bit.ly/{code}"

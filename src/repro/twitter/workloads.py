@@ -183,6 +183,7 @@ def _materialize(
     events: tuple[ScenarioEvent, ...],
     population: UserPopulation,
     seed: int,
+    retweet_rate: float = RETWEET_RATE,
 ) -> Scenario:
     """Sample every track, sort arrivals, and mint Tweet objects."""
     from collections import deque
@@ -213,7 +214,7 @@ def _materialize(
         if (
             track.topic != "chatter"
             and recent_topical
-            and retweet_rng.random() < RETWEET_RATE
+            and retweet_rng.random() < retweet_rate
         ):
             original = retweet_rng.choice(list(recent_topical))
         if original is not None:
@@ -678,6 +679,342 @@ def news_month_scenario(
     return _materialize(
         "news-month",
         V.NEWS_KEYWORDS,
+        start,
+        end,
+        tracks,
+        tuple(events),
+        population,
+        seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario: election night (high-stress — rising baseline, late climax)
+# ---------------------------------------------------------------------------
+
+
+def election_night_scenario(
+    seed: int = rng_mod.DEFAULT_SEED,
+    population: UserPopulation | None = None,
+    start: float = DEFAULT_EPOCH + 1800.0,
+    intensity: float = 1.0,
+    calls: tuple[tuple[float, str, str], ...] = (
+        (2.0, "ohio", "harmon"),
+        (2.75, "florida", "delgado"),
+        (3.5, "colorado", "harmon"),
+        (4.25, "virginia", "delgado"),
+    ),
+    projection_hour: float = 5.0,
+    winner: str = "harmon",
+) -> Scenario:
+    """An election night: state calls on a steadily *rising* baseline.
+
+    The stress here is the baseline itself — anticipation traffic climbs
+    all night, so a peak detector tuned for a flat background must track a
+    moving mean, and the projection climax lands on the highest baseline
+    of all. Sampling thins an already-noisy ramp, which is exactly where
+    shot noise phantoms peaks.
+
+    Args:
+        calls: (hour offset, state, winning candidate) network calls.
+        projection_hour: hour offset of the race-deciding projection.
+        winner: the candidate the final projection names.
+    """
+    population = population or UserPopulation(seed=seed)
+    end = start + 6 * 3600.0
+
+    tracks = _chatter_tracks(start, end, rate=2.0 * intensity)
+
+    def anticipation_composer(rng: random.Random, _t: float) -> tuple[str, int]:
+        return text_mod.compose_election_chatter(rng)
+
+    # The rising baseline: polls-close anticipation, the counting hours,
+    # then the everyone-watching climax window.
+    ramp = (
+        (start, start + 2 * 3600.0, 1.0),
+        (start + 2 * 3600.0, start + 4 * 3600.0, 2.0),
+        (start + 4 * 3600.0, end, 3.0),
+    )
+    for seg_start, seg_end, multiplier in ramp:
+        tracks.append(
+            _Track(
+                seg_start, seg_end, multiplier * intensity, "election",
+                None, anticipation_composer,
+            )
+        )
+
+    events: list[ScenarioEvent] = []
+    for event_id, (hour, state, called_for) in enumerate(calls, start=1):
+        onset = start + hour * 3600.0
+
+        def call_composer(
+            rng: random.Random,
+            _t: float,
+            state: str = state,
+            called_for: str = called_for,
+        ) -> tuple[str, int]:
+            return text_mod.compose_election_call(rng, state, called_for, 0.6)
+
+        tracks.extend(
+            _burst_tracks(
+                onset,
+                peak_rate=14.0 * intensity,
+                topic="election",
+                event_id=event_id,
+                compose=call_composer,
+                # A state call dominates conversation for a couple of
+                # minutes (not one): the sustained stage is what keeps the
+                # burst detectable after heavy sampling.
+                stages=((150, 1.0), (180, 0.45), (240, 0.18)),
+            )
+        )
+        events.append(
+            ScenarioEvent(
+                event_id=event_id,
+                name=f"{state} called for {called_for}",
+                time=onset,
+                start=onset,
+                end=onset + 570.0,
+                expected_terms=(state, called_for),
+                info={"state": state, "winner": called_for, "hour": hour},
+            )
+        )
+
+    projection_onset = start + projection_hour * 3600.0
+    projection_id = len(calls) + 1
+
+    def projection_composer(rng: random.Random, _t: float) -> tuple[str, int]:
+        return text_mod.compose_election_projection(rng, winner, 0.65)
+
+    tracks.extend(
+        _burst_tracks(
+            projection_onset,
+            peak_rate=26.0 * intensity,
+            topic="election",
+            event_id=projection_id,
+            compose=projection_composer,
+            stages=((120, 1.0), (240, 0.55), (480, 0.25), (720, 0.1)),
+        )
+    )
+    events.append(
+        ScenarioEvent(
+            event_id=projection_id,
+            name=f"projection: {winner} wins",
+            time=projection_onset,
+            start=projection_onset,
+            end=projection_onset + 1560.0,
+            expected_terms=("projection", winner),
+            info={"winner": winner, "projection": True},
+        )
+    )
+
+    return _materialize(
+        "election",
+        V.ELECTION_KEYWORDS,
+        start,
+        end,
+        tracks,
+        tuple(events),
+        population,
+        seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario: breaking-news cascade (amplifying retweet waves)
+# ---------------------------------------------------------------------------
+
+#: The (fictional) fire's location: authors for the first wave are locals.
+_CEDAR_RIDGE = (44.05, -121.30, 8.0)
+
+#: Default cascade: (minutes after break, rate multiplier, update text,
+#: expected labeler terms). Waves come faster *and* bigger — the
+#: retweet-amplification shape of 2011 breaking news.
+DEFAULT_CASCADE_WAVES: tuple[tuple[float, float, str, tuple[str, ...]], ...] = (
+    (0.0, 1.0, "wildfire breaks out near cedar ridge", ("cedar", "ridge")),
+    (25.0, 1.5, "evacuation ordered for cedar ridge", ("evacuation",)),
+    (45.0, 2.2, "highway 9 closed as the wildfire spreads", ("highway", "closed")),
+    (60.0, 3.3, "governor declares a wildfire emergency", ("governor", "emergency")),
+)
+
+
+def breaking_news_cascade_scenario(
+    seed: int = rng_mod.DEFAULT_SEED,
+    population: UserPopulation | None = None,
+    break_time: float = DEFAULT_EPOCH + 1800.0,
+    intensity: float = 1.0,
+    waves: tuple[tuple[float, float, str, tuple[str, ...]], ...] = DEFAULT_CASCADE_WAVES,
+    base_rate: float = 6.0,
+) -> Scenario:
+    """A breaking story amplified wave by wave through retweets.
+
+    There is *no* topical traffic before the break (the story does not
+    exist yet); then update waves arrive closer and closer together with
+    growing amplitude, and the retweet share runs ~3x the normal rate —
+    a thick RT cascade. Stresses peak separation: adjacent waves must not
+    merge, and a thinned stream must not split one wave into two.
+
+    Args:
+        waves: (minutes after break, rate multiplier, update text,
+            expected terms) per wave; the first wave is localized to the
+            fire's region.
+        base_rate: tweets/second of the first wave's burst at intensity 1.
+    """
+    population = population or UserPopulation(seed=seed)
+    start = break_time - 1800.0
+    end = break_time + 3.5 * 3600.0
+
+    tracks = _chatter_tracks(start, end, rate=2.0 * intensity)
+
+    def ambient_composer(rng: random.Random, _t: float) -> tuple[str, int]:
+        return text_mod.compose_cascade_ambient(rng)
+
+    # Sustained coverage exists only once the story has broken.
+    tracks.append(
+        _Track(break_time, end, 0.8 * intensity, "breaking", None, ambient_composer)
+    )
+
+    events: list[ScenarioEvent] = []
+    for event_id, (minutes, multiplier, update, terms) in enumerate(waves, start=1):
+        onset = break_time + minutes * 60.0
+
+        def wave_composer(
+            rng: random.Random, _t: float, update: str = update
+        ) -> tuple[str, int]:
+            return text_mod.compose_breaking_news(rng, update)
+
+        tracks.extend(
+            _burst_tracks(
+                onset,
+                peak_rate=base_rate * multiplier * intensity,
+                topic="breaking",
+                event_id=event_id,
+                compose=wave_composer,
+                stages=((90, 1.0), (180, 0.5), (300, 0.2)),
+                localized=_CEDAR_RIDGE if event_id == 1 else None,
+            )
+        )
+        events.append(
+            ScenarioEvent(
+                event_id=event_id,
+                name=update,
+                time=onset,
+                start=onset,
+                end=onset + 570.0,
+                expected_terms=terms,
+                info={"wave": event_id, "update": update},
+            )
+        )
+
+    return _materialize(
+        "cascade",
+        V.CASCADE_KEYWORDS,
+        start,
+        end,
+        tracks,
+        tuple(events),
+        population,
+        seed,
+        retweet_rate=0.35,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario: bot flood (coordinated spam swamping a genuine signal)
+# ---------------------------------------------------------------------------
+
+
+def bot_flood_scenario(
+    seed: int = rng_mod.DEFAULT_SEED,
+    population: UserPopulation | None = None,
+    start: float = DEFAULT_EPOCH,
+    intensity: float = 1.0,
+    launch_hour: float = 0.75,
+    floods: tuple[tuple[float, float, float], ...] = (
+        (1.5, 720.0, 15.0),
+        (2.5, 1080.0, 22.0),
+    ),
+) -> Scenario:
+    """A product launch whose keyword a spam botnet floods.
+
+    One genuine reaction burst (the launch keynote) plus square-wave spam
+    floods: near-instant onset, a flat plateau of near-duplicate giveaway
+    tweets, near-instant stop. The floods *are* ground-truth events — the
+    stress is that their square edges, thinned by sampling, are exactly
+    the shape that phantoms extra peaks or splits the plateau.
+
+    Args:
+        launch_hour: hour offset of the genuine keynote burst.
+        floods: (hour offset, duration seconds, tweets/sec at intensity 1)
+            per bot flood.
+    """
+    population = population or UserPopulation(seed=seed)
+    end = start + 4 * 3600.0
+
+    tracks = _chatter_tracks(start, end, rate=2.0 * intensity)
+
+    def ambient_composer(rng: random.Random, _t: float) -> tuple[str, int]:
+        return text_mod.compose_launch_reaction(rng, 0.55)
+
+    tracks.append(
+        _Track(start, end, 0.6 * intensity, "botflood", None, ambient_composer)
+    )
+
+    launch_onset = start + launch_hour * 3600.0
+
+    def launch_composer(rng: random.Random, _t: float) -> tuple[str, int]:
+        return text_mod.compose_launch_reaction(rng, 0.7)
+
+    tracks.extend(
+        _burst_tracks(
+            launch_onset,
+            peak_rate=10.0 * intensity,
+            topic="botflood",
+            event_id=1,
+            compose=launch_composer,
+            # Keynote reaction sustains for a couple of minutes before
+            # decaying — detectable even after heavy sampling.
+            stages=((150, 1.0), (180, 0.5), (240, 0.2)),
+        )
+    )
+    events: list[ScenarioEvent] = [
+        ScenarioEvent(
+            event_id=1,
+            name="solaris launch keynote",
+            time=launch_onset,
+            start=launch_onset,
+            end=launch_onset + 570.0,
+            expected_terms=("launch",),
+            info={"bot": False},
+        )
+    ]
+
+    def spam_composer(rng: random.Random, _t: float) -> tuple[str, int]:
+        return text_mod.compose_bot_spam(rng)
+
+    for event_id, (hour, duration, rate) in enumerate(floods, start=2):
+        onset = start + hour * 3600.0
+        tracks.append(
+            _Track(
+                onset, onset + duration, rate * intensity, "botflood",
+                event_id, spam_composer,
+            )
+        )
+        events.append(
+            ScenarioEvent(
+                event_id=event_id,
+                name=f"bot flood #{event_id - 1}",
+                time=onset,
+                start=onset,
+                end=onset + duration,
+                expected_terms=("free", "giveaway"),
+                info={"bot": True, "duration": duration},
+            )
+        )
+
+    return _materialize(
+        "botflood",
+        V.BOTFLOOD_KEYWORDS,
         start,
         end,
         tracks,

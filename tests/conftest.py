@@ -14,7 +14,10 @@ from repro import EngineConfig, TweeQL
 from repro.twitter.users import UserPopulation
 from repro.twitter.workloads import (
     background_chatter,
+    bot_flood_scenario,
+    breaking_news_cascade_scenario,
     earthquake_scenario,
+    election_night_scenario,
     news_month_scenario,
     soccer_match_scenario,
 )
@@ -46,6 +49,26 @@ def news_week(population):
     return news_month_scenario(
         seed=SEED, population=population, days=7, n_stories=3, intensity=0.3
     )
+
+
+@pytest.fixture(scope="session")
+def election_small(population):
+    """A reduced election night (~12k tweets, 5 truth events)."""
+    return election_night_scenario(seed=SEED, population=population, intensity=0.12)
+
+
+@pytest.fixture(scope="session")
+def cascade_small(population):
+    """A reduced breaking-news cascade (~8k tweets, 4 waves)."""
+    return breaking_news_cascade_scenario(
+        seed=SEED, population=population, intensity=0.2
+    )
+
+
+@pytest.fixture(scope="session")
+def botflood_small(population):
+    """A reduced bot flood (~8k tweets, launch + 2 floods)."""
+    return bot_flood_scenario(seed=SEED, population=population, intensity=0.12)
 
 
 @pytest.fixture(scope="session")

@@ -347,3 +347,59 @@ def test_columnar_off_keeps_row_layout_in_explain():
 def test_row_at_a_time_plans_stay_row_wise():
     text = _explain("SELECT text FROM s WHERE followers > 10;", batch_size=1)
     assert "columnar" not in text
+
+
+# ---------------------------------------------------------------------------
+# The fidelity scenarios: election / cascade / bot-flood across the grid
+# ---------------------------------------------------------------------------
+
+#: Scenario fixture → query shapes exercising the vectorized filter and
+#: the columnar group-key path on each new generator's traffic.
+NEW_SCENARIO_SQL = {
+    "election_small": (
+        "SELECT COUNT(*) AS n, first(text) AS example FROM twitter "
+        "WHERE text CONTAINS 'ballot' WINDOW 10 minutes;"
+    ),
+    "cascade_small": (
+        "SELECT COUNT(*) AS n, lang FROM twitter "
+        "WHERE text CONTAINS 'wildfire' GROUP BY lang WINDOW 15 minutes;"
+    ),
+    "botflood_small": (
+        "SELECT text, followers FROM twitter "
+        "WHERE text CONTAINS 'giveaway' AND followers > 200;"
+    ),
+}
+
+_new_scenario_baselines: dict[str, list] = {}
+
+
+def _scenario_rows(scenario, sql, **config_kwargs):
+    config = EngineConfig(clamp_workers=False, **config_kwargs)
+    session = TweeQL.for_scenarios(scenario, seed=11, config=config)
+    handle = session.query(sql)
+    rows = [
+        {k: v for k, v in row.items() if not k.startswith("__")}
+        for row in handle
+    ]
+    handle.close()
+    return rows
+
+
+@pytest.mark.parametrize("batch,workers", [(1, 1), (1, 4), (256, 1), (256, 4)])
+@pytest.mark.parametrize("fixture_name", sorted(NEW_SCENARIO_SQL))
+def test_new_scenarios_columnar_equivalence(
+    request, fixture_name, batch, workers
+):
+    """Batch size, worker count, and layout are invisible in the output."""
+    scenario = request.getfixturevalue(fixture_name)
+    sql = NEW_SCENARIO_SQL[fixture_name]
+    if fixture_name not in _new_scenario_baselines:
+        _new_scenario_baselines[fixture_name] = _scenario_rows(
+            scenario, sql, workers=1, batch_size=1, columnar=False
+        )
+    baseline = _new_scenario_baselines[fixture_name]
+    assert baseline, f"{fixture_name} baseline produced no rows"
+    rows = _scenario_rows(
+        scenario, sql, workers=workers, batch_size=batch, columnar=True
+    )
+    assert rows == baseline, (fixture_name, batch, workers)

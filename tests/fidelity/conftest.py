@@ -1,0 +1,49 @@
+"""Fixtures for the fidelity suite.
+
+Scenario generation dominates the suite's runtime, so the reduced-scale
+scenarios are session-scoped and shared; tests that need other
+parameters build their own. Everything is seeded — the fixtures are
+byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import (
+    bot_flood_scenario,
+    breaking_news_cascade_scenario,
+    election_night_scenario,
+)
+
+SEED = 42
+
+
+@pytest.fixture(scope="session")
+def fidelity_population():
+    return UserPopulation(size=400, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def small_election(fidelity_population):
+    """A reduced election night (a few thousand tweets)."""
+    return election_night_scenario(
+        seed=SEED, population=fidelity_population, intensity=0.25
+    )
+
+
+@pytest.fixture(scope="session")
+def small_cascade(fidelity_population):
+    """A reduced breaking-news cascade."""
+    return breaking_news_cascade_scenario(
+        seed=SEED, population=fidelity_population, intensity=0.3
+    )
+
+
+@pytest.fixture(scope="session")
+def small_botflood(fidelity_population):
+    """A reduced bot flood."""
+    return bot_flood_scenario(
+        seed=SEED, population=fidelity_population, intensity=0.3
+    )

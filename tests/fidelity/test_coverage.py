@@ -1,0 +1,82 @@
+"""Unit tests for Wilson-interval coverage estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fidelity.coverage import CoverageEstimate, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_bounds_stay_in_unit_interval(self):
+        for successes, trials in [(0, 10), (10, 10), (1, 1), (0, 1)]:
+            low, high = wilson_interval(successes, trials)
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_more_trials_tighter_interval(self):
+        low_small, high_small = wilson_interval(10, 100)
+        low_big, high_big = wilson_interval(1000, 10000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_zero_successes_excludes_one(self):
+        low, high = wilson_interval(0, 50)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert high < 0.2
+
+    def test_all_successes_excludes_zero(self):
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+        assert low > 0.8
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+
+class TestCoverageEstimate:
+    def test_point_estimate(self):
+        estimate = CoverageEstimate.from_counts(observed=25, eligible=100)
+        assert estimate.coverage == 0.25
+        assert estimate.ci_low < 0.25 < estimate.ci_high
+
+    def test_full_coverage(self):
+        estimate = CoverageEstimate.from_counts(observed=100, eligible=100)
+        assert estimate.coverage == 1.0
+        assert estimate.ci_high == 1.0
+
+    def test_zero_eligible(self):
+        estimate = CoverageEstimate.from_counts(observed=0, eligible=0)
+        assert estimate.coverage == 0.0
+        assert estimate.confidence == 0.0  # vacuous interval, width 1
+
+    def test_confidence_grows_with_sample_size(self):
+        small = CoverageEstimate.from_counts(observed=1, eligible=10)
+        big = CoverageEstimate.from_counts(observed=1000, eligible=10000)
+        assert big.confidence > small.confidence
+        assert 0.0 <= small.confidence <= 1.0
+
+    def test_estimated_total_scales_up(self):
+        estimate = CoverageEstimate.from_counts(observed=10, eligible=1000)
+        assert estimate.estimated_total == pytest.approx(1000.0)
+
+    def test_estimated_total_zero_coverage(self):
+        estimate = CoverageEstimate.from_counts(observed=0, eligible=100)
+        assert estimate.estimated_total == 0.0
+
+    def test_as_dict_round_trip(self):
+        estimate = CoverageEstimate.from_counts(observed=10, eligible=40)
+        payload = estimate.as_dict()
+        assert payload["observed"] == 10
+        assert payload["eligible"] == 40
+        assert payload["coverage"] == 0.25
+        assert payload["confidence"] == estimate.confidence
+        assert payload["estimated_total"] == pytest.approx(40.0)

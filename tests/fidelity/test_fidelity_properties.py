@@ -1,0 +1,208 @@
+"""Property-based suite for the fidelity harness and its metrics.
+
+The pinned identities:
+
+- the harness is **deterministic per seed** — rebuilding the scenario and
+  rerunning the harness reproduces the report byte for byte;
+- sampled-side volume and coverage are **monotone in the rate** (the
+  fixed sampling salt makes lower-rate samples subsets of higher-rate
+  ones);
+- **rate 1.0 is perfect** — both passes see the same stream, so every
+  score is exactly 1.0;
+- every score is a **fidelity score in [0, 1]**, whatever the inputs.
+
+Plus algebraic properties of the pure metrics (bounds, symmetry,
+identity) over generated inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fidelity import FidelityRun, metrics
+from repro.fidelity.coverage import wilson_interval
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import bot_flood_scenario
+
+from .conftest import SEED
+
+#: The rate grid the harness properties sweep. Reports are computed once
+#: per module; hypothesis then explores pairs.
+RATES = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+@pytest.fixture(scope="module")
+def reports_by_rate(small_botflood):
+    return {
+        rate: FidelityRun(small_botflood, rate=rate, seed=SEED).execute()
+        for rate in RATES
+    }
+
+
+# ---------------------------------------------------------------------------
+# Harness properties
+# ---------------------------------------------------------------------------
+
+
+def _tiny_run(seed: int, rate: float) -> str:
+    population = UserPopulation(size=150, seed=seed)
+    scenario = bot_flood_scenario(
+        seed=seed, population=population, intensity=0.15
+    )
+    return FidelityRun(scenario, rate=rate, seed=seed).execute().to_json_text()
+
+
+@settings(max_examples=3, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_deterministic_per_seed(seed):
+    """Scenario build + harness run reproduce the report byte for byte."""
+    assert _tiny_run(seed, 0.1) == _tiny_run(seed, 0.1)
+
+
+@settings(max_examples=3, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_rate_one_is_perfect_for_any_seed(seed):
+    population = UserPopulation(size=150, seed=seed)
+    scenario = bot_flood_scenario(
+        seed=seed, population=population, intensity=0.15
+    )
+    report = FidelityRun(scenario, rate=1.0, seed=seed).execute()
+    assert report.scores.perfect
+    assert report.firehose == report.sample
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(low=st.sampled_from(RATES), high=st.sampled_from(RATES))
+def test_volume_and_coverage_monotone_in_rate(reports_by_rate, low, high):
+    if low > high:
+        low, high = high, low
+    report_low, report_high = reports_by_rate[low], reports_by_rate[high]
+    assert report_low.sample.tweets <= report_high.sample.tweets
+    assert report_low.coverage.coverage <= report_high.coverage.coverage
+
+
+@settings(
+    max_examples=len(RATES),
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(rate=st.sampled_from(RATES))
+def test_all_scores_in_unit_interval_at_every_rate(reports_by_rate, rate):
+    report = reports_by_rate[rate]
+    for value in report.scores.as_tuple():
+        assert 0.0 <= value <= 1.0
+    assert 0.0 <= report.scores.overall <= 1.0
+    assert 0.0 <= report.coverage.coverage <= 1.0
+    assert 0.0 <= report.firehose.truth_recall <= 1.0
+    assert 0.0 <= report.sample.truth_recall <= 1.0
+
+
+def test_rate_one_report_from_grid_is_perfect(reports_by_rate):
+    assert reports_by_rate[1.0].scores.perfect
+
+
+# ---------------------------------------------------------------------------
+# Pure-metric properties
+# ---------------------------------------------------------------------------
+
+terms = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+    max_size=8,
+    unique=True,
+)
+
+
+@given(a=terms, b=terms)
+def test_jaccard_bounds_and_symmetry(a, b):
+    score = metrics.topk_jaccard(a, b)
+    assert 0.0 <= score <= 1.0
+    assert score == metrics.topk_jaccard(b, a)
+
+
+@given(a=terms)
+def test_jaccard_identity(a):
+    assert metrics.topk_jaccard(a, a) == 1.0
+
+
+@given(a=terms, b=terms)
+def test_rank_correlation_bounds(a, b):
+    assert 0.0 <= metrics.topk_rank_correlation(a, b) <= 1.0
+
+
+@given(a=terms)
+def test_rank_correlation_identity(a):
+    assert metrics.topk_rank_correlation(a, a) == 1.0
+
+
+counts = st.dictionaries(
+    st.text(alphabet="xyz", min_size=1, max_size=2),
+    st.integers(0, 50),
+    max_size=6,
+)
+
+
+@given(p=counts, q=counts)
+def test_jsd_bounds_and_symmetry(p, q):
+    divergence = metrics.jensen_shannon_divergence(p, q)
+    assert 0.0 <= divergence <= 1.0
+    assert divergence == pytest.approx(
+        metrics.jensen_shannon_divergence(q, p)
+    )
+
+
+@given(p=counts)
+def test_jsd_self_is_zero(p):
+    assert metrics.jensen_shannon_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+
+mixes = st.tuples(st.integers(0, 100), st.integers(0, 100), st.integers(0, 100))
+
+
+@given(a=mixes, b=mixes)
+def test_sentiment_score_bounds_and_symmetry(a, b):
+    score = metrics.sentiment_score(a, b)
+    assert 0.0 <= score <= 1.0
+    assert score == pytest.approx(metrics.sentiment_score(b, a))
+
+
+@given(successes=st.integers(0, 200), extra=st.integers(0, 200))
+def test_wilson_interval_bounds_and_coverage(successes, extra):
+    trials = successes + extra
+    low, high = wilson_interval(successes, trials)
+    assert 0.0 <= low <= high <= 1.0
+    if trials:
+        assert low <= successes / trials + 1e-12
+        assert high >= successes / trials - 1e-12
+
+
+peaks = st.lists(
+    st.tuples(
+        st.floats(0, 10_000, allow_nan=False), st.floats(1, 1_000, allow_nan=False)
+    ),
+    max_size=6,
+)
+
+
+@given(reference=peaks, other=peaks)
+def test_peak_scores_bounds(reference, other):
+    for score in (
+        metrics.peak_timing_score(reference, other, 180.0),
+        metrics.peak_height_score(reference, other, 180.0),
+        metrics.peak_count_score(len(reference), len(other)),
+    ):
+        assert 0.0 <= score <= 1.0 + 1e-12
+
+
+@given(reference=peaks, other=peaks)
+def test_match_peaks_is_one_to_one_within_tolerance(reference, other):
+    matches = metrics.match_peaks(reference, other, 180.0)
+    assert len({i for i, _ in matches}) == len(matches)
+    assert len({j for _, j in matches}) == len(matches)
+    for i, j in matches:
+        assert abs(reference[i][0] - other[j][0]) <= 180.0

@@ -1,0 +1,53 @@
+"""Golden FidelityReport: the full JSON, pinned byte for byte.
+
+Any change to the scenario generators, the sampler, the detector, the
+tokenizer, or the metrics shows up here as a diff. To regenerate after
+an intentional change::
+
+    UPDATE_GOLDEN=1 python -m pytest tests/fidelity/test_golden_report.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.fidelity import FidelityRun, build_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: (scenario, rate) → golden file. Small fixed-parameter runs.
+CASES = {
+    ("botflood", 0.1): "botflood_rate0.1.json",
+    ("election", 0.05): "election_rate0.05.json",
+}
+
+
+def _report_text(name: str, rate: float) -> str:
+    scenario = build_scenario(name, seed=42, population_size=300, intensity=0.25)
+    return FidelityRun(scenario, rate=rate, seed=42).execute().to_json_text()
+
+
+@pytest.mark.parametrize("name,rate", sorted(CASES))
+def test_report_matches_golden(name, rate):
+    golden_path = GOLDEN_DIR / CASES[(name, rate)]
+    text = _report_text(name, rate)
+    if os.environ.get("UPDATE_GOLDEN") == "1":
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(text, encoding="utf-8")
+        pytest.skip(f"golden regenerated: {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing golden {golden_path}; run with UPDATE_GOLDEN=1 to create"
+    )
+    assert text == golden_path.read_text(encoding="utf-8")
+
+
+def test_golden_files_are_valid_json():
+    for filename in CASES.values():
+        path = GOLDEN_DIR / filename
+        if path.exists():
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            assert "scores" in payload and "coverage" in payload

@@ -1,0 +1,100 @@
+"""The fidelity harness: identity at rate 1.0, determinism, structure."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import RateLimitError
+from repro.fidelity import FidelityRun, build_scenario
+from repro.fidelity.harness import SCENARIO_BUILDERS
+
+
+class TestBuildScenario:
+    def test_known_names(self):
+        assert set(SCENARIO_BUILDERS) == {
+            "soccer", "baseball", "earthquakes", "news",
+            "election", "cascade", "botflood",
+        }
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="botflood"):
+            build_scenario("nope")
+
+    def test_builds_with_custom_knobs(self):
+        scenario = build_scenario(
+            "botflood", seed=7, population_size=150, intensity=0.2
+        )
+        assert scenario.name == "botflood"
+        assert scenario.tweets
+        assert scenario.truth.events
+
+
+class TestRateOneIdentity:
+    """At rate 1.0 both passes see the same stream: every score is 1.0."""
+
+    def test_perfect_scores(self, small_botflood):
+        report = FidelityRun(small_botflood, rate=1.0, seed=42).execute()
+        assert report.scores.perfect
+        assert report.scores.overall == 1.0
+        assert report.firehose == report.sample
+        assert report.coverage.coverage == 1.0
+
+
+class TestDeterminism:
+    def test_same_inputs_same_bytes(self, small_election):
+        first = FidelityRun(small_election, rate=0.05, seed=42).execute()
+        second = FidelityRun(small_election, rate=0.05, seed=42).execute()
+        assert first.to_json_text() == second.to_json_text()
+
+    def test_json_round_trips(self, small_election):
+        report = FidelityRun(small_election, rate=0.05, seed=42).execute()
+        payload = json.loads(report.to_json_text())
+        assert payload["scenario"] == "election"
+        assert payload["seed"] == 42
+        assert payload["rate"] == 0.05
+        assert set(payload["scores"]) == {
+            "topk_jaccard", "topk_rank_correlation", "peak_count",
+            "peak_timing", "peak_height", "geo", "sentiment", "overall",
+        }
+        assert {"observed", "eligible", "coverage", "ci_low", "ci_high",
+                "confidence", "estimated_total"} <= set(payload["coverage"])
+        for side in ("firehose", "sample"):
+            assert {"tweets", "positive", "negative", "neutral", "geotagged",
+                    "top_terms", "peaks", "truth_recall"} <= set(payload[side])
+
+
+class TestSampleBudget:
+    def test_run_spends_exactly_one_request(self, small_botflood):
+        run = FidelityRun(small_botflood, rate=0.1, seed=42, sample_budget=1)
+        run.execute()
+
+    def test_exhausted_budget_reports_remaining(self, small_botflood):
+        run = FidelityRun(small_botflood, rate=0.1, seed=42, sample_budget=0)
+        with pytest.raises(RateLimitError, match="0 remaining"):
+            run.execute()
+
+
+class TestScoresBehaveSensibly:
+    def test_scores_in_unit_interval(self, small_cascade):
+        report = FidelityRun(small_cascade, rate=0.1, seed=42).execute()
+        for value in report.scores.as_tuple():
+            assert 0.0 <= value <= 1.0
+        assert 0.0 <= report.firehose.truth_recall <= 1.0
+        assert 0.0 <= report.sample.truth_recall <= 1.0
+
+    def test_coverage_tracks_rate(self, small_election):
+        report = FidelityRun(small_election, rate=0.1, seed=42).execute()
+        assert report.coverage.eligible == report.firehose.tweets
+        assert report.coverage.observed == report.sample.tweets
+        # A 10% Bernoulli sample of thousands of tweets lands near 10%.
+        assert 0.05 < report.coverage.coverage < 0.2
+        assert report.coverage.ci_low <= report.coverage.coverage <= report.coverage.ci_high
+
+    def test_summary_lines_render(self, small_cascade):
+        report = FidelityRun(small_cascade, rate=0.1, seed=42).execute()
+        text = "\n".join(report.summary_lines())
+        assert "cascade" in text
+        assert "coverage" in text
+        assert "overall" in text

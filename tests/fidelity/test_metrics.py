@@ -1,0 +1,213 @@
+"""Unit tests for the pure bias metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fidelity import metrics
+
+
+# ---------------------------------------------------------------------------
+# Top-k terms
+# ---------------------------------------------------------------------------
+
+
+class TestTopkJaccard:
+    def test_identical(self):
+        assert metrics.topk_jaccard(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_order_insensitive(self):
+        assert metrics.topk_jaccard(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint(self):
+        assert metrics.topk_jaccard(["a", "b"], ["c", "d"]) == 0.0
+
+    def test_partial(self):
+        assert metrics.topk_jaccard(["a", "b", "c"], ["b", "c", "d"]) == 0.5
+
+    def test_both_empty(self):
+        assert metrics.topk_jaccard([], []) == 1.0
+
+    def test_one_empty(self):
+        assert metrics.topk_jaccard(["a"], []) == 0.0
+
+
+class TestTopkRankCorrelation:
+    def test_identical(self):
+        assert metrics.topk_rank_correlation(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_reversed(self):
+        assert metrics.topk_rank_correlation(["a", "b", "c"], ["c", "b", "a"]) == 0.0
+
+    def test_disjoint(self):
+        assert metrics.topk_rank_correlation(["a", "b"], ["c", "d"]) == 0.0
+
+    def test_both_empty(self):
+        assert metrics.topk_rank_correlation([], []) == 1.0
+
+    def test_single_common_term_is_indifferent(self):
+        assert metrics.topk_rank_correlation(["a", "b"], ["a", "c"]) == 0.5
+
+    def test_same_set_same_order_different_tail(self):
+        # Common terms a, b keep their relative order → tau = 1.
+        assert metrics.topk_rank_correlation(["a", "b", "x"], ["a", "b", "y"]) == 1.0
+
+    def test_half_swapped(self):
+        # Common a,b,c,d with one adjacent swap: 5 concordant, 1 discordant.
+        score = metrics.topk_rank_correlation(
+            ["a", "b", "c", "d"], ["a", "b", "d", "c"]
+        )
+        assert score == pytest.approx((4 / 6 + 1) / 2)
+
+
+# ---------------------------------------------------------------------------
+# Peaks
+# ---------------------------------------------------------------------------
+
+
+class TestMatchPeaks:
+    def test_exact_match(self):
+        ref = [(0.0, 10.0), (100.0, 20.0)]
+        assert metrics.match_peaks(ref, ref, 30.0) == [(0, 0), (1, 1)]
+
+    def test_outside_tolerance_unmatched(self):
+        assert metrics.match_peaks([(0.0, 10.0)], [(100.0, 10.0)], 30.0) == []
+
+    def test_greedy_prefers_closest(self):
+        ref = [(0.0, 1.0)]
+        other = [(25.0, 1.0), (5.0, 1.0)]
+        assert metrics.match_peaks(ref, other, 30.0) == [(0, 1)]
+
+    def test_one_to_one(self):
+        ref = [(0.0, 1.0), (10.0, 1.0)]
+        other = [(5.0, 1.0)]
+        matches = metrics.match_peaks(ref, other, 30.0)
+        assert len(matches) == 1
+        assert matches[0][1] == 0
+
+    def test_rejects_nonpositive_tolerance(self):
+        with pytest.raises(ValueError):
+            metrics.match_peaks([], [], 0.0)
+
+
+class TestPeakScores:
+    def test_count_perfect(self):
+        assert metrics.peak_count_score(3, 3) == 1.0
+
+    def test_count_none_vs_none(self):
+        assert metrics.peak_count_score(0, 0) == 1.0
+
+    def test_count_missing_half(self):
+        assert metrics.peak_count_score(4, 2) == 0.5
+
+    def test_count_all_phantom(self):
+        assert metrics.peak_count_score(0, 3) == 0.0
+
+    def test_timing_perfect(self):
+        peaks = [(0.0, 5.0), (600.0, 9.0)]
+        assert metrics.peak_timing_score(peaks, peaks, 180.0) == 1.0
+
+    def test_timing_offset(self):
+        score = metrics.peak_timing_score([(0.0, 5.0)], [(90.0, 5.0)], 180.0)
+        assert score == pytest.approx(0.5)
+
+    def test_timing_unmatched_drags_down(self):
+        score = metrics.peak_timing_score(
+            [(0.0, 5.0), (1000.0, 5.0)], [(0.0, 5.0)], 180.0
+        )
+        assert score == pytest.approx(0.5)
+
+    def test_timing_empty_sides(self):
+        assert metrics.peak_timing_score([], [], 60.0) == 1.0
+        assert metrics.peak_timing_score([(0.0, 1.0)], [], 60.0) == 0.0
+
+    def test_height_rate_corrected(self):
+        # A faithful 10% sample: 100-count apex seen as 10.
+        score = metrics.peak_height_score(
+            [(0.0, 100.0)], [(0.0, 10.0)], 60.0, scale_other=10.0
+        )
+        assert score == 1.0
+
+    def test_height_ratio(self):
+        score = metrics.peak_height_score(
+            [(0.0, 100.0)], [(0.0, 50.0)], 60.0
+        )
+        assert score == pytest.approx(0.5)
+
+    def test_height_empty_sides(self):
+        assert metrics.peak_height_score([], [], 60.0) == 1.0
+        assert metrics.peak_height_score([], [(0.0, 1.0)], 60.0) == 0.0
+
+
+class TestTruthRecall:
+    def test_inside_window(self):
+        assert metrics.truth_recall([50.0], [(0.0, 100.0)], 10.0) == 1.0
+
+    def test_within_tolerance_of_window(self):
+        assert metrics.truth_recall([105.0], [(0.0, 100.0)], 10.0) == 1.0
+
+    def test_missed(self):
+        assert metrics.truth_recall([500.0], [(0.0, 100.0)], 10.0) == 0.0
+
+    def test_fraction(self):
+        recall = metrics.truth_recall(
+            [50.0, 500.0], [(0.0, 100.0)], 10.0
+        )
+        assert recall == 0.5
+
+    def test_no_events_is_vacuously_perfect(self):
+        assert metrics.truth_recall([], [], 10.0) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Distributions
+# ---------------------------------------------------------------------------
+
+
+class TestDistributions:
+    def test_jsd_identical(self):
+        counts = {"a": 3, "b": 1}
+        assert metrics.jensen_shannon_divergence(counts, counts) == 0.0
+
+    def test_jsd_symmetric(self):
+        p, q = {"a": 3, "b": 1}, {"a": 1, "c": 5}
+        assert metrics.jensen_shannon_divergence(p, q) == pytest.approx(
+            metrics.jensen_shannon_divergence(q, p)
+        )
+
+    def test_jsd_disjoint_is_maximal(self):
+        assert metrics.jensen_shannon_divergence({"a": 1}, {"b": 1}) == pytest.approx(1.0)
+
+    def test_jsd_empty_cases(self):
+        assert metrics.jensen_shannon_divergence({}, {}) == 0.0
+        assert metrics.jensen_shannon_divergence({}, {"a": 1}) == 1.0
+
+    def test_jsd_scale_invariant(self):
+        p = {"a": 1, "b": 3}
+        scaled = {"a": 10, "b": 30}
+        q = {"a": 2, "b": 1}
+        assert metrics.jensen_shannon_divergence(p, q) == pytest.approx(
+            metrics.jensen_shannon_divergence(scaled, q)
+        )
+
+    def test_distribution_score_complements_jsd(self):
+        p, q = {"a": 1}, {"a": 1, "b": 1}
+        assert metrics.distribution_score(p, q) == pytest.approx(
+            1.0 - metrics.jensen_shannon_divergence(p, q)
+        )
+
+    def test_geo_cells_floor_to_degrees(self):
+        cells = metrics.geo_cells(
+            [(40.7, -74.0), (40.2, -74.9), (-33.9, 151.2)]
+        )
+        assert cells == {(40, -74): 1, (40, -75): 1, (-34, 151): 1}
+
+    def test_sentiment_identical_mix(self):
+        assert metrics.sentiment_score((10, 5, 85), (20, 10, 170)) == pytest.approx(1.0)
+
+    def test_sentiment_opposite(self):
+        assert metrics.sentiment_score((10, 0, 0), (0, 10, 0)) == 0.0
+
+    def test_sentiment_empty_cases(self):
+        assert metrics.sentiment_score((0, 0, 0), (0, 0, 0)) == 1.0
+        assert metrics.sentiment_score((1, 0, 0), (0, 0, 0)) == 0.0

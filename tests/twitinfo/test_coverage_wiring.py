@@ -1,0 +1,144 @@
+"""Coverage-confidence wiring: event → dashboard → JSON → metrics → server.
+
+A tracked event's stream connection knows how many matching tweets it
+delivered versus how many matched (``ConnectionStats``); after the query
+drains, the app turns that into a Wilson-interval
+:class:`~repro.fidelity.coverage.CoverageEstimate` on the event. The
+estimate must surface everywhere an event does: ``Dashboard.to_json``,
+``/event/<name>.json``, and the ``/metrics`` registry.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import TweeQL
+from repro.clock import VirtualClock
+from repro.fidelity.coverage import CoverageEstimate
+from repro.obs.metrics import app_metrics
+from repro.twitinfo import TwitInfoApp
+from repro.twitinfo.server import TwitInfoServer
+from repro.twitter.stream import Firehose, StreamingAPI
+
+SEED = 11
+
+
+def make_app(scenario, delivery_ratio=1.0):
+    clock = VirtualClock(start=scenario.start)
+    api = StreamingAPI(
+        Firehose(list(scenario.tweets)),
+        clock=clock,
+        delivery_ratio=delivery_ratio,
+        seed=SEED,
+    )
+    session = TweeQL(api=api, clock=clock, seed=SEED)
+    return TwitInfoApp(session)
+
+
+class TestCoverageCapture:
+    def test_lossless_run_has_full_coverage(self, soccer):
+        app = make_app(soccer, delivery_ratio=1.0)
+        tracked = app.track("Soccer", soccer.keywords)
+        assert isinstance(tracked.coverage, CoverageEstimate)
+        assert tracked.coverage.coverage == 1.0
+        assert tracked.coverage.observed == tracked.coverage.eligible
+        assert tracked.coverage.observed == len(tracked.log)
+
+    def test_lossy_run_estimates_the_loss(self, soccer):
+        app = make_app(soccer, delivery_ratio=0.9)
+        tracked = app.track("Soccer", soccer.keywords)
+        coverage = tracked.coverage
+        assert coverage is not None
+        assert coverage.observed < coverage.eligible
+        assert coverage.ci_low <= coverage.coverage <= coverage.ci_high
+        assert 0.85 < coverage.coverage < 0.95
+        # The estimate is exactly delivered / matched on the connection.
+        assert coverage.coverage == coverage.observed / coverage.eligible
+
+    def test_shared_scan_events_share_the_connection_estimate(self, soccer):
+        app = make_app(soccer, delivery_ratio=0.9)
+        events = app.track_many(
+            {"goals": ("goal",), "match": soccer.keywords}
+        )
+        estimates = [tracked.coverage for tracked in events]
+        assert all(isinstance(e, CoverageEstimate) for e in estimates)
+        assert estimates[0] == estimates[1]
+
+    def test_unrun_event_has_no_coverage(self, soccer):
+        app = make_app(soccer)
+        tracked = app.create_event("idle", soccer.keywords)
+        assert tracked.coverage is None
+
+    def test_monitor_path_sets_coverage(self, soccer):
+        app = make_app(soccer, delivery_ratio=0.9)
+        tracked = app.create_event("live", soccer.keywords)
+        for _snapshot in app.monitor(tracked, snapshot_every=1000):
+            pass
+        assert tracked.coverage is not None
+        assert tracked.coverage.observed < tracked.coverage.eligible
+
+
+class TestCoverageSurfaces:
+    def test_dashboard_json_carries_coverage(self, soccer):
+        app = make_app(soccer, delivery_ratio=0.9)
+        tracked = app.track("Soccer", soccer.keywords)
+        payload = app.dashboard(tracked).to_json()
+        assert payload["coverage"] == tracked.coverage.as_dict()
+
+    def test_dashboard_json_null_without_coverage(self, soccer):
+        app = make_app(soccer)
+        tracked = app.create_event("idle", soccer.keywords)
+        assert app.dashboard(tracked).to_json()["coverage"] is None
+
+    def test_dashboard_text_mentions_coverage(self, soccer):
+        app = make_app(soccer, delivery_ratio=0.9)
+        tracked = app.track("Soccer", soccer.keywords)
+        assert "Coverage:" in app.dashboard(tracked).render_text()
+
+    def test_metrics_registry_gains_coverage_gauges(self, soccer):
+        app = make_app(soccer, delivery_ratio=0.9)
+        tracked = app.track("Soccer", soccer.keywords)
+        snapshot = app_metrics(app).snapshot()
+        event_tree = snapshot["event"]["Soccer"]
+        assert event_tree["coverage"] == tracked.coverage.coverage
+        assert event_tree["coverage_confidence"] == pytest.approx(
+            tracked.coverage.confidence
+        )
+
+    def test_metrics_skip_events_without_coverage(self, soccer):
+        app = make_app(soccer)
+        app.create_event("idle", soccer.keywords)
+        snapshot = app_metrics(app).snapshot()
+        assert "coverage" not in snapshot["event"]["idle"]
+
+
+class TestServerEndpoint:
+    @pytest.fixture(scope="class")
+    def server(self, soccer):
+        app = make_app(soccer, delivery_ratio=0.9)
+        app.track("Soccer", soccer.keywords)
+        with TwitInfoServer(app) as running:
+            yield running
+
+    def test_event_json_exposes_coverage(self, server):
+        with urllib.request.urlopen(
+            server.url + "/event/Soccer.json", timeout=10
+        ) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        coverage = payload["coverage"]
+        assert coverage is not None
+        assert 0.0 < coverage["coverage"] < 1.0
+        assert coverage["ci_low"] <= coverage["coverage"] <= coverage["ci_high"]
+        assert 0.0 <= coverage["confidence"] <= 1.0
+
+    def test_metrics_endpoint_exports_coverage_gauge(self, server):
+        with urllib.request.urlopen(
+            server.url + "/metrics", timeout=10
+        ) as response:
+            body = response.read().decode("utf-8")
+        assert "event_Soccer_coverage" in body.replace(".", "_") or (
+            "event.Soccer.coverage" in body
+        )

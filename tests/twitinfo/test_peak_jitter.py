@@ -1,0 +1,225 @@
+"""Peak-detection robustness under sampling jitter.
+
+The regression the fidelity work pins: with
+``PeakDetectorParams.for_sampled_stream(rate)``, every ground-truth
+event is still detected at sampling rates 1.0, 0.1, and 0.01 — and the
+bot-flood scenario produces **no phantom peaks** at any of those rates
+(neither from shot noise on the thinned stream nor from Poisson
+upper-tail bins on the busy firehose baseline).
+
+Plus unit tests for the three hardening knobs themselves
+(``min_support``, ``close_grace_bins``, ``min_lift``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.twitinfo.peaks import PeakDetector, PeakDetectorParams
+from repro.twitinfo.timeline import Timeline
+from repro.twitter.stream import Firehose, StreamingAPI
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import bot_flood_scenario, election_night_scenario
+
+SEED = 42
+RATES = (1.0, 0.1, 0.01)
+TOLERANCE = 180.0
+
+
+@pytest.fixture(scope="module")
+def jitter_population():
+    return UserPopulation(size=1000, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def election(jitter_population):
+    return election_night_scenario(
+        seed=SEED, population=jitter_population, intensity=1.5
+    )
+
+
+@pytest.fixture(scope="module")
+def botflood(jitter_population):
+    return bot_flood_scenario(
+        seed=SEED, population=jitter_population, intensity=1.5
+    )
+
+
+def detect(scenario, rate):
+    """Thin the scenario to ``rate`` and run the hardened detector."""
+    if rate == 1.0:
+        tweets = scenario.tweets
+    else:
+        api = StreamingAPI(
+            Firehose(list(scenario.tweets)), delivery_ratio=1.0, seed=SEED
+        )
+        tweets = api.sample(rate=rate, salt="jitter")
+    timeline = Timeline(bin_seconds=60.0)
+    for tweet in tweets:
+        if tweet.matches_any_keyword(scenario.keywords):
+            timeline.add(tweet.created_at)
+    detector = PeakDetector(
+        params=PeakDetectorParams.for_sampled_stream(rate), bin_seconds=60.0
+    )
+    return detector.run(timeline.bins())
+
+
+def missed_events(scenario, peaks):
+    """Ground-truth events no peak window covers (within tolerance)."""
+    return [
+        event.event_id
+        for event in scenario.truth.events
+        if not any(
+            peak.start - TOLERANCE <= event.time <= peak.end + TOLERANCE
+            for peak in peaks
+        )
+    ]
+
+
+def phantom_peaks(scenario, peaks):
+    """Detected peaks whose apex lies near no ground-truth event."""
+    return [
+        (peak.label, peak.apex_time, peak.apex_count)
+        for peak in peaks
+        if not any(
+            event.start - TOLERANCE <= peak.apex_time <= event.end + TOLERANCE
+            for event in scenario.truth.events
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The jitter regression: every rate, every event, no bot-flood phantoms
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_election_detects_every_event_at_rate(election, rate):
+    peaks = detect(election, rate)
+    assert missed_events(election, peaks) == []
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_botflood_detects_every_event_at_rate(botflood, rate):
+    peaks = detect(botflood, rate)
+    assert missed_events(botflood, peaks) == []
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_botflood_has_no_phantom_peaks_at_rate(botflood, rate):
+    peaks = detect(botflood, rate)
+    assert phantom_peaks(botflood, peaks) == []
+
+
+# ---------------------------------------------------------------------------
+# for_sampled_stream preset
+# ---------------------------------------------------------------------------
+
+
+class TestForSampledStream:
+    def test_scales_min_count_with_floor(self):
+        params = PeakDetectorParams.for_sampled_stream(0.01)
+        assert params.min_count == 3.0  # 10 * 0.01 floored at 3
+        params = PeakDetectorParams.for_sampled_stream(0.5)
+        assert params.min_count == 5.0
+
+    def test_turns_on_hardening(self):
+        params = PeakDetectorParams.for_sampled_stream(0.1)
+        assert params.min_support == 2
+        assert params.close_grace_bins == 2
+        assert params.min_lift == 1.5
+
+    def test_respects_base(self):
+        base = PeakDetectorParams(tau=3.0, min_count=40.0)
+        params = PeakDetectorParams.for_sampled_stream(0.1, base=base)
+        assert params.tau == 3.0
+        assert params.min_count == 4.0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PeakDetectorParams.for_sampled_stream(0.0)
+        with pytest.raises(ValueError):
+            PeakDetectorParams.for_sampled_stream(1.5)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            PeakDetectorParams(min_support=0)
+        with pytest.raises(ValueError):
+            PeakDetectorParams(close_grace_bins=-1)
+        with pytest.raises(ValueError):
+            PeakDetectorParams(min_lift=0.9)
+
+
+# ---------------------------------------------------------------------------
+# The hardening knobs, in isolation
+# ---------------------------------------------------------------------------
+
+def run_detector(counts, **param_kwargs):
+    params = PeakDetectorParams(**param_kwargs)
+    detector = PeakDetector(params=params, bin_seconds=60.0)
+    return detector.run(
+        [(index * 60.0, float(count)) for index, count in enumerate(counts)]
+    )
+
+
+FLAT = [10.0] * 12
+
+
+class TestMinSupport:
+    def test_single_bin_spike_is_ignored(self):
+        peaks = run_detector(FLAT + [200.0] + FLAT, min_support=2)
+        assert peaks == []
+
+    def test_sustained_spike_opens_retroactively(self):
+        counts = FLAT + [200.0, 180.0, 150.0] + FLAT
+        peaks = run_detector(counts, min_support=2)
+        assert len(peaks) == 1
+        # The window opens at the *first* qualifying bin, not the second.
+        assert peaks[0].start == len(FLAT) * 60.0
+        assert peaks[0].apex_count == 200.0
+
+    def test_default_still_opens_on_single_bin(self):
+        peaks = run_detector(FLAT + [200.0] + FLAT)
+        assert len(peaks) == 1
+
+
+class TestCloseGrace:
+    BURST = FLAT + [200.0, 190.0, 12.0, 185.0, 170.0, 150.0] + FLAT
+    DIP_END = (len(FLAT) + 2) * 60.0 + 60.0  # end of the 12-count bin
+
+    def test_dip_truncates_peak_without_grace(self):
+        peaks = run_detector(self.BURST, close_grace_bins=0)
+        assert len(peaks) == 1
+        # The window closes at the dip; the 185/170/150 tail is lost.
+        assert peaks[0].end == self.DIP_END
+
+    def test_grace_rides_out_the_dip(self):
+        peaks = run_detector(self.BURST, close_grace_bins=2)
+        assert len(peaks) == 1
+        assert peaks[0].apex_count == 200.0
+        assert peaks[0].end > self.DIP_END + 2 * 60.0
+
+    def test_cap_still_closes_immediately(self):
+        counts = FLAT + [200.0] * 40
+        peaks = run_detector(counts, close_grace_bins=5, max_duration_bins=8)
+        assert peaks[0].closed
+
+
+class TestMinLift:
+    # Busy flat baseline at 50/bin: the EWMA floors meandev at 1.0, so a
+    # +20 Poisson wobble scores a huge deviation — but is only 1.4× the
+    # mean. min_lift=1.5 calls it noise; a real 10× burst still opens.
+    BUSY = [50.0] * 20
+
+    def test_small_lift_spike_rejected(self):
+        peaks = run_detector(self.BUSY + [70.0] + self.BUSY, min_lift=1.5)
+        assert peaks == []
+
+    def test_small_lift_spike_opens_without_the_knob(self):
+        peaks = run_detector(self.BUSY + [70.0] + self.BUSY)
+        assert len(peaks) == 1
+
+    def test_real_burst_still_opens(self):
+        peaks = run_detector(self.BUSY + [500.0, 450.0] + self.BUSY, min_lift=1.5)
+        assert len(peaks) == 1
+        assert peaks[0].apex_count == 500.0

@@ -1,0 +1,220 @@
+"""The three high-stress fidelity scenarios: structure and ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.twitter.users import UserPopulation
+from repro.twitter.workloads import (
+    bot_flood_scenario,
+    breaking_news_cascade_scenario,
+    election_night_scenario,
+)
+
+SEED = 42
+
+
+@pytest.fixture(scope="module")
+def population():
+    return UserPopulation(size=400, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def election(population):
+    return election_night_scenario(seed=SEED, population=population, intensity=0.3)
+
+
+@pytest.fixture(scope="module")
+def cascade(population):
+    return breaking_news_cascade_scenario(
+        seed=SEED, population=population, intensity=0.3
+    )
+
+
+@pytest.fixture(scope="module")
+def botflood(population):
+    return bot_flood_scenario(seed=SEED, population=population, intensity=0.3)
+
+
+# ---------------------------------------------------------------------------
+# Common contract
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["election", "cascade", "botflood"])
+def test_scenario_contract(request, name):
+    scenario = request.getfixturevalue(name)
+    assert scenario.name == name
+    assert scenario.keywords
+    assert scenario.tweets
+    assert scenario.truth.events
+    # Sorted by time, sequential ids, everything inside the window.
+    times = [tweet.created_at for tweet in scenario.tweets]
+    assert times == sorted(times)
+    assert all(scenario.start <= t < scenario.end + 1e-9 for t in times)
+    ids = [tweet.tweet_id for tweet in scenario.tweets]
+    assert len(set(ids)) == len(ids)
+    for event in scenario.truth.events:
+        assert scenario.start <= event.time <= scenario.end
+        assert event.start <= event.time <= event.end
+
+
+@pytest.mark.parametrize("name", ["election", "cascade", "botflood"])
+def test_generators_are_deterministic(request, name, population):
+    scenario = request.getfixturevalue(name)
+    builder = {
+        "election": election_night_scenario,
+        "cascade": breaking_news_cascade_scenario,
+        "botflood": bot_flood_scenario,
+    }[name]
+    again = builder(seed=SEED, population=population, intensity=0.3)
+    assert [t.text for t in again.tweets] == [t.text for t in scenario.tweets]
+    assert [t.created_at for t in again.tweets] == [
+        t.created_at for t in scenario.tweets
+    ]
+    assert again.truth == scenario.truth
+
+
+@pytest.mark.parametrize("name", ["election", "cascade", "botflood"])
+def test_event_traffic_rises_above_baseline(request, name):
+    """Each ground-truth event visibly lifts the keyword-matching rate."""
+    scenario = request.getfixturevalue(name)
+    matching = [
+        t.created_at
+        for t in scenario.tweets
+        if t.matches_any_keyword(scenario.keywords)
+    ]
+
+    def rate(start, end):
+        span = max(1.0, end - start)
+        return sum(1 for t in matching if start <= t < end) / span
+
+    for event in scenario.truth.events:
+        event_rate = rate(event.start, min(event.end, event.start + 300.0))
+        before = rate(event.start - 900.0, event.start - 300.0)
+        assert event_rate > 2.0 * max(before, 0.01), (name, event.event_id)
+
+
+# ---------------------------------------------------------------------------
+# Scenario-specific shapes
+# ---------------------------------------------------------------------------
+
+
+class TestElection:
+    def test_five_events_four_calls_one_projection(self, election):
+        events = election.truth.events
+        assert len(events) == 5
+        assert [e.info.get("projection", False) for e in events] == [
+            False, False, False, False, True,
+        ]
+        assert events[-1].info["winner"] == "harmon"
+
+    def test_baseline_rises_through_the_night(self, election):
+        """The anticipation ramp: later quiet hours out-tweet earlier ones."""
+        quiet_windows = []  # windows away from any event burst
+        for offset_hours in (1.0, 4.75):
+            window_start = election.start + offset_hours * 3600.0
+            quiet_windows.append(
+                sum(
+                    1
+                    for t in election.tweets
+                    if window_start <= t.created_at < window_start + 600.0
+                )
+            )
+        early, late = quiet_windows
+        assert late > 1.5 * early
+
+    def test_state_calls_mention_their_state(self, election):
+        first_call = election.truth.events[0]
+        window = [
+            t.text.lower()
+            for t in election.tweets
+            if first_call.start <= t.created_at < first_call.end
+        ]
+        mentioning = sum(1 for text in window if "ohio" in text)
+        assert mentioning > 10
+
+
+class TestCascade:
+    def test_four_accelerating_waves(self, cascade):
+        events = cascade.truth.events
+        assert len(events) == 4
+        gaps = [
+            later.time - earlier.time
+            for earlier, later in zip(events, events[1:])
+        ]
+        assert gaps == sorted(gaps, reverse=True)  # waves come faster
+
+    def test_no_topical_traffic_before_the_break(self, cascade):
+        break_time = cascade.truth.events[0].time
+        before = [
+            t
+            for t in cascade.tweets
+            if t.created_at < break_time - 60.0
+            and t.matches_any_keyword(cascade.keywords)
+        ]
+        assert before == []
+
+    def test_retweet_share_is_amplified(self, cascade, election):
+        def rt_share(scenario):
+            texts = [t.text for t in scenario.tweets]
+            return sum(1 for text in texts if text.startswith("RT @")) / len(texts)
+
+        assert rt_share(cascade) > 1.5 * rt_share(election)
+
+    def test_first_wave_is_localized(self, cascade):
+        """Wave 1's authors are drawn near the fire (±8°); later waves are
+        global — so the first wave's geotag mix leans Pacific-Northwest."""
+
+        def region_share(event):
+            geos = [
+                t.geo
+                for t in cascade.tweets
+                if event.start <= t.created_at < event.end and t.geo is not None
+            ]
+            assert geos
+            near = sum(
+                1
+                for lat, lon in geos
+                if abs(lat - 44.05) <= 8.0 and abs(lon + 121.3) <= 8.0
+            )
+            return near / len(geos)
+
+        wave1, wave4 = cascade.truth.events[0], cascade.truth.events[3]
+        assert region_share(wave1) > 2.0 * region_share(wave4)
+
+
+class TestBotFlood:
+    def test_launch_plus_two_floods(self, botflood):
+        events = botflood.truth.events
+        assert [e.info["bot"] for e in events] == [False, True, True]
+
+    def test_floods_are_square_plateaus(self, botflood):
+        """Flood traffic fills its window at a flat rate, then stops dead."""
+        flood = botflood.truth.events[1]
+        spam = [
+            t.created_at
+            for t in botflood.tweets
+            if "giveaway" in t.text.lower() or "free" in t.text.lower()
+        ]
+        inside = sum(1 for t in spam if flood.start <= t < flood.end)
+        duration = flood.info["duration"]
+        just_after = sum(
+            1 for t in spam if flood.end + 60 <= t < flood.end + 60 + duration
+        )
+        assert inside > 50
+        assert just_after < inside * 0.05
+
+    def test_spam_is_near_duplicate_and_neutral(self, botflood):
+        flood = botflood.truth.events[1]
+        spam_texts = [
+            t.text
+            for t in botflood.tweets
+            if flood.start <= t.created_at < flood.end
+            and "giveaway" in t.text.lower()
+        ]
+        assert len(spam_texts) > 50
+        # A handful of templates produce heavy near-duplication.
+        normalized = {text.split("http", 1)[0] for text in spam_texts}
+        assert len(normalized) < len(spam_texts) * 0.2
+        assert all("http" in text for text in spam_texts)
