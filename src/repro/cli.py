@@ -132,6 +132,8 @@ def build_session(args: argparse.Namespace) -> tuple[TweeQL, list[Scenario]]:
         columnar=not getattr(args, "no_columnar", False),
         shared_scan=getattr(args, "shared", False),
         sanitize=getattr(args, "sanitize", False),
+        storage_path=getattr(args, "store", None),
+        backfill=getattr(args, "backfill", False),
         **_resilience_config_kwargs(args),
     )
     return TweeQL.for_scenarios(*scenarios, config=config), scenarios
@@ -422,6 +424,7 @@ def run_twitinfo(args: argparse.Namespace) -> None:
         print(f"wrote {args.html}")
     else:
         print(dashboard.render_text())
+    session.close()
 
 
 def run_fidelity(args: argparse.Namespace) -> int:
@@ -569,6 +572,20 @@ def make_parser() -> argparse.ArgumentParser:
         help="do not auto-reconnect dropped stream connections (gap "
         "tweets are lost instead of recovered)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="FILE",
+        help="historical tier: archive every delivered tweet into this "
+        "SQLite file behind the live path (FTS5/R-tree-indexed; see "
+        "docs/STORAGE.md)",
+    )
+    parser.add_argument(
+        "--backfill",
+        action="store_true",
+        help="with --store, split windowed queries into instant "
+        "backfill-from-storage + live tail (merged on timestamp order)",
+    )
     sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("repl", help="interactive query shell")
@@ -702,14 +719,21 @@ def main(argv: list[str] | None = None) -> int:
             return run_explain(args)
         elif command == "query":
             session, _ = build_session(args)
-            if getattr(args, "shared", False):
-                run_shared_queries(session, args.sql, args.rows)
-            else:
-                for sql in args.sql:
-                    run_query(session, sql, args.rows)
+            try:
+                if getattr(args, "shared", False):
+                    run_shared_queries(session, args.sql, args.rows)
+                else:
+                    for sql in args.sql:
+                        run_query(session, sql, args.rows)
+            finally:
+                # Flush the storage writer so --store files are durable.
+                session.close()
         else:
             session, _ = build_session(args)
-            repl(session, rows=20)
+            try:
+                repl(session, rows=20)
+            finally:
+                session.close()
     except TweeQLError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -58,6 +58,12 @@ class QueryHandle:
         return plan.ctx.stats
 
     @property
+    def backfill_rows(self) -> int:
+        """Rows served from the historical store ahead of the live tail
+        (0 for pure-live plans, and until the backfill scan has run)."""
+        return self._plan.backfill_rows
+
+    @property
     def shard_stats(self) -> list[QueryStats]:
         """Per-stage counters for sharded plans (exchange first, then one
         entry per worker); empty for serial plans."""

@@ -24,7 +24,8 @@ The planner implements the decisions the paper describes:
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
+import math
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -103,6 +104,9 @@ class PhysicalPlan:
     #: ``EngineConfig.sanitize`` / ``TWEEQL_SAN=1`` was on at plan time;
     #: None otherwise (zero sanitize wrappers, like tracing).
     sanitizer: Any = None
+    #: Rows served from the historical store before the live tail took
+    #: over (set at run time by the hybrid backfill source; 0 otherwise).
+    backfill_rows: int = 0
 
     def explain(self) -> str:
         """Human-readable plan description."""
@@ -140,6 +144,53 @@ def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
     if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
         return split_conjuncts(expr.left) + split_conjuncts(expr.right)
     return [expr]
+
+
+def _time_window(
+    conjuncts: list[ast.Expr],
+) -> tuple[float | None, float | None]:
+    """``created_at`` literal bounds as a (start, end) superset window.
+
+    Reads ``created_at <cmp> <literal>`` conjuncts (either operand
+    order) and returns conservative *scan* bounds for the backfill
+    split: strict bounds are widened to their inclusive neighbors, so
+    the store range scan may return a few extra boundary rows — the
+    window conjuncts stay in the local filter stage, which drops them.
+    (None, None) means no recognizable window (whole-store backfill).
+    """
+    start: float | None = None
+    end: float | None = None
+
+    def bound(op: str, value: float) -> None:
+        nonlocal start, end
+        if op in (">=", ">"):
+            start = value if start is None else max(start, value)
+        elif op == "<":
+            end = value if end is None else min(end, value)
+        elif op == "<=":
+            widened = math.nextafter(value, math.inf)
+            end = widened if end is None else min(end, widened)
+
+    _FLIP = {">": "<", "<": ">", ">=": "<=", "<=": ">="}
+    for conjunct in conjuncts:
+        if not (
+            isinstance(conjunct, ast.BinaryOp)
+            and conjunct.op in _FLIP
+        ):
+            continue
+        left, right, op = conjunct.left, conjunct.right, conjunct.op
+        if not isinstance(left, ast.FieldRef):
+            # ``<literal> <cmp> created_at`` — normalize the orientation.
+            left, right, op = right, left, _FLIP[op]
+        if (
+            isinstance(left, ast.FieldRef)
+            and left.name.lower() == "created_at"
+            and isinstance(right, ast.Literal)
+            and isinstance(right.value, (int, float))
+            and not isinstance(right.value, bool)
+        ):
+            bound(op, float(right.value))
+    return start, end
 
 
 def _track_keywords(expr: ast.Expr) -> list[str] | None:
@@ -315,6 +366,7 @@ class Planner:
         clock,
         config,
         table_factory: Callable[[str], Any],
+        store: Any = None,
     ) -> None:
         self._sources = sources
         self._registry = registry
@@ -322,6 +374,9 @@ class Planner:
         self._clock = clock
         self._config = config
         self._table_factory = table_factory
+        #: Historical tier (:class:`repro.storage.historical.
+        #: HistoricalStore`) backing the backfill split; None disables it.
+        self._store = store
 
     def plan(self, statement: ast.SelectStatement) -> PhysicalPlan:
         """Plan one parsed statement into a runnable pipeline.
@@ -748,13 +803,19 @@ class Planner:
             return binding.rows_factory()
 
         api = binding.api
+        # The backfill window is read *before* the API-filter choice
+        # deletes its conjunct: the window conjuncts (created_at bounds)
+        # are never API-eligible, so both passes see disjoint conjuncts.
+        window = _time_window(conjuncts)
         candidates = extract_api_candidates(conjuncts)
+        server_matches = None
         if not candidates:
             explain.append(
                 "Scan: twitter firehose (no API-eligible predicate; elevated "
                 "access tier)"
             )
-            return _lazy_connection_rows(api.unfiltered, plan)
+            live_rows = _lazy_connection_rows(api.unfiltered, plan)
+            return self._maybe_backfill(live_rows, server_matches, window, plan)
 
         from repro.errors import RateLimitError
 
@@ -796,7 +857,76 @@ class Planner:
         if len(choice.estimates) > 1:
             explain.extend("  " + line for line in choice.explain().splitlines())
         kwargs = choice.chosen.api_kwargs
-        return _lazy_connection_rows(lambda: api.filter(**kwargs), plan)
+        # Backfill rows bypass the server, so the server-side conjunct
+        # must be re-applied to them locally.
+        server_matches = choice.chosen.matches
+        live_rows = _lazy_connection_rows(lambda: api.filter(**kwargs), plan)
+        return self._maybe_backfill(live_rows, server_matches, window, plan)
+
+    def _maybe_backfill(
+        self,
+        live_rows: Iterable[Row],
+        server_matches: Callable[[Any], bool] | None,
+        window: tuple[float | None, float | None],
+        plan: PhysicalPlan,
+    ) -> Iterable[Row]:
+        """Wrap the live connection in a backfill + live-tail split.
+
+        With a historical store and ``EngineConfig.backfill`` on, the
+        query's time window is split at the store's *watermark* (largest
+        archived ``created_at``): rows at or below it come straight from
+        the indexed SQLite scan — no connection opened, no clock advance
+        — and the live tail contributes only rows strictly above it.
+
+        The two runs are timestamp-disjoint by construction, so the
+        ordered concatenation *is* the seq-stamped k-way merge from
+        ``parallel.py`` degenerated to two pre-sorted runs: the scan
+        operator re-stamps batch seqs exactly as the exchange tagger
+        would, and downstream operators see one monotone stream. Window
+        conjuncts are left in the local filter stage, which makes the
+        store's range bounds purely an access-path optimization — a
+        superset scan stays correct.
+        """
+        backfill_on = (
+            self._store is not None
+            and getattr(self._config, "backfill", False)
+        )
+        if not backfill_on:
+            return live_rows
+        store = self._store
+        start, end = window
+        plan.explain_lines.append(
+            "Backfill: historical store "
+            f"[{'…' if start is None else f'{start:g}'}, "
+            f"{'…' if end is None else f'{end:g}'}) up to the store "
+            "watermark, then live tail (timestamp-disjoint merge)"
+        )
+
+        def rows() -> Iterator[Row]:
+            watermark = store.watermark()
+            cut = None
+            if watermark is not None:
+                # nextafter makes the backfill half-open bound include
+                # rows at exactly the watermark.
+                cut = math.nextafter(watermark, math.inf)
+                if end is not None:
+                    cut = min(cut, end)
+            served = 0
+            if cut is not None and (start is None or start < cut):
+                for tweet in store.scan(start, cut):
+                    if server_matches is not None and not server_matches(
+                        tweet
+                    ):
+                        continue
+                    served += 1
+                    yield tweet.to_row()
+            plan.backfill_rows = served
+            for row in live_rows:
+                if cut is not None and row["created_at"] < cut:
+                    continue  # history already served this timestamp range
+                yield row
+
+        return rows()
 
     # -- local predicates -----------------------------------------------------
 

@@ -169,6 +169,20 @@ class EngineConfig:
             zero-wrapper when off, exactly like ``tracing``; the
             ``TWEEQL_SAN=1`` environment variable turns it on without
             touching config.
+        storage_path: SQLite file backing the session's historical tier
+            (:class:`~repro.storage.historical.HistoricalStore`);
+            ``":memory:"`` works for tests. When set, every tweet any
+            stream connection delivers is archived behind the live path
+            by a background :class:`~repro.storage.historical.
+            StorageWriter`. None (the default) disables the tier
+            entirely.
+        backfill: with ``storage_path``, split queries over the
+            ``twitter`` source into backfill-from-storage + live-tail:
+            history up to the store's watermark is answered instantly
+            from SQLite, and the live connection takes over after it
+            (see docs/STORAGE.md). A query with no ``created_at`` lower
+            bound backfills the whole store (lint ``TQL311`` warns).
+        storage_batch: rows per storage-writer commit batch.
     """
 
     latency_mode: str = "cached"
@@ -207,6 +221,9 @@ class EngineConfig:
     shard_backend: str = "thread"
     clamp_workers: bool = True
     sanitize: bool = False
+    storage_path: str | None = None
+    backfill: bool = False
+    storage_batch: int = 256
 
 
 class TweeQL:
@@ -307,6 +324,42 @@ class TweeQL:
             self._sources["twitter"] = SourceBinding(
                 name="twitter", schema=TWITTER_SCHEMA, api=api
             )
+
+        # Historical tier: archive delivered tweets behind the live path
+        # and (with ``backfill``) answer windowed queries from history.
+        self.store = None
+        self.storage_writer = None
+        if self.config.storage_path is not None:
+            from repro.storage.historical import HistoricalStore, StorageWriter
+
+            self.store = HistoricalStore(self.config.storage_path)
+            if api is not None:
+                self.storage_writer = StorageWriter(
+                    self.store, batch_size=self.config.storage_batch
+                )
+                api.tap = self.storage_writer.write
+
+    def close(self) -> None:
+        """Flush the storage writer and close the historical store.
+
+        Safe to call on sessions without a store, and idempotent. Queries
+        still running keep their own connections; only the archival side
+        is torn down.
+        """
+        if self.storage_writer is not None:
+            self.storage_writer.stop()
+            self.storage_writer = None
+            if self.api is not None:
+                self.api.tap = None
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+
+    def __enter__(self) -> "TweeQL":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
 
     def _wrap_resilient(
         self, service: SimulatedWebService, seed: int
@@ -429,6 +482,7 @@ class TweeQL:
             clock=self.clock,
             config=config or self.config,
             table_factory=self.table,
+            store=self.store,
         )
 
     def plan(self, sql: str) -> PhysicalPlan:

@@ -264,6 +264,12 @@ def app_metrics(app: Any) -> MetricsRegistry:
             )
     for index, group in enumerate(getattr(app, "shared_groups", ())):
         shared_metrics(group, registry, prefix=f"shared.{index}")
+    writer = getattr(session, "storage_writer", None)
+    if writer is not None:
+        registry.absorb("storage.writer", writer.metrics())
+    store = getattr(session, "store", None)
+    if store is not None:
+        registry.gauge("storage.rows").set(len(store))
     return registry
 
 

@@ -16,7 +16,9 @@ than the author probably expects on an unbounded stream:
 - ``TQL309`` more process workers requested than the host has CPU
   cores (the planner clamps them);
 - ``TQL310`` ``shard_backend="process"`` requested but this statement
-  runs on threads (or serially) instead, with the reason.
+  runs on threads (or serially) instead, with the reason;
+- ``TQL311`` backfill enabled but no ``created_at`` lower bound — the
+  whole historical store is replayed before the live tail.
 
 The API-eligibility matchers are deliberately *reimplemented* here (same
 shapes as :mod:`repro.engine.planner`'s ``_track_keywords`` /
@@ -64,6 +66,7 @@ def run_lints(
     _lint_serial_fallback(statement, registry, sink, config)
     _lint_worker_oversubscription(sink, config)
     _lint_process_fallback(statement, registry, sink, config)
+    _lint_unbounded_backfill(statement, conjuncts, sink, config)
 
 
 # ---------------------------------------------------------------------------
@@ -631,3 +634,54 @@ def _lint_process_fallback(
             f"statement ({reason})",
             span,
         )
+
+
+# ---------------------------------------------------------------------------
+# TQL311 — unbounded backfill scans the whole historical store
+# ---------------------------------------------------------------------------
+
+
+def _created_at_lower_bound(expr: ast.Expr) -> bool:
+    """True when ``expr`` is ``created_at >=/> <literal>`` (either
+    orientation) — the bound that lets the backfill split range-scan the
+    store instead of reading it from the beginning of time."""
+    if not isinstance(expr, ast.BinaryOp):
+        return False
+    left, right, op = expr.left, expr.right, expr.op
+    if op in (">=", ">"):
+        field, literal = left, right
+    elif op in ("<=", "<"):
+        # ``<literal> <= created_at`` is a lower bound too.
+        field, literal = right, left
+    else:
+        return False
+    return (
+        isinstance(field, ast.FieldRef)
+        and field.name.lower() == "created_at"
+        and isinstance(literal, ast.Literal)
+        and isinstance(literal.value, (int, float))
+        and not isinstance(literal.value, bool)
+    )
+
+
+def _lint_unbounded_backfill(
+    statement: ast.SelectStatement,
+    conjuncts: list[ast.Expr],
+    sink: DiagnosticSink,
+    config: Any,
+) -> None:
+    if config is None or not getattr(config, "backfill", False):
+        return
+    if getattr(config, "storage_path", None) is None:
+        return
+    if statement.source.lower() != "twitter":
+        return
+    if any(_created_at_lower_bound(conjunct) for conjunct in conjuncts):
+        return
+    sink.info(
+        "TQL311",
+        "backfill is enabled but this query has no created_at lower "
+        "bound: the entire historical store is replayed before the live "
+        "tail",
+        span_of(statement.where) if statement.where is not None else None,
+    )

@@ -1,14 +1,17 @@
 """Persistence substrate: caches, top-k sketches, and the tweet log."""
 
 from repro.storage.cache import CacheStats, LRUCache
+from repro.storage.historical import HistoricalStore, StorageWriter
 from repro.storage.topk import SpaceSaving
 from repro.storage.tweetlog import MemoryTweetLog, SqliteTweetLog, TableSink
 
 __all__ = [
     "CacheStats",
+    "HistoricalStore",
     "LRUCache",
     "SpaceSaving",
     "MemoryTweetLog",
     "SqliteTweetLog",
+    "StorageWriter",
     "TableSink",
 ]

@@ -20,6 +20,7 @@ from __future__ import annotations
 import bisect
 import json
 import sqlite3
+import threading
 from collections.abc import Iterator, Sequence
 from typing import Any
 
@@ -28,44 +29,59 @@ from repro.twitter.models import Tweet, TweetEntities, User
 
 
 class MemoryTweetLog:
-    """Append-mostly in-memory tweet log ordered by ``created_at``.
+    """Append-mostly in-memory tweet log ordered by ``(created_at, tweet_id)``.
 
     Appends that arrive in timestamp order are O(1); out-of-order appends
     use insertion to keep scans correct (streams are near-ordered, so this
-    stays cheap).
+    stays cheap). Ties on ``created_at`` break on ``tweet_id`` — the same
+    total order :class:`SqliteTweetLog` scans in (``ORDER BY created_at,
+    tweet_id``), so the two backends are row-for-row interchangeable even
+    when many tweets share a timestamp.
     """
 
     def __init__(self) -> None:
-        self._times: list[float] = []
+        self._keys: list[tuple[float, int]] = []
         self._tweets: list[Tweet] = []
 
     def append(self, tweet: Tweet) -> None:
-        """Add one tweet, keeping timestamp order."""
-        if not self._times or tweet.created_at >= self._times[-1]:
-            self._times.append(tweet.created_at)
+        """Add one tweet, keeping ``(created_at, tweet_id)`` order."""
+        key = (tweet.created_at, tweet.tweet_id)
+        if not self._keys or key >= self._keys[-1]:
+            self._keys.append(key)
             self._tweets.append(tweet)
             return
-        index = bisect.bisect_right(self._times, tweet.created_at)
-        self._times.insert(index, tweet.created_at)
+        index = bisect.bisect_right(self._keys, key)
+        self._keys.insert(index, key)
         self._tweets.insert(index, tweet)
 
-    def extend(self, tweets: Sequence[Tweet]) -> None:
+    def extend(self, tweets: Sequence[Tweet], commit: bool = True) -> None:
         for tweet in tweets:
             self.append(tweet)
 
     def __len__(self) -> int:
         return len(self._tweets)
 
+    def _range(self, start: float | None, end: float | None) -> tuple[int, int]:
+        # ``(t,)`` sorts before ``(t, any_id)``, so bisect_left on the
+        # one-tuple finds the first entry with ``created_at >= t``.
+        lo = 0 if start is None else bisect.bisect_left(self._keys, (start,))
+        hi = (
+            len(self._keys)
+            if end is None
+            else bisect.bisect_left(self._keys, (end,))
+        )
+        # An inverted window (end <= start) is empty, as in SQL, never a
+        # negative slice.
+        return lo, max(lo, hi)
+
     def scan(self, start: float | None = None, end: float | None = None) -> Iterator[Tweet]:
         """Tweets with ``start <= created_at < end``, in time order."""
-        lo = 0 if start is None else bisect.bisect_left(self._times, start)
-        hi = len(self._times) if end is None else bisect.bisect_left(self._times, end)
+        lo, hi = self._range(start, end)
         return iter(self._tweets[lo:hi])
 
     def count(self, start: float | None = None, end: float | None = None) -> int:
         """Number of tweets in the half-open time range."""
-        lo = 0 if start is None else bisect.bisect_left(self._times, start)
-        hi = len(self._times) if end is None else bisect.bisect_left(self._times, end)
+        lo, hi = self._range(start, end)
         return hi - lo
 
     def counts_by_bucket(
@@ -88,6 +104,17 @@ class SqliteTweetLog:
     Stores the queryable columns natively and the full record (including
     ground truth) as JSON, so a reloaded log reconstructs complete
     :class:`Tweet` objects.
+
+    The connection is opened with ``check_same_thread=False`` and every
+    statement runs under an internal lock, so engine worker threads (the
+    sharded executor, the background :class:`~repro.storage.historical.
+    StorageWriter`) can share one log safely.
+
+    Durability: :meth:`append` batches its commit — the transaction is
+    flushed every ``commit_every`` single-row appends and always on
+    :meth:`close`; :meth:`extend` and :meth:`set_meta` commit immediately.
+    A crashed process therefore loses at most ``commit_every - 1`` trailing
+    single-row appends, never an :meth:`extend` batch.
     """
 
     _SCHEMA = """
@@ -105,18 +132,42 @@ class SqliteTweetLog:
         );
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self._conn = sqlite3.connect(path)
+    #: Rows fetched per lock acquisition while scanning (keeps long scans
+    #: from starving concurrent writers).
+    _SCAN_CHUNK = 512
+
+    def __init__(self, path: str = ":memory:", commit_every: int = 64) -> None:
+        if commit_every < 1:
+            raise StorageError("commit_every must be positive")
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.RLock()
+        self._commit_every = commit_every
+        self._pending = 0
+        self._closed = False
         self._conn.executescript(self._SCHEMA)
 
     def close(self) -> None:
-        self._conn.close()
+        """Commit any batched appends and close the connection."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._pending:
+                self._conn.commit()
+                self._pending = 0
+            self._conn.close()
 
     def __enter__(self) -> "SqliteTweetLog":
         return self
 
     def __exit__(self, *_exc: Any) -> None:
         self.close()
+
+    def commit(self) -> None:
+        """Force-flush the append batch (durability barrier)."""
+        with self._lock:
+            self._conn.commit()
+            self._pending = 0
 
     def append(self, tweet: Tweet) -> None:
         payload = json.dumps(
@@ -135,37 +186,59 @@ class SqliteTweetLog:
             }
         )
         try:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO tweets "
-                "(tweet_id, created_at, user_id, text, payload) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (
-                    tweet.tweet_id,
-                    tweet.created_at,
-                    tweet.user.user_id,
-                    tweet.text,
-                    payload,
-                ),
-            )
+            with self._lock:
+                self._insert(tweet, payload)
+                self._pending += 1
+                if self._pending >= self._commit_every:
+                    self._conn.commit()
+                    self._pending = 0
         except sqlite3.Error as exc:
             raise StorageError(f"sqlite append failed: {exc}") from exc
 
-    def extend(self, tweets: Sequence[Tweet]) -> None:
+    def _insert(self, tweet: Tweet, payload: str) -> None:
+        """One row's INSERT statements; caller holds the lock.
+
+        Subclasses override to maintain auxiliary indexes alongside the
+        base table (FTS, R-tree, partitions) inside the same transaction.
+        """
+        self._conn.execute(
+            "INSERT OR REPLACE INTO tweets "
+            "(tweet_id, created_at, user_id, text, payload) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (
+                tweet.tweet_id,
+                tweet.created_at,
+                tweet.user.user_id,
+                tweet.text,
+                payload,
+            ),
+        )
+
+    def extend(self, tweets: Sequence[Tweet], commit: bool = True) -> None:
+        """Bulk append. ``commit=False`` leaves durability to the
+        ``commit_every`` threshold and later :meth:`commit`/:meth:`close`
+        barriers — the storage writer's hot path."""
         for tweet in tweets:
             self.append(tweet)
-        self._conn.commit()
+        if commit:
+            with self._lock:
+                self._conn.commit()
+                self._pending = 0
 
     def __len__(self) -> int:
-        row = self._conn.execute("SELECT COUNT(*) FROM tweets").fetchone()
+        with self._lock:
+            row = self._conn.execute("SELECT COUNT(*) FROM tweets").fetchone()
         return int(row[0])
 
     @staticmethod
     def _row_to_tweet(row: tuple) -> Tweet:
-        tweet_id, created_at, _user_id, text, payload_json = row
+        tweet_id, created_at, user_id, text, payload_json = row
         payload = json.loads(payload_json)
         user_data = payload["user"]
         user = User(
-            user_id=user_data["user_id"],
+            # The natively stored column is authoritative — the JSON
+            # payload duplicates it only for forensic completeness.
+            user_id=int(user_id),
             screen_name=user_data["screen_name"],
             location=user_data["location"],
             home=tuple(user_data["home"]) if user_data["home"] else None,
@@ -188,47 +261,58 @@ class SqliteTweetLog:
 
     def set_meta(self, key: str, value: Any) -> None:
         """Store a JSON-serializable metadata value (event definitions…)."""
-        self._conn.execute(
-            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
-            (key, json.dumps(value)),
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                (key, json.dumps(value)),
+            )
+            self._conn.commit()
+            self._pending = 0
 
     def get_meta(self, key: str, default: Any = None) -> Any:
         """Fetch a metadata value stored by :meth:`set_meta`."""
-        row = self._conn.execute(
-            "SELECT value FROM meta WHERE key = ?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)
+            ).fetchone()
         return default if row is None else json.loads(row[0])
+
+    @staticmethod
+    def _time_clauses(
+        start: float | None, end: float | None
+    ) -> tuple[str, list[float]]:
+        clauses, params = ["1=1"], []
+        if start is not None:
+            clauses.append("created_at >= ?")
+            params.append(start)
+        if end is not None:
+            clauses.append("created_at < ?")
+            params.append(end)
+        return " AND ".join(clauses), params
 
     def scan(self, start: float | None = None, end: float | None = None) -> Iterator[Tweet]:
         """Tweets with ``start <= created_at < end``, in time order."""
-        clauses, params = ["1=1"], []
-        if start is not None:
-            clauses.append("created_at >= ?")
-            params.append(start)
-        if end is not None:
-            clauses.append("created_at < ?")
-            params.append(end)
-        cursor = self._conn.execute(
-            "SELECT tweet_id, created_at, user_id, text, payload FROM tweets "
-            f"WHERE {' AND '.join(clauses)} ORDER BY created_at, tweet_id",
-            params,
-        )
-        for row in cursor:
-            yield self._row_to_tweet(row)
+        where, params = self._time_clauses(start, end)
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT tweet_id, created_at, user_id, text, payload "
+                f"FROM tweets WHERE {where} ORDER BY created_at, tweet_id",
+                params,
+            )
+        while True:
+            with self._lock:
+                rows = cursor.fetchmany(self._SCAN_CHUNK)
+            if not rows:
+                return
+            for row in rows:
+                yield self._row_to_tweet(row)
 
     def count(self, start: float | None = None, end: float | None = None) -> int:
-        clauses, params = ["1=1"], []
-        if start is not None:
-            clauses.append("created_at >= ?")
-            params.append(start)
-        if end is not None:
-            clauses.append("created_at < ?")
-            params.append(end)
-        row = self._conn.execute(
-            f"SELECT COUNT(*) FROM tweets WHERE {' AND '.join(clauses)}", params
-        ).fetchone()
+        where, params = self._time_clauses(start, end)
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT COUNT(*) FROM tweets WHERE {where}", params
+            ).fetchone()
         return int(row[0])
 
     def counts_by_bucket(
@@ -237,13 +321,15 @@ class SqliteTweetLog:
         """(bucket_start, count) pairs covering [start, end)."""
         if bucket_seconds <= 0:
             raise StorageError("bucket_seconds must be positive")
-        cursor = self._conn.execute(
-            "SELECT CAST((created_at - ?) / ? AS INTEGER) AS bucket, COUNT(*) "
-            "FROM tweets WHERE created_at >= ? AND created_at < ? "
-            "GROUP BY bucket",
-            (start, bucket_seconds, start, end),
-        )
-        counts = dict(cursor.fetchall())
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT CAST((created_at - ?) / ? AS INTEGER) AS bucket, "
+                "COUNT(*) "
+                "FROM tweets WHERE created_at >= ? AND created_at < ? "
+                "GROUP BY bucket",
+                (start, bucket_seconds, start, end),
+            )
+            counts = dict(cursor.fetchall())
         buckets: list[tuple[float, int]] = []
         index = 0
         t = start

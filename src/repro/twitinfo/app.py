@@ -342,7 +342,40 @@ class TwitInfoApp:
         for tracked in tracked_list:
             tracked.detect_peaks()
             reports.append(tracked.report())
+        self._persist_health(tracked_list)
         return reports
+
+    def _persist_health(self, tracked_list: list[TrackedEvent]) -> None:
+        """Archive a metrics snapshot per event into the historical store.
+
+        With ``EngineConfig.storage_path`` set, each completed event run
+        stores the app's flat metrics registry keyed by the event's
+        virtual-time window (its definition bounds, falling back to the
+        observed timeline span), so the dashboard can chart engine health
+        over an event's life (``/health.json``).
+        """
+        store = getattr(self.session, "store", None)
+        if store is None or not tracked_list:
+            return
+        from repro.obs.metrics import app_metrics
+
+        flat = app_metrics(self).flat()
+        for tracked in tracked_list:
+            definition = tracked.definition
+            window_start = definition.start
+            window_end = definition.end
+            bounds = tracked.timeline.bounds()
+            if window_start is None:
+                window_start = (
+                    bounds[0] if bounds is not None else self.session.clock.now
+                )
+            if window_end is None:
+                window_end = (
+                    bounds[1] if bounds is not None else self.session.clock.now
+                )
+            store.record_metrics(
+                window_start, window_end, flat, label=definition.name
+            )
 
     def track(
         self,

@@ -13,6 +13,9 @@ event." This module serves exactly that — a dependency-free
 - ``GET /event/<name>/peaks?q=term``— peak search by key term (JSON),
 - ``GET /metrics``                  — Prometheus-style text exposition of
   every tracked event's counters plus the engine's service stats,
+- ``GET /health.json``              — engine-health snapshots persisted
+  per virtual-time window into the historical store (filter with
+  ``?name=<metric>``; per event at ``/event/<name>/health.json``),
 - ``POST /track`` — create and run a new event from form fields ``name``,
   ``keywords`` (comma-separated), optional ``bin_seconds`` — §4's "track
   new terms of interest".
@@ -59,10 +62,14 @@ def _make_handler(app: TwitInfoApp):
                     self._index()
                 elif parts[0] == "metrics" and len(parts) == 1:
                     self._metrics()
+                elif parts[0] == "health.json" and len(parts) == 1:
+                    self._health(None, params)
                 elif parts[0] == "event" and len(parts) >= 2:
                     name = urllib.parse.unquote(parts[1])
                     if len(parts) == 3 and parts[2] == "peaks":
                         self._peaks(name, params)
+                    elif len(parts) == 3 and parts[2] == "health.json":
+                        self._health(name, params)
                     elif name.endswith(".json"):
                         self._dashboard(name[: -len(".json")], params, as_json=True)
                     else:
@@ -156,6 +163,26 @@ def _make_handler(app: TwitInfoApp):
                 self._send_json(200, dashboard.to_json())
             else:
                 self._send(200, dashboard.render_html(), "text/html")
+
+        def _health(self, name: str | None, params: dict) -> None:
+            """Engine-health history from the historical store.
+
+            ``/health.json`` returns every stored metrics snapshot;
+            ``/event/<name>/health.json`` only the named event's windows.
+            ``?name=<metric>`` filters to one metric series. 404s when
+            the session has no historical store configured.
+            """
+            store = getattr(app.session, "store", None)
+            if store is None:
+                self._send_json(
+                    404,
+                    {"error": "no historical store (set storage_path)"},
+                )
+                return
+            metric = params.get("name", [None])[0]
+            self._send_json(
+                200, store.metrics_series(label=name, name=metric)
+            )
 
         def _peaks(self, name: str, params: dict) -> None:
             tracked = self._resolve(name)

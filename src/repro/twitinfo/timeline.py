@@ -57,6 +57,17 @@ class Timeline:
         """Total tweets counted."""
         return sum(self._counts.values())
 
+    def bounds(self) -> tuple[float, float] | None:
+        """(first bin's start, last bin's end) — the populated span.
+
+        None for an empty timeline.
+        """
+        if not self._counts:
+            return None
+        lo = min(self._counts)
+        hi = max(self._counts)
+        return self.bin_start(lo), self.bin_start(hi) + self.bin_seconds
+
     def __len__(self) -> int:
         return len(self._counts)
 

@@ -127,12 +127,15 @@ class StreamConnection:
         description: str,
         drops: tuple = (),
         auto_reconnect: bool = True,
+        tap=None,
     ) -> None:
         self._tweets = tweets
         self._predicate = predicate
         self._delivery_ratio = delivery_ratio
         self._rng = rng_mod.derive(seed, f"connection:{description}")
         self._clock = clock
+        #: Archival hook fed every delivered tweet (None: no archiving).
+        self._tap = tap
         self.description = description
         self._drops = sorted(drops, key=lambda d: d.after_delivered)
         self._auto_reconnect = auto_reconnect
@@ -188,6 +191,8 @@ class StreamConnection:
                     # Reconnected from the cursor: the tweet is recovered
                     # and delivered below like any other.
                 self.stats.delivered += 1
+                if self._tap is not None:
+                    self._tap(tweet)
                 if self._clock is not None and tweet.created_at > self._clock.now:
                     self._clock.advance_to(tweet.created_at)
                 yield tweet
@@ -250,6 +255,10 @@ class StreamingAPI:
         self._sample_serial = 0
         self._drops = tuple(fault_plan.stream_drops) if fault_plan else ()
         self._auto_reconnect = auto_reconnect
+        #: Optional archival hook: called with every *delivered* tweet on
+        #: every connection this API opens (the historical tier's
+        #: ``StorageWriter.write``). None keeps the live path untouched.
+        self.tap = None
 
     @property
     def firehose(self) -> Firehose:
@@ -290,6 +299,7 @@ class StreamingAPI:
             description=description,
             drops=self._drops,
             auto_reconnect=self._auto_reconnect,
+            tap=self.tap,
         )
 
         original_close = connection.close

@@ -1,0 +1,293 @@
+"""The historical tier: indexes, writer, and three-backend equivalence.
+
+The Hypothesis suite pins ``MemoryTweetLog`` ≡ ``SqliteTweetLog`` ≡
+``HistoricalStore`` on ``scan`` / ``count`` / ``counts_by_bucket`` over
+random tweet sets, including out-of-order and equal-timestamp appends —
+the contract the planner's backfill split relies on (history must read
+back in exactly the order a live scan would have produced).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    HistoricalStore,
+    MemoryTweetLog,
+    SqliteTweetLog,
+    StorageWriter,
+)
+from repro.twitter.models import Tweet, User
+
+
+def make_tweet(tweet_id, t, text="hello world", geo=None):
+    return Tweet(
+        tweet_id=tweet_id,
+        created_at=t,
+        user=User(
+            user_id=10_000 + tweet_id,
+            screen_name=f"u{tweet_id}",
+            location="Boston",
+            home=(42.36, -71.06),
+            geo_enabled=bool(geo),
+        ),
+        text=text,
+        geo=geo,
+        ground_truth={},
+    )
+
+
+# ---------------------------------------------------------------------------
+# HistoricalStore features
+# ---------------------------------------------------------------------------
+
+
+def test_watermark_empty_and_populated():
+    with HistoricalStore(":memory:") as store:
+        assert store.watermark() is None
+        store.extend([make_tweet(1, 10.0), make_tweet(2, 30.0)])
+        assert store.watermark() == 30.0
+
+
+def test_partitions_follow_created_at():
+    with HistoricalStore(":memory:", partition_seconds=100.0) as store:
+        store.extend(
+            [make_tweet(1, 10.0), make_tweet(2, 150.0), make_tweet(3, 160.0)]
+        )
+        assert store.partitions() == [(0.0, 1), (100.0, 2)]
+
+
+def test_search_text_matches_scan_filter():
+    with HistoricalStore(":memory:") as store:
+        store.extend(
+            [
+                make_tweet(1, 10.0, "earthquake in chile"),
+                make_tweet(2, 20.0, "soccer goal"),
+                make_tweet(3, 30.0, "another EARTHQUAKE report"),
+            ]
+        )
+        hits = [t.tweet_id for t in store.search_text("earthquake")]
+        assert hits == [1, 3]
+        # Time bounds compose with the text match.
+        assert [t.tweet_id for t in store.search_text("earthquake", 15.0)] == [3]
+
+
+def test_search_text_fallback_without_fts():
+    with HistoricalStore(":memory:") as store:
+        store.extend([make_tweet(1, 10.0, "quake"), make_tweet(2, 20.0, "ball")])
+        store.fts_enabled = False  # force the LIKE/scan fallback
+        assert [t.tweet_id for t in store.search_text("quake")] == [1]
+
+
+def test_search_box_matches_scan_filter():
+    with HistoricalStore(":memory:") as store:
+        store.extend(
+            [
+                make_tweet(1, 10.0, geo=(35.0, -71.0)),
+                make_tweet(2, 20.0, geo=(10.0, 10.0)),
+                make_tweet(3, 30.0),  # not geotagged
+            ]
+        )
+        expected = [1]
+        assert [
+            t.tweet_id for t in store.search_box(30.0, 40.0, -80.0, -60.0)
+        ] == expected
+        store.rtree_enabled = False  # force the Python fallback
+        assert [
+            t.tweet_id for t in store.search_box(30.0, 40.0, -80.0, -60.0)
+        ] == expected
+
+
+def test_metrics_snapshots_round_trip():
+    with HistoricalStore(":memory:") as store:
+        wrote = store.record_metrics(
+            0.0, 60.0, {"rows": 5, "ratio": 0.5, "label": "skipped"}, label="ev"
+        )
+        assert wrote == 2  # the string value is skipped
+        store.record_metrics(60.0, 120.0, {"rows": 9}, label="ev")
+        series = store.metrics_series(label="ev", name="rows")
+        assert [(s["window_start"], s["value"]) for s in series] == [
+            (0.0, 5.0),
+            (60.0, 9.0),
+        ]
+        # Re-recording the same window replaces the sample.
+        store.record_metrics(0.0, 60.0, {"rows": 7}, label="ev")
+        series = store.metrics_series(label="ev", name="rows")
+        assert series[0]["value"] == 7.0
+
+
+def test_store_file_round_trip(tmp_path):
+    path = str(tmp_path / "hist.db")
+    with HistoricalStore(path) as store:
+        store.extend([make_tweet(i, float(i), geo=(1.0, 2.0)) for i in range(5)])
+        store.record_metrics(0.0, 5.0, {"rows": 5})
+    with HistoricalStore(path) as reopened:
+        assert len(reopened) == 5
+        assert reopened.watermark() == 4.0
+        assert reopened.metrics_series()[0]["value"] == 5.0
+
+
+def test_historical_store_upgrades_plain_log(tmp_path):
+    """Opening a plain SqliteTweetLog file as a HistoricalStore backfills
+    the partition column for pre-existing rows."""
+    path = str(tmp_path / "old.db")
+    with SqliteTweetLog(path) as old:
+        old.extend([make_tweet(1, 50.0), make_tweet(2, 150.0)])
+    with HistoricalStore(path, partition_seconds=100.0) as store:
+        assert store.partitions() == [(0.0, 1), (100.0, 1)]
+
+
+# ---------------------------------------------------------------------------
+# StorageWriter
+# ---------------------------------------------------------------------------
+
+
+def test_writer_archives_behind_the_live_path():
+    with HistoricalStore(":memory:") as store:
+        writer = StorageWriter(store, batch_size=8)
+        for i in range(100):
+            assert writer.write(make_tweet(i, float(i)))
+        writer.flush()
+        assert len(store) == 100
+        assert writer.metrics()["written"] == 100
+        assert writer.metrics()["dropped"] == 0
+        writer.stop()
+
+
+def test_writer_drops_when_queue_full_never_blocks():
+    class SlowStore:
+        def __init__(self):
+            self.release = threading.Event()
+            self.rows = []
+
+        def extend(self, tweets, commit=True):
+            self.release.wait(5.0)
+            self.rows.extend(tweets)
+
+        def commit(self):
+            pass
+
+    slow = SlowStore()
+    writer = StorageWriter(slow, batch_size=1, capacity=4)
+    accepted = sum(writer.write(make_tweet(i, float(i))) for i in range(50))
+    assert accepted < 50  # the bounded queue refused the overflow...
+    assert writer.metrics()["dropped"] == 50 - accepted
+    slow.release.set()  # ...without ever blocking the producer
+    writer.stop()
+    assert len(slow.rows) == accepted
+
+
+def test_writer_stop_is_idempotent_and_flushes():
+    with HistoricalStore(":memory:") as store:
+        writer = StorageWriter(store, batch_size=1000)
+        writer.write(make_tweet(1, 1.0))
+        writer.stop()
+        writer.stop()
+        assert len(store) == 1
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: Memory ≡ Sqlite ≡ Historical
+# ---------------------------------------------------------------------------
+
+#: Random tweet sets with deliberately colliding timestamps (small value
+#: pool) and shuffled insertion order.
+tweet_sets = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),  # timestamp pool → ties
+        st.booleans(),  # geotagged?
+    ),
+    min_size=0,
+    max_size=40,
+).map(
+    lambda pairs: [
+        make_tweet(
+            index + 1,
+            float(t),
+            text=f"tweet {index} quake" if index % 3 == 0 else f"tweet {index}",
+            geo=(40.0 + index * 0.01, -70.0) if geotagged else None,
+        )
+        for index, (t, geotagged) in enumerate(pairs)
+    ]
+)
+
+windows = st.tuples(
+    st.one_of(st.none(), st.floats(min_value=-5.0, max_value=55.0)),
+    st.one_of(st.none(), st.floats(min_value=-5.0, max_value=55.0)),
+)
+
+
+def _backends(tweets):
+    memory = MemoryTweetLog()
+    memory.extend(tweets)
+    sqlite_log = SqliteTweetLog(":memory:", commit_every=3)
+    historical = HistoricalStore(":memory:", partition_seconds=10.0)
+    for tweet in tweets:  # single-row appends exercise the commit batching
+        sqlite_log.append(tweet)
+        historical.append(tweet)
+    return memory, sqlite_log, historical
+
+
+@settings(max_examples=40, deadline=None)
+@given(tweets=tweet_sets, window=windows)
+def test_three_backends_agree_on_scan_count_buckets(tweets, window):
+    start, end = window
+    memory, sqlite_log, historical = _backends(tweets)
+    try:
+        reference = [t.tweet_id for t in memory.scan(start, end)]
+        for backend in (sqlite_log, historical):
+            assert [t.tweet_id for t in backend.scan(start, end)] == reference
+            assert backend.count(start, end) == memory.count(start, end)
+        buckets_ref = memory.counts_by_bucket(0.0, 50.0, 7.0)
+        for backend in (sqlite_log, historical):
+            assert backend.counts_by_bucket(0.0, 50.0, 7.0) == buckets_ref
+    finally:
+        sqlite_log.close()
+        historical.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(tweets=tweet_sets)
+def test_scan_order_is_created_at_then_tweet_id(tweets):
+    memory, sqlite_log, historical = _backends(tweets)
+    try:
+        expected = sorted(
+            (t.created_at, t.tweet_id) for t in tweets
+        )
+        for backend in (memory, sqlite_log, historical):
+            assert [
+                (t.created_at, t.tweet_id) for t in backend.scan()
+            ] == expected
+    finally:
+        sqlite_log.close()
+        historical.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(tweets=tweet_sets)
+def test_historical_search_matches_python_filters(tweets):
+    _memory, sqlite_log, historical = _backends(tweets)
+    sqlite_log.close()
+    try:
+        expected_text = [
+            t.tweet_id for t in historical.scan() if "quake" in t.text.lower()
+        ]
+        assert [
+            t.tweet_id for t in historical.search_text("quake")
+        ] == expected_text
+        expected_box = [
+            t.tweet_id
+            for t in historical.scan()
+            if t.geo is not None
+            and 39.0 <= t.geo[0] <= 41.0
+            and -71.0 <= t.geo[1] <= -69.0
+        ]
+        assert [
+            t.tweet_id
+            for t in historical.search_box(39.0, 41.0, -71.0, -69.0)
+        ] == expected_box
+    finally:
+        historical.close()

@@ -98,6 +98,116 @@ def test_bucket_validation(log):
         log.counts_by_bucket(0.0, 10.0, 0.0)
 
 
+def test_append_commits_on_batch_threshold(tmp_path):
+    """Single-row appends become durable without an explicit extend()."""
+    path = str(tmp_path / "tweets.db")
+    db = SqliteTweetLog(path, commit_every=4)
+    for i in range(1, 5):
+        db.append(make_tweet(i, float(i)))
+    # Threshold reached: a second connection must see all four rows even
+    # though close() was never called.
+    other = SqliteTweetLog(path)
+    assert len(other) == 4
+    other.close()
+    db.close()
+
+
+def test_close_commits_partial_append_batch(tmp_path):
+    """close() flushes appends below the commit threshold (the lost-write
+    bug: append never committed, so rows vanished on process exit)."""
+    path = str(tmp_path / "tweets.db")
+    db = SqliteTweetLog(path, commit_every=1000)
+    db.append(make_tweet(1, 1.0))
+    db.close()
+    with SqliteTweetLog(path) as other:
+        assert len(other) == 1
+
+
+def test_commit_barrier_makes_appends_visible(tmp_path):
+    path = str(tmp_path / "tweets.db")
+    with SqliteTweetLog(path, commit_every=1000) as db:
+        db.append(make_tweet(1, 1.0))
+        db.commit()
+        with SqliteTweetLog(path) as other:
+            assert len(other) == 1
+
+
+def test_equal_timestamp_order_matches_across_backends():
+    """Both backends order ties by (created_at, tweet_id).
+
+    MemoryTweetLog used to keep ties in insertion order while SQLite's
+    scan sorts by tweet_id — the backends disagreed row-for-row.
+    """
+    tweets = [
+        make_tweet(5, 10.0),
+        make_tweet(2, 10.0),
+        make_tweet(9, 10.0),
+        make_tweet(1, 20.0),
+        make_tweet(7, 5.0),
+    ]
+    memory = MemoryTweetLog()
+    memory.extend(tweets)
+    with SqliteTweetLog(":memory:") as sqlite_log:
+        sqlite_log.extend(tweets)
+        assert [t.tweet_id for t in memory.scan()] == [
+            t.tweet_id for t in sqlite_log.scan()
+        ]
+    assert [t.tweet_id for t in memory.scan()] == [7, 2, 5, 9, 1]
+
+
+def test_equal_timestamp_range_bounds(log):
+    log.extend([make_tweet(i, 10.0) for i in (3, 1, 2)])
+    log.append(make_tweet(4, 20.0))
+    assert [t.tweet_id for t in log.scan(10.0, 20.0)] == [1, 2, 3]
+    assert log.count(10.0, 10.0) == 0
+    assert log.count(10.0, 20.0) == 3
+
+
+def test_sqlite_usable_from_worker_threads():
+    """The connection is shared across threads (engine workers scan and
+    append concurrently); this used to raise sqlite3.ProgrammingError."""
+    import threading
+
+    db = SqliteTweetLog(":memory:", commit_every=1)
+    errors = []
+
+    def work(offset):
+        try:
+            for i in range(50):
+                db.append(make_tweet(offset + i, float(offset + i)))
+            list(db.scan())
+            db.count()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=work, args=(1000 * n,)) for n in range(1, 5)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(db) == 200
+    db.close()
+
+
+def test_row_to_tweet_honors_stored_user_id_column():
+    """The natively stored user_id column is authoritative, even when the
+    JSON payload disagrees (it used to be silently ignored)."""
+    with SqliteTweetLog(":memory:") as db:
+        tweet = make_tweet(1, 1.0)
+        db.append(tweet)
+        db.commit()
+        # Corrupt the payload copy only; the column keeps the real id.
+        db._conn.execute(
+            "UPDATE tweets SET payload = REPLACE(payload, "
+            "'\"user_id\": 1,', '\"user_id\": 999,')"
+        )
+        restored = next(iter(db.scan()))
+        assert restored.user.user_id == tweet.user.user_id == 1
+
+
 def test_table_sink():
     sink = TableSink("results")
     sink.append({"a": 1})
